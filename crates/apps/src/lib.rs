@@ -1,0 +1,30 @@
+//! # mpisim-apps — application kernels over the nonblocking-RMA runtime
+//!
+//! The workloads the paper evaluates (§VIII.B) plus one extra stencil
+//! pattern:
+//!
+//! * [`transactions`] — the dynamic unstructured massive-transactions
+//!   pattern (§IV.B, Fig 12): random atomic updates in exclusive-lock
+//!   epochs, driven blocking, nonblocking, or nonblocking + `A_A_A_R`.
+//! * [`lu`] — 1-D row-cyclic LU decomposition over GATS epochs (Fig 13),
+//!   with a real-data validated mode and a paper-scale modeled mode.
+//! * [`halo`] — 1-D ghost-cell exchange, exercising concurrent
+//!   access/exposure epochs enabled by the §VI.B reorder flags.
+//! * [`bank`] — lock-free bank transfers via `compare_and_swap` retry
+//!   loops inside a `lock_all` epoch, with conservation invariants.
+//! * [`stencil2d`] — 2-D five-point stencil whose column halos travel as
+//!   *strided* puts, validated bitwise against a sequential oracle.
+
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod halo;
+pub mod stencil2d;
+pub mod lu;
+pub mod transactions;
+
+pub use bank::{run_bank, BankConfig, BankResult};
+pub use halo::{run_halo, HaloConfig, HaloResult, HaloSync};
+pub use lu::{run_lu, sequential_lu, LuConfig, LuMode, LuResult, LuSync};
+pub use stencil2d::{process_grid, run_stencil2d, sequential_stencil, Stencil2dConfig, Stencil2dResult};
+pub use transactions::{expected_checksum, run_transactions, TargetDist, TxConfig, TxMode, TxResult};

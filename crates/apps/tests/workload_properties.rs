@@ -1,0 +1,154 @@
+//! Workload-level behavioural tests: the paper's qualitative claims about
+//! its two application kernels, checked as executable assertions.
+
+use mpisim_apps::{
+    run_halo, run_lu, run_transactions, HaloConfig, HaloSync, LuConfig, LuMode, LuSync,
+    TxConfig, TxMode,
+};
+use mpisim_core::{JobConfig, SyncStrategy};
+use mpisim_sim::SimTime;
+
+#[test]
+fn think_time_widens_the_nonblocking_gap() {
+    // §VIII.B: "The difference [between blocking and nonblocking] is small
+    // because the epochs are issued back to back ... That difference would
+    // be more substantial if there were computations between adjacent
+    // transactions."
+    fn elapsed(mode: TxMode, think_us: u64) -> f64 {
+        let cfg = TxConfig {
+            txs_per_rank: 40,
+            payload: 64,
+            slots: 128,
+            mode,
+            aaar: false,
+            think_time: SimTime::from_micros(think_us),
+            dist: mpisim_apps::TargetDist::Uniform,
+        };
+        run_transactions(JobConfig::all_internode(6), cfg)
+            .unwrap()
+            .elapsed
+            .as_secs_f64()
+    }
+    let nb = TxMode::Nonblocking { max_inflight: 16 };
+    let gap_no_think = elapsed(TxMode::Blocking, 0) / elapsed(nb, 0);
+    let gap_think = elapsed(TxMode::Blocking, 30) / elapsed(nb, 30);
+    assert!(
+        gap_think > gap_no_think,
+        "think time should widen the nonblocking advantage: \
+         {gap_no_think:.3}x (no think) vs {gap_think:.3}x (30 µs think)"
+    );
+    assert!(
+        gap_think > 1.1,
+        "with think time, nonblocking should clearly win: {gap_think:.3}x"
+    );
+}
+
+#[test]
+fn lu_mixed_topology_matches_oracle() {
+    // Intranode FIFOs + internode channels in the same factorization.
+    let mut job = JobConfig::new(6).with_strategy(SyncStrategy::Redesigned);
+    job.cores_per_node = 3;
+    let r = run_lu(job, LuConfig::small(24, LuSync::Nonblocking)).unwrap();
+    assert_eq!(r.max_error, Some(0.0));
+}
+
+#[test]
+fn lu_comm_fraction_grows_with_job_size() {
+    // Fig 13 b/d: fixed matrix, growing job ⇒ growing communication share.
+    let frac = |n: usize| {
+        run_lu(
+            JobConfig::all_internode(n),
+            LuConfig {
+                m: 128,
+                mode: LuMode::Modeled,
+                sync: LuSync::Blocking,
+                t_flop_ns: 30.0,
+            },
+        )
+        .unwrap()
+        .comm_fraction
+    };
+    let f4 = frac(4);
+    let f16 = frac(16);
+    assert!(
+        f16 > f4,
+        "comm share must grow with job size: {f4:.3} (4) vs {f16:.3} (16)"
+    );
+}
+
+#[test]
+fn lu_time_scales_down_then_comm_dominates() {
+    // The Fig 13(a) U-shape driver: doubling ranks roughly halves time in
+    // the compute-bound regime.
+    let time = |n: usize| {
+        run_lu(
+            JobConfig::all_internode(n),
+            LuConfig {
+                m: 256,
+                mode: LuMode::Modeled,
+                sync: LuSync::Nonblocking,
+                t_flop_ns: 30.0,
+            },
+        )
+        .unwrap()
+        .total_time
+        .as_secs_f64()
+    };
+    let t4 = time(4);
+    let t8 = time(8);
+    assert!(t8 < t4 * 0.7, "compute-bound scaling broken: {t4} -> {t8}");
+}
+
+#[test]
+fn halo_nonblocking_not_slower_with_fat_cells() {
+    // With large enough per-iteration compute, the nonblocking tail overlap
+    // cannot lose to the blocking variant.
+    let run = |sync| {
+        run_halo(
+            JobConfig::all_internode(6),
+            HaloConfig {
+                cells_per_rank: 4096,
+                iters: 20,
+                sync,
+            },
+        )
+        .unwrap()
+    };
+    let b = run(HaloSync::Gats);
+    let nb = run(HaloSync::GatsNonblocking);
+    assert_eq!(b.checksum.to_bits(), nb.checksum.to_bits());
+    assert!(
+        nb.total_time.as_secs_f64() <= b.total_time.as_secs_f64() * 1.05,
+        "nonblocking halo should not be slower: {} vs {}",
+        nb.total_time,
+        b.total_time
+    );
+}
+
+#[test]
+fn transactions_scale_with_ranks_under_uniform_targets() {
+    // All-internode topology keeps the per-transaction cost constant, so
+    // aggregate throughput scales with ranks (uniform random targets).
+    let tput = |n: usize| {
+        run_transactions(
+            JobConfig::all_internode(n),
+            TxConfig {
+                txs_per_rank: 50,
+                payload: 32,
+                slots: 64,
+                mode: TxMode::Nonblocking { max_inflight: 8 },
+                aaar: true,
+                think_time: SimTime::ZERO,
+                dist: mpisim_apps::TargetDist::Uniform,
+            },
+        )
+        .unwrap()
+        .tx_per_sec
+    };
+    let t8 = tput(8);
+    let t32 = tput(32);
+    assert!(
+        t32 > 2.0 * t8,
+        "uniform random targets should scale: {t8:.0} (8) vs {t32:.0} (32)"
+    );
+}

@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks of the middleware's hot data structures and
+//! of the simulation kernel itself (real wall-clock time, not virtual
+//! time): the O(1) epoch-matching packet codec, the intranode 64-bit FIFO,
+//! the request table, and raw event throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mpisim_core::msg::SyncPacket;
+use mpisim_core::request::{ReqKind, ReqTable};
+use mpisim_core::types::{Rank, WinId};
+use mpisim_net::U64Fifo;
+use mpisim_sim::{Sim, SimTime};
+
+fn bench_sync_packet_codec(c: &mut Criterion) {
+    c.bench_function("sync_packet_encode_decode", |b| {
+        b.iter(|| {
+            let p = SyncPacket::GatsDone {
+                win: WinId(black_box(3)),
+                origin: Rank(black_box(1234)),
+                access_id: black_box(567_890),
+            };
+            let w = p.encode();
+            black_box(SyncPacket::decode(w))
+        })
+    });
+}
+
+fn bench_fifo(c: &mut Criterion) {
+    c.bench_function("u64_fifo_push_pop_64", |b| {
+        let mut f = U64Fifo::new(128);
+        b.iter(|| {
+            for i in 0..64u64 {
+                f.push(black_box(i));
+            }
+            let mut acc = 0u64;
+            while let Some(v) = f.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_request_table(c: &mut Criterion) {
+    c.bench_function("req_table_alloc_complete_consume", |b| {
+        let mut t = ReqTable::new();
+        b.iter(|| {
+            let r = t.alloc(ReqKind::Comm);
+            t.complete(r, None);
+            black_box(t.consume(r).unwrap())
+        })
+    });
+}
+
+fn bench_sim_event_throughput(c: &mut Criterion) {
+    c.bench_function("sim_10k_chained_events", |b| {
+        b.iter(|| {
+            let sim = Sim::new(0);
+            let h = sim.handle();
+            fn chain(h: mpisim_sim::SimHandle, left: u32) {
+                if left == 0 {
+                    return;
+                }
+                let h2 = h.clone();
+                h.schedule(SimTime::from_nanos(10), move || chain(h2, left - 1));
+            }
+            chain(h, 10_000);
+            black_box(sim.run().unwrap().events_executed)
+        })
+    });
+}
+
+fn bench_process_switching(c: &mut Criterion) {
+    c.bench_function("sim_proc_1k_context_switches", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0);
+            sim.spawn("worker", |ctx| {
+                for _ in 0..500 {
+                    ctx.advance(SimTime::from_nanos(5));
+                }
+            });
+            black_box(sim.run().unwrap().context_switches)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sync_packet_codec,
+    bench_fifo,
+    bench_request_table,
+    bench_sim_event_throughput,
+    bench_process_switching
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion benchmarks of whole simulated jobs: real wall-clock cost of
+//! simulating each epoch flavour end to end, and of the two application
+//! kernels at test scale. These gate the *simulator's* performance — the
+//! virtual-time results themselves come from the figure harnesses.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use mpisim_apps::{run_lu, run_transactions, LuConfig, LuSync, TxConfig, TxMode};
+use mpisim_core::{run_job, Group, JobConfig, LockKind, Rank};
+
+fn bench_lock_epoch_job(c: &mut Criterion) {
+    c.bench_function("job_20_lock_epochs_4_ranks", |b| {
+        b.iter(|| {
+            let report = run_job(JobConfig::all_internode(4), |env| {
+                let win = env.win_allocate(64).unwrap();
+                env.barrier().unwrap();
+                let t = Rank((env.rank().idx() + 1) % env.n_ranks());
+                for _ in 0..20 {
+                    env.lock(win, t, LockKind::Exclusive).unwrap();
+                    env.put(win, t, 0, &[1u8; 64]).unwrap();
+                    env.unlock(win, t).unwrap();
+                }
+                env.barrier().unwrap();
+                env.win_free(win).unwrap();
+            })
+            .unwrap();
+            black_box(report.sim.events_executed)
+        })
+    });
+}
+
+fn bench_gats_epoch_job(c: &mut Criterion) {
+    c.bench_function("job_20_gats_epochs_2_ranks", |b| {
+        b.iter(|| {
+            let report = run_job(JobConfig::all_internode(2), |env| {
+                let win = env.win_allocate(64).unwrap();
+                env.barrier().unwrap();
+                for _ in 0..20 {
+                    if env.rank().idx() == 0 {
+                        env.start(win, Group::single(Rank(1))).unwrap();
+                        env.put(win, Rank(1), 0, &[2u8; 64]).unwrap();
+                        env.complete(win).unwrap();
+                    } else {
+                        env.post(win, Group::single(Rank(0))).unwrap();
+                        env.wait_epoch(win).unwrap();
+                    }
+                }
+                env.barrier().unwrap();
+                env.win_free(win).unwrap();
+            })
+            .unwrap();
+            black_box(report.sim.events_executed)
+        })
+    });
+}
+
+fn bench_fence_epoch_job(c: &mut Criterion) {
+    c.bench_function("job_20_fence_epochs_4_ranks", |b| {
+        b.iter(|| {
+            let report = run_job(JobConfig::all_internode(4), |env| {
+                let win = env.win_allocate(64).unwrap();
+                env.fence(win).unwrap();
+                let t = Rank((env.rank().idx() + 1) % env.n_ranks());
+                for _ in 0..20 {
+                    env.put(win, t, 0, &[3u8; 8]).unwrap();
+                    env.fence(win).unwrap();
+                }
+                env.win_free(win).unwrap();
+            })
+            .unwrap();
+            black_box(report.sim.events_executed)
+        })
+    });
+}
+
+fn bench_transactions_kernel(c: &mut Criterion) {
+    c.bench_function("transactions_8ranks_50txs", |b| {
+        b.iter(|| {
+            let res = run_transactions(
+                JobConfig::all_internode(8),
+                TxConfig {
+                    txs_per_rank: 50,
+                    payload: 16,
+                    slots: 64,
+                    mode: TxMode::Nonblocking { max_inflight: 8 },
+                    aaar: true,
+                    think_time: mpisim_sim::SimTime::ZERO,
+                    dist: mpisim_apps::TargetDist::Uniform,
+                },
+            )
+            .unwrap();
+            black_box(res.checksum)
+        })
+    });
+}
+
+fn bench_lu_kernel(c: &mut Criterion) {
+    c.bench_function("lu_real_32x32_4ranks", |b| {
+        b.iter(|| {
+            let res = run_lu(
+                JobConfig::all_internode(4),
+                LuConfig::small(32, LuSync::Nonblocking),
+            )
+            .unwrap();
+            black_box(res.max_error)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lock_epoch_job,
+    bench_gats_epoch_job,
+    bench_fence_epoch_job,
+    bench_transactions_kernel,
+    bench_lu_kernel
+);
+criterion_main!(benches);

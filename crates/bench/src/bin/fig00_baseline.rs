@@ -1,0 +1,6 @@
+//! Regenerates the §VIII.A baseline observations (latency parity; lock
+//! epoch overlap available only in the new design).
+fn main() {
+    mpisim_bench::emit(&mpisim_bench::micro::fig00_lock_put_latency(), "fig00_latency");
+    mpisim_bench::emit(&mpisim_bench::micro::fig00_lock_overlap(), "fig00_overlap");
+}

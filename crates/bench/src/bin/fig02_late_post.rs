@@ -1,0 +1,4 @@
+//! Regenerates Fig 2 (Late Post).
+fn main() {
+    mpisim_bench::emit(&mpisim_bench::micro::fig02_late_post(), "fig02");
+}

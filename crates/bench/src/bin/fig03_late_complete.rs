@@ -1,0 +1,4 @@
+//! Regenerates Fig 3 (Late Complete).
+fn main() {
+    mpisim_bench::emit(&mpisim_bench::micro::fig03_late_complete(), "fig03");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 4 (Early Fence).
+fn main() {
+    mpisim_bench::emit(&mpisim_bench::micro::fig04_early_fence(), "fig04");
+}

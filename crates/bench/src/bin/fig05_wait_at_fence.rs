@@ -1,0 +1,4 @@
+//! Regenerates Fig 5 (Wait at Fence).
+fn main() {
+    mpisim_bench::emit(&mpisim_bench::micro::fig05_wait_at_fence(), "fig05");
+}

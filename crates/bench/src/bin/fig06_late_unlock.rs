@@ -1,0 +1,4 @@
+//! Regenerates Fig 6 (Late Unlock).
+fn main() {
+    mpisim_bench::emit(&mpisim_bench::micro::fig06_late_unlock(), "fig06");
+}

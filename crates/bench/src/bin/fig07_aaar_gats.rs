@@ -1,0 +1,4 @@
+//! Regenerates Fig 7 (A_A_A_R, GATS).
+fn main() {
+    mpisim_bench::emit(&mpisim_bench::flags::fig07_aaar_gats(), "fig07");
+}

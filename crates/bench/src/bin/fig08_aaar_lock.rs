@@ -1,0 +1,4 @@
+//! Regenerates Fig 8 (A_A_A_R, lock).
+fn main() {
+    mpisim_bench::emit(&mpisim_bench::flags::fig08_aaar_lock(), "fig08");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Fig 9 (A_A_E_R).
+fn main() {
+    mpisim_bench::emit(&mpisim_bench::flags::fig09_aaer(), "fig09");
+}

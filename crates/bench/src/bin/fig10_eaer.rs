@@ -1,0 +1,4 @@
+//! Regenerates Fig 10 (E_A_E_R).
+fn main() {
+    mpisim_bench::emit(&mpisim_bench::flags::fig10_eaer(), "fig10");
+}

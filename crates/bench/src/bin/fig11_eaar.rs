@@ -1,0 +1,4 @@
+//! Regenerates Fig 11 (E_A_A_R).
+fn main() {
+    mpisim_bench::emit(&mpisim_bench::flags::fig11_eaar(), "fig11");
+}

@@ -1,0 +1,11 @@
+//! Regenerates Fig 12 (massive unstructured atomic transactions).
+//! `--quick` runs a reduced scale; default runs the paper's job sizes.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = if quick {
+        mpisim_bench::fig12::Fig12Opts::quick()
+    } else {
+        mpisim_bench::fig12::Fig12Opts::default()
+    };
+    mpisim_bench::emit(&mpisim_bench::fig12::run(&opts), "fig12");
+}

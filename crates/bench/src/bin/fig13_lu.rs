@@ -1,0 +1,29 @@
+//! Regenerates Fig 13 (LU decomposition, panels a–d).
+//!
+//! * default — 1/8-scale matrices (1024², 2048²) on 8–256 ranks;
+//! * `--quick` — test scale;
+//! * `--paper` — the paper's 8192²/16384² matrices on 64–2048 ranks
+//!   (tens of minutes);
+//! * `--m <dim>` and `--jobs <n1,n2,...>` — custom sweep.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut opts = if args.iter().any(|a| a == "--paper") {
+        mpisim_bench::fig13::Fig13Opts::paper()
+    } else if args.iter().any(|a| a == "--quick") {
+        mpisim_bench::fig13::Fig13Opts::quick()
+    } else {
+        mpisim_bench::fig13::Fig13Opts::default()
+    };
+    if let Some(i) = args.iter().position(|a| a == "--m") {
+        opts.matrix_sizes = vec![args[i + 1].parse().expect("--m <dim>")];
+    }
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        opts.job_sizes = args[i + 1]
+            .split(',')
+            .map(|s| s.parse().expect("--jobs n1,n2,..."))
+            .collect();
+    }
+    for (i, t) in mpisim_bench::fig13::run(&opts).iter().enumerate() {
+        mpisim_bench::emit(t, &format!("fig13_{i}"));
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig 12 — dynamic unstructured massive transactions: throughput vs job
+//! size for the four series (MVAPICH, New, New nonblocking, New
+//! nonblocking + A_A_A_R).
+
+use mpisim_apps::{expected_checksum, run_transactions, TxConfig, TxMode};
+use mpisim_core::{JobConfig, SyncStrategy};
+
+use crate::table::Table;
+
+/// Harness scale.
+#[derive(Clone, Debug)]
+pub struct Fig12Opts {
+    /// Job sizes (ranks). The paper uses 64, 128, 256, 512.
+    pub job_sizes: Vec<usize>,
+    /// Transactions per rank.
+    pub txs_per_rank: usize,
+    /// Sliding-window depth for the nonblocking series.
+    pub max_inflight: usize,
+    /// Ranks per node (the paper's cluster has 16 cores/node).
+    pub cores_per_node: usize,
+}
+
+impl Default for Fig12Opts {
+    fn default() -> Self {
+        Fig12Opts {
+            job_sizes: vec![64, 128, 256, 512],
+            txs_per_rank: 200,
+            max_inflight: 16,
+            cores_per_node: 16,
+        }
+    }
+}
+
+impl Fig12Opts {
+    /// A fast configuration for tests/CI.
+    pub fn quick() -> Self {
+        Fig12Opts {
+            job_sizes: vec![8, 16, 32],
+            txs_per_rank: 50,
+            max_inflight: 8,
+            cores_per_node: 4,
+        }
+    }
+}
+
+/// The four series of Fig 12.
+fn series() -> Vec<(&'static str, SyncStrategy, TxMode, bool)> {
+    vec![
+        ("MVAPICH", SyncStrategy::LazyBaseline, TxMode::Blocking, false),
+        ("New", SyncStrategy::Redesigned, TxMode::Blocking, false),
+        (
+            "New nonblocking",
+            SyncStrategy::Redesigned,
+            TxMode::Nonblocking { max_inflight: 0 }, // filled per-opts below
+            false,
+        ),
+        (
+            "New nonblocking + A_A_A_R",
+            SyncStrategy::Redesigned,
+            TxMode::Nonblocking { max_inflight: 0 },
+            true,
+        ),
+    ]
+}
+
+/// Run the figure: throughput (thousands of transactions per second of
+/// virtual time) per job size and series. Every run's checksum is
+/// validated — an out-of-order engine must not lose a single update.
+pub fn run(opts: &Fig12Opts) -> Table {
+    let mut t = Table::new(
+        "Fig 12 — massive unstructured atomic transactions",
+        "job size",
+        series().iter().map(|s| s.0.to_string()).collect(),
+        "thousands of transactions / s",
+    );
+    for &n in &opts.job_sizes {
+        let mut row = Vec::new();
+        for (_, strategy, mode, aaar) in series() {
+            let mode = match mode {
+                TxMode::Nonblocking { .. } => TxMode::Nonblocking {
+                    max_inflight: opts.max_inflight,
+                },
+                m => m,
+            };
+            let cfg = TxConfig {
+                txs_per_rank: opts.txs_per_rank,
+                payload: 64,
+                slots: 256,
+                mode,
+                aaar,
+                think_time: mpisim_sim::SimTime::ZERO,
+                dist: mpisim_apps::TargetDist::Uniform,
+            };
+            let mut job = JobConfig::new(n).with_strategy(strategy);
+            job.cores_per_node = opts.cores_per_node;
+            let res = run_transactions(job, cfg.clone()).expect("transaction run failed");
+            assert_eq!(
+                res.checksum,
+                expected_checksum(n, &cfg),
+                "lost updates in series with strategy {strategy:?} aaar={aaar}"
+            );
+            row.push(res.tx_per_sec / 1e3);
+        }
+        t.push(format!("{n}"), row);
+    }
+    t
+}

@@ -1,0 +1,107 @@
+//! The three test series of §VIII and shared measurement plumbing.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use mpisim_core::{JobConfig, SyncStrategy};
+
+/// The paper's test series (§VIII): vanilla-MVAPICH-like baseline, the new
+/// design driven with blocking calls, and the new design driven with the
+/// nonblocking API.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Series {
+    /// "MVAPICH": lazy baseline, blocking synchronizations.
+    Mvapich,
+    /// "New": redesigned engine, blocking synchronizations.
+    New,
+    /// "New nonblocking": redesigned engine, `i`-routines.
+    NewNb,
+}
+
+impl Series {
+    /// All three, in the paper's plotting order.
+    pub const ALL: [Series; 3] = [Series::Mvapich, Series::New, Series::NewNb];
+
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Series::Mvapich => "MVAPICH",
+            Series::New => "New",
+            Series::NewNb => "New nonblocking",
+        }
+    }
+
+    /// Job configuration for a microbenchmark of `n` ranks (one rank per
+    /// node, like the paper's internode microbenchmarks).
+    pub fn job(self, n: usize) -> JobConfig {
+        let strategy = match self {
+            Series::Mvapich => SyncStrategy::LazyBaseline,
+            _ => SyncStrategy::Redesigned,
+        };
+        JobConfig::all_internode(n).with_strategy(strategy)
+    }
+
+    /// Whether this series drives epochs through the nonblocking API.
+    pub fn nonblocking(self) -> bool {
+        matches!(self, Series::NewNb)
+    }
+}
+
+/// A thread-safe scratchpad for timestamps measured inside rank closures,
+/// in microseconds.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Arc<Mutex<BTreeMap<String, f64>>>,
+}
+
+impl Recorder {
+    /// Create an empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    /// Store a value (µs) under `key`.
+    pub fn set(&self, key: &str, us: f64) {
+        self.inner.lock().unwrap().insert(key.to_string(), us);
+    }
+
+    /// Fetch a value.
+    pub fn get(&self, key: &str) -> f64 {
+        *self
+            .inner
+            .lock()
+            .unwrap()
+            .get(key)
+            .unwrap_or_else(|| panic!("recorder key {key} missing"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_configs() {
+        assert_eq!(Series::Mvapich.label(), "MVAPICH");
+        assert_eq!(
+            Series::Mvapich.job(2).strategy,
+            SyncStrategy::LazyBaseline
+        );
+        assert_eq!(Series::New.job(2).strategy, SyncStrategy::Redesigned);
+        assert!(Series::NewNb.nonblocking());
+        assert!(!Series::New.nonblocking());
+    }
+
+    #[test]
+    fn recorder_roundtrip() {
+        let r = Recorder::new();
+        r.set("x", 1.5);
+        assert_eq!(r.get("x"), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing")]
+    fn recorder_missing_key_panics() {
+        Recorder::new().get("nope");
+    }
+}

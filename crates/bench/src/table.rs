@@ -1,0 +1,140 @@
+//! Minimal result-table formatting shared by every figure harness.
+
+use std::fmt;
+
+/// One reproduced table/figure: named columns, labelled rows of f64 cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Figure/table title (paper reference included).
+    pub title: String,
+    /// Label of the row-key column.
+    pub row_key: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows: (label, one value per column). `NaN` renders as "-".
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Unit note appended to the title.
+    pub unit: String,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        row_key: impl Into<String>,
+        columns: Vec<String>,
+        unit: impl Into<String>,
+    ) -> Self {
+        Table {
+            title: title.into(),
+            row_key: row_key.into(),
+            columns,
+            rows: Vec::new(),
+            unit: unit.into(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Fetch a cell by row label and column name (tests use this).
+    pub fn cell(&self, row: &str, col: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == col)?;
+        let r = self.rows.iter().find(|(l, _)| l == row)?;
+        Some(r.1[c])
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.row_key);
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            out.push_str(label);
+            for v in vals {
+                out.push(',');
+                if v.is_nan() {
+                    out.push('-');
+                } else {
+                    out.push_str(&format!("{v:.3}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} [{}] ==", self.title, self.unit)?;
+        let w0 = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([self.row_key.len()])
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let widths: Vec<usize> = self.columns.iter().map(|c| c.len().max(12) + 2).collect();
+        write!(f, "{:<w0$}", self.row_key)?;
+        for (c, w) in self.columns.iter().zip(&widths) {
+            write!(f, "{c:>w$}")?;
+        }
+        writeln!(f)?;
+        for (label, vals) in &self.rows {
+            write!(f, "{label:<w0$}")?;
+            for (v, w) in vals.iter().zip(&widths) {
+                if v.is_nan() {
+                    write!(f, "{:>w$}", "-")?;
+                } else if *v >= 1000.0 {
+                    write!(f, "{:>w$.1}", v)?;
+                } else {
+                    write!(f, "{:>w$.3}", v)?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Table::new(
+            "Fig X",
+            "size",
+            vec!["a".into(), "b".into()],
+            "us",
+        );
+        t.push("4B", vec![1.0, 2.0]);
+        t.push("1MB", vec![340.0, f64::NAN]);
+        assert_eq!(t.cell("4B", "b"), Some(2.0));
+        assert_eq!(t.cell("1MB", "a"), Some(340.0));
+        assert!(t.cell("1MB", "b").unwrap().is_nan());
+        assert!(t.cell("2B", "a").is_none());
+        let csv = t.to_csv();
+        assert!(csv.starts_with("size,a,b\n"));
+        assert!(csv.contains("1MB,340.000,-"));
+        let disp = format!("{t}");
+        assert!(disp.contains("Fig X"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_rejected() {
+        let mut t = Table::new("t", "k", vec!["a".into()], "us");
+        t.push("r", vec![1.0, 2.0]);
+    }
+}

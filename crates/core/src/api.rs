@@ -1,0 +1,718 @@
+//! The application-facing API — the MPI-RMA surface of the paper, blocking
+//! and nonblocking.
+//!
+//! Each simulated rank receives a [`RankEnv`] and programs against it the
+//! way an MPI process programs against `MPI_*`:
+//!
+//! | MPI | here (blocking) | here (nonblocking, §V) |
+//! |---|---|---|
+//! | `MPI_WIN_FENCE` | [`RankEnv::fence`] | [`RankEnv::ifence`] |
+//! | `MPI_WIN_POST` / `WAIT` / `TEST` | [`RankEnv::post`] / [`RankEnv::wait_epoch`] / [`RankEnv::test_epoch`] | [`RankEnv::ipost`] / [`RankEnv::iwait`] |
+//! | `MPI_WIN_START` / `COMPLETE` | [`RankEnv::start`] / [`RankEnv::complete`] | [`RankEnv::istart`] / [`RankEnv::icomplete`] |
+//! | `MPI_WIN_LOCK` / `UNLOCK` | [`RankEnv::lock`] / [`RankEnv::unlock`] | [`RankEnv::ilock`] / [`RankEnv::iunlock`] |
+//! | `MPI_WIN_LOCK_ALL` / `UNLOCK_ALL` | [`RankEnv::lock_all`] / [`RankEnv::unlock_all`] | [`RankEnv::ilock_all`] / [`RankEnv::iunlock_all`] |
+//! | `MPI_WIN_FLUSH*` | [`RankEnv::flush`] … | [`RankEnv::iflush`] … |
+//! | `MPI_PUT` / `GET` / accumulates | [`RankEnv::put`] … | request-based [`RankEnv::rput`] … |
+//!
+//! Deviation from MPI for memory safety: `get`-style operations return a
+//! data-bearing [`Req`] instead of writing into a caller-supplied buffer;
+//! fetch the bytes with [`RankEnv::wait_data`] after synchronization.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use mpisim_net::Payload;
+use mpisim_sim::{ProcCtx, Signal, SimTime};
+
+use crate::config::WinInfo;
+use crate::datatype::{Datatype, ReduceOp};
+use crate::engine::{Engine, RankStats};
+use crate::epoch::OpKind;
+use crate::error::{RmaError, RmaResult};
+use crate::msg::{FetchKind, Layout};
+use crate::types::{Group, LockKind, Rank, Req, WinId};
+
+/// The environment of one simulated MPI rank.
+pub struct RankEnv<'a> {
+    ctx: &'a ProcCtx,
+    eng: Arc<Engine>,
+    rank: Rank,
+}
+
+impl<'a> RankEnv<'a> {
+    /// Construct the environment (done by the runtime).
+    pub fn new(ctx: &'a ProcCtx, eng: Arc<Engine>, rank: Rank) -> Self {
+        RankEnv { ctx, eng, rank }
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Job size.
+    pub fn n_ranks(&self) -> usize {
+        self.eng.cfg.n_ranks
+    }
+
+    /// Current virtual time (`MPI_Wtime`).
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// Model `d` of computation: virtual time advances, communications
+    /// progress meanwhile.
+    pub fn compute(&self, d: SimTime) {
+        self.eng.add_compute_time(self.rank, d);
+        self.ctx.advance(d);
+    }
+
+    /// Per-rank timing statistics so far.
+    pub fn stats(&self) -> RankStats {
+        self.eng.rank_stats(self.rank)
+    }
+
+    /// The engine (for instrumentation, e.g. network stats).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.eng
+    }
+
+    /// Charge the per-call software overhead and account MPI time around
+    /// `f`.
+    fn timed<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = self.ctx.now();
+        self.ctx.advance(self.eng.cfg.overheads.call_entry);
+        let r = f();
+        let dt = self.ctx.now() - t0;
+        self.eng.add_mpi_time(self.rank, dt);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // requests (test/wait family)
+    // ------------------------------------------------------------------
+
+    /// Block until `req` completes; consumes the request.
+    pub fn wait(&self, req: Req) -> RmaResult<()> {
+        self.timed(|| self.wait_inner(req).map(|_| ()))
+    }
+
+    /// Block until `req` completes and return its data (get/fetch/recv
+    /// results). Errors if the request carries no data.
+    pub fn wait_data(&self, req: Req) -> RmaResult<Bytes> {
+        self.timed(|| {
+            self.wait_inner(req)?
+                .ok_or(RmaError::DatatypeMismatch {
+                    detail: "request carries no data",
+                })
+        })
+    }
+
+    fn wait_inner(&self, req: Req) -> RmaResult<Option<Bytes>> {
+        loop {
+            let sig = {
+                let mut st = self.eng.st.lock();
+                if st.reqs.is_done(req)? {
+                    return st.reqs.consume(req);
+                }
+                let s = Signal::new();
+                st.reqs.add_waiter(req, s.clone())?;
+                s
+            };
+            self.ctx.wait(&sig);
+        }
+    }
+
+    /// Nonblocking completion check; consumes the request when complete.
+    pub fn test(&self, req: Req) -> RmaResult<bool> {
+        self.timed(|| {
+            let mut st = self.eng.st.lock();
+            if st.reqs.is_done(req)? {
+                st.reqs.consume(req)?;
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        })
+    }
+
+    /// Wait for every request in order.
+    pub fn wait_all(&self, reqs: impl IntoIterator<Item = Req>) -> RmaResult<()> {
+        for r in reqs {
+            self.wait(r)?;
+        }
+        Ok(())
+    }
+
+    /// Block until *any* of the requests completes; consumes that request
+    /// and returns its index (`MPI_WAITANY`). Errors if the slice is empty
+    /// or a handle is stale.
+    pub fn wait_any(&self, reqs: &[Req]) -> RmaResult<usize> {
+        if reqs.is_empty() {
+            return Err(RmaError::InvalidRequest);
+        }
+        self.timed(|| loop {
+            let sig = {
+                let mut st = self.eng.st.lock();
+                for (i, r) in reqs.iter().enumerate() {
+                    if st.reqs.is_done(*r)? {
+                        st.reqs.consume(*r)?;
+                        return Ok(i);
+                    }
+                }
+                // None complete: one signal registered with every request,
+                // so any completion wakes us.
+                let s = Signal::new();
+                for r in reqs {
+                    st.reqs.add_waiter(*r, s.clone())?;
+                }
+                s
+            };
+            self.ctx.wait(&sig);
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // windows
+    // ------------------------------------------------------------------
+
+    /// Collective window creation with `size` bytes of exposed memory
+    /// (`MPI_WIN_ALLOCATE`); synchronizes all ranks.
+    pub fn win_allocate(&self, size: usize) -> RmaResult<WinId> {
+        self.win_allocate_with(size, WinInfo::default())
+    }
+
+    /// Window creation with explicit info flags (§VI.B reorder flags).
+    pub fn win_allocate_with(&self, size: usize, info: WinInfo) -> RmaResult<WinId> {
+        let w = self.timed(|| self.eng.win_allocate(self.rank, size, info));
+        self.barrier()?;
+        Ok(w)
+    }
+
+    /// Collective window destruction; synchronizes all ranks.
+    pub fn win_free(&self, win: WinId) -> RmaResult<()> {
+        self.barrier()?;
+        self.timed(|| self.eng.win_free(self.rank, win))
+    }
+
+    /// Read `len` bytes from the local window copy (local load).
+    pub fn read_local(&self, win: WinId, disp: usize, len: usize) -> RmaResult<Vec<u8>> {
+        self.eng.read_local(self.rank, win, disp, len)
+    }
+
+    /// Write into the local window copy (local store).
+    pub fn write_local(&self, win: WinId, disp: usize, data: &[u8]) -> RmaResult<()> {
+        self.eng.write_local(self.rank, win, disp, data)
+    }
+
+    // ------------------------------------------------------------------
+    // fence epochs
+    // ------------------------------------------------------------------
+
+    /// Blocking `MPI_WIN_FENCE`.
+    pub fn fence(&self, win: WinId) -> RmaResult<()> {
+        self.timed(|| {
+            let r = self.eng.fence(self.rank, win)?;
+            self.wait_inner(r).map(|_| ())
+        })
+    }
+
+    /// `MPI_WIN_IFENCE` (§V): returns the closing request.
+    pub fn ifence(&self, win: WinId) -> RmaResult<Req> {
+        self.timed(|| self.eng.fence(self.rank, win))
+    }
+
+    // ------------------------------------------------------------------
+    // GATS epochs
+    // ------------------------------------------------------------------
+
+    /// `MPI_WIN_START` (nonblocking by design in modern MPIs).
+    pub fn start(&self, win: WinId, group: Group) -> RmaResult<()> {
+        self.timed(|| self.eng.open_gats_access(self.rank, win, group))
+    }
+
+    /// `MPI_WIN_ISTART`: identical to [`RankEnv::start`] plus a dummy
+    /// completed request (§VII.C).
+    pub fn istart(&self, win: WinId, group: Group) -> RmaResult<Req> {
+        self.timed(|| {
+            self.eng.open_gats_access(self.rank, win, group)?;
+            Ok(self.eng.dummy_open_req())
+        })
+    }
+
+    /// `MPI_WIN_POST` (already nonblocking in MPI-3.0).
+    pub fn post(&self, win: WinId, group: Group) -> RmaResult<()> {
+        self.timed(|| self.eng.open_exposure(self.rank, win, group))
+    }
+
+    /// `MPI_WIN_IPOST`: provided for uniformity (§V).
+    pub fn ipost(&self, win: WinId, group: Group) -> RmaResult<Req> {
+        self.timed(|| {
+            self.eng.open_exposure(self.rank, win, group)?;
+            Ok(self.eng.dummy_open_req())
+        })
+    }
+
+    /// Blocking `MPI_WIN_COMPLETE`.
+    pub fn complete(&self, win: WinId) -> RmaResult<()> {
+        self.timed(|| {
+            let r = self.eng.close_gats_access(self.rank, win)?;
+            self.wait_inner(r).map(|_| ())
+        })
+    }
+
+    /// `MPI_WIN_ICOMPLETE` (§V).
+    pub fn icomplete(&self, win: WinId) -> RmaResult<Req> {
+        self.timed(|| self.eng.close_gats_access(self.rank, win))
+    }
+
+    /// Blocking `MPI_WIN_WAIT`.
+    pub fn wait_epoch(&self, win: WinId) -> RmaResult<()> {
+        self.timed(|| {
+            let r = self.eng.close_exposure(self.rank, win)?;
+            self.wait_inner(r).map(|_| ())
+        })
+    }
+
+    /// `MPI_WIN_IWAIT` (§V): unlike `MPI_WIN_TEST`, this closes the epoch
+    /// immediately, so a subsequent exposure can be opened wait-free.
+    pub fn iwait(&self, win: WinId) -> RmaResult<Req> {
+        self.timed(|| self.eng.close_exposure(self.rank, win))
+    }
+
+    /// `MPI_WIN_TEST`: nonblocking check that closes the exposure epoch
+    /// only when it has completed.
+    pub fn test_epoch(&self, win: WinId) -> RmaResult<bool> {
+        self.timed(|| self.eng.test_exposure(self.rank, win))
+    }
+
+    // ------------------------------------------------------------------
+    // passive-target epochs
+    // ------------------------------------------------------------------
+
+    /// Blocking `MPI_WIN_LOCK` (returns when the epoch is open at the
+    /// application level; acquisition happens inside the middleware).
+    pub fn lock(&self, win: WinId, target: Rank, kind: LockKind) -> RmaResult<()> {
+        self.timed(|| self.eng.open_lock(self.rank, win, target, kind))
+    }
+
+    /// `MPI_WIN_ILOCK` (§V).
+    pub fn ilock(&self, win: WinId, target: Rank, kind: LockKind) -> RmaResult<Req> {
+        self.timed(|| {
+            self.eng.open_lock(self.rank, win, target, kind)?;
+            Ok(self.eng.dummy_open_req())
+        })
+    }
+
+    /// Blocking `MPI_WIN_UNLOCK`: returns when every RMA op of the epoch
+    /// completed locally and remotely and the lock is released.
+    pub fn unlock(&self, win: WinId, target: Rank) -> RmaResult<()> {
+        self.timed(|| {
+            let r = self.eng.close_lock(self.rank, win, target)?;
+            self.wait_inner(r).map(|_| ())
+        })
+    }
+
+    /// `MPI_WIN_IUNLOCK` (§V).
+    pub fn iunlock(&self, win: WinId, target: Rank) -> RmaResult<Req> {
+        self.timed(|| self.eng.close_lock(self.rank, win, target))
+    }
+
+    /// Blocking `MPI_WIN_LOCK_ALL`.
+    pub fn lock_all(&self, win: WinId) -> RmaResult<()> {
+        self.timed(|| self.eng.open_lock_all(self.rank, win))
+    }
+
+    /// `MPI_WIN_ILOCK_ALL` (§V).
+    pub fn ilock_all(&self, win: WinId) -> RmaResult<Req> {
+        self.timed(|| {
+            self.eng.open_lock_all(self.rank, win)?;
+            Ok(self.eng.dummy_open_req())
+        })
+    }
+
+    /// Blocking `MPI_WIN_UNLOCK_ALL`.
+    pub fn unlock_all(&self, win: WinId) -> RmaResult<()> {
+        self.timed(|| {
+            let r = self.eng.close_lock_all(self.rank, win)?;
+            self.wait_inner(r).map(|_| ())
+        })
+    }
+
+    /// `MPI_WIN_IUNLOCK_ALL` (§V).
+    pub fn iunlock_all(&self, win: WinId) -> RmaResult<Req> {
+        self.timed(|| self.eng.close_lock_all(self.rank, win))
+    }
+
+    // ------------------------------------------------------------------
+    // flush family
+    // ------------------------------------------------------------------
+
+    /// Blocking `MPI_WIN_FLUSH` toward one target.
+    pub fn flush(&self, win: WinId, target: Rank) -> RmaResult<()> {
+        self.timed(|| {
+            let r = self.eng.iflush(self.rank, win, Some(target), false)?;
+            self.wait_inner(r).map(|_| ())
+        })
+    }
+
+    /// `MPI_WIN_IFLUSH` (§V).
+    pub fn iflush(&self, win: WinId, target: Rank) -> RmaResult<Req> {
+        self.timed(|| self.eng.iflush(self.rank, win, Some(target), false))
+    }
+
+    /// Blocking `MPI_WIN_FLUSH_LOCAL`.
+    pub fn flush_local(&self, win: WinId, target: Rank) -> RmaResult<()> {
+        self.timed(|| {
+            let r = self.eng.iflush(self.rank, win, Some(target), true)?;
+            self.wait_inner(r).map(|_| ())
+        })
+    }
+
+    /// `MPI_WIN_IFLUSH_LOCAL` (§V).
+    pub fn iflush_local(&self, win: WinId, target: Rank) -> RmaResult<Req> {
+        self.timed(|| self.eng.iflush(self.rank, win, Some(target), true))
+    }
+
+    /// Blocking `MPI_WIN_FLUSH_ALL`.
+    pub fn flush_all(&self, win: WinId) -> RmaResult<()> {
+        self.timed(|| {
+            let r = self.eng.iflush(self.rank, win, None, false)?;
+            self.wait_inner(r).map(|_| ())
+        })
+    }
+
+    /// `MPI_WIN_IFLUSH_ALL` (§V).
+    pub fn iflush_all(&self, win: WinId) -> RmaResult<Req> {
+        self.timed(|| self.eng.iflush(self.rank, win, None, false))
+    }
+
+    /// Blocking `MPI_WIN_FLUSH_LOCAL_ALL`.
+    pub fn flush_local_all(&self, win: WinId) -> RmaResult<()> {
+        self.timed(|| {
+            let r = self.eng.iflush(self.rank, win, None, true)?;
+            self.wait_inner(r).map(|_| ())
+        })
+    }
+
+    /// `MPI_WIN_IFLUSH_LOCAL_ALL` (§V).
+    pub fn iflush_local_all(&self, win: WinId) -> RmaResult<Req> {
+        self.timed(|| self.eng.iflush(self.rank, win, None, true))
+    }
+
+    // ------------------------------------------------------------------
+    // RMA communication calls (nonblocking per MPI-3.0)
+    // ------------------------------------------------------------------
+
+    /// `MPI_PUT`.
+    pub fn put(&self, win: WinId, target: Rank, disp: usize, data: &[u8]) -> RmaResult<()> {
+        self.rma(
+            win,
+            target,
+            disp,
+            OpKind::Put {
+                payload: Payload::copy_from_slice(data),
+                layout: Layout::Contig,
+            },
+            false,
+        )
+        .map(|_| ())
+    }
+
+    /// Strided put (`MPI_PUT` with a vector target datatype): `data` holds
+    /// `count × blocklen` packed bytes, written as `count` blocks whose
+    /// starts are `stride` bytes apart at the target.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_strided(
+        &self,
+        win: WinId,
+        target: Rank,
+        disp: usize,
+        count: usize,
+        blocklen: usize,
+        stride: usize,
+        data: &[u8],
+    ) -> RmaResult<()> {
+        if stride < blocklen || data.len() != count * blocklen {
+            return Err(RmaError::DatatypeMismatch {
+                detail: "vector layout: need stride ≥ blocklen and data = count × blocklen",
+            });
+        }
+        self.rma(
+            win,
+            target,
+            disp,
+            OpKind::Put {
+                payload: Payload::copy_from_slice(data),
+                layout: Layout::Vector { count, blocklen, stride },
+            },
+            false,
+        )
+        .map(|_| ())
+    }
+
+    /// Size-only put for paper-scale workloads: times like a real put,
+    /// moves no bytes.
+    pub fn put_synthetic(&self, win: WinId, target: Rank, disp: usize, len: usize) -> RmaResult<()> {
+        self.rma(
+            win,
+            target,
+            disp,
+            OpKind::Put {
+                payload: Payload::Synthetic(len),
+                layout: Layout::Contig,
+            },
+            false,
+        )
+        .map(|_| ())
+    }
+
+    /// `MPI_RPUT`: request completes at local completion.
+    pub fn rput(&self, win: WinId, target: Rank, disp: usize, data: &[u8]) -> RmaResult<Req> {
+        self.rma(
+            win,
+            target,
+            disp,
+            OpKind::Put {
+                payload: Payload::copy_from_slice(data),
+                layout: Layout::Contig,
+            },
+            true,
+        )
+        .map(|r| r.expect("request-based op returns a request"))
+    }
+
+    /// `MPI_GET`: returns a data-bearing request; the bytes are valid after
+    /// the epoch synchronizes (or the request completes).
+    pub fn get(&self, win: WinId, target: Rank, disp: usize, len: usize) -> RmaResult<Req> {
+        self.rma(win, target, disp, OpKind::Get { len, layout: Layout::Contig }, true)
+            .map(|r| r.expect("get returns a request"))
+    }
+
+    /// Strided get: gathers `count` blocks of `blocklen` bytes, `stride`
+    /// apart, from the target into one packed data-bearing request.
+    pub fn get_strided(
+        &self,
+        win: WinId,
+        target: Rank,
+        disp: usize,
+        count: usize,
+        blocklen: usize,
+        stride: usize,
+    ) -> RmaResult<Req> {
+        if stride < blocklen {
+            return Err(RmaError::DatatypeMismatch {
+                detail: "vector layout: need stride ≥ blocklen",
+            });
+        }
+        self.rma(
+            win,
+            target,
+            disp,
+            OpKind::Get {
+                len: count * blocklen,
+                layout: Layout::Vector { count, blocklen, stride },
+            },
+            true,
+        )
+        .map(|r| r.expect("get returns a request"))
+    }
+
+    /// `MPI_ACCUMULATE`.
+    pub fn accumulate(
+        &self,
+        win: WinId,
+        target: Rank,
+        disp: usize,
+        dt: Datatype,
+        op: ReduceOp,
+        data: &[u8],
+    ) -> RmaResult<()> {
+        self.rma(
+            win,
+            target,
+            disp,
+            OpKind::Acc { dt, op, payload: Payload::copy_from_slice(data) },
+            false,
+        )
+        .map(|_| ())
+    }
+
+    /// Size-only accumulate (skips target-side arithmetic).
+    pub fn accumulate_synthetic(
+        &self,
+        win: WinId,
+        target: Rank,
+        disp: usize,
+        dt: Datatype,
+        op: ReduceOp,
+        len: usize,
+    ) -> RmaResult<()> {
+        self.rma(
+            win,
+            target,
+            disp,
+            OpKind::Acc { dt, op, payload: Payload::Synthetic(len) },
+            false,
+        )
+        .map(|_| ())
+    }
+
+    /// `MPI_RACCUMULATE`.
+    pub fn raccumulate(
+        &self,
+        win: WinId,
+        target: Rank,
+        disp: usize,
+        dt: Datatype,
+        op: ReduceOp,
+        data: &[u8],
+    ) -> RmaResult<Req> {
+        self.rma(
+            win,
+            target,
+            disp,
+            OpKind::Acc { dt, op, payload: Payload::copy_from_slice(data) },
+            true,
+        )
+        .map(|r| r.expect("request-based op returns a request"))
+    }
+
+    /// `MPI_GET_ACCUMULATE`: atomically applies `op` and returns the
+    /// previous target contents via the request.
+    pub fn get_accumulate(
+        &self,
+        win: WinId,
+        target: Rank,
+        disp: usize,
+        dt: Datatype,
+        op: ReduceOp,
+        data: &[u8],
+    ) -> RmaResult<Req> {
+        self.rma(
+            win,
+            target,
+            disp,
+            OpKind::Fetch {
+                fetch: FetchKind::GetAccumulate,
+                dt,
+                op,
+                operand: Payload::copy_from_slice(data),
+            },
+            true,
+        )
+        .map(|r| r.expect("fetch op returns a request"))
+    }
+
+    /// `MPI_FETCH_AND_OP` (single element).
+    pub fn fetch_and_op(
+        &self,
+        win: WinId,
+        target: Rank,
+        disp: usize,
+        dt: Datatype,
+        op: ReduceOp,
+        operand: &[u8],
+    ) -> RmaResult<Req> {
+        self.rma(
+            win,
+            target,
+            disp,
+            OpKind::Fetch {
+                fetch: FetchKind::FetchAndOp,
+                dt,
+                op,
+                operand: Payload::copy_from_slice(operand),
+            },
+            true,
+        )
+        .map(|r| r.expect("fetch op returns a request"))
+    }
+
+    /// `MPI_COMPARE_AND_SWAP` (single element): swaps in `new` iff the
+    /// target equals `compare`; the request returns the previous contents.
+    pub fn compare_and_swap(
+        &self,
+        win: WinId,
+        target: Rank,
+        disp: usize,
+        dt: Datatype,
+        compare: &[u8],
+        new: &[u8],
+    ) -> RmaResult<Req> {
+        self.rma(
+            win,
+            target,
+            disp,
+            OpKind::Fetch {
+                fetch: FetchKind::CompareAndSwap {
+                    compare: compare.to_vec(),
+                },
+                dt,
+                op: ReduceOp::Replace,
+                operand: Payload::copy_from_slice(new),
+            },
+            true,
+        )
+        .map(|r| r.expect("fetch op returns a request"))
+    }
+
+    fn rma(
+        &self,
+        win: WinId,
+        target: Rank,
+        disp: usize,
+        kind: OpKind,
+        want_req: bool,
+    ) -> RmaResult<Option<Req>> {
+        let per_op = self.eng.cfg.overheads.per_op;
+        self.timed(|| {
+            self.ctx.advance(per_op);
+            self.eng.rma_op(self.rank, win, target, disp, kind, want_req)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // two-sided and collectives
+    // ------------------------------------------------------------------
+
+    /// Blocking standard-mode send (returns when the buffer is reusable).
+    pub fn send(&self, dst: Rank, tag: u64, data: &[u8]) -> RmaResult<()> {
+        let r = self.isend(dst, tag, data)?;
+        self.wait(r)
+    }
+
+    /// `MPI_ISEND`.
+    pub fn isend(&self, dst: Rank, tag: u64, data: &[u8]) -> RmaResult<Req> {
+        self.timed(|| self.eng.isend(self.rank, dst, tag, Payload::copy_from_slice(data)))
+    }
+
+    /// Size-only isend.
+    pub fn isend_synthetic(&self, dst: Rank, tag: u64, len: usize) -> RmaResult<Req> {
+        self.timed(|| self.eng.isend(self.rank, dst, tag, Payload::Synthetic(len)))
+    }
+
+    /// Blocking receive returning the message bytes.
+    pub fn recv(&self, src: Rank, tag: u64) -> RmaResult<Bytes> {
+        let r = self.irecv(src, tag)?;
+        self.wait_data(r)
+    }
+
+    /// `MPI_IRECV`.
+    pub fn irecv(&self, src: Rank, tag: u64) -> RmaResult<Req> {
+        self.timed(|| self.eng.irecv(self.rank, src, tag))
+    }
+
+    /// Blocking dissemination barrier over all ranks.
+    pub fn barrier(&self) -> RmaResult<()> {
+        self.timed(|| {
+            let r = self.eng.ibarrier(self.rank);
+            self.wait_inner(r).map(|_| ())
+        })
+    }
+
+    /// Nonblocking barrier.
+    pub fn ibarrier(&self) -> Req {
+        self.timed(|| self.eng.ibarrier(self.rank))
+    }
+}

@@ -1,0 +1,195 @@
+//! Job-level configuration: synchronization strategy, window info keys, and
+//! modeled software overheads.
+
+use mpisim_net::NetParams;
+use mpisim_sim::SimTime;
+
+/// Which RMA engine behaviour the job runs with.
+///
+/// The paper's evaluation compares three series; the first two map to this
+/// enum, and the third is the `Redesigned` engine driven through the
+/// nonblocking API:
+///
+/// * **"MVAPICH"** → [`SyncStrategy::LazyBaseline`]: lazy lock acquisition
+///   (the whole passive-target epoch degenerates to the `unlock` call), RMA
+///   issued at the epoch-closing routine, and all internode targets must be
+///   ready before communication is issued to any of them (§VIII.B).
+/// * **"New"** → [`SyncStrategy::Redesigned`] with blocking calls.
+/// * **"New nonblocking"** → [`SyncStrategy::Redesigned`] with the
+///   `i`-routines.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SyncStrategy {
+    /// Vanilla-MVAPICH-like behaviour (the paper's baseline series).
+    LazyBaseline,
+    /// The paper's redesigned engine: eager per-target issue, deferred
+    /// epochs, nonblocking synchronizations available.
+    Redesigned,
+}
+
+/// Per-window info-object flags (§VI.B): the four reorder flags that allow
+/// the progress engine to activate an epoch while the immediately preceding
+/// one is still active. All default to off, which guarantees
+/// memory-consistency safety.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WinInfo {
+    /// `MPI_WIN_ACCESS_AFTER_ACCESS_REORDER`: an origin-side epoch may
+    /// progress while the immediately preceding origin-side epoch is active.
+    pub access_after_access: bool,
+    /// `MPI_WIN_ACCESS_AFTER_EXPOSURE_REORDER`: an origin-side epoch may
+    /// progress while the immediately preceding exposure epoch is active.
+    pub access_after_exposure: bool,
+    /// `MPI_WIN_EXPOSURE_AFTER_EXPOSURE_REORDER`: a target-side epoch may
+    /// progress while the immediately preceding target-side epoch is active.
+    pub exposure_after_exposure: bool,
+    /// `MPI_WIN_EXPOSURE_AFTER_ACCESS_REORDER`: a target-side epoch may
+    /// progress while the immediately preceding origin-side epoch is active.
+    pub exposure_after_access: bool,
+    /// **Extension (the paper's §X future work):** let the four reorder
+    /// flags also apply across *fence* epochs. A fence epoch is both an
+    /// access and an exposure epoch, so the pairwise predicate requires
+    /// the flags of both sides. The barrier semantics of the closed fence
+    /// are still honoured for the fence's own completion — only the
+    /// *activation* of the adjacent epoch may overlap it. Off by default;
+    /// the programmer asserts disjoint memory accesses, exactly as for
+    /// the four base flags (§VI.C). `lock_all` adjacency remains excluded
+    /// unconditionally (recursive-locking / lock-and-exposed hazards,
+    /// §VI.B).
+    pub unsafe_fence_reorder: bool,
+}
+
+impl WinInfo {
+    /// All four reorder flags enabled (the programmer asserts disjoint
+    /// memory accesses across concurrently progressed epochs). The fence
+    /// extension stays off.
+    pub fn all_reorder() -> Self {
+        WinInfo {
+            access_after_access: true,
+            access_after_exposure: true,
+            exposure_after_exposure: true,
+            exposure_after_access: true,
+            unsafe_fence_reorder: false,
+        }
+    }
+
+    /// Only `A_A_A_R` enabled.
+    pub fn aaar() -> Self {
+        WinInfo {
+            access_after_access: true,
+            ..WinInfo::default()
+        }
+    }
+}
+
+/// Modeled software overheads of the middleware itself.
+#[derive(Clone, Debug)]
+pub struct Overheads {
+    /// CPU cost charged on entry to every MPI call (the ε of §IV.C).
+    pub call_entry: SimTime,
+    /// Extra CPU cost to post one RMA operation.
+    pub per_op: SimTime,
+}
+
+impl Default for Overheads {
+    fn default() -> Self {
+        Overheads {
+            call_entry: SimTime::from_nanos(300),
+            per_op: SimTime::from_nanos(150),
+        }
+    }
+}
+
+/// Everything needed to run one simulated MPI job.
+#[derive(Clone, Debug)]
+pub struct JobConfig {
+    /// Number of ranks.
+    pub n_ranks: usize,
+    /// Ranks per node (block placement).
+    pub cores_per_node: usize,
+    /// Network cost model.
+    pub net: NetParams,
+    /// Engine strategy (baseline vs redesigned).
+    pub strategy: SyncStrategy,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Software overheads.
+    pub overheads: Overheads,
+    /// Eager/rendezvous threshold for two-sided and accumulate payloads,
+    /// bytes. The paper observes no overlap for accumulates above 8 KB
+    /// because of the internal rendezvous (§VIII.A).
+    pub rndv_threshold: usize,
+    /// Per-process stack size for rank threads.
+    pub stack_size: usize,
+    /// Event cap (runaway backstop).
+    pub event_cap: u64,
+    /// Record epoch lifecycle traces (see [`crate::trace`]).
+    pub trace: bool,
+}
+
+impl JobConfig {
+    /// A job of `n_ranks` on the calibrated QDR-InfiniBand-like cluster with
+    /// 16 cores per node and the redesigned engine.
+    pub fn new(n_ranks: usize) -> Self {
+        JobConfig {
+            n_ranks,
+            cores_per_node: 16,
+            net: NetParams::qdr_infiniband(),
+            strategy: SyncStrategy::Redesigned,
+            seed: 0xC0FFEE,
+            overheads: Overheads::default(),
+            rndv_threshold: 8 * 1024,
+            stack_size: mpisim_sim::DEFAULT_STACK_SIZE,
+            event_cap: mpisim_sim::DEFAULT_EVENT_CAP,
+            trace: false,
+        }
+    }
+
+    /// Same, but every rank on its own node (all channels internode) — the
+    /// configuration used by the paper's microbenchmarks.
+    pub fn all_internode(n_ranks: usize) -> Self {
+        JobConfig {
+            cores_per_node: 1,
+            ..JobConfig::new(n_ranks)
+        }
+    }
+
+    /// Switch to the lazy baseline strategy.
+    pub fn with_strategy(mut self, s: SyncStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = JobConfig::new(8);
+        assert_eq!(c.n_ranks, 8);
+        assert_eq!(c.strategy, SyncStrategy::Redesigned);
+        assert_eq!(c.rndv_threshold, 8192);
+        let c2 = JobConfig::all_internode(4);
+        assert_eq!(c2.cores_per_node, 1);
+    }
+
+    #[test]
+    fn info_constructors() {
+        assert!(!WinInfo::default().access_after_access);
+        assert!(WinInfo::aaar().access_after_access);
+        assert!(!WinInfo::aaar().exposure_after_access);
+        let all = WinInfo::all_reorder();
+        assert!(
+            all.access_after_access
+                && all.access_after_exposure
+                && all.exposure_after_exposure
+                && all.exposure_after_access
+        );
+    }
+}

@@ -1,0 +1,686 @@
+//! Epoch lifecycle: opening, closing, the activation predicate of §VI, the
+//! deferred-epoch activation scan of §VII.A, and completion detection.
+
+use std::sync::Arc;
+
+use crate::engine::{EngState, Engine};
+use crate::epoch::{EpochKind, EpochObj, Side};
+use crate::error::{RmaError, RmaResult};
+use crate::msg::SyncPacket;
+use crate::request::ReqKind;
+use crate::types::{EpochId, Group, LockKind, Rank, Req, WinId};
+
+impl Engine {
+    // ------------------------------------------------------------------
+    // opening routines (all nonblocking at middleware level; §VII.C: the
+    // application-level request for an opening routine is a dummy)
+    // ------------------------------------------------------------------
+
+    /// `MPI_WIN_START` / `MPI_WIN_ISTART`: open a GATS access epoch.
+    pub fn open_gats_access(self: &Arc<Self>, rank: Rank, win: WinId, group: Group) -> RmaResult<()> {
+        {
+            let mut st = self.st.lock();
+            self.check_fence_conflict(&st, rank, win, "start")?;
+            let w = st.win_mut(win, rank);
+            if w.cur_gats_access.is_some() {
+                return Err(RmaError::AlreadyInEpoch { called: "start" });
+            }
+            if !w.open_locks.is_empty() || w.cur_lock_all.is_some() {
+                return Err(RmaError::AlreadyInEpoch { called: "start" });
+            }
+            let id = w.alloc_epoch_id();
+            w.push_epoch(EpochObj::new(id, EpochKind::GatsAccess { group }));
+            w.cur_gats_access = Some(id);
+            st.eng_stats.epochs_opened += 1;
+            self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Opened);
+            st.mark_act_dirty(rank, win);
+        }
+        self.sweep(rank);
+        Ok(())
+    }
+
+    /// `MPI_WIN_POST` / `MPI_WIN_IPOST`: open an exposure epoch.
+    pub fn open_exposure(self: &Arc<Self>, rank: Rank, win: WinId, group: Group) -> RmaResult<()> {
+        {
+            let mut st = self.st.lock();
+            self.check_fence_conflict(&st, rank, win, "post")?;
+            let w = st.win_mut(win, rank);
+            if w.cur_exposure.is_some() {
+                return Err(RmaError::AlreadyInEpoch { called: "post" });
+            }
+            let id = w.alloc_epoch_id();
+            w.push_epoch(EpochObj::new(id, EpochKind::GatsExposure { group }));
+            w.cur_exposure = Some(id);
+            st.eng_stats.epochs_opened += 1;
+            self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Opened);
+            st.mark_act_dirty(rank, win);
+        }
+        self.sweep(rank);
+        Ok(())
+    }
+
+    /// `MPI_WIN_LOCK` / `MPI_WIN_ILOCK`: open a single-target passive epoch.
+    pub fn open_lock(
+        self: &Arc<Self>,
+        rank: Rank,
+        win: WinId,
+        target: Rank,
+        lock: LockKind,
+    ) -> RmaResult<()> {
+        {
+            let mut st = self.st.lock();
+            if target.idx() >= self.cfg.n_ranks {
+                return Err(RmaError::InvalidRank(target.idx()));
+            }
+            self.check_fence_conflict(&st, rank, win, "lock")?;
+            let lazy = self.lazy();
+            let w = st.win_mut(win, rank);
+            if w.open_locks.contains_key(&target)
+                || w.cur_lock_all.is_some()
+                || w.cur_gats_access.is_some()
+            {
+                return Err(RmaError::AlreadyInEpoch { called: "lock" });
+            }
+            let id = w.alloc_epoch_id();
+            let mut e = EpochObj::new(id, EpochKind::Lock { target, lock });
+            // Lazy baseline: the whole epoch is deferred until `unlock`
+            // (MVAPICH's lazy lock acquisition, §VIII.A).
+            e.lazy_hold = lazy;
+            w.push_epoch(e);
+            w.open_locks.insert(target, id);
+            st.eng_stats.epochs_opened += 1;
+            self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Opened);
+            st.mark_act_dirty(rank, win);
+        }
+        self.sweep(rank);
+        Ok(())
+    }
+
+    /// `MPI_WIN_LOCK_ALL` / `MPI_WIN_ILOCK_ALL`.
+    pub fn open_lock_all(self: &Arc<Self>, rank: Rank, win: WinId) -> RmaResult<()> {
+        {
+            let mut st = self.st.lock();
+            self.check_fence_conflict(&st, rank, win, "lock_all")?;
+            let lazy = self.lazy();
+            let w = st.win_mut(win, rank);
+            if !w.open_locks.is_empty()
+                || w.cur_lock_all.is_some()
+                || w.cur_gats_access.is_some()
+            {
+                return Err(RmaError::AlreadyInEpoch { called: "lock_all" });
+            }
+            let id = w.alloc_epoch_id();
+            let mut e = EpochObj::new(id, EpochKind::LockAll);
+            e.lazy_hold = lazy;
+            w.push_epoch(e);
+            w.cur_lock_all = Some(id);
+            st.eng_stats.epochs_opened += 1;
+            self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Opened);
+            st.mark_act_dirty(rank, win);
+        }
+        self.sweep(rank);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // closing routines — nonblocking primitives returning the closing
+    // request; the blocking variants wait on it in the API layer
+    // ------------------------------------------------------------------
+
+    /// `MPI_WIN_ICOMPLETE` (and the internals of `MPI_WIN_COMPLETE`).
+    pub fn close_gats_access(self: &Arc<Self>, rank: Rank, win: WinId) -> RmaResult<Req> {
+        let req = {
+            let mut st = self.st.lock();
+            let w = st.win_mut(win, rank);
+            let id = w
+                .cur_gats_access
+                .take()
+                .ok_or(RmaError::EpochMismatch { called: "complete" })?;
+            let req = st.reqs.alloc(ReqKind::EpochClose);
+            let e = st.win_mut(win, rank).epoch_mut(id);
+            e.closed = true;
+            e.close_req = Some(req);
+            self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
+            st.mark_ops_dirty(rank, win, id);
+            st.mark_complete_dirty(rank, win, id);
+            req
+        };
+        self.sweep(rank);
+        Ok(req)
+    }
+
+    /// `MPI_WIN_IWAIT` (and the internals of `MPI_WIN_WAIT`).
+    pub fn close_exposure(self: &Arc<Self>, rank: Rank, win: WinId) -> RmaResult<Req> {
+        let req = {
+            let mut st = self.st.lock();
+            let w = st.win_mut(win, rank);
+            let id = w
+                .cur_exposure
+                .take()
+                .ok_or(RmaError::EpochMismatch { called: "wait" })?;
+            let req = st.reqs.alloc(ReqKind::EpochClose);
+            let e = st.win_mut(win, rank).epoch_mut(id);
+            e.closed = true;
+            e.close_req = Some(req);
+            self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
+            st.mark_complete_dirty(rank, win, id);
+            req
+        };
+        self.sweep(rank);
+        Ok(req)
+    }
+
+    /// `MPI_WIN_TEST`: nonblocking completion check of the current exposure
+    /// epoch *without* closing it unless complete. Returns `Ok(true)` and
+    /// closes the epoch if its completion conditions hold.
+    pub fn test_exposure(self: &Arc<Self>, rank: Rank, win: WinId) -> RmaResult<bool> {
+        let st = self.st.lock();
+        let w = st.win(win, rank);
+        let id = w
+            .cur_exposure
+            .ok_or(RmaError::EpochMismatch { called: "test" })?;
+        let e = w.epoch(id);
+        let done = e.activated && self.exposure_conditions_met(&st, rank, win, id);
+        if done {
+            drop(st);
+            let req = self.close_exposure(rank, win)?;
+            let mut st = self.st.lock();
+            debug_assert!(st.reqs.is_done(req).unwrap());
+            st.reqs.consume(req)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// `MPI_WIN_IUNLOCK` (and the internals of `MPI_WIN_UNLOCK`).
+    pub fn close_lock(self: &Arc<Self>, rank: Rank, win: WinId, target: Rank) -> RmaResult<Req> {
+        let req = {
+            let mut st = self.st.lock();
+            let w = st.win_mut(win, rank);
+            let id = w
+                .open_locks
+                .remove(&target)
+                .ok_or(RmaError::EpochMismatch { called: "unlock" })?;
+            let req = st.reqs.alloc(ReqKind::EpochClose);
+            let e = st.win_mut(win, rank).epoch_mut(id);
+            e.closed = true;
+            e.close_req = Some(req);
+            e.lazy_hold = false; // lazy baseline: now the epoch may activate
+            self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
+            st.mark_ops_dirty(rank, win, id);
+            st.mark_complete_dirty(rank, win, id);
+            st.mark_act_dirty(rank, win);
+            req
+        };
+        self.sweep(rank);
+        Ok(req)
+    }
+
+    /// `MPI_WIN_IUNLOCK_ALL` (and the internals of `MPI_WIN_UNLOCK_ALL`).
+    pub fn close_lock_all(self: &Arc<Self>, rank: Rank, win: WinId) -> RmaResult<Req> {
+        let req = {
+            let mut st = self.st.lock();
+            let w = st.win_mut(win, rank);
+            let id = w
+                .cur_lock_all
+                .take()
+                .ok_or(RmaError::EpochMismatch { called: "unlock_all" })?;
+            let req = st.reqs.alloc(ReqKind::EpochClose);
+            let e = st.win_mut(win, rank).epoch_mut(id);
+            e.closed = true;
+            e.close_req = Some(req);
+            e.lazy_hold = false;
+            self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
+            st.mark_ops_dirty(rank, win, id);
+            st.mark_complete_dirty(rank, win, id);
+            st.mark_act_dirty(rank, win);
+            req
+        };
+        self.sweep(rank);
+        Ok(req)
+    }
+
+    // ------------------------------------------------------------------
+    // activation (§VI rules, §VII.A deferred-epoch scan)
+    // ------------------------------------------------------------------
+
+    /// Scan the window's epochs in open order, activating deferred epochs
+    /// until the first one that fails the predicate ("the scan stops when
+    /// the first deferred epoch is encountered that fails activation
+    /// conditions", §VII.A).
+    pub(crate) fn activation_scan(self: &Arc<Self>, st: &mut EngState, rank: Rank, win: WinId) {
+        let order: Vec<EpochId> = st.win(win, rank).order.iter().copied().collect();
+        for id in order {
+            if !st.win(win, rank).epochs.contains_key(&id.0) {
+                continue; // retired during this scan
+            }
+            if st.win(win, rank).epoch(id).activated {
+                continue;
+            }
+            if self.can_activate(st, rank, win, id) {
+                self.activate_epoch(st, rank, win, id);
+            } else {
+                st.eng_stats.epochs_deferred += 1;
+                break;
+            }
+        }
+    }
+
+    /// The activation predicate: rule 4 of §VI.A (strictly serial
+    /// activation) relaxed by the §VI.B reorder flags.
+    ///
+    /// A *dormant* fence epoch — open, never closed, and empty — is
+    /// skipped when looking for the preceding epoch: it is the trailing
+    /// fence of a finished fence phase and only exists so a later fence
+    /// call keeps the collective sequence aligned across ranks.
+    fn can_activate(&self, st: &EngState, rank: Rank, win: WinId, id: EpochId) -> bool {
+        let w = st.win(win, rank);
+        let e = w.epoch(id);
+        if e.lazy_hold && !e.closed {
+            return false;
+        }
+        let pos = w
+            .order
+            .iter()
+            .position(|x| *x == id)
+            .expect("epoch missing from order");
+        let prev_id = (0..pos)
+            .rev()
+            .map(|i| w.order[i])
+            .find(|p| !Self::is_dormant_fence(w.epoch(*p)));
+        match prev_id {
+            None => true,
+            Some(prev_id) => {
+                let prev = w.epoch(prev_id);
+                if !prev.activated {
+                    return false; // rule 4: epochs are never skipped
+                }
+                // MPI requires concurrently *open* lock epochs toward
+                // distinct targets to make progress (their per-pair
+                // matching chains are independent), so serializing behind a
+                // still-open lock epoch would deadlock a legal program.
+                // Once the preceding lock epoch is closed, though, rule 4
+                // applies: back-to-back lock epochs serialize unless
+                // A_A_A_R is set (the paper's Fig 8 behaviour).
+                if let (
+                    EpochKind::Lock { target: t1, .. },
+                    EpochKind::Lock { target: t2, .. },
+                ) = (&prev.kind, &e.kind)
+                {
+                    if t1 != t2 && !prev.closed {
+                        return true;
+                    }
+                }
+                // The preceding epoch is active but incomplete.
+                if self.lazy() {
+                    // Vanilla-MVAPICH emulation: there is no deferred-epoch
+                    // queue in the baseline, so access and exposure epochs
+                    // of the same rank progress independently (MPI requires
+                    // a process to be origin and target at once). Same-side
+                    // serialization never arises under blocking calls.
+                    let cross = matches!(
+                        (prev.kind.side(), e.kind.side()),
+                        (Side::Access, Side::Exposure) | (Side::Exposure, Side::Access)
+                    );
+                    return cross
+                        && !prev.kind.excluded_from_reorder()
+                        && !e.kind.excluded_from_reorder();
+                }
+                // Redesigned engine: only the reorder flags permit
+                // concurrent progression, never across lock_all epochs,
+                // and across fence epochs only with the opt-in
+                // `unsafe_fence_reorder` extension (§VI.B, §X).
+                let excluded = |k: &EpochKind| match k {
+                    EpochKind::LockAll => true,
+                    EpochKind::Fence { .. } => !w.info.unsafe_fence_reorder,
+                    _ => false,
+                };
+                if excluded(&prev.kind) || excluded(&e.kind) {
+                    return false;
+                }
+                // A fence is both sides at once: the candidate needs the
+                // flag(s) covering every (prev side, candidate side) pair.
+                let flag = |ps: Side, cs: Side| match (ps, cs) {
+                    (Side::Access, Side::Access) => w.info.access_after_access,
+                    (Side::Exposure, Side::Access) => w.info.access_after_exposure,
+                    (Side::Exposure, Side::Exposure) => w.info.exposure_after_exposure,
+                    (Side::Access, Side::Exposure) => w.info.exposure_after_access,
+                    _ => unreachable!("Both is expanded before calling"),
+                };
+                let expand = |s: Side| -> &'static [Side] {
+                    match s {
+                        Side::Both => &[Side::Access, Side::Exposure],
+                        Side::Access => &[Side::Access],
+                        Side::Exposure => &[Side::Exposure],
+                    }
+                };
+                expand(prev.kind.side())
+                    .iter()
+                    .all(|ps| expand(e.kind.side()).iter().all(|cs| flag(*ps, *cs)))
+            }
+        }
+    }
+
+    /// Start an epoch's internal lifetime: assign access ids, send lock
+    /// requests, emit exposure grants, and replay recorded state.
+    fn activate_epoch(self: &Arc<Self>, st: &mut EngState, rank: Rank, win: WinId, id: EpochId) {
+        let kind = {
+            let e = st.win_mut(win, rank).epoch_mut(id);
+            debug_assert!(!e.activated);
+            e.activated = true;
+            e.kind.clone()
+        };
+        st.eng_stats.epochs_activated += 1;
+        self.trace_event(st, rank, win, id, crate::trace::EpochEvent::Activated);
+        match kind {
+            EpochKind::GatsAccess { group } => {
+                for t in group.ranks() {
+                    let w = st.win_mut(win, rank);
+                    w.a[t.idx()] += 1;
+                    let aid = w.a[t.idx()];
+                    let granted = aid <= w.g[t.idx()];
+                    let ts = st
+                        .win_mut(win, rank)
+                        .epoch_mut(id)
+                        .targets
+                        .get_mut(t)
+                        .expect("target state");
+                    ts.access_id = aid;
+                    ts.granted = granted;
+                }
+                st.mark_ops_dirty(rank, win, id);
+                st.mark_complete_dirty(rank, win, id);
+            }
+            EpochKind::Lock { target, lock } => {
+                let w = st.win_mut(win, rank);
+                w.a_lock[target.idx()] += 1;
+                let aid = w.a_lock[target.idx()];
+                let ts = st
+                    .win_mut(win, rank)
+                    .epoch_mut(id)
+                    .targets
+                    .get_mut(&target)
+                    .expect("target state");
+                ts.access_id = aid;
+                let sp = match lock {
+                    LockKind::Exclusive => SyncPacket::LockReqExcl {
+                        win,
+                        origin: rank,
+                        access_id: aid,
+                    },
+                    LockKind::Shared => SyncPacket::LockReqShared {
+                        win,
+                        origin: rank,
+                        access_id: aid,
+                    },
+                };
+                self.send_sync(rank, target, win, sp);
+                st.mark_complete_dirty(rank, win, id);
+            }
+            EpochKind::LockAll => {
+                for t in 0..self.cfg.n_ranks {
+                    let t = Rank(t);
+                    let w = st.win_mut(win, rank);
+                    w.a_lock[t.idx()] += 1;
+                    let aid = w.a_lock[t.idx()];
+                    // entry() preserves `unsent` counts recorded while
+                    // the epoch was deferred.
+                    st.win_mut(win, rank)
+                        .epoch_mut(id)
+                        .targets
+                        .entry(t)
+                        .or_default()
+                        .access_id = aid;
+                    self.send_sync(
+                        rank,
+                        t,
+                        win,
+                        SyncPacket::LockReqShared {
+                            win,
+                            origin: rank,
+                            access_id: aid,
+                        },
+                    );
+                }
+                st.mark_complete_dirty(rank, win, id);
+            }
+            EpochKind::GatsExposure { group } => {
+                for o in group.ranks() {
+                    let w = st.win_mut(win, rank);
+                    w.e[o.idx()] += 1;
+                    let eid = w.e[o.idx()];
+                    w.grant_seq[o.idx()].exposure_credits += 1;
+                    if !w.grant_dirty.contains(o) {
+                        w.grant_dirty.push(*o);
+                    }
+                    st.win_mut(win, rank)
+                        .epoch_mut(id)
+                        .exposure_origins
+                        .insert(*o, eid);
+                }
+                // Emitting the grants is lock/grant-sequencing work.
+                st.mark_lock_backlog(rank, win);
+                st.mark_complete_dirty(rank, win, id);
+            }
+            EpochKind::Fence { .. } => {
+                // A fence epoch is an access epoch toward every rank (self
+                // included) and needs no grants.
+                for t in 0..self.cfg.n_ranks {
+                    // entry() preserves `unsent` counts recorded while the
+                    // epoch was deferred.
+                    st.win_mut(win, rank)
+                        .epoch_mut(id)
+                        .targets
+                        .entry(Rank(t))
+                        .or_default()
+                        .granted = true;
+                }
+                st.mark_ops_dirty(rank, win, id);
+                st.mark_complete_dirty(rank, win, id);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // completion
+    // ------------------------------------------------------------------
+
+    /// Re-evaluate one epoch: emit any per-target done/unlock packets that
+    /// became possible, and complete the epoch if its conditions hold
+    /// ("completion notification packets are sent to each target as soon
+    /// as the last RMA transfer meant for the target is fulfilled",
+    /// §VII.D).
+    pub(crate) fn check_epoch_progress(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        rank: Rank,
+        win: WinId,
+        id: EpochId,
+    ) {
+        if !st.win(win, rank).epochs.contains_key(&id.0) {
+            return; // already retired
+        }
+        let (activated, complete, closed, kind) = {
+            let e = st.win(win, rank).epoch(id);
+            (e.activated, e.complete, e.closed, e.kind.clone())
+        };
+        if !activated || complete {
+            return;
+        }
+        let done = match kind {
+            EpochKind::GatsAccess { .. } => {
+                if closed {
+                    self.emit_gats_dones(st, rank, win, id);
+                }
+                let e = st.win(win, rank).epoch(id);
+                closed && e.targets.values().all(|t| t.done_sent) && e.live_ops.is_empty()
+            }
+            EpochKind::Lock { .. } | EpochKind::LockAll => {
+                if closed {
+                    self.emit_unlocks(st, rank, win, id);
+                }
+                let e = st.win(win, rank).epoch(id);
+                closed && e.targets.values().all(|t| t.unlock_sent) && e.live_ops.is_empty()
+            }
+            EpochKind::GatsExposure { .. } => {
+                closed && self.exposure_conditions_met(st, rank, win, id)
+            }
+            EpochKind::Fence { seq } => self.fence_progress(st, rank, win, id, seq),
+        };
+        if done {
+            self.complete_epoch(st, rank, win, id);
+        }
+    }
+
+    /// Send per-target GATS done packets for fulfilled targets.
+    fn emit_gats_dones(self: &Arc<Self>, st: &mut EngState, rank: Rank, win: WinId, id: EpochId) {
+        let mut to_send: Vec<(Rank, u64)> = Vec::new();
+        {
+            let e = st.win_mut(win, rank).epoch_mut(id);
+            for (t, ts) in e.targets.iter_mut() {
+                if ts.granted && ts.unsent == 0 && !ts.done_sent {
+                    ts.done_sent = true;
+                    to_send.push((*t, ts.access_id));
+                }
+            }
+        }
+        st.eng_stats.gats_dones += to_send.len() as u64;
+        for (t, aid) in to_send {
+            self.send_sync(
+                rank,
+                t,
+                win,
+                SyncPacket::GatsDone {
+                    win,
+                    origin: rank,
+                    access_id: aid,
+                },
+            );
+        }
+    }
+
+    /// Send per-target unlock packets once every covered op at that target
+    /// has fully completed (local + response + remote ack).
+    fn emit_unlocks(self: &Arc<Self>, st: &mut EngState, rank: Rank, win: WinId, id: EpochId) {
+        let mut to_send: Vec<(Rank, u64)> = Vec::new();
+        {
+            let e = st.win_mut(win, rank).epoch_mut(id);
+            // Collect per-target liveness first (immutable pass).
+            let mut blocked: std::collections::BTreeSet<Rank> = std::collections::BTreeSet::new();
+            for op in e.live_ops.values() {
+                if !op.done() {
+                    blocked.insert(op.target);
+                }
+            }
+            for (t, ts) in e.targets.iter_mut() {
+                if ts.granted && ts.unsent == 0 && !ts.unlock_sent && !blocked.contains(t) {
+                    ts.unlock_sent = true;
+                    to_send.push((*t, ts.access_id));
+                }
+            }
+        }
+        for (t, aid) in to_send {
+            self.send_sync(
+                rank,
+                t,
+                win,
+                SyncPacket::Unlock {
+                    win,
+                    origin: rank,
+                    access_id: aid,
+                },
+            );
+        }
+    }
+
+    /// Whether an exposure epoch's completion conditions hold: every origin
+    /// in the group has sent its done packet (`gats_done_recv[o] ≥ exp_id`).
+    pub(crate) fn exposure_conditions_met(
+        &self,
+        st: &EngState,
+        rank: Rank,
+        win: WinId,
+        id: EpochId,
+    ) -> bool {
+        let w = st.win(win, rank);
+        let e = w.epoch(id);
+        e.exposure_origins
+            .iter()
+            .all(|(o, exp)| w.gats_done_recv[o.idx()] >= *exp)
+    }
+
+    /// Mark the epoch internally complete: fire its closing request, retire
+    /// it from the open order, and rescan for newly activatable epochs.
+    pub(crate) fn complete_epoch(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        rank: Rank,
+        win: WinId,
+        id: EpochId,
+    ) {
+        let close_req = {
+            let e = st.win_mut(win, rank).epoch_mut(id);
+            e.complete = true;
+            e.close_req
+        };
+        if let Some(r) = close_req {
+            st.reqs.complete(r, None);
+        }
+        st.eng_stats.epochs_completed += 1;
+        self.trace_event(st, rank, win, id, crate::trace::EpochEvent::Completed);
+        st.win_mut(win, rank).retire(id);
+        st.mark_act_dirty(rank, win);
+    }
+
+    /// Whether `e` is a dormant trailing fence: open, never closed, and
+    /// without any recorded or issued operation.
+    pub(crate) fn is_dormant_fence(e: &crate::epoch::EpochObj) -> bool {
+        matches!(e.kind, EpochKind::Fence { .. })
+            && !e.closed
+            && e.pending_ops.is_empty()
+            && e.live_ops.is_empty()
+            && e.targets
+                .values()
+                .all(|t| t.data_msgs_sent == 0 && t.unsent == 0)
+    }
+
+    /// Error if a *non-dormant* fence epoch is open: fence phases cannot
+    /// interleave with other epoch kinds. A dormant trailing fence is
+    /// tolerated — it coexists with the next phase and is closed by the
+    /// next fence call (or retired at `win_free`), keeping the collective
+    /// fence sequence aligned on every rank.
+    pub(crate) fn check_fence_conflict(
+        &self,
+        st: &EngState,
+        rank: Rank,
+        win: WinId,
+        called: &'static str,
+    ) -> RmaResult<()> {
+        if let Some(id) = st.win(win, rank).cur_fence {
+            if !Self::is_dormant_fence(st.win(win, rank).epoch(id)) {
+                return Err(RmaError::AlreadyInEpoch { called });
+            }
+        }
+        Ok(())
+    }
+
+    /// If the window still holds a dormant trailing fence epoch, retire it
+    /// (used at `win_free`, where no later fence call can exist).
+    pub(crate) fn retire_empty_open_fence(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        rank: Rank,
+        win: WinId,
+    ) {
+        let Some(id) = st.win(win, rank).cur_fence else {
+            return;
+        };
+        if Self::is_dormant_fence(st.win(win, rank).epoch(id)) {
+            let w = st.win_mut(win, rank);
+            w.cur_fence = None;
+            w.retire(id);
+            st.mark_act_dirty(rank, win);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Fence epochs: `MPI_WIN_FENCE` / `MPI_WIN_IFENCE`.
+//!
+//! A fence call closes the current fence epoch (if one is open) and opens
+//! the next. Closing entails barrier semantics (§VI.A rule 5): each rank
+//! announces, per peer, how many data messages it issued toward that peer
+//! in the epoch; a rank's fence epoch completes only when it has received
+//! the announcement from *every* peer and the announced number of data
+//! messages has arrived.
+
+use std::sync::Arc;
+
+use mpisim_net::Packet;
+
+use crate::engine::{EngState, Engine};
+use crate::epoch::{EpochKind, EpochObj};
+use crate::error::{RmaError, RmaResult};
+use crate::msg::Body;
+use crate::request::ReqKind;
+use crate::types::{EpochId, Rank, Req, WinId};
+
+impl Engine {
+    /// `MPI_WIN_IFENCE` (and the internals of `MPI_WIN_FENCE`): close the
+    /// open fence epoch, open the next one, and return the closing request
+    /// (a dummy completed request if this fence only opens).
+    pub fn fence(self: &Arc<Self>, rank: Rank, win: WinId) -> RmaResult<Req> {
+        let req = {
+            let mut st = self.st.lock();
+            let w = st.win(win, rank);
+            if w.cur_gats_access.is_some()
+                || w.cur_exposure.is_some()
+                || !w.open_locks.is_empty()
+                || w.cur_lock_all.is_some()
+            {
+                return Err(RmaError::AlreadyInEpoch { called: "fence" });
+            }
+            let closing = st.win_mut(win, rank).cur_fence.take();
+            let req = match closing {
+                Some(id) => {
+                    let req = st.reqs.alloc(ReqKind::EpochClose);
+                    let e = st.win_mut(win, rank).epoch_mut(id);
+                    e.closed = true;
+                    e.close_req = Some(req);
+                    self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
+                    st.mark_ops_dirty(rank, win, id);
+                    st.mark_complete_dirty(rank, win, id);
+                    req
+                }
+                // An opening-only fence completes immediately (§VII.C).
+                None => st.reqs.alloc_done(ReqKind::EpochOpen),
+            };
+            // Open the next fence epoch.
+            let w = st.win_mut(win, rank);
+            let seq = w.next_fence_seq;
+            w.next_fence_seq += 1;
+            let id = w.alloc_epoch_id();
+            w.push_epoch(EpochObj::new(id, EpochKind::Fence { seq }));
+            w.cur_fence = Some(id);
+            st.eng_stats.epochs_opened += 1;
+            self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Opened);
+            st.mark_act_dirty(rank, win);
+            req
+        };
+        self.sweep(rank);
+        Ok(req)
+    }
+
+    /// Progress a fence epoch: emit per-peer FenceDone announcements once
+    /// that peer's data is fully posted, and evaluate completion. Returns
+    /// whether the epoch is complete.
+    pub(crate) fn fence_progress(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        rank: Rank,
+        win: WinId,
+        id: EpochId,
+        seq: u64,
+    ) -> bool {
+        let n = self.cfg.n_ranks;
+        let closed = st.win(win, rank).epoch(id).closed;
+        if closed {
+            // Send FenceDone to every peer (self included, for uniformity)
+            // whose outgoing data is fully posted.
+            let mut to_send: Vec<(Rank, u64)> = Vec::new();
+            {
+                let e = st.win_mut(win, rank).epoch_mut(id);
+                for (t, ts) in e.targets.iter_mut() {
+                    if ts.unsent == 0 && !ts.done_sent {
+                        ts.done_sent = true;
+                        to_send.push((*t, ts.data_msgs_sent));
+                    }
+                }
+            }
+            for (t, ops_sent) in to_send {
+                self.net.send(Packet {
+                    src: rank,
+                    dst: t,
+                    body: Body::FenceDone { win, seq, ops_sent },
+                });
+            }
+        }
+        // Completion: closed, everything announced and locally complete,
+        // and every peer's announcement + announced data received.
+        let e = st.win(win, rank).epoch(id);
+        if !(closed && e.targets.values().all(|t| t.done_sent) && e.live_ops.is_empty()) {
+            return false;
+        }
+        let w = st.win(win, rank);
+        for p in 0..n {
+            match w.fence_dones.get(&(p, seq)) {
+                None => return false,
+                Some(expected) => {
+                    let got = w.fence_arrivals.get(&(p, seq)).copied().unwrap_or(0);
+                    debug_assert!(got <= *expected, "more fence data than announced");
+                    if got < *expected {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Clean up the per-sequence bookkeeping.
+        let w = st.win_mut(win, rank);
+        for p in 0..n {
+            w.fence_dones.remove(&(p, seq));
+            w.fence_arrivals.remove(&(p, seq));
+        }
+        true
+    }
+
+    /// A peer's closing-fence announcement arrived.
+    pub(crate) fn handle_fence_done(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        me: Rank,
+        origin: Rank,
+        win: WinId,
+        seq: u64,
+        ops_sent: u64,
+    ) {
+        st.win_mut(win, me)
+            .fence_dones
+            .insert((origin.idx(), seq), ops_sent);
+        self.mark_fence_dirty(st, me, win, seq);
+    }
+}

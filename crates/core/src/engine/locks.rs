@@ -1,0 +1,284 @@
+//! Target-side grant sequencing and lock management (sweep step 6), plus
+//! the origin-side grant handler.
+//!
+//! §VII.B requires O(1) matching through per-pair counters: grants to one
+//! origin are emitted in that origin's access-id order, so the origin only
+//! ever compares `A_i ≤ g_r`. We keep the GATS plane (exposure grants)
+//! and the lock plane (lock grants) in *separate* counters — the paper
+//! folds both into one triple, but a single counter lets an exposure grant
+//! positionally consume the id of a lock request still in flight, breaking
+//! legal programs that mix lock and GATS epochs toward the same peer (see
+//! DESIGN.md, "deviation: split matching planes"). Each plane remains
+//! O(1) per pair.
+
+use std::sync::Arc;
+
+use crate::engine::{EngState, Engine};
+use crate::epoch::EpochKind;
+use crate::lock::QueuedLock;
+use crate::msg::{GrantKind, SyncPacket};
+use crate::types::{EpochId, LockKind, Rank, WinId};
+
+impl Engine {
+    /// Handler for an arriving lock request (internode control message or
+    /// decoded intranode 64-bit packet).
+    pub(crate) fn handle_lock_req(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        me: Rank,
+        origin: Rank,
+        win: WinId,
+        access_id: u64,
+        kind: LockKind,
+    ) {
+        let w = st.win_mut(win, me);
+        debug_assert!(
+            w.grant_seq[origin.idx()].gl_sent < access_id,
+            "stale lock request id"
+        );
+        w.grant_seq[origin.idx()]
+            .pending_locks
+            .insert(access_id, kind);
+        w.lock_mgr.enqueue(QueuedLock {
+            origin,
+            access_id,
+            kind,
+        });
+        if !w.grant_dirty.contains(&origin) {
+            w.grant_dirty.push(origin);
+        }
+        st.mark_lock_backlog(me, win);
+    }
+
+    /// Handler for an arriving unlock. The release itself is deferred to
+    /// the step-6 backlog ("Step 5 potentially builds a backlog of lock or
+    /// unlock requests; Step 6 follows immediately to process them").
+    pub(crate) fn handle_unlock(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        me: Rank,
+        origin: Rank,
+        win: WinId,
+        _access_id: u64,
+    ) {
+        st.sweep[me.idx()].pending_unlocks.push_back((win, origin));
+        st.mark_lock_backlog(me, win);
+    }
+
+    /// Sweep step 6: apply deferred unlocks, then pump grant emission for
+    /// every backlogged window until quiescent.
+    pub(crate) fn pump_lock_backlog(self: &Arc<Self>, st: &mut EngState, rank: Rank) {
+        while let Some((win, origin)) = st.sweep[rank.idx()].pending_unlocks.pop_front() {
+            let w = st.win_mut(win, rank);
+            w.lock_mgr.release(origin);
+            // A release may make any queued request admissible.
+            st.mark_lock_backlog(rank, win);
+        }
+        let wins = std::mem::take(&mut st.sweep[rank.idx()].lock_backlog);
+        for win in wins {
+            self.pump_window_grants(st, rank, win);
+        }
+    }
+
+    /// Emit every grant that has become possible on this window.
+    fn pump_window_grants(self: &Arc<Self>, st: &mut EngState, me: Rank, win: WinId) {
+        loop {
+            let mut progressed = false;
+
+            // Positional exposure grants per dirty origin.
+            let dirty = std::mem::take(&mut st.win_mut(win, me).grant_dirty);
+            for origin in dirty {
+                progressed |= self.pump_exposure_grants(st, me, win, origin);
+            }
+
+            // Lock grants: scan the arrival-order queue. FIFO fairness —
+            // the first *eligible but inadmissible* request stops the scan.
+            loop {
+                let grant: Option<QueuedLock> = {
+                    let w = st.win(win, me);
+                    let mut pick = None;
+                    for q in w.lock_mgr.queue_iter() {
+                        let eligible =
+                            w.grant_seq[q.origin.idx()].gl_sent + 1 == q.access_id;
+                        if !eligible {
+                            continue; // cannot be granted regardless of lock state
+                        }
+                        if w.lock_mgr.admits(q.kind) {
+                            pick = Some(q.clone());
+                        }
+                        break;
+                    }
+                    pick
+                };
+                let Some(q) = grant else { break };
+                {
+                    let w = st.win_mut(win, me);
+                    w.lock_mgr.grant(q.origin, q.access_id);
+                    let gs = &mut w.grant_seq[q.origin.idx()];
+                    gs.pending_locks.remove(&q.access_id);
+                    gs.gl_sent = q.access_id;
+                    if !w.grant_dirty.contains(&q.origin) {
+                        w.grant_dirty.push(q.origin);
+                    }
+                }
+                st.eng_stats.lock_grants += 1;
+                self.send_sync(
+                    me,
+                    q.origin,
+                    win,
+                    SyncPacket::GrantLock {
+                        win,
+                        granter: me,
+                        id: q.access_id,
+                    },
+                );
+                progressed = true;
+            }
+
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Emit positional exposure grants to one origin until the next id is a
+    /// pending lock (handled by the lock scan) or credits run out.
+    fn pump_exposure_grants(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        me: Rank,
+        win: WinId,
+        origin: Rank,
+    ) -> bool {
+        let mut sent = Vec::new();
+        {
+            let w = st.win_mut(win, me);
+            loop {
+                let gs = &mut w.grant_seq[origin.idx()];
+                let next = gs.g_sent + 1;
+                if gs.exposure_credits == 0 {
+                    break;
+                }
+                gs.exposure_credits -= 1;
+                gs.g_sent = next;
+                sent.push(next);
+            }
+        }
+        st.eng_stats.exposure_grants += sent.len() as u64;
+        for id in &sent {
+            self.send_sync(
+                me,
+                origin,
+                win,
+                SyncPacket::GrantExposure {
+                    win,
+                    granter: me,
+                    id: *id,
+                },
+            );
+        }
+        !sent.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // origin side
+    // ------------------------------------------------------------------
+
+    /// A grant arrived: advance the plane's counter and unblock the waiting
+    /// access epoch of that plane.
+    pub(crate) fn handle_grant(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        me: Rank,
+        granter: Rank,
+        win: WinId,
+        id: u64,
+        kind: GrantKind,
+    ) {
+        {
+            let w = st.win_mut(win, me);
+            let ctr = match kind {
+                GrantKind::Exposure => &mut w.g[granter.idx()],
+                GrantKind::Lock => &mut w.g_lock[granter.idx()],
+            };
+            assert_eq!(*ctr + 1, id, "grants from {granter} arrived out of order");
+            *ctr = id;
+        }
+        // Find the (activated) access epoch of the right plane waiting on
+        // this grant.
+        let hit: Option<EpochId> = st
+            .win(win, me)
+            .order
+            .iter()
+            .copied()
+            .find(|eid| {
+                let e = st.win(win, me).epoch(*eid);
+                let plane_ok = match kind {
+                    GrantKind::Exposure => matches!(e.kind, EpochKind::GatsAccess { .. }),
+                    GrantKind::Lock => {
+                        matches!(e.kind, EpochKind::Lock { .. } | EpochKind::LockAll)
+                    }
+                };
+                plane_ok
+                    && e.activated
+                    && e.targets
+                        .get(&granter)
+                        .is_some_and(|ts| ts.access_id == id && !ts.granted)
+            });
+        match hit {
+            Some(eid) => {
+                st.win_mut(win, me)
+                    .epoch_mut(eid)
+                    .targets
+                    .get_mut(&granter)
+                    .unwrap()
+                    .granted = true;
+                st.mark_ops_dirty(me, win, eid);
+                st.mark_complete_dirty(me, win, eid);
+            }
+            None => {
+                // Pre-grant: the matching access epoch is not activated (or
+                // not even opened) yet — "the granted access notification
+                // must persist for the origin to see it when it catches
+                // up" (§VII.B). Lock grants cannot pre-arrive because lock
+                // requests are only sent at activation.
+                assert_eq!(
+                    kind,
+                    GrantKind::Exposure,
+                    "lock grant arrived with no matching activated lock epoch"
+                );
+            }
+        }
+    }
+
+    /// A GATS done packet arrived at the target: record it and re-check
+    /// exposure epochs involving that origin.
+    pub(crate) fn handle_gats_done(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        me: Rank,
+        origin: Rank,
+        win: WinId,
+        access_id: u64,
+    ) {
+        {
+            let w = st.win_mut(win, me);
+            let slot = &mut w.gats_done_recv[origin.idx()];
+            *slot = (*slot).max(access_id);
+        }
+        let ids: Vec<EpochId> = st
+            .win(win, me)
+            .order
+            .iter()
+            .copied()
+            .filter(|eid| {
+                let e = st.win(win, me).epoch(*eid);
+                matches!(e.kind, EpochKind::GatsExposure { .. })
+                    && e.exposure_origins.contains_key(&origin)
+            })
+            .collect();
+        for id in ids {
+            st.mark_complete_dirty(me, win, id);
+        }
+    }
+}

@@ -1,0 +1,707 @@
+//! The RMA progress engine (§VII).
+//!
+//! One `Engine` serves the whole simulated job. Its state is a single
+//! mutex-protected structure; because the simulation kernel runs exactly
+//! one entity at a time, the lock is never contended — it exists to satisfy
+//! Rust's aliasing rules across the rank threads and scheduler events.
+//!
+//! The engine is driven from two directions:
+//!
+//! * **application calls** (via [`crate::api`]) mutate state and then run a
+//!   progress sweep;
+//! * **network events** (message delivery, local-completion and
+//!   acknowledgement callbacks) enqueue work and run a sweep for the
+//!   affected rank.
+//!
+//! A sweep executes the paper's seven steps (§VII.D) to quiescence:
+//! completion verification, internode posting, batch epoch
+//! completion/activation, intranode posting, intranode-FIFO consumption,
+//! lock/unlock batch processing, and a final completion/activation pass.
+
+mod epochs;
+mod fence;
+mod flush;
+mod locks;
+mod p2p;
+mod rma;
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use mpisim_net::{NetParams, Network, Packet, Payload, Topology};
+use mpisim_sim::{SimHandle, SimTime};
+use parking_lot::Mutex;
+
+use crate::config::{JobConfig, SyncStrategy};
+use crate::msg::{Body, SyncPacket};
+use crate::request::ReqTable;
+use crate::types::{EpochId, Rank, Req, WinId};
+use crate::window::WinRank;
+
+pub(crate) use p2p::{BarrierRank, P2pRank};
+
+/// Completion notices consumed by sweep step 1.
+#[derive(Debug)]
+pub(crate) enum Notice {
+    /// An outgoing data message finished serializing (origin buffer free).
+    LocalComplete {
+        win: WinId,
+        epoch: EpochId,
+        age: u64,
+    },
+    /// The origin learned of remote completion of a data message.
+    Acked {
+        win: WinId,
+        epoch: EpochId,
+        age: u64,
+    },
+}
+
+/// Correlation state for tokens carried by request/response messages.
+pub(crate) enum TokenInfo {
+    /// Outstanding get: response completes the op and carries data.
+    Get {
+        rank: Rank,
+        win: WinId,
+        epoch: EpochId,
+        age: u64,
+        req: Req,
+    },
+    /// Outstanding fetch-style atomic.
+    Fetch {
+        rank: Rank,
+        win: WinId,
+        epoch: EpochId,
+        age: u64,
+        req: Req,
+    },
+    /// Large accumulate waiting for its clear-to-send.
+    AccRndv {
+        rank: Rank,
+        win: WinId,
+        epoch: EpochId,
+        op: crate::epoch::OpDesc,
+    },
+    /// Rendezvous two-sided send waiting for its clear-to-send.
+    P2pSend { rank: Rank, payload: Payload, req: Req },
+    /// Rendezvous two-sided receive waiting for data.
+    P2pRecv { req: Req },
+}
+
+/// Aggregate progress-engine counters (whole job), exposed by
+/// [`Engine::engine_stats`] for introspection, tests, and ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Epoch objects created.
+    pub epochs_opened: u64,
+    /// Epochs that could not be activated at open (deferred at least once).
+    pub epochs_deferred: u64,
+    /// Epochs activated.
+    pub epochs_activated: u64,
+    /// Epochs internally completed.
+    pub epochs_completed: u64,
+    /// Exposure grants emitted.
+    pub exposure_grants: u64,
+    /// Lock grants emitted.
+    pub lock_grants: u64,
+    /// GATS done packets sent.
+    pub gats_dones: u64,
+    /// 64-bit packets pushed through intranode notification FIFOs.
+    pub fifo_packets: u64,
+    /// Progress sweeps executed.
+    pub sweeps: u64,
+}
+
+/// Per-rank cumulative timing, reported by [`crate::api::RankEnv::stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RankStats {
+    /// Virtual time spent inside MPI calls (including blocking waits).
+    pub mpi_time: SimTime,
+    /// Virtual time spent in modeled computation.
+    pub compute_time: SimTime,
+    /// Number of MPI calls made.
+    pub calls: u64,
+}
+
+/// One rank's side of every window, plus sweep queues.
+pub(crate) struct RankSweepState {
+    pub notices: VecDeque<Notice>,
+    /// Epochs that may have issueable ops.
+    pub dirty_ops: Vec<(WinId, EpochId)>,
+    /// Epochs whose completion conditions should be rechecked.
+    pub dirty_complete: Vec<(WinId, EpochId)>,
+    /// Windows needing an activation scan.
+    pub act_dirty: Vec<WinId>,
+    /// Windows with pending lock/unlock work (step 6 backlog).
+    pub lock_backlog: Vec<WinId>,
+    /// Deferred lock releases: (window, origin releasing).
+    pub pending_unlocks: VecDeque<(WinId, Rank)>,
+    /// An intranode notification FIFO received packets since the last
+    /// drain (step 5 has work).
+    pub fifo_pending: bool,
+}
+
+impl RankSweepState {
+    fn new() -> Self {
+        RankSweepState {
+            notices: VecDeque::new(),
+            dirty_ops: Vec::new(),
+            dirty_complete: Vec::new(),
+            act_dirty: Vec::new(),
+            lock_backlog: Vec::new(),
+            pending_unlocks: VecDeque::new(),
+            fifo_pending: false,
+        }
+    }
+
+    fn has_work(&self) -> bool {
+        !self.notices.is_empty()
+            || !self.dirty_ops.is_empty()
+            || !self.dirty_complete.is_empty()
+            || !self.act_dirty.is_empty()
+            || !self.lock_backlog.is_empty()
+            || !self.pending_unlocks.is_empty()
+            || self.fifo_pending
+    }
+}
+
+/// One window across all ranks.
+pub(crate) struct WinGlobal {
+    pub per_rank: Vec<Option<WinRank>>,
+}
+
+/// The mutable engine state (all ranks).
+pub(crate) struct EngState {
+    pub wins: Vec<WinGlobal>,
+    /// Number of `win_allocate` calls each rank has made (SPMD ordering).
+    pub created: Vec<u32>,
+    pub reqs: ReqTable,
+    pub p2p: Vec<P2pRank>,
+    pub barrier: Vec<BarrierRank>,
+    pub stats: Vec<RankStats>,
+    pub sweep: Vec<RankSweepState>,
+    pub tokens: HashMap<u64, TokenInfo>,
+    pub next_token: u64,
+    pub eng_stats: EngineStats,
+    /// Per-rank collective sequence numbers (tag disambiguation).
+    pub coll_seq: Vec<u64>,
+    /// Epoch lifecycle trace (populated when `JobConfig::trace`).
+    pub trace: Vec<crate::trace::TraceRecord>,
+}
+
+impl EngState {
+    pub(crate) fn win(&self, w: WinId, r: Rank) -> &WinRank {
+        self.wins[w.0 as usize].per_rank[r.idx()]
+            .as_ref()
+            .expect("window not created at this rank")
+    }
+
+    pub(crate) fn win_mut(&mut self, w: WinId, r: Rank) -> &mut WinRank {
+        self.wins[w.0 as usize].per_rank[r.idx()]
+            .as_mut()
+            .expect("window not created at this rank")
+    }
+
+    pub(crate) fn alloc_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    pub(crate) fn mark_ops_dirty(&mut self, rank: Rank, win: WinId, epoch: EpochId) {
+        let d = &mut self.sweep[rank.idx()].dirty_ops;
+        if !d.contains(&(win, epoch)) {
+            d.push((win, epoch));
+        }
+    }
+
+    pub(crate) fn mark_complete_dirty(&mut self, rank: Rank, win: WinId, epoch: EpochId) {
+        let d = &mut self.sweep[rank.idx()].dirty_complete;
+        if !d.contains(&(win, epoch)) {
+            d.push((win, epoch));
+        }
+    }
+
+    pub(crate) fn mark_act_dirty(&mut self, rank: Rank, win: WinId) {
+        let d = &mut self.sweep[rank.idx()].act_dirty;
+        if !d.contains(&win) {
+            d.push(win);
+        }
+    }
+
+    pub(crate) fn mark_lock_backlog(&mut self, rank: Rank, win: WinId) {
+        let d = &mut self.sweep[rank.idx()].lock_backlog;
+        if !d.contains(&win) {
+            d.push(win);
+        }
+    }
+}
+
+/// The RMA middleware engine for one simulated job.
+pub struct Engine {
+    pub(crate) st: Mutex<EngState>,
+    pub(crate) net: Arc<Network<Body>>,
+    pub(crate) sim: SimHandle,
+    pub(crate) cfg: JobConfig,
+}
+
+/// Issue phase selector for sweep steps 2 and 4.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Phase {
+    Internode,
+    Intranode,
+}
+
+impl Engine {
+    /// Build the engine (and its network) for a job.
+    pub fn new(sim: SimHandle, cfg: JobConfig) -> Arc<Self> {
+        let topo = Topology::new(cfg.n_ranks, cfg.cores_per_node);
+        let net_params: NetParams = cfg.net.clone();
+        let net = Network::new(sim.clone(), net_params, topo);
+        let n = cfg.n_ranks;
+        let eng = Arc::new(Engine {
+            st: Mutex::new(EngState {
+                wins: Vec::new(),
+                created: vec![0; n],
+                reqs: ReqTable::new(),
+                p2p: (0..n).map(|_| P2pRank::default()).collect(),
+                barrier: (0..n).map(|_| BarrierRank::default()).collect(),
+                stats: vec![RankStats::default(); n],
+                sweep: (0..n).map(|_| RankSweepState::new()).collect(),
+                tokens: HashMap::new(),
+                next_token: 1,
+                eng_stats: EngineStats::default(),
+                coll_seq: vec![0; n],
+                trace: Vec::new(),
+            }),
+            net: net.clone(),
+            sim,
+            cfg,
+        });
+        let e2 = eng.clone();
+        net.set_handler(move |pkt| e2.on_message(pkt));
+        eng
+    }
+
+    /// The simulated network (for stats).
+    pub fn network(&self) -> &Arc<Network<Body>> {
+        &self.net
+    }
+
+    /// Whether the engine runs the lazy baseline strategy.
+    pub(crate) fn lazy(&self) -> bool {
+        self.cfg.strategy == SyncStrategy::LazyBaseline
+    }
+
+    /// Per-rank statistics snapshot.
+    pub fn rank_stats(&self, r: Rank) -> RankStats {
+        self.st.lock().stats[r.idx()]
+    }
+
+    /// Aggregate progress-engine counters.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.st.lock().eng_stats
+    }
+
+    /// Drain the recorded epoch lifecycle trace.
+    pub fn take_trace(&self) -> Vec<crate::trace::TraceRecord> {
+        std::mem::take(&mut self.st.lock().trace)
+    }
+
+    /// Record one epoch lifecycle transition (no-op unless tracing).
+    pub(crate) fn trace_event(
+        &self,
+        st: &mut EngState,
+        rank: Rank,
+        win: WinId,
+        id: EpochId,
+        event: crate::trace::EpochEvent,
+    ) {
+        if !self.cfg.trace {
+            return;
+        }
+        let kind = st.win(win, rank).epoch(id).kind.name();
+        let time = self.sim.now();
+        st.trace.push(crate::trace::TraceRecord {
+            time,
+            rank,
+            win,
+            epoch: id.0,
+            kind,
+            event,
+        });
+    }
+
+    /// Next collective sequence number for `rank` (collective tag space).
+    pub(crate) fn next_coll_seq(&self, rank: Rank) -> u64 {
+        let mut st = self.st.lock();
+        let s = st.coll_seq[rank.idx()];
+        st.coll_seq[rank.idx()] += 1;
+        s
+    }
+
+    /// Accumulate MPI-call time for Fig-13-style communication breakdowns.
+    pub(crate) fn add_mpi_time(&self, r: Rank, dt: SimTime) {
+        let mut st = self.st.lock();
+        let s = &mut st.stats[r.idx()];
+        s.mpi_time += dt;
+        s.calls += 1;
+    }
+
+    /// Accumulate modeled compute time.
+    pub(crate) fn add_compute_time(&self, r: Rank, dt: SimTime) {
+        self.st.lock().stats[r.idx()].compute_time += dt;
+    }
+
+    /// The dummy always-complete request returned by nonblocking
+    /// epoch-opening routines (§VII.C).
+    pub(crate) fn dummy_open_req(&self) -> Req {
+        self.st.lock().reqs.alloc_done(crate::request::ReqKind::EpochOpen)
+    }
+
+    // ------------------------------------------------------------------
+    // windows
+    // ------------------------------------------------------------------
+
+    /// Create this rank's side of its next window (SPMD creation order
+    /// assigns ids). The API layer adds the collective barrier.
+    pub fn win_allocate(&self, rank: Rank, size: usize, info: crate::config::WinInfo) -> WinId {
+        let mut st = self.st.lock();
+        let idx = st.created[rank.idx()] as usize;
+        st.created[rank.idx()] += 1;
+        if st.wins.len() <= idx {
+            st.wins.push(WinGlobal {
+                per_rank: (0..self.cfg.n_ranks).map(|_| None).collect(),
+            });
+        }
+        assert!(
+            st.wins[idx].per_rank[rank.idx()].is_none(),
+            "window creation order diverged across ranks"
+        );
+        st.wins[idx].per_rank[rank.idx()] = Some(WinRank::new(size, info, self.cfg.n_ranks));
+        WinId(idx as u32)
+    }
+
+    /// Tear down this rank's side of a window. Errors if epochs are still
+    /// open; a trailing empty fence epoch is retired silently.
+    pub fn win_free(self: &Arc<Self>, rank: Rank, win: WinId) -> crate::error::RmaResult<()> {
+        let mut st = self.st.lock();
+        self.retire_empty_open_fence(&mut st, rank, win);
+        let w = st.win(win, rank);
+        if w.cur_gats_access.is_some()
+            || w.cur_exposure.is_some()
+            || !w.open_locks.is_empty()
+            || w.cur_lock_all.is_some()
+            || w.cur_fence.is_some()
+            || !w.order.is_empty()
+        {
+            return Err(crate::error::RmaError::AlreadyInEpoch { called: "win_free" });
+        }
+        st.wins[win.0 as usize].per_rank[rank.idx()] = None;
+        Ok(())
+    }
+
+    /// Local load from the window copy.
+    pub fn read_local(
+        &self,
+        rank: Rank,
+        win: WinId,
+        disp: usize,
+        len: usize,
+    ) -> crate::error::RmaResult<Vec<u8>> {
+        let st = self.st.lock();
+        if win.0 as usize >= st.wins.len() {
+            return Err(crate::error::RmaError::InvalidWindow(win));
+        }
+        let w = st.win(win, rank);
+        if disp + len > w.mem.len() {
+            return Err(crate::error::RmaError::OutOfBounds {
+                win,
+                target: rank,
+                disp,
+                len,
+            });
+        }
+        Ok(w.mem[disp..disp + len].to_vec())
+    }
+
+    /// Local store into the window copy.
+    pub fn write_local(
+        &self,
+        rank: Rank,
+        win: WinId,
+        disp: usize,
+        data: &[u8],
+    ) -> crate::error::RmaResult<()> {
+        let mut st = self.st.lock();
+        if win.0 as usize >= st.wins.len() {
+            return Err(crate::error::RmaError::InvalidWindow(win));
+        }
+        let w = st.win_mut(win, rank);
+        if disp + data.len() > w.mem.len() {
+            return Err(crate::error::RmaError::OutOfBounds {
+                win,
+                target: rank,
+                disp,
+                len: data.len(),
+            });
+        }
+        w.mem[disp..disp + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // message dispatch
+    // ------------------------------------------------------------------
+
+    fn on_message(self: &Arc<Self>, pkt: Packet<Body>) {
+        let dst = pkt.dst;
+        let src = pkt.src;
+        {
+            let mut st = self.st.lock();
+            match pkt.body {
+                // ---- data plane ----
+                Body::PutData {
+                    win,
+                    tag,
+                    disp,
+                    layout,
+                    payload,
+                } => self.handle_put(&mut st, dst, src, win, tag, disp, layout, payload),
+                Body::AccData {
+                    win,
+                    tag,
+                    disp,
+                    dt,
+                    op,
+                    payload,
+                } => self.handle_acc(&mut st, dst, src, win, tag, disp, dt, op, payload),
+                Body::AccRts { win, size, token } => {
+                    self.handle_acc_rts(&mut st, dst, src, win, size, token)
+                }
+                Body::AccCts { token } => self.handle_acc_cts(&mut st, dst, token),
+                Body::GetReq {
+                    win,
+                    tag,
+                    disp,
+                    len,
+                    layout,
+                    token,
+                } => self.handle_get_req(&mut st, dst, src, win, tag, disp, len, layout, token),
+                Body::GetResp { win, token, payload } => {
+                    self.handle_get_resp(&mut st, dst, win, token, payload)
+                }
+                Body::FetchReq {
+                    win,
+                    tag,
+                    fetch,
+                    disp,
+                    dt,
+                    op,
+                    operand,
+                    token,
+                } => self.handle_fetch_req(
+                    &mut st, dst, src, win, tag, fetch, disp, dt, op, operand, token,
+                ),
+                Body::FetchResp { win, token, payload } => {
+                    self.handle_fetch_resp(&mut st, dst, win, token, payload)
+                }
+
+                // ---- synchronization plane ----
+                Body::LockReq {
+                    win,
+                    access_id,
+                    kind,
+                } => self.handle_lock_req(&mut st, dst, src, win, access_id, kind),
+                Body::Grant { win, id, kind } => self.handle_grant(&mut st, dst, src, win, id, kind),
+                Body::GatsDone { win, access_id } => {
+                    self.handle_gats_done(&mut st, dst, src, win, access_id)
+                }
+                Body::Unlock { win, access_id } => {
+                    self.handle_unlock(&mut st, dst, src, win, access_id)
+                }
+                Body::FenceDone { win, seq, ops_sent } => {
+                    self.handle_fence_done(&mut st, dst, src, win, seq, ops_sent)
+                }
+                Body::Fifo64 { win, packet } => {
+                    // Push into the per-pair FIFO; drained in sweep step 5.
+                    // A full FIFO forces a retry, as a real shared-memory
+                    // ring would.
+                    st.sweep[dst.idx()].fifo_pending = true;
+                    st.eng_stats.fifo_packets += 1;
+                    let w = st.win_mut(win, dst);
+                    if !w.fifo_from(src).push(packet) {
+                        let me = self.clone();
+                        self.sim.schedule(SimTime::from_micros(1), move || {
+                            me.on_message(Packet {
+                                src,
+                                dst,
+                                body: Body::Fifo64 { win, packet },
+                            });
+                        });
+                    }
+                }
+
+                // ---- two-sided ----
+                Body::P2pEager { tag, payload } => {
+                    self.handle_p2p_eager(&mut st, dst, src, tag, payload)
+                }
+                Body::P2pRts { tag, size, token } => {
+                    self.handle_p2p_rts(&mut st, dst, src, tag, size, token)
+                }
+                Body::P2pCts { token, data_token } => {
+                    self.handle_p2p_cts_from(&mut st, dst, src, token, data_token)
+                }
+                Body::P2pData { data_token, payload } => {
+                    self.handle_p2p_data(&mut st, dst, data_token, payload)
+                }
+                Body::BarrierMsg { seq, round } => {
+                    self.handle_barrier_msg(&mut st, dst, seq, round)
+                }
+            }
+        }
+        self.sweep(dst);
+    }
+
+    // ------------------------------------------------------------------
+    // the seven-step progress sweep (§VII.D)
+    // ------------------------------------------------------------------
+
+    /// Run the progress engine for `rank` until quiescent.
+    pub(crate) fn sweep(self: &Arc<Self>, rank: Rank) {
+        let mut st = self.st.lock();
+        st.eng_stats.sweeps += 1;
+        loop {
+            if !st.sweep[rank.idx()].has_work() {
+                break;
+            }
+            // Step 1: verification of outgoing/incoming completion.
+            self.drain_notices(&mut st, rank);
+            // Step 2: post internode RMA communications.
+            self.issue_phase(&mut st, rank, Phase::Internode);
+            // Step 3: batch completion + activation of deferred epochs.
+            self.complete_and_activate(&mut st, rank);
+            // Step 4: post intranode RMA communications.
+            self.issue_phase(&mut st, rank, Phase::Intranode);
+            // Step 5: consume intranode notifications.
+            self.drain_fifos(&mut st, rank);
+            // Step 6: batch processing of lock/unlock requests.
+            self.pump_lock_backlog(&mut st, rank);
+            // Step 7: batch completion + activation again.
+            self.complete_and_activate(&mut st, rank);
+        }
+    }
+
+    /// Step 1: consume completion notices.
+    fn drain_notices(self: &Arc<Self>, st: &mut EngState, rank: Rank) {
+        while let Some(n) = st.sweep[rank.idx()].notices.pop_front() {
+            match n {
+                Notice::LocalComplete { win, epoch, age } => {
+                    self.op_update(st, rank, win, epoch, age, |o| o.needs_local = false);
+                }
+                Notice::Acked { win, epoch, age } => {
+                    self.op_update(st, rank, win, epoch, age, |o| o.needs_ack = false);
+                }
+            }
+        }
+    }
+
+    /// Steps 3 and 7: batch-complete dirty epochs, then scan deferred
+    /// epochs for activation.
+    fn complete_and_activate(self: &Arc<Self>, st: &mut EngState, rank: Rank) {
+        let dirty = std::mem::take(&mut st.sweep[rank.idx()].dirty_complete);
+        for (win, epoch) in dirty {
+            self.check_epoch_progress(st, rank, win, epoch);
+        }
+        let wins = std::mem::take(&mut st.sweep[rank.idx()].act_dirty);
+        for win in wins {
+            self.activation_scan(st, rank, win);
+        }
+    }
+
+    /// Step 5: drain every intranode FIFO of every window of this rank and
+    /// dispatch the decoded 64-bit packets.
+    fn drain_fifos(self: &Arc<Self>, st: &mut EngState, rank: Rank) {
+        st.sweep[rank.idx()].fifo_pending = false;
+        let n_wins = st.wins.len();
+        let mut packets: Vec<(WinId, Rank, u64)> = Vec::new();
+        for w in 0..n_wins {
+            let win = WinId(w as u32);
+            if st.wins[w].per_rank[rank.idx()].is_none() {
+                continue;
+            }
+            let wr = st.win_mut(win, rank);
+            let peers: Vec<Rank> = wr.fifos_in.keys().copied().collect();
+            for p in peers {
+                let fifo = wr.fifo_from(p);
+                while let Some(pkt) = fifo.pop() {
+                    packets.push((win, p, pkt));
+                }
+            }
+        }
+        for (win, src, raw) in packets {
+            match SyncPacket::decode(raw).expect("corrupt 64-bit sync packet") {
+                SyncPacket::LockReqExcl {
+                    origin, access_id, ..
+                } => self.handle_lock_req(st, rank, origin, win, access_id, crate::types::LockKind::Exclusive),
+                SyncPacket::LockReqShared {
+                    origin, access_id, ..
+                } => self.handle_lock_req(st, rank, origin, win, access_id, crate::types::LockKind::Shared),
+                SyncPacket::GrantExposure { granter, id, .. } => {
+                    debug_assert_eq!(granter, src);
+                    self.handle_grant(st, rank, granter, win, id, crate::msg::GrantKind::Exposure)
+                }
+                SyncPacket::GrantLock { granter, id, .. } => {
+                    self.handle_grant(st, rank, granter, win, id, crate::msg::GrantKind::Lock)
+                }
+                SyncPacket::GatsDone {
+                    origin, access_id, ..
+                } => self.handle_gats_done(st, rank, origin, win, access_id),
+                SyncPacket::Unlock {
+                    origin, access_id, ..
+                } => self.handle_unlock(st, rank, origin, win, access_id),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // send helpers
+    // ------------------------------------------------------------------
+
+    /// Send a synchronization-plane packet; intranode it travels as a
+    /// 64-bit word through the notification FIFO (§VII.D).
+    pub(crate) fn send_sync(self: &Arc<Self>, src: Rank, dst: Rank, win: WinId, sp: SyncPacket) {
+        let body = if self.net.topology().same_node(src, dst) {
+            Body::Fifo64 {
+                win,
+                packet: sp.encode(),
+            }
+        } else {
+            match sp {
+                SyncPacket::LockReqExcl { access_id, .. } => Body::LockReq {
+                    win,
+                    access_id,
+                    kind: crate::types::LockKind::Exclusive,
+                },
+                SyncPacket::LockReqShared { access_id, .. } => Body::LockReq {
+                    win,
+                    access_id,
+                    kind: crate::types::LockKind::Shared,
+                },
+                SyncPacket::GrantExposure { id, .. } => Body::Grant {
+                    win,
+                    id,
+                    kind: crate::msg::GrantKind::Exposure,
+                },
+                SyncPacket::GrantLock { id, .. } => Body::Grant {
+                    win,
+                    id,
+                    kind: crate::msg::GrantKind::Lock,
+                },
+                SyncPacket::GatsDone { access_id, .. } => Body::GatsDone { win, access_id },
+                SyncPacket::Unlock { access_id, .. } => Body::Unlock { win, access_id },
+            }
+        };
+        self.net.send(Packet { src, dst, body });
+    }
+}

@@ -1,0 +1,360 @@
+//! Two-sided messaging (eager + rendezvous) and the dissemination barrier.
+//!
+//! The middleware needs a two-sided substrate both for applications (the
+//! paper's Late Post microbenchmark interleaves an RMA epoch with a
+//! two-sided transfer) and for collective bootstrap (barriers around window
+//! creation).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use mpisim_net::{Packet, Payload};
+
+use crate::engine::{EngState, Engine, TokenInfo};
+use crate::error::{RmaError, RmaResult};
+use crate::msg::Body;
+use crate::request::ReqKind;
+use crate::types::{Rank, Req};
+
+/// A posted (not yet matched) receive.
+pub(crate) struct PostedRecv {
+    pub src: Rank,
+    pub tag: u64,
+    pub req: Req,
+}
+
+/// An arrived-but-unmatched message.
+pub(crate) enum UnexpContent {
+    Eager(Payload),
+    Rndv { token: u64 },
+}
+
+pub(crate) struct UnexpMsg {
+    pub src: Rank,
+    pub tag: u64,
+    pub content: UnexpContent,
+}
+
+/// Per-rank two-sided state.
+#[derive(Default)]
+pub(crate) struct P2pRank {
+    pub posted: VecDeque<PostedRecv>,
+    pub unexpected: VecDeque<UnexpMsg>,
+}
+
+/// Per-rank dissemination-barrier state.
+#[derive(Default)]
+pub(crate) struct BarrierRank {
+    /// Current barrier generation (increments per ibarrier).
+    pub seq: u64,
+    /// Current round within the active barrier.
+    pub round: u32,
+    /// Request completed when the barrier finishes.
+    pub req: Option<Req>,
+    /// Early arrivals: (seq, round) → count.
+    pub arrived: HashMap<(u64, u32), u32>,
+}
+
+fn barrier_rounds(n: usize) -> u32 {
+    let mut r = 0u32;
+    let mut span = 1usize;
+    while span < n {
+        span *= 2;
+        r += 1;
+    }
+    r
+}
+
+impl Engine {
+    // ------------------------------------------------------------------
+    // two-sided
+    // ------------------------------------------------------------------
+
+    /// `MPI_ISEND`: the request completes at local completion (buffer
+    /// reusable).
+    pub fn isend(self: &Arc<Self>, rank: Rank, dst: Rank, tag: u64, payload: Payload) -> RmaResult<Req> {
+        if dst.idx() >= self.cfg.n_ranks {
+            return Err(RmaError::InvalidRank(dst.idx()));
+        }
+        let req = {
+            let mut st = self.st.lock();
+            let req = st.reqs.alloc(ReqKind::P2p);
+            if payload.len() <= self.cfg.rndv_threshold {
+                let me = self.clone();
+                self.net.send_with_completion(
+                    Packet {
+                        src: rank,
+                        dst,
+                        body: Body::P2pEager { tag, payload },
+                    },
+                    move || me.complete_req_and_sweep(rank, req, None),
+                );
+            } else {
+                let token = st.alloc_token();
+                st.tokens.insert(token, TokenInfo::P2pSend { rank, payload, req });
+                self.net.send(Packet {
+                    src: rank,
+                    dst,
+                    body: Body::P2pRts {
+                        tag,
+                        size: 0,
+                        token,
+                    },
+                });
+            }
+            req
+        };
+        self.sweep(rank);
+        Ok(req)
+    }
+
+    /// `MPI_IRECV` (matched by exact source and tag): the request completes
+    /// with the message data.
+    pub fn irecv(self: &Arc<Self>, rank: Rank, src: Rank, tag: u64) -> RmaResult<Req> {
+        if src.idx() >= self.cfg.n_ranks {
+            return Err(RmaError::InvalidRank(src.idx()));
+        }
+        let req = {
+            let mut st = self.st.lock();
+            let req = st.reqs.alloc(ReqKind::P2p);
+            // FIFO search of the unexpected queue preserves per-(src, tag)
+            // ordering, matching MPI's non-overtaking rule.
+            let hit = st.p2p[rank.idx()]
+                .unexpected
+                .iter()
+                .position(|m| m.src == src && m.tag == tag);
+            match hit {
+                Some(i) => {
+                    let msg = st.p2p[rank.idx()].unexpected.remove(i).unwrap();
+                    match msg.content {
+                        UnexpContent::Eager(payload) => {
+                            let data = payload_to_bytes(payload);
+                            st.reqs.complete(req, Some(data));
+                        }
+                        UnexpContent::Rndv { token } => {
+                            let data_token = st.alloc_token();
+                            st.tokens.insert(data_token, TokenInfo::P2pRecv { req });
+                            self.net.send(Packet {
+                                src: rank,
+                                dst: msg.src,
+                                body: Body::P2pCts { token, data_token },
+                            });
+                        }
+                    }
+                }
+                None => {
+                    st.p2p[rank.idx()].posted.push_back(PostedRecv { src, tag, req });
+                }
+            }
+            req
+        };
+        self.sweep(rank);
+        Ok(req)
+    }
+
+    pub(crate) fn handle_p2p_eager(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        me: Rank,
+        src: Rank,
+        tag: u64,
+        payload: Payload,
+    ) {
+        let hit = st.p2p[me.idx()]
+            .posted
+            .iter()
+            .position(|p| p.src == src && p.tag == tag);
+        match hit {
+            Some(i) => {
+                let posted = st.p2p[me.idx()].posted.remove(i).unwrap();
+                let data = payload_to_bytes(payload);
+                st.reqs.complete(posted.req, Some(data));
+            }
+            None => st.p2p[me.idx()].unexpected.push_back(UnexpMsg {
+                src,
+                tag,
+                content: UnexpContent::Eager(payload),
+            }),
+        }
+    }
+
+    pub(crate) fn handle_p2p_rts(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        me: Rank,
+        src: Rank,
+        tag: u64,
+        _size: usize,
+        token: u64,
+    ) {
+        let hit = st.p2p[me.idx()]
+            .posted
+            .iter()
+            .position(|p| p.src == src && p.tag == tag);
+        match hit {
+            Some(i) => {
+                let posted = st.p2p[me.idx()].posted.remove(i).unwrap();
+                let data_token = st.alloc_token();
+                st.tokens.insert(data_token, TokenInfo::P2pRecv { req: posted.req });
+                self.net.send(Packet {
+                    src: me,
+                    dst: src,
+                    body: Body::P2pCts { token, data_token },
+                });
+            }
+            None => st.p2p[me.idx()].unexpected.push_back(UnexpMsg {
+                src,
+                tag,
+                content: UnexpContent::Rndv { token },
+            }),
+        }
+    }
+
+    /// Sender side: CTS arrived from `cts_src` — ship the staged payload.
+    pub(crate) fn handle_p2p_cts_from(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        me: Rank,
+        cts_src: Rank,
+        token: u64,
+        data_token: u64,
+    ) {
+        let Some(TokenInfo::P2pSend { rank, payload, req }) = st.tokens.remove(&token) else {
+            panic!("P2pCts with unknown token");
+        };
+        debug_assert_eq!(rank, me);
+        let m = self.clone();
+        self.net.send_with_completion(
+            Packet {
+                src: me,
+                dst: cts_src,
+                body: Body::P2pData { data_token, payload },
+            },
+            move || m.complete_req_and_sweep(me, req, None),
+        );
+    }
+
+    /// Receiver side: rendezvous data arrived.
+    pub(crate) fn handle_p2p_data(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        _me: Rank,
+        data_token: u64,
+        payload: Payload,
+    ) {
+        let Some(TokenInfo::P2pRecv { req }) = st.tokens.remove(&data_token) else {
+            panic!("P2pData with unknown token");
+        };
+        let data = payload_to_bytes(payload);
+        st.reqs.complete(req, Some(data));
+    }
+
+    /// Complete a request from a scheduler event and run the rank's sweep.
+    pub(crate) fn complete_req_and_sweep(self: &Arc<Self>, rank: Rank, req: Req, data: Option<bytes::Bytes>) {
+        {
+            let mut st = self.st.lock();
+            st.reqs.complete(req, data);
+        }
+        self.sweep(rank);
+    }
+
+    // ------------------------------------------------------------------
+    // barrier
+    // ------------------------------------------------------------------
+
+    /// Nonblocking dissemination barrier over all ranks.
+    pub fn ibarrier(self: &Arc<Self>, rank: Rank) -> Req {
+        let n = self.cfg.n_ranks;
+        let req = {
+            let mut st = self.st.lock();
+            let req = st.reqs.alloc(ReqKind::Barrier);
+            let b = &mut st.barrier[rank.idx()];
+            assert!(b.req.is_none(), "overlapping barriers are not supported");
+            b.seq += 1;
+            b.round = 0;
+            b.req = Some(req);
+            if n == 1 {
+                let r = b.req.take().unwrap();
+                st.reqs.complete(r, None);
+            } else {
+                let seq = st.barrier[rank.idx()].seq;
+                let peer = Rank((rank.idx() + 1) % n);
+                self.net.send(Packet {
+                    src: rank,
+                    dst: peer,
+                    body: Body::BarrierMsg { seq, round: 0 },
+                });
+                self.barrier_try_advance(&mut st, rank);
+            }
+            req
+        };
+        self.sweep(rank);
+        req
+    }
+
+    pub(crate) fn handle_barrier_msg(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        me: Rank,
+        seq: u64,
+        round: u32,
+    ) {
+        *st.barrier[me.idx()].arrived.entry((seq, round)).or_insert(0) += 1;
+        self.barrier_try_advance(st, me);
+    }
+
+    fn barrier_try_advance(self: &Arc<Self>, st: &mut EngState, me: Rank) {
+        let n = self.cfg.n_ranks;
+        let total = barrier_rounds(n);
+        loop {
+            let b = &mut st.barrier[me.idx()];
+            if b.req.is_none() {
+                return;
+            }
+            let key = (b.seq, b.round);
+            let Some(c) = b.arrived.get_mut(&key) else { return };
+            debug_assert!(*c > 0);
+            *c -= 1;
+            if *c == 0 {
+                b.arrived.remove(&key);
+            }
+            b.round += 1;
+            if b.round == total {
+                let r = b.req.take().unwrap();
+                st.reqs.complete(r, None);
+                return;
+            }
+            let round = b.round;
+            let seq = b.seq;
+            let peer = Rank((me.idx() + (1 << round)) % n);
+            self.net.send(Packet {
+                src: me,
+                dst: peer,
+                body: Body::BarrierMsg { seq, round },
+            });
+        }
+    }
+}
+
+fn payload_to_bytes(p: Payload) -> bytes::Bytes {
+    match p {
+        Payload::Bytes(b) => b,
+        Payload::Synthetic(n) => bytes::Bytes::from(vec![0u8; n]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds() {
+        assert_eq!(barrier_rounds(1), 0);
+        assert_eq!(barrier_rounds(2), 1);
+        assert_eq!(barrier_rounds(3), 2);
+        assert_eq!(barrier_rounds(4), 2);
+        assert_eq!(barrier_rounds(5), 3);
+        assert_eq!(barrier_rounds(8), 3);
+        assert_eq!(barrier_rounds(9), 4);
+    }
+}

@@ -1,0 +1,252 @@
+//! Request objects — the internal implementation of the `MPI_REQUEST`
+//! handles used by the test/wait family (§VII.C).
+//!
+//! Requests are specialized at creation as epoch-opening (dummy, completed
+//! immediately — the paper's rule for all nonblocking epoch-opening
+//! routines), epoch-closing, flush, communication (request-based RMA),
+//! two-sided, or barrier requests. A slot-plus-nonce scheme makes stale
+//! handles detectable.
+
+use bytes::Bytes;
+use mpisim_sim::Signal;
+
+use crate::error::{RmaError, RmaResult};
+use crate::types::Req;
+
+/// What a request stands for (diagnostics; completion logic is uniform).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Dummy epoch-opening request: complete at creation (§VII.C).
+    EpochOpen,
+    /// Epoch-closing request (icomplete/iwait/iunlock/ifence/...).
+    EpochClose,
+    /// Flush request, age-stamped.
+    Flush,
+    /// Request-based RMA operation (rput/rget/...), or a fetch result.
+    Comm,
+    /// Two-sided send/recv.
+    P2p,
+    /// Barrier.
+    Barrier,
+}
+
+struct Slot {
+    nonce: u32,
+    state: Option<ReqState>,
+}
+
+struct ReqState {
+    kind: ReqKind,
+    done: bool,
+    data: Option<Bytes>,
+    waiters: Vec<Signal>,
+}
+
+/// Table of live requests. One per job, inside the engine state.
+#[derive(Default)]
+pub struct ReqTable {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+}
+
+fn unpack(r: Req) -> (usize, u32) {
+    ((r.0 >> 32) as usize, r.0 as u32)
+}
+
+fn pack(idx: usize, nonce: u32) -> Req {
+    Req(((idx as u64) << 32) | u64::from(nonce))
+}
+
+impl ReqTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        ReqTable::default()
+    }
+
+    /// Allocate a pending request.
+    pub fn alloc(&mut self, kind: ReqKind) -> Req {
+        let state = ReqState {
+            kind,
+            done: false,
+            data: None,
+            waiters: Vec::new(),
+        };
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.nonce = slot.nonce.wrapping_add(1);
+                slot.state = Some(state);
+                pack(idx as usize, slot.nonce)
+            }
+            None => {
+                self.slots.push(Slot {
+                    nonce: 0,
+                    state: Some(state),
+                });
+                pack(self.slots.len() - 1, 0)
+            }
+        }
+    }
+
+    /// Allocate a request that is already complete (the dummy epoch-opening
+    /// request of §VII.C).
+    pub fn alloc_done(&mut self, kind: ReqKind) -> Req {
+        let r = self.alloc(kind);
+        self.complete(r, None);
+        r
+    }
+
+    fn get(&self, r: Req) -> Option<&ReqState> {
+        let (idx, nonce) = unpack(r);
+        let slot = self.slots.get(idx)?;
+        if slot.nonce != nonce {
+            return None;
+        }
+        slot.state.as_ref()
+    }
+
+    fn get_mut(&mut self, r: Req) -> Option<&mut ReqState> {
+        let (idx, nonce) = unpack(r);
+        let slot = self.slots.get_mut(idx)?;
+        if slot.nonce != nonce {
+            return None;
+        }
+        slot.state.as_mut()
+    }
+
+    /// Mark a request complete, attaching optional result data, and wake
+    /// every waiter. Completing an already-complete request is a no-op for
+    /// `data == None` (idempotent completion notifications are common).
+    pub fn complete(&mut self, r: Req, data: Option<Bytes>) {
+        let st = self
+            .get_mut(r)
+            .expect("engine completed a request that does not exist");
+        if st.done && data.is_none() {
+            return;
+        }
+        st.done = true;
+        if data.is_some() {
+            st.data = data;
+        }
+        for w in st.waiters.drain(..) {
+            w.fire();
+        }
+    }
+
+    /// Whether the request is complete. Errors on stale handles.
+    pub fn is_done(&self, r: Req) -> RmaResult<bool> {
+        self.get(r).map(|s| s.done).ok_or(RmaError::InvalidRequest)
+    }
+
+    /// The request's kind. Errors on stale handles.
+    pub fn kind(&self, r: Req) -> RmaResult<ReqKind> {
+        self.get(r).map(|s| s.kind).ok_or(RmaError::InvalidRequest)
+    }
+
+    /// Register a signal to fire when `r` completes (fires immediately if
+    /// already complete).
+    pub fn add_waiter(&mut self, r: Req, sig: Signal) -> RmaResult<()> {
+        let st = self.get_mut(r).ok_or(RmaError::InvalidRequest)?;
+        if st.done {
+            sig.fire();
+        } else {
+            st.waiters.push(sig);
+        }
+        Ok(())
+    }
+
+    /// Consume a *completed* request, returning its result data. Errors if
+    /// the handle is stale; panics if the request is not complete (callers
+    /// check or wait first).
+    pub fn consume(&mut self, r: Req) -> RmaResult<Option<Bytes>> {
+        let (idx, nonce) = unpack(r);
+        let slot = self.slots.get_mut(idx).ok_or(RmaError::InvalidRequest)?;
+        if slot.nonce != nonce || slot.state.is_none() {
+            return Err(RmaError::InvalidRequest);
+        }
+        let st = slot.state.take().unwrap();
+        assert!(st.done, "consume() on an incomplete request");
+        self.free.push(idx as u32);
+        Ok(st.data)
+    }
+
+    /// Number of live (unconsumed) requests — used by leak-check tests.
+    pub fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.state.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut t = ReqTable::new();
+        let r = t.alloc(ReqKind::EpochClose);
+        assert!(!t.is_done(r).unwrap());
+        t.complete(r, Some(Bytes::from_static(b"xy")));
+        assert!(t.is_done(r).unwrap());
+        assert_eq!(t.consume(r).unwrap().unwrap().as_ref(), b"xy");
+        // Handle is now stale.
+        assert_eq!(t.is_done(r), Err(RmaError::InvalidRequest));
+    }
+
+    #[test]
+    fn alloc_done_is_complete_at_creation() {
+        let mut t = ReqTable::new();
+        let r = t.alloc_done(ReqKind::EpochOpen);
+        assert!(t.is_done(r).unwrap());
+        assert_eq!(t.kind(r).unwrap(), ReqKind::EpochOpen);
+    }
+
+    #[test]
+    fn slot_reuse_invalidates_old_handle() {
+        let mut t = ReqTable::new();
+        let r1 = t.alloc(ReqKind::Comm);
+        t.complete(r1, None);
+        t.consume(r1).unwrap();
+        let r2 = t.alloc(ReqKind::Comm);
+        assert_ne!(r1, r2);
+        assert_eq!(t.is_done(r1), Err(RmaError::InvalidRequest));
+        assert!(!t.is_done(r2).unwrap());
+    }
+
+    #[test]
+    fn waiter_fires_on_completion_and_immediately_if_done() {
+        let mut t = ReqTable::new();
+        let r = t.alloc(ReqKind::P2p);
+        let s = Signal::new();
+        t.add_waiter(r, s.clone()).unwrap();
+        assert!(!s.is_fired());
+        t.complete(r, None);
+        assert!(s.is_fired());
+        let s2 = Signal::new();
+        t.add_waiter(r, s2.clone()).unwrap();
+        assert!(s2.is_fired());
+    }
+
+    #[test]
+    fn idempotent_completion() {
+        let mut t = ReqTable::new();
+        let r = t.alloc(ReqKind::Flush);
+        t.complete(r, None);
+        t.complete(r, None); // no panic
+        assert!(t.is_done(r).unwrap());
+    }
+
+    #[test]
+    fn live_count_tracks_alloc_and_consume() {
+        let mut t = ReqTable::new();
+        assert_eq!(t.live(), 0);
+        let a = t.alloc(ReqKind::Comm);
+        let b = t.alloc(ReqKind::Comm);
+        assert_eq!(t.live(), 2);
+        t.complete(a, None);
+        t.consume(a).unwrap();
+        assert_eq!(t.live(), 1);
+        t.complete(b, None);
+        t.consume(b).unwrap();
+        assert_eq!(t.live(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Job driver: spawn one simulated process per rank, run the SPMD closure
+//! on each, and collect the report.
+
+use std::sync::Arc;
+
+use mpisim_net::NetStats;
+use mpisim_sim::{Sim, SimError, SimStats, SimTime};
+
+use crate::api::RankEnv;
+use crate::config::JobConfig;
+use crate::engine::{Engine, RankStats};
+use crate::types::Rank;
+
+/// Everything a finished job reports.
+#[derive(Debug)]
+pub struct JobReport {
+    /// Virtual time when the last rank finished.
+    pub final_time: SimTime,
+    /// Kernel statistics.
+    pub sim: SimStats,
+    /// Network statistics.
+    pub net: NetStats,
+    /// Per-rank timing.
+    pub ranks: Vec<RankStats>,
+    /// Epoch lifecycle trace (empty unless `JobConfig::trace`).
+    pub trace: Vec<crate::trace::TraceRecord>,
+}
+
+impl JobReport {
+    /// Mean fraction of rank time spent in MPI calls (Fig 13 b/d).
+    pub fn mean_comm_fraction(&self) -> f64 {
+        if self.ranks.is_empty() || self.final_time.is_zero() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .ranks
+            .iter()
+            .map(|r| r.mpi_time.as_secs_f64())
+            .sum::<f64>();
+        total / (self.ranks.len() as f64 * self.final_time.as_secs_f64())
+    }
+}
+
+/// Run an SPMD program: `f` is executed once per rank against its
+/// [`RankEnv`]. Returns when every rank's closure returns.
+///
+/// ```
+/// use mpisim_core::{run_job, JobConfig};
+///
+/// let report = run_job(JobConfig::new(4), |env| {
+///     let win = env.win_allocate(1024).unwrap();
+///     env.fence(win).unwrap();
+///     if env.rank().idx() == 0 {
+///         env.put(win, mpisim_core::Rank(1), 0, &[42]).unwrap();
+///     }
+///     env.fence(win).unwrap();
+///     if env.rank().idx() == 1 {
+///         assert_eq!(env.read_local(win, 0, 1).unwrap(), vec![42]);
+///     }
+///     env.win_free(win).unwrap();
+/// })
+/// .unwrap();
+/// assert!(report.final_time > mpisim_sim::SimTime::ZERO);
+/// ```
+pub fn run_job<F>(cfg: JobConfig, f: F) -> Result<JobReport, SimError>
+where
+    F: Fn(&mut RankEnv) + Send + Sync + 'static,
+{
+    let mut sim = Sim::new(cfg.seed);
+    sim.set_stack_size(cfg.stack_size);
+    sim.set_event_cap(cfg.event_cap);
+    let eng = Engine::new(sim.handle(), cfg.clone());
+    let f = Arc::new(f);
+    for r in 0..cfg.n_ranks {
+        let eng = eng.clone();
+        let f = f.clone();
+        sim.spawn(format!("rank{r}"), move |ctx| {
+            let mut env = RankEnv::new(ctx, eng, Rank(r));
+            f(&mut env);
+        });
+    }
+    let stats = sim.run()?;
+    let ranks = (0..cfg.n_ranks).map(|r| eng.rank_stats(Rank(r))).collect();
+    Ok(JobReport {
+        final_time: stats.final_time,
+        sim: stats,
+        net: eng.network().stats(),
+        ranks,
+        trace: eng.take_trace(),
+    })
+}

@@ -1,0 +1,215 @@
+//! Epoch lifecycle tracing.
+//!
+//! When [`crate::JobConfig::trace`] is enabled, the engine records a
+//! timestamped event at each transition of every epoch's two lifetimes
+//! (§VI: application-level *open → closed*, internal *activated →
+//! completed*). The trace makes the paper's concepts directly observable:
+//! deferral shows up as a gap between *opened* and *activated*, a
+//! nonblocking close shows up as *closed* long before *completed*, and
+//! Late-Complete-style propagation shows up as target epochs completing
+//! at the origin's pace.
+
+use mpisim_sim::SimTime;
+
+use crate::types::{Rank, WinId};
+
+/// A lifecycle transition.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EpochEvent {
+    /// Epoch object created (application-level open).
+    Opened,
+    /// Internal lifetime started (progress engine activated it).
+    Activated,
+    /// Application-level close routine invoked.
+    Closed,
+    /// Internal lifetime ended (all completion conditions met).
+    Completed,
+}
+
+impl EpochEvent {
+    /// Short label used in displays.
+    pub fn label(self) -> &'static str {
+        match self {
+            EpochEvent::Opened => "open",
+            EpochEvent::Activated => "act",
+            EpochEvent::Closed => "close",
+            EpochEvent::Completed => "done",
+        }
+    }
+}
+
+impl std::fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} r{} w{} e{} {} {}",
+            self.time,
+            self.rank.idx(),
+            self.win.0,
+            self.epoch,
+            self.kind,
+            self.event.label()
+        )
+    }
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// Virtual time of the transition.
+    pub time: SimTime,
+    /// Rank owning the epoch.
+    pub rank: Rank,
+    /// Window the epoch belongs to.
+    pub win: WinId,
+    /// Epoch id within that rank's side of the window.
+    pub epoch: u64,
+    /// Epoch kind ("fence", "gats-access", "gats-exposure", "lock",
+    /// "lock-all").
+    pub kind: &'static str,
+    /// Which transition.
+    pub event: EpochEvent,
+}
+
+/// Per-epoch lifecycle summary assembled from raw records.
+#[derive(Clone, Debug, Default)]
+pub struct EpochSummary {
+    /// Rank owning the epoch.
+    pub rank: usize,
+    /// Window id.
+    pub win: u32,
+    /// Epoch id.
+    pub epoch: u64,
+    /// Epoch kind.
+    pub kind: &'static str,
+    /// Transition times.
+    pub opened: Option<SimTime>,
+    /// Internal activation time (None = never activated).
+    pub activated: Option<SimTime>,
+    /// Application-level close time.
+    pub closed: Option<SimTime>,
+    /// Internal completion time.
+    pub completed: Option<SimTime>,
+}
+
+impl EpochSummary {
+    /// Time the epoch sat deferred (opened → activated).
+    pub fn deferral(&self) -> Option<SimTime> {
+        Some(self.activated? - self.opened?)
+    }
+
+    /// Time between the application closing the epoch and the middleware
+    /// completing it — the window a nonblocking close makes productive.
+    pub fn close_to_complete(&self) -> Option<SimTime> {
+        Some(self.completed?.saturating_sub(self.closed?))
+    }
+}
+
+/// Fold raw records into per-epoch summaries, ordered by (rank, win,
+/// epoch id).
+pub fn summarize(records: &[TraceRecord]) -> Vec<EpochSummary> {
+    use std::collections::BTreeMap;
+    let mut map: BTreeMap<(usize, u32, u64), EpochSummary> = BTreeMap::new();
+    for r in records {
+        let e = map.entry((r.rank.idx(), r.win.0, r.epoch)).or_insert_with(|| EpochSummary {
+            rank: r.rank.idx(),
+            win: r.win.0,
+            epoch: r.epoch,
+            kind: r.kind,
+            ..EpochSummary::default()
+        });
+        let slot = match r.event {
+            EpochEvent::Opened => &mut e.opened,
+            EpochEvent::Activated => &mut e.activated,
+            EpochEvent::Closed => &mut e.closed,
+            EpochEvent::Completed => &mut e.completed,
+        };
+        debug_assert!(slot.is_none(), "duplicate {:?} for epoch", r.event);
+        *slot = Some(r.time);
+    }
+    map.into_values().collect()
+}
+
+fn fmt_t(t: Option<SimTime>) -> String {
+    match t {
+        Some(t) => format!("{:>10.1}", t.as_micros_f64()),
+        None => format!("{:>10}", "-"),
+    }
+}
+
+/// Render a text timeline of every epoch, one row each, µs columns.
+pub fn render_timeline(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<5}{:<5}{:<6}{:<15}{:>10}{:>10}{:>10}{:>10}{:>12}{:>12}\n",
+        "rank", "win", "epoch", "kind", "open", "act", "close", "done", "deferred", "close→done"
+    ));
+    for s in summarize(records) {
+        out.push_str(&format!(
+            "r{:<4}w{:<4}e{:<5}{:<15}{}{}{}{}{:>12}{:>12}\n",
+            s.rank,
+            s.win,
+            s.epoch,
+            s.kind,
+            fmt_t(s.opened),
+            fmt_t(s.activated),
+            fmt_t(s.closed),
+            fmt_t(s.completed),
+            s.deferral()
+                .map(|d| format!("{:.1}", d.as_micros_f64()))
+                .unwrap_or_else(|| "-".into()),
+            s.close_to_complete()
+                .map(|d| format!("{:.1}", d.as_micros_f64()))
+                .unwrap_or_else(|| "-".into()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(rank: usize, epoch: u64, event: EpochEvent, us: u64) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_micros(us),
+            rank: Rank(rank),
+            win: WinId(0),
+            epoch,
+            kind: "lock",
+            event,
+        }
+    }
+
+    #[test]
+    fn summarize_folds_transitions() {
+        let recs = vec![
+            rec(0, 1, EpochEvent::Opened, 10),
+            rec(0, 1, EpochEvent::Activated, 12),
+            rec(0, 1, EpochEvent::Closed, 20),
+            rec(0, 1, EpochEvent::Completed, 300),
+            rec(0, 2, EpochEvent::Opened, 21),
+            rec(0, 2, EpochEvent::Activated, 300),
+        ];
+        let s = summarize(&recs);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].deferral(), Some(SimTime::from_micros(2)));
+        assert_eq!(s[0].close_to_complete(), Some(SimTime::from_micros(280)));
+        // Epoch 2 was deferred 279 µs and never closed.
+        assert_eq!(s[1].deferral(), Some(SimTime::from_micros(279)));
+        assert_eq!(s[1].close_to_complete(), None);
+    }
+
+    #[test]
+    fn render_contains_rows_and_headers() {
+        let recs = vec![
+            rec(1, 7, EpochEvent::Opened, 5),
+            rec(1, 7, EpochEvent::Completed, 50),
+        ];
+        let out = render_timeline(&recs);
+        assert!(out.contains("deferred"));
+        assert!(out.contains("r1"));
+        assert!(out.contains("e7"));
+        assert!(out.contains("lock"));
+    }
+}

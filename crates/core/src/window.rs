@@ -1,0 +1,285 @@
+//! Per-rank window state: exposed memory, the ω matching triples, the
+//! deferred-epoch queue, target-side grant sequencing, the lock manager,
+//! fence bookkeeping, and flush requests.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use mpisim_net::U64Fifo;
+
+use crate::config::WinInfo;
+use crate::epoch::EpochObj;
+use crate::lock::LockMgr;
+use crate::types::{EpochId, Rank, Req};
+
+/// Capacity of each intranode notification FIFO, packets.
+pub const FIFO_CAPACITY: usize = 1024;
+
+/// Target-side grant sequencing toward one origin (§VII.B).
+///
+/// Grants to an origin must be emitted in that origin's access-id order:
+/// grant `k+1` cannot be emitted before grant `k`. Exposure grants consume
+/// the next id positionally; lock grants carry their id explicitly in the
+/// lock request.
+#[derive(Debug, Default)]
+pub struct GrantSeq {
+    /// Exposure grants emitted so far (the origin's `g_r` mirrors this).
+    pub g_sent: u64,
+    /// Activated exposures whose grant has not been emitted yet.
+    pub exposure_credits: u64,
+    /// Lock plane: received, ungranted lock requests by lock access id.
+    pub pending_locks: BTreeMap<u64, crate::types::LockKind>,
+    /// Lock plane: lock grants emitted so far (the origin's `g_lock`
+    /// mirrors this).
+    pub gl_sent: u64,
+}
+
+/// An outstanding (nonblocking) flush request, age-stamped per §VII.C.
+#[derive(Debug)]
+pub struct FlushState {
+    /// The passive epochs being flushed (several for `flush_all` when
+    /// multiple single-target lock epochs are open).
+    pub epochs: Vec<EpochId>,
+    /// Specific target, or `None` for the `_all` variants.
+    pub target: Option<Rank>,
+    /// Age of the RMA call that immediately precedes the flush.
+    pub stamp: u64,
+    /// Local-only flush (`flush_local` family).
+    pub local_only: bool,
+    /// Completion counter: incomplete covered ops ("assigned from the
+    /// number of RMA calls yet to complete", §VII.C).
+    pub remaining: u64,
+    /// Request completed when `remaining` reaches zero.
+    pub req: Req,
+}
+
+/// One rank's side of one RMA window.
+pub struct WinRank {
+    /// The exposed memory region.
+    pub mem: Vec<u8>,
+    /// Info-object flags.
+    pub info: WinInfo,
+
+    /// All epochs not yet retired, by id.
+    pub epochs: HashMap<u64, EpochObj>,
+    /// Epoch ids in open order, not yet internally complete (the deferred
+    /// epoch queue plus the active set).
+    pub order: VecDeque<EpochId>,
+    /// Next epoch id to assign.
+    pub next_epoch: u64,
+    /// Application-level currently open GATS access epoch.
+    pub cur_gats_access: Option<EpochId>,
+    /// Application-level currently open exposure epoch.
+    pub cur_exposure: Option<EpochId>,
+    /// Application-level currently open fence epoch.
+    pub cur_fence: Option<EpochId>,
+    /// Open single-target lock epochs by target (MPI allows several at
+    /// once, to distinct targets).
+    pub open_locks: BTreeMap<Rank, EpochId>,
+    /// Open lock-all epoch, if any.
+    pub cur_lock_all: Option<EpochId>,
+
+    // ---- ω triples (§VII.B), one slot per peer ----
+    /// Accesses requested from me to peer (`a_l`).
+    pub a: Vec<u64>,
+    /// Exposures opened from me to peer (`e_l`).
+    pub e: Vec<u64>,
+    /// Accesses granted to me by peer (`g_r`; updated one-sidedly by the
+    /// peer via grant packets).
+    pub g: Vec<u64>,
+    /// Lock-plane request counter: lock epochs opened from me toward peer.
+    /// Kept separate from the GATS triple so exposure grants can never be
+    /// confused with lock grants when both planes are in flight (see
+    /// DESIGN.md, "deviation: split matching planes").
+    pub a_lock: Vec<u64>,
+    /// Lock-plane grants received from peer.
+    pub g_lock: Vec<u64>,
+    /// Highest GATS done id received from each origin.
+    pub gats_done_recv: Vec<u64>,
+
+    /// Target-side grant sequencing per origin.
+    pub grant_seq: Vec<GrantSeq>,
+    /// Origins whose grant sequence may have emission work pending.
+    pub grant_dirty: Vec<Rank>,
+    /// Target-side lock manager.
+    pub lock_mgr: LockMgr,
+
+    // ---- fence bookkeeping (window-level: data can arrive before the
+    // local fence epoch object exists) ----
+    /// Data messages received per (origin, fence seq).
+    pub fence_arrivals: HashMap<(usize, u64), u64>,
+    /// FenceDone announcements received: (origin, seq) → ops they sent me.
+    pub fence_dones: HashMap<(usize, u64), u64>,
+    /// Next fence sequence this rank will open.
+    pub next_fence_seq: u64,
+
+    /// Monotonic RMA-call age for flush stamping.
+    pub next_age: u64,
+    /// Outstanding nonblocking flushes.
+    pub flushes: Vec<FlushState>,
+
+    /// Inbound intranode notification FIFOs, one per same-node peer.
+    pub fifos_in: BTreeMap<Rank, U64Fifo>,
+}
+
+impl WinRank {
+    /// Create this rank's side of a window with `size` bytes of exposed
+    /// memory in a job of `n_ranks`.
+    pub fn new(size: usize, info: WinInfo, n_ranks: usize) -> Self {
+        WinRank {
+            mem: vec![0; size],
+            info,
+            epochs: HashMap::new(),
+            order: VecDeque::new(),
+            next_epoch: 1,
+            cur_gats_access: None,
+            cur_exposure: None,
+            cur_fence: None,
+            open_locks: BTreeMap::new(),
+            cur_lock_all: None,
+            a: vec![0; n_ranks],
+            e: vec![0; n_ranks],
+            g: vec![0; n_ranks],
+            a_lock: vec![0; n_ranks],
+            g_lock: vec![0; n_ranks],
+            gats_done_recv: vec![0; n_ranks],
+            grant_seq: (0..n_ranks).map(|_| GrantSeq::default()).collect(),
+            grant_dirty: Vec::new(),
+            lock_mgr: LockMgr::default(),
+            fence_arrivals: HashMap::new(),
+            fence_dones: HashMap::new(),
+            next_fence_seq: 0,
+            next_age: 1,
+            flushes: Vec::new(),
+            fifos_in: BTreeMap::new(),
+        }
+    }
+
+    /// Allocate the next epoch id.
+    pub fn alloc_epoch_id(&mut self) -> EpochId {
+        let id = EpochId(self.next_epoch);
+        self.next_epoch += 1;
+        id
+    }
+
+    /// Insert a freshly created epoch at the tail of the open order.
+    pub fn push_epoch(&mut self, e: EpochObj) {
+        let id = e.id;
+        self.epochs.insert(id.0, e);
+        self.order.push_back(id);
+    }
+
+    /// Immutable epoch lookup.
+    pub fn epoch(&self, id: EpochId) -> &EpochObj {
+        &self.epochs[&id.0]
+    }
+
+    /// Mutable epoch lookup.
+    pub fn epoch_mut(&mut self, id: EpochId) -> &mut EpochObj {
+        self.epochs.get_mut(&id.0).expect("unknown epoch id")
+    }
+
+    /// Retire an internally complete epoch: remove it from the order (it is
+    /// dropped from the map lazily by the engine once requests drained).
+    pub fn retire(&mut self, id: EpochId) {
+        self.order.retain(|e| *e != id);
+        self.epochs.remove(&id.0);
+    }
+
+    /// The epoch immediately preceding `id` in open order, if any.
+    pub fn preceding(&self, id: EpochId) -> Option<EpochId> {
+        let pos = self.order.iter().position(|e| *e == id)?;
+        if pos == 0 {
+            None
+        } else {
+            Some(self.order[pos - 1])
+        }
+    }
+
+    /// Next RMA-call age.
+    pub fn alloc_age(&mut self) -> u64 {
+        let a = self.next_age;
+        self.next_age += 1;
+        a
+    }
+
+    /// The application-level open access epoch that covers RMA toward
+    /// `target`, resolved in the order single-target lock → lock_all →
+    /// GATS access → fence (concurrent coverage of the same target by more
+    /// than one of these is erroneous in MPI and unreachable through the
+    /// API checks).
+    pub fn open_access_covering(&self, target: Rank) -> Option<EpochId> {
+        if let Some(id) = self.open_locks.get(&target) {
+            return Some(*id);
+        }
+        if let Some(id) = self.cur_lock_all {
+            return Some(id);
+        }
+        if let Some(id) = self.cur_gats_access {
+            if self.epoch(id).covers_target(target) {
+                return Some(id);
+            }
+        }
+        self.cur_fence
+    }
+
+    /// The inbound FIFO from `peer`, created on first use.
+    pub fn fifo_from(&mut self, peer: Rank) -> &mut U64Fifo {
+        self.fifos_in
+            .entry(peer)
+            .or_insert_with(|| U64Fifo::new(FIFO_CAPACITY))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epoch::EpochKind;
+    use crate::types::Group;
+
+    fn mk() -> WinRank {
+        WinRank::new(64, WinInfo::default(), 4)
+    }
+
+    #[test]
+    fn epoch_order_and_preceding() {
+        let mut w = mk();
+        let a = w.alloc_epoch_id();
+        w.push_epoch(EpochObj::new(a, EpochKind::LockAll));
+        let b = w.alloc_epoch_id();
+        w.push_epoch(EpochObj::new(
+            b,
+            EpochKind::GatsAccess {
+                group: Group::new([1]),
+            },
+        ));
+        assert_eq!(w.preceding(a), None);
+        assert_eq!(w.preceding(b), Some(a));
+        w.retire(a);
+        assert_eq!(w.preceding(b), None);
+        assert_eq!(w.order.len(), 1);
+    }
+
+    #[test]
+    fn ages_are_monotonic() {
+        let mut w = mk();
+        let a1 = w.alloc_age();
+        let a2 = w.alloc_age();
+        assert!(a2 > a1);
+    }
+
+    #[test]
+    fn fifo_created_on_demand() {
+        let mut w = mk();
+        assert!(w.fifos_in.is_empty());
+        w.fifo_from(Rank(2)).push(42);
+        assert_eq!(w.fifos_in.len(), 1);
+        assert_eq!(w.fifo_from(Rank(2)).pop(), Some(42));
+    }
+
+    #[test]
+    fn memory_initialized_zeroed() {
+        let w = mk();
+        assert_eq!(w.mem.len(), 64);
+        assert!(w.mem.iter().all(|b| *b == 0));
+    }
+}

@@ -1,0 +1,380 @@
+//! Integration tests: §VI.A semantics rules, error detection, and
+//! determinism.
+
+
+use mpisim_core::{run_job, Group, JobConfig, LockKind, Rank, RmaError, WinId};
+use mpisim_sim::SimTime;
+
+// ---------------------------------------------------------------------
+// rule 1: any combination of blocking and nonblocking routines
+// ---------------------------------------------------------------------
+
+#[test]
+fn mixed_blocking_and_nonblocking_epoch_routines() {
+    run_job(JobConfig::all_internode(2), |env| {
+        let win = env.win_allocate(32).unwrap();
+        env.barrier().unwrap();
+        if env.rank().idx() == 0 {
+            // Nonblocking open + blocking close.
+            let _ = env.istart(win, Group::single(Rank(1))).unwrap();
+            env.put(win, Rank(1), 0, &[1u8; 8]).unwrap();
+            env.complete(win).unwrap();
+            // Blocking open + nonblocking close.
+            env.start(win, Group::single(Rank(1))).unwrap();
+            env.put(win, Rank(1), 8, &[2u8; 8]).unwrap();
+            let r = env.icomplete(win).unwrap();
+            env.wait(r).unwrap();
+        } else {
+            let r0 = env.ipost(win, Group::single(Rank(0))).unwrap();
+            env.wait(r0).unwrap(); // dummy: completes immediately
+            env.wait_epoch(win).unwrap();
+            env.post(win, Group::single(Rank(0))).unwrap();
+            let r = env.iwait(win).unwrap();
+            env.wait(r).unwrap();
+            assert_eq!(env.read_local(win, 0, 8).unwrap(), vec![1u8; 8]);
+            assert_eq!(env.read_local(win, 8, 8).unwrap(), vec![2u8; 8]);
+        }
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// rule: epoch-opening requests are dummies, complete at creation (§VII.C)
+// ---------------------------------------------------------------------
+
+#[test]
+fn opening_requests_complete_immediately_even_when_deferred() {
+    run_job(JobConfig::all_internode(2), |env| {
+        let win = env.win_allocate(8).unwrap();
+        env.barrier().unwrap();
+        if env.rank().idx() == 0 {
+            // First epoch still in flight...
+            let _ = env.ilock(win, Rank(1), LockKind::Exclusive).unwrap();
+            env.put(win, Rank(1), 0, &[1u8; 8]).unwrap();
+            let r1 = env.iunlock(win, Rank(1)).unwrap();
+            // ...second epoch is deferred inside the engine, but its
+            // opening request is already complete.
+            let open2 = env.ilock(win, Rank(1), LockKind::Exclusive).unwrap();
+            assert!(env.test(open2).unwrap(), "opening request must be complete at creation");
+            env.put(win, Rank(1), 0, &[2u8; 8]).unwrap();
+            let r2 = env.iunlock(win, Rank(1)).unwrap();
+            env.wait(r1).unwrap();
+            env.wait(r2).unwrap();
+        }
+        env.barrier().unwrap();
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// rule 2: buffers unsafe until completion detected — we verify the
+// positive direction: after wait, data is there.
+// ---------------------------------------------------------------------
+
+#[test]
+fn deferred_epoch_records_and_replays() {
+    // Epoch 2 is opened, written, and closed while epoch 1 is still
+    // active: everything is recorded and replayed on activation (§VII.A).
+    run_job(JobConfig::all_internode(3), |env| {
+        let win = env.win_allocate(16).unwrap();
+        env.barrier().unwrap();
+        if env.rank().idx() == 0 {
+            let _ = env.ilock(win, Rank(1), LockKind::Exclusive).unwrap();
+            env.put(win, Rank(1), 0, &[1u8; 16]).unwrap();
+            let r1 = env.iunlock(win, Rank(1)).unwrap();
+            let _ = env.ilock(win, Rank(2), LockKind::Exclusive).unwrap();
+            env.put(win, Rank(2), 0, &[2u8; 16]).unwrap();
+            let r2 = env.iunlock(win, Rank(2)).unwrap();
+            env.wait(r1).unwrap();
+            env.wait(r2).unwrap();
+        }
+        env.barrier().unwrap();
+        match env.rank().idx() {
+            1 => assert_eq!(env.read_local(win, 0, 16).unwrap(), vec![1u8; 16]),
+            2 => assert_eq!(env.read_local(win, 0, 16).unwrap(), vec![2u8; 16]),
+            _ => {}
+        }
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// error detection
+// ---------------------------------------------------------------------
+
+#[test]
+fn rma_outside_epoch_is_rejected() {
+    run_job(JobConfig::all_internode(2), |env| {
+        let win = env.win_allocate(8).unwrap();
+        env.barrier().unwrap();
+        let err = env.put(win, Rank(1), 0, &[1]).unwrap_err();
+        assert!(matches!(err, RmaError::NoEpoch { .. }), "got {err:?}");
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn mismatched_closes_are_rejected() {
+    run_job(JobConfig::all_internode(2), |env| {
+        let win = env.win_allocate(8).unwrap();
+        env.barrier().unwrap();
+        assert!(matches!(
+            env.complete(win).unwrap_err(),
+            RmaError::EpochMismatch { .. }
+        ));
+        assert!(matches!(
+            env.wait_epoch(win).unwrap_err(),
+            RmaError::EpochMismatch { .. }
+        ));
+        assert!(matches!(
+            env.unlock(win, Rank(1)).unwrap_err(),
+            RmaError::EpochMismatch { .. }
+        ));
+        assert!(matches!(
+            env.unlock_all(win).unwrap_err(),
+            RmaError::EpochMismatch { .. }
+        ));
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn overlapping_conflicting_epochs_rejected() {
+    run_job(JobConfig::all_internode(2), |env| {
+        let win = env.win_allocate(8).unwrap();
+        env.barrier().unwrap();
+        if env.rank().idx() == 0 {
+            env.lock(win, Rank(1), LockKind::Shared).unwrap();
+            // lock + lock to the same target, lock_all, GATS, fence: all
+            // conflict with the open lock epoch.
+            assert!(env.lock(win, Rank(1), LockKind::Shared).is_err());
+            assert!(env.lock_all(win).is_err());
+            assert!(env.start(win, Group::single(Rank(1))).is_err());
+            assert!(env.fence(win).is_err());
+            env.unlock(win, Rank(1)).unwrap();
+        }
+        env.barrier().unwrap();
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn invalid_rank_and_window_rejected() {
+    run_job(JobConfig::all_internode(2), |env| {
+        let win = env.win_allocate(8).unwrap();
+        env.barrier().unwrap();
+        assert!(matches!(
+            env.lock(win, Rank(99), LockKind::Shared).unwrap_err(),
+            RmaError::InvalidRank(99)
+        ));
+        env.lock(win, Rank(1), LockKind::Shared).unwrap();
+        assert!(matches!(
+            env.put(WinId(42), Rank(1), 0, &[1]).unwrap_err(),
+            RmaError::InvalidWindow(_)
+        ));
+        env.unlock(win, Rank(1)).unwrap();
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn datatype_mismatch_rejected() {
+    run_job(JobConfig::all_internode(2), |env| {
+        let win = env.win_allocate(64).unwrap();
+        env.barrier().unwrap();
+        env.lock(win, Rank(1), LockKind::Shared).unwrap();
+        // 7 bytes is not a multiple of 8.
+        assert!(env
+            .accumulate(win, Rank(1), 0, mpisim_core::Datatype::U64, mpisim_core::ReduceOp::Sum, &[0; 7])
+            .is_err());
+        // fetch_and_op on two elements.
+        assert!(env
+            .fetch_and_op(win, Rank(1), 0, mpisim_core::Datatype::U64, mpisim_core::ReduceOp::Sum, &[0; 16])
+            .is_err());
+        env.unlock(win, Rank(1)).unwrap();
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn stale_request_handles_rejected() {
+    run_job(JobConfig::all_internode(2), |env| {
+        let r = env.ibarrier();
+        env.wait(r).unwrap();
+        // Consumed: a second wait must error, not hang.
+        assert!(matches!(env.wait(r).unwrap_err(), RmaError::InvalidRequest));
+        assert!(matches!(env.test(r).unwrap_err(), RmaError::InvalidRequest));
+    })
+    .unwrap();
+}
+
+#[test]
+fn wait_any_returns_first_completion() {
+    run_job(JobConfig::all_internode(3), |env| {
+        if env.rank().idx() == 0 {
+            // Two receives: rank 2 sends first (after 100 µs), rank 1
+            // later (after 400 µs).
+            let r1 = env.irecv(Rank(1), 1).unwrap();
+            let r2 = env.irecv(Rank(2), 2).unwrap();
+            let reqs = [r1, r2];
+            let first = env.wait_any(&reqs).unwrap();
+            assert_eq!(first, 1, "rank 2's message should complete first");
+            let t_first = env.now();
+            let second = env.wait_any(&[r1]).unwrap();
+            assert_eq!(second, 0);
+            assert!(env.now() > t_first);
+        } else if env.rank().idx() == 1 {
+            env.compute(SimTime::from_micros(400));
+            env.send(Rank(0), 1, b"slow").unwrap();
+        } else {
+            env.compute(SimTime::from_micros(100));
+            env.send(Rank(0), 2, b"fast").unwrap();
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn wait_any_on_empty_or_stale_errors() {
+    run_job(JobConfig::all_internode(1), |env| {
+        assert!(matches!(
+            env.wait_any(&[]).unwrap_err(),
+            RmaError::InvalidRequest
+        ));
+        let r = env.ibarrier();
+        env.wait(r).unwrap();
+        assert!(matches!(
+            env.wait_any(&[r]).unwrap_err(),
+            RmaError::InvalidRequest
+        ));
+    })
+    .unwrap();
+}
+
+#[test]
+fn flush_outside_passive_epoch_rejected() {
+    run_job(JobConfig::all_internode(2), |env| {
+        let win = env.win_allocate(8).unwrap();
+        env.barrier().unwrap();
+        assert!(matches!(
+            env.flush(win, Rank(1)).unwrap_err(),
+            RmaError::NotPassiveEpoch
+        ));
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn deadlocked_program_is_reported_not_hung() {
+    let err = run_job(JobConfig::all_internode(2), |env| {
+        if env.rank().idx() == 0 {
+            // Recv that never matches.
+            let _ = env.recv(Rank(1), 999);
+        }
+    })
+    .unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("deadlock"), "got: {msg}");
+    assert!(msg.contains("rank0"), "got: {msg}");
+}
+
+// ---------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------
+
+#[test]
+fn identical_seeds_produce_identical_schedules() {
+    fn run_once(seed: u64) -> (u64, u64) {
+        let report = run_job(
+            JobConfig::all_internode(6).with_seed(seed),
+            |env| {
+                let win = env.win_allocate(64).unwrap();
+                env.barrier().unwrap();
+                let me = env.rank().idx();
+                let n = env.n_ranks();
+                for round in 0..4 {
+                    let t = Rank((me + round + 1) % n);
+                    env.lock(win, t, LockKind::Exclusive).unwrap();
+                    env.put(win, t, 0, &[round as u8; 8]).unwrap();
+                    env.unlock(win, t).unwrap();
+                    env.compute(SimTime::from_micros((me as u64 * 7 + 3) % 20));
+                }
+                env.barrier().unwrap();
+                env.win_free(win).unwrap();
+            },
+        )
+        .unwrap();
+        (report.final_time.as_nanos(), report.sim.events_executed)
+    }
+    let a = run_once(11);
+    let b = run_once(11);
+    assert_eq!(a, b, "same seed must reproduce the schedule exactly");
+}
+
+#[test]
+fn per_rank_times_propagate_to_report() {
+    let report = run_job(JobConfig::all_internode(3), |env| {
+        env.compute(SimTime::from_micros(100));
+        env.barrier().unwrap();
+    })
+    .unwrap();
+    assert_eq!(report.ranks.len(), 3);
+    for r in &report.ranks {
+        assert_eq!(r.compute_time, SimTime::from_micros(100));
+        assert!(r.calls >= 1);
+    }
+    assert!(report.net.msgs_sent > 0);
+    assert!(report.final_time >= SimTime::from_micros(100));
+}
+
+// ---------------------------------------------------------------------
+// window lifecycle
+// ---------------------------------------------------------------------
+
+#[test]
+fn multiple_windows_are_independent() {
+    run_job(JobConfig::all_internode(2), |env| {
+        let w1 = env.win_allocate(8).unwrap();
+        let w2 = env.win_allocate(8).unwrap();
+        env.barrier().unwrap();
+        if env.rank().idx() == 0 {
+            // Concurrent epochs on different windows are fine.
+            env.lock(w1, Rank(1), LockKind::Exclusive).unwrap();
+            env.lock(w2, Rank(1), LockKind::Exclusive).unwrap();
+            env.put(w1, Rank(1), 0, &[1u8; 8]).unwrap();
+            env.put(w2, Rank(1), 0, &[2u8; 8]).unwrap();
+            env.unlock(w2, Rank(1)).unwrap();
+            env.unlock(w1, Rank(1)).unwrap();
+        }
+        env.barrier().unwrap();
+        if env.rank().idx() == 1 {
+            assert_eq!(env.read_local(w1, 0, 8).unwrap(), vec![1u8; 8]);
+            assert_eq!(env.read_local(w2, 0, 8).unwrap(), vec![2u8; 8]);
+        }
+        env.win_free(w1).unwrap();
+        env.win_free(w2).unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn local_reads_and_writes_are_bounds_checked() {
+    run_job(JobConfig::all_internode(1), |env| {
+        let win = env.win_allocate(8).unwrap();
+        assert!(env.read_local(win, 4, 8).is_err());
+        assert!(env.write_local(win, 8, &[1]).is_err());
+        env.write_local(win, 0, &[1; 8]).unwrap();
+        assert_eq!(env.read_local(win, 0, 8).unwrap(), vec![1; 8]);
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+}

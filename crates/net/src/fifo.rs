@@ -1,0 +1,177 @@
+//! The intranode notification channel of the paper's design (§VII.D):
+//! "There is one two-way shared-memory wait-free FIFO between any two RMA
+//! windows. That notification channel deals only with 64-bit packets that
+//! are used to encode and send intranode lock/unlock requests as well as
+//! epoch completion packets."
+//!
+//! [`U64Fifo`] is that bounded single-producer/single-consumer ring of
+//! 64-bit packets. In the cooperative simulation the producer and consumer
+//! never run concurrently, so plain indices suffice; the structure,
+//! capacity semantics, and overflow behaviour match the shared-memory ring
+//! the paper describes.
+
+/// A bounded FIFO of 64-bit packets.
+#[derive(Debug)]
+pub struct U64Fifo {
+    buf: Box<[u64]>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl U64Fifo {
+    /// Create a FIFO holding up to `capacity` packets.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be positive");
+        U64Fifo {
+            buf: vec![0; capacity].into_boxed_slice(),
+            head: 0,
+            tail: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of packets currently queued.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the FIFO is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the FIFO is full.
+    pub fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// Capacity in packets.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Enqueue a packet. Returns `false` (leaving the FIFO unchanged) if
+    /// full — the producer must retry later, exactly like a full
+    /// shared-memory ring.
+    pub fn push(&mut self, packet: u64) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.buf[self.tail] = packet;
+        self.tail = (self.tail + 1) % self.buf.len();
+        self.len += 1;
+        true
+    }
+
+    /// Dequeue the oldest packet, if any.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let v = self.buf[self.head];
+        self.head = (self.head + 1) % self.buf.len();
+        self.len -= 1;
+        Some(v)
+    }
+
+    /// Drain every queued packet into `out`.
+    pub fn drain_into(&mut self, out: &mut Vec<u64>) {
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ordering() {
+        let mut f = U64Fifo::new(4);
+        assert!(f.push(1) && f.push(2) && f.push(3));
+        assert_eq!(f.pop(), Some(1));
+        assert!(f.push(4) && f.push(5));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), Some(4));
+        assert_eq!(f.pop(), Some(5));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn full_push_rejected_without_loss() {
+        let mut f = U64Fifo::new(2);
+        assert!(f.push(10));
+        assert!(f.push(11));
+        assert!(f.is_full());
+        assert!(!f.push(12));
+        assert_eq!(f.pop(), Some(10));
+        assert!(f.push(12));
+        assert_eq!(f.pop(), Some(11));
+        assert_eq!(f.pop(), Some(12));
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let mut f = U64Fifo::new(3);
+        for round in 0..100u64 {
+            assert!(f.push(round * 2));
+            assert!(f.push(round * 2 + 1));
+            assert_eq!(f.pop(), Some(round * 2));
+            assert_eq!(f.pop(), Some(round * 2 + 1));
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn drain_into_collects_all() {
+        let mut f = U64Fifo::new(8);
+        for i in 0..5 {
+            f.push(i);
+        }
+        let mut out = Vec::new();
+        f.drain_into(&mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = U64Fifo::new(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The FIFO behaves exactly like a bounded VecDeque oracle for any
+        /// interleaving of pushes and pops.
+        #[test]
+        fn matches_vecdeque_oracle(
+            cap in 1usize..16,
+            ops in proptest::collection::vec((any::<bool>(), any::<u64>()), 0..200)
+        ) {
+            let mut fifo = U64Fifo::new(cap);
+            let mut oracle = std::collections::VecDeque::new();
+            for (is_push, v) in ops {
+                if is_push {
+                    let ok = fifo.push(v);
+                    prop_assert_eq!(ok, oracle.len() < cap);
+                    if ok {
+                        oracle.push_back(v);
+                    }
+                } else {
+                    prop_assert_eq!(fifo.pop(), oracle.pop_front());
+                }
+                prop_assert_eq!(fifo.len(), oracle.len());
+                prop_assert_eq!(fifo.is_empty(), oracle.is_empty());
+            }
+        }
+    }
+}

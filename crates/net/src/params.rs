@@ -1,0 +1,181 @@
+//! Cluster topology and network parameters.
+
+use mpisim_sim::SimTime;
+
+/// A process rank within the simulated job (dense, zero-based).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Rank(pub usize);
+
+impl Rank {
+    /// The rank as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Placement of ranks onto nodes: rank `r` lives on node `r / cores_per_node`
+/// (block placement, the common MPI default).
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n_ranks: usize,
+    cores_per_node: usize,
+}
+
+impl Topology {
+    /// Create a topology for `n_ranks` ranks with `cores_per_node` ranks per
+    /// node.
+    pub fn new(n_ranks: usize, cores_per_node: usize) -> Self {
+        assert!(n_ranks > 0, "topology needs at least one rank");
+        assert!(cores_per_node > 0, "cores_per_node must be positive");
+        Topology {
+            n_ranks,
+            cores_per_node,
+        }
+    }
+
+    /// One rank per node: every channel is internode.
+    pub fn all_internode(n_ranks: usize) -> Self {
+        Topology::new(n_ranks, 1)
+    }
+
+    /// Total ranks in the job.
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Ranks per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: Rank) -> usize {
+        rank.0 / self.cores_per_node
+    }
+
+    /// Number of nodes in use.
+    pub fn n_nodes(&self) -> usize {
+        self.n_ranks.div_ceil(self.cores_per_node)
+    }
+
+    /// Whether two ranks share a node (intranode channel).
+    pub fn same_node(&self, a: Rank, b: Rank) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+}
+
+/// First-order network cost model: per-message latency `α`, bandwidth `β`,
+/// store-and-forward links with per-NIC serialization, and credit-based flow
+/// control on internode channels.
+#[derive(Clone, Debug)]
+pub struct NetParams {
+    /// One-way internode latency (α) for any message.
+    pub inter_latency: SimTime,
+    /// Internode bandwidth in bytes/second (β).
+    pub inter_bw: f64,
+    /// One-way intranode (shared-memory) latency.
+    pub intra_latency: SimTime,
+    /// Intranode copy bandwidth in bytes/second.
+    pub intra_bw: f64,
+    /// Modeled wire size of a message header / control packet, bytes.
+    pub header_bytes: usize,
+    /// Outstanding-message cap per internode channel (send-queue depth /
+    /// flow-control credits). `0` means unlimited.
+    pub channel_credits: u32,
+    /// Outstanding-message cap across all internode channels of one rank
+    /// (models HCA send-queue exhaustion). `0` means unlimited.
+    pub rank_credits: u32,
+    /// Maximum deterministic per-message latency jitter (uniform in
+    /// `[0, jitter]`, drawn from a seeded stream). Zero disables it.
+    /// Per-channel delivery order is preserved regardless.
+    pub jitter: SimTime,
+}
+
+impl NetParams {
+    /// Parameters calibrated against the paper's testbed (Mellanox ConnectX
+    /// QDR InfiniBand, Nehalem nodes): a 1 MB put completes in ≈340 µs, as
+    /// quoted in §VIII.A.
+    pub fn qdr_infiniband() -> Self {
+        NetParams {
+            inter_latency: SimTime::from_nanos(1_500),
+            inter_bw: 3.1e9,
+            intra_latency: SimTime::from_nanos(300),
+            intra_bw: 6.0e9,
+            header_bytes: 64,
+            channel_credits: 16,
+            rank_credits: 256,
+            jitter: SimTime::ZERO,
+        }
+    }
+
+    /// An idealized network with no flow-control limits; useful in unit
+    /// tests that focus on middleware logic rather than contention.
+    pub fn unlimited() -> Self {
+        NetParams {
+            channel_credits: 0,
+            rank_credits: 0,
+            ..NetParams::qdr_infiniband()
+        }
+    }
+
+    /// Serialization time of `bytes` on an internode link.
+    pub fn inter_ser(&self, bytes: usize) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.inter_bw)
+    }
+
+    /// Serialization time of `bytes` on an intranode channel.
+    pub fn intra_ser(&self, bytes: usize) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.intra_bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_placement() {
+        let t = Topology::new(10, 4);
+        assert_eq!(t.node_of(Rank(0)), 0);
+        assert_eq!(t.node_of(Rank(3)), 0);
+        assert_eq!(t.node_of(Rank(4)), 1);
+        assert_eq!(t.node_of(Rank(9)), 2);
+        assert_eq!(t.n_nodes(), 3);
+        assert!(t.same_node(Rank(0), Rank(3)));
+        assert!(!t.same_node(Rank(3), Rank(4)));
+    }
+
+    #[test]
+    fn all_internode_separates_everyone() {
+        let t = Topology::all_internode(5);
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(t.same_node(Rank(a), Rank(b)), a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn qdr_calibration_one_mb_around_340us() {
+        let p = NetParams::qdr_infiniband();
+        let total = p.inter_latency + p.inter_ser(1 << 20);
+        let us = total.as_micros_f64();
+        assert!(
+            (330.0..345.0).contains(&us),
+            "1MB transfer modeled at {us} µs, expected ≈340 µs"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_topology_rejected() {
+        let _ = Topology::new(0, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Message payloads: real bytes (validated end to end) or synthetic
+//! (size-only, for paper-scale runs where carrying data would dominate
+//! simulation cost without changing timing).
+
+use bytes::Bytes;
+
+/// The body of a data-bearing message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// Actual data, copied into target memory on delivery.
+    Bytes(Bytes),
+    /// A size-only stand-in: times like real data, delivers no bytes.
+    Synthetic(usize),
+}
+
+impl Payload {
+    /// Wire length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Bytes(b) => b.len(),
+            Payload::Synthetic(n) => *n,
+        }
+    }
+
+    /// Whether the payload is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the real bytes, if any.
+    pub fn bytes(&self) -> Option<&Bytes> {
+        match self {
+            Payload::Bytes(b) => Some(b),
+            Payload::Synthetic(_) => None,
+        }
+    }
+
+    /// Build a payload from a slice (copies).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Payload::Bytes(Bytes::copy_from_slice(data))
+    }
+
+    /// An empty real payload.
+    pub fn empty() -> Self {
+        Payload::Bytes(Bytes::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths() {
+        assert_eq!(Payload::copy_from_slice(&[1, 2, 3]).len(), 3);
+        assert_eq!(Payload::Synthetic(1 << 20).len(), 1 << 20);
+        assert!(Payload::empty().is_empty());
+        assert!(!Payload::Synthetic(1).is_empty());
+    }
+
+    #[test]
+    fn bytes_accessor() {
+        let p = Payload::copy_from_slice(b"hi");
+        assert_eq!(p.bytes().unwrap().as_ref(), b"hi");
+        assert!(Payload::Synthetic(2).bytes().is_none());
+    }
+}

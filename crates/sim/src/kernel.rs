@@ -1,0 +1,533 @@
+//! The discrete-event kernel: virtual clock, event queue, and the
+//! cooperative scheduler that interleaves process threads deterministically.
+//!
+//! # Execution model
+//!
+//! Exactly one entity runs at any instant: either the scheduler (executing
+//! an event callback) or one process thread. Execution is handed around with
+//! per-entity [`Parker`](crate::parker::Parker)s, so a context switch is O(1).
+//! Determinism follows from three rules:
+//!
+//! 1. events are ordered by `(time, sequence-number)`;
+//! 2. ready processes run in FIFO order, and all ready processes run before
+//!    the next event is popped;
+//! 3. process code itself only observes virtual time through the kernel.
+//!
+//! Process threads park while blocked, so arbitrary numbers of simulated
+//! ranks cost nothing while idle.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::parker::Parker;
+use crate::process::ProcCtx;
+use crate::time::SimTime;
+
+/// Identifier of a simulated process (dense, assigned in spawn order).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub usize);
+
+/// Identifier of a scheduled event, usable with [`SimHandle::cancel`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+/// Why a simulation run ended unsuccessfully.
+#[derive(Debug)]
+pub enum SimError {
+    /// No process can run and no event is pending, but some processes have
+    /// not finished: the simulated program deadlocked.
+    Deadlock {
+        /// Virtual time at which the deadlock was detected.
+        now: SimTime,
+        /// Labels of the processes that are still blocked.
+        blocked: Vec<String>,
+    },
+    /// The configured event cap was exceeded (runaway-simulation backstop).
+    EventCapExceeded {
+        /// The cap that was exceeded.
+        cap: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { now, blocked } => {
+                write!(f, "simulation deadlock at {now}: blocked processes: ")?;
+                for (i, b) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                Ok(())
+            }
+            SimError::EventCapExceeded { cap } => {
+                write!(f, "simulation exceeded event cap of {cap} events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Summary statistics returned by a successful [`Sim::run`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimStats {
+    /// Number of event callbacks executed.
+    pub events_executed: u64,
+    /// Number of scheduler-to-process context switches performed.
+    pub context_switches: u64,
+    /// Virtual time when the last process finished.
+    pub final_time: SimTime,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum ProcState {
+    Ready,
+    Running,
+    Blocked,
+    Finished,
+}
+
+pub(crate) struct ProcRec {
+    pub(crate) label: String,
+    pub(crate) state: ProcState,
+    pub(crate) parker: Arc<Parker>,
+    pub(crate) panic_payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+type EventFn = Box<dyn FnOnce() + Send>;
+
+pub(crate) struct Inner {
+    pub(crate) now: SimTime,
+    next_seq: u64,
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    actions: HashMap<u64, EventFn>,
+    pub(crate) ready: VecDeque<ProcId>,
+    pub(crate) procs: Vec<ProcRec>,
+    pub(crate) aborting: bool,
+    events_executed: u64,
+    context_switches: u64,
+    event_cap: u64,
+}
+
+/// Shared kernel state: the event queue plus per-process scheduling records.
+pub struct SimCore {
+    pub(crate) inner: Mutex<Inner>,
+    pub(crate) sched: Parker,
+    seed: u64,
+}
+
+impl SimCore {
+    /// Move a blocked process to the ready queue. Idempotent for processes
+    /// that are already ready, running, or finished.
+    pub(crate) fn make_ready(&self, pid: ProcId) {
+        let mut inner = self.inner.lock();
+        let rec = &mut inner.procs[pid.0];
+        if rec.state == ProcState::Blocked {
+            rec.state = ProcState::Ready;
+            inner.ready.push_back(pid);
+        }
+    }
+
+    pub(crate) fn is_aborting(&self) -> bool {
+        self.inner.lock().aborting
+    }
+}
+
+/// A cloneable, thread-safe handle for reading the clock and scheduling
+/// events. Event callbacks run on the scheduler thread while no process
+/// runs, so they may freely mutate state shared with processes (behind a
+/// mutex that is, by construction, uncontended).
+#[derive(Clone)]
+pub struct SimHandle {
+    pub(crate) core: Arc<SimCore>,
+}
+
+impl SimHandle {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.inner.lock().now
+    }
+
+    /// The seed this simulation was built with.
+    pub fn seed(&self) -> u64 {
+        self.core.seed
+    }
+
+    /// Schedule `f` to run `delay` after the current virtual time.
+    pub fn schedule<F: FnOnce() + Send + 'static>(&self, delay: SimTime, f: F) -> EventId {
+        let mut inner = self.core.inner.lock();
+        let at = inner.now + delay;
+        Self::push_event(&mut inner, at, Box::new(f))
+    }
+
+    /// Schedule `f` at absolute virtual time `at` (clamped to now if in the
+    /// past).
+    pub fn schedule_at<F: FnOnce() + Send + 'static>(&self, at: SimTime, f: F) -> EventId {
+        let mut inner = self.core.inner.lock();
+        let at = at.max(inner.now);
+        Self::push_event(&mut inner, at, Box::new(f))
+    }
+
+    fn push_event(inner: &mut Inner, at: SimTime, f: EventFn) -> EventId {
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(Reverse((at, seq)));
+        inner.actions.insert(seq, f);
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns true if the event had
+    /// not yet run (or been cancelled).
+    pub fn cancel(&self, id: EventId) -> bool {
+        self.core.inner.lock().actions.remove(&id.0).is_some()
+    }
+
+    /// Number of events executed so far (useful for instrumentation).
+    pub fn events_executed(&self) -> u64 {
+        self.core.inner.lock().events_executed
+    }
+}
+
+/// The simulation builder and driver.
+///
+/// ```
+/// use mpisim_sim::{Sim, SimTime};
+///
+/// let mut sim = Sim::new(42);
+/// sim.spawn("worker", |ctx| {
+///     ctx.advance(SimTime::from_micros(10));
+///     assert_eq!(ctx.now(), SimTime::from_micros(10));
+/// });
+/// let stats = sim.run().unwrap();
+/// assert_eq!(stats.final_time, SimTime::from_micros(10));
+/// ```
+pub struct Sim {
+    core: Arc<SimCore>,
+    threads: Vec<JoinHandle<()>>,
+    stack_size: usize,
+}
+
+/// Default per-process stack size. Simulated ranks mostly park, so a small
+/// stack lets thousands of ranks coexist.
+pub const DEFAULT_STACK_SIZE: usize = 512 * 1024;
+
+/// Default runaway-simulation backstop.
+pub const DEFAULT_EVENT_CAP: u64 = 2_000_000_000;
+
+impl Sim {
+    /// Create a simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            core: Arc::new(SimCore {
+                inner: Mutex::new(Inner {
+                    now: SimTime::ZERO,
+                    next_seq: 0,
+                    heap: BinaryHeap::new(),
+                    actions: HashMap::new(),
+                    ready: VecDeque::new(),
+                    procs: Vec::new(),
+                    aborting: false,
+                    events_executed: 0,
+                    context_switches: 0,
+                    event_cap: DEFAULT_EVENT_CAP,
+                }),
+                sched: Parker::new(),
+                seed,
+            }),
+            threads: Vec::new(),
+            stack_size: DEFAULT_STACK_SIZE,
+        }
+    }
+
+    /// Override the per-process stack size (bytes) for subsequently spawned
+    /// processes.
+    pub fn set_stack_size(&mut self, bytes: usize) {
+        self.stack_size = bytes;
+    }
+
+    /// Override the event cap.
+    pub fn set_event_cap(&mut self, cap: u64) {
+        self.core.inner.lock().event_cap = cap;
+    }
+
+    /// A handle for scheduling events and reading the clock.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle {
+            core: self.core.clone(),
+        }
+    }
+
+    /// Spawn a simulated process. The closure runs on its own OS thread but
+    /// is cooperatively scheduled: it starts at virtual time zero, in spawn
+    /// order.
+    pub fn spawn<F>(&mut self, label: impl Into<String>, f: F) -> ProcId
+    where
+        F: FnOnce(&ProcCtx) + Send + 'static,
+    {
+        let label = label.into();
+        let parker = Arc::new(Parker::new());
+        let pid = {
+            let mut inner = self.core.inner.lock();
+            let pid = ProcId(inner.procs.len());
+            inner.procs.push(ProcRec {
+                label: label.clone(),
+                state: ProcState::Ready,
+                parker: parker.clone(),
+                panic_payload: None,
+            });
+            inner.ready.push_back(pid);
+            pid
+        };
+        let core = self.core.clone();
+        let ctx = ProcCtx::new(core.clone(), pid, parker.clone(), label.clone());
+        let builder = std::thread::Builder::new()
+            .name(format!("sim-{label}"))
+            .stack_size(self.stack_size);
+        let jh = builder
+            .spawn(move || {
+                // Wait for the first baton before touching anything.
+                parker.park();
+                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                {
+                    let mut inner = core.inner.lock();
+                    let rec = &mut inner.procs[pid.0];
+                    rec.state = ProcState::Finished;
+                    if let Err(payload) = result {
+                        if !payload.is::<crate::process::AbortToken>() {
+                            rec.panic_payload = Some(payload);
+                        }
+                    }
+                }
+                core.sched.unpark();
+            })
+            .expect("failed to spawn simulation process thread");
+        self.threads.push(jh);
+        pid
+    }
+
+    /// Drive the simulation to completion: run ready processes, then pop
+    /// events, until every process finishes (Ok) or nothing can make
+    /// progress (deadlock error). Panics raised inside processes are
+    /// propagated to the caller.
+    pub fn run(mut self) -> Result<SimStats, SimError> {
+        let outcome = self.drive();
+        match outcome {
+            Drive::Done(stats) => {
+                self.join_all();
+                Ok(stats)
+            }
+            Drive::Err(e) => {
+                self.abort_all();
+                self.join_all();
+                Err(e)
+            }
+            Drive::Panicked(payload) => {
+                self.abort_all();
+                self.join_all();
+                panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    fn drive(&mut self) -> Drive {
+        loop {
+            // Phase 1: drain ready processes (FIFO).
+            loop {
+                let pid = {
+                    let mut inner = self.core.inner.lock();
+                    match inner.ready.pop_front() {
+                        Some(p) => {
+                            inner.procs[p.0].state = ProcState::Running;
+                            inner.context_switches += 1;
+                            p
+                        }
+                        None => break,
+                    }
+                };
+                let proc_parker = {
+                    let inner = self.core.inner.lock();
+                    inner.procs[pid.0].parker.clone()
+                };
+                proc_parker.unpark();
+                self.core.sched.park();
+                // The process yielded back: it is now Blocked, Ready again,
+                // or Finished (possibly with a panic to propagate).
+                let payload = {
+                    let mut inner = self.core.inner.lock();
+                    inner.procs[pid.0].panic_payload.take()
+                };
+                if let Some(p) = payload {
+                    return Drive::Panicked(p);
+                }
+            }
+
+            // Phase 2: execute the next event.
+            let action = {
+                let mut inner = self.core.inner.lock();
+                loop {
+                    match inner.heap.pop() {
+                        Some(Reverse((t, seq))) => {
+                            if let Some(f) = inner.actions.remove(&seq) {
+                                debug_assert!(t >= inner.now, "event in the past");
+                                inner.now = t;
+                                inner.events_executed += 1;
+                                if inner.events_executed > inner.event_cap {
+                                    return Drive::Err(SimError::EventCapExceeded {
+                                        cap: inner.event_cap,
+                                    });
+                                }
+                                break Some(f);
+                            }
+                            // cancelled event: skip
+                        }
+                        None => break None,
+                    }
+                }
+            };
+            match action {
+                Some(f) => f(),
+                None => {
+                    // No events, no ready processes: either everyone is done
+                    // or we are deadlocked.
+                    let inner = self.core.inner.lock();
+                    let blocked: Vec<String> = inner
+                        .procs
+                        .iter()
+                        .filter(|p| p.state != ProcState::Finished)
+                        .map(|p| p.label.clone())
+                        .collect();
+                    if blocked.is_empty() {
+                        return Drive::Done(SimStats {
+                            events_executed: inner.events_executed,
+                            context_switches: inner.context_switches,
+                            final_time: inner.now,
+                        });
+                    }
+                    return Drive::Err(SimError::Deadlock {
+                        now: inner.now,
+                        blocked,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Wake every blocked process so its thread can observe `aborting` and
+    /// unwind; used on deadlock or propagated panic.
+    fn abort_all(&mut self) {
+        let parkers: Vec<Arc<Parker>> = {
+            let mut inner = self.core.inner.lock();
+            inner.aborting = true;
+            inner
+                .procs
+                .iter()
+                .filter(|p| p.state != ProcState::Finished)
+                .map(|p| p.parker.clone())
+                .collect()
+        };
+        for p in parkers {
+            p.unpark();
+        }
+    }
+
+    fn join_all(&mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+enum Drive {
+    Done(SimStats),
+    Err(SimError),
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sim_finishes_at_zero() {
+        let sim = Sim::new(0);
+        let stats = sim.run().unwrap();
+        assert_eq!(stats.final_time, SimTime::ZERO);
+        assert_eq!(stats.events_executed, 0);
+    }
+
+    #[test]
+    fn events_run_in_time_then_seq_order() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (i, d) in [30u64, 10, 20, 10].iter().enumerate() {
+            let log = log.clone();
+            h.schedule(SimTime::from_nanos(*d), move || log.lock().push(i));
+        }
+        sim.run().unwrap();
+        // delays 10(i=1), 10(i=3) tie-broken by insertion, then 20, then 30
+        assert_eq!(*log.lock(), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_run() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let hit = Arc::new(Mutex::new(false));
+        let hit2 = hit.clone();
+        let id = h.schedule(SimTime::from_nanos(5), move || *hit2.lock() = true);
+        assert!(h.cancel(id));
+        assert!(!h.cancel(id)); // double-cancel reports false
+        let stats = sim.run().unwrap();
+        assert!(!*hit.lock());
+        assert_eq!(stats.events_executed, 0);
+    }
+
+    #[test]
+    fn event_cap_is_enforced() {
+        let mut sim = Sim::new(0);
+        sim.set_event_cap(10);
+        let h = sim.handle();
+        fn reschedule(h: SimHandle) {
+            let h2 = h.clone();
+            h.schedule(SimTime::from_nanos(1), move || reschedule(h2));
+        }
+        reschedule(h);
+        match sim.run() {
+            Err(SimError::EventCapExceeded { cap: 10 }) => {}
+            other => panic!("expected cap error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn process_panic_propagates() {
+        let mut sim = Sim::new(0);
+        sim.spawn("bad", |_| panic!("boom-xyz"));
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| sim.run())).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("boom-xyz"));
+    }
+
+    #[test]
+    fn deadlock_reports_blocked_labels() {
+        let mut sim = Sim::new(0);
+        sim.spawn("stuck-rank", |ctx| {
+            let sig = crate::process::Signal::new();
+            ctx.wait(&sig); // never fired
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked, vec!["stuck-rank".to_string()]);
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Edge-case integration tests for the simulation kernel.
+
+use std::sync::{Arc, Mutex};
+
+use mpisim_sim::{seeded_rng, Sim, SimError, SimTime, Signal};
+use rand::Rng;
+
+#[test]
+fn schedule_at_in_the_past_is_clamped_to_now() {
+    let sim = Sim::new(0);
+    let h = sim.handle();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let (h2, l2) = (h.clone(), log.clone());
+    h.schedule(SimTime::from_micros(10), move || {
+        // Now is 10 µs; ask for 3 µs — must fire at 10 µs, not travel back.
+        let l3 = l2.clone();
+        let h3 = h2.clone();
+        h2.schedule_at(SimTime::from_micros(3), move || {
+            l3.lock().unwrap().push(h3.now().as_nanos());
+        });
+    });
+    sim.run().unwrap();
+    assert_eq!(*log.lock().unwrap(), vec![10_000]);
+}
+
+#[test]
+fn cancel_from_within_an_event() {
+    let sim = Sim::new(0);
+    let h = sim.handle();
+    let fired = Arc::new(Mutex::new(false));
+    let f2 = fired.clone();
+    let victim = h.schedule(SimTime::from_micros(5), move || *f2.lock().unwrap() = true);
+    let h2 = h.clone();
+    h.schedule(SimTime::from_micros(1), move || {
+        assert!(h2.cancel(victim));
+    });
+    sim.run().unwrap();
+    assert!(!*fired.lock().unwrap());
+}
+
+#[test]
+fn events_executed_counter_is_visible_during_run() {
+    let sim = Sim::new(0);
+    let h = sim.handle();
+    let h2 = h.clone();
+    let seen = Arc::new(Mutex::new(0u64));
+    let s2 = seen.clone();
+    h.schedule(SimTime::from_micros(1), || {});
+    h.schedule(SimTime::from_micros(2), move || {
+        *s2.lock().unwrap() = h2.events_executed();
+    });
+    let stats = sim.run().unwrap();
+    assert_eq!(*seen.lock().unwrap(), 2); // includes the running event
+    assert_eq!(stats.events_executed, 2);
+}
+
+#[test]
+fn process_spawned_order_runs_first_at_time_zero() {
+    let mut sim = Sim::new(0);
+    let order = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..5 {
+        let o = order.clone();
+        sim.spawn(format!("p{i}"), move |_| o.lock().unwrap().push(i));
+    }
+    sim.run().unwrap();
+    assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+}
+
+#[test]
+fn signal_fired_by_one_process_wakes_another_same_instant() {
+    let mut sim = Sim::new(0);
+    let sig = Signal::new();
+    let s2 = sig.clone();
+    let woke_at = Arc::new(Mutex::new(SimTime::MAX));
+    let w2 = woke_at.clone();
+    sim.spawn("waiter", move |ctx| {
+        ctx.wait(&s2);
+        *w2.lock().unwrap() = ctx.now();
+    });
+    sim.spawn("firer", move |_| {
+        sig.fire(); // at virtual time zero, no advance
+    });
+    sim.run().unwrap();
+    assert_eq!(*woke_at.lock().unwrap(), SimTime::ZERO);
+}
+
+#[test]
+fn deadlock_error_lists_only_unfinished_processes() {
+    let mut sim = Sim::new(0);
+    sim.spawn("finishes", |ctx| ctx.advance(SimTime::from_micros(1)));
+    sim.spawn("hangs", |ctx| {
+        let s = Signal::new();
+        ctx.wait(&s);
+    });
+    match sim.run() {
+        Err(SimError::Deadlock { blocked, now }) => {
+            assert_eq!(blocked, vec!["hangs".to_string()]);
+            assert_eq!(now, SimTime::from_micros(1));
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn heavy_fanout_of_processes_and_events_is_deterministic() {
+    fn run(seed: u64) -> (u64, u64) {
+        let mut sim = Sim::new(seed);
+        for p in 0..64 {
+            sim.spawn(format!("p{p}"), move |ctx| {
+                let mut rng = seeded_rng(ctx.handle().seed(), p);
+                for _ in 0..50 {
+                    ctx.advance(SimTime::from_nanos(rng.gen_range(1..1000)));
+                }
+            });
+        }
+        let stats = sim.run().unwrap();
+        (stats.final_time.as_nanos(), stats.context_switches)
+    }
+    assert_eq!(run(3), run(3));
+    assert_ne!(run(3).0, run(4).0);
+}
+
+#[test]
+fn stack_size_override_supports_many_processes() {
+    let mut sim = Sim::new(0);
+    sim.set_stack_size(128 * 1024);
+    let count = Arc::new(Mutex::new(0usize));
+    for i in 0..512 {
+        let c = count.clone();
+        sim.spawn(format!("tiny{i}"), move |ctx| {
+            ctx.advance(SimTime::from_nanos(i as u64 % 7 + 1));
+            *c.lock().unwrap() += 1;
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(*count.lock().unwrap(), 512);
+}
+
+#[test]
+fn wait_any_mixes_fired_and_pending() {
+    let mut sim = Sim::new(0);
+    let sigs: Vec<Signal> = (0..4).map(|_| Signal::new()).collect();
+    sigs[2].fire(); // already fired before anyone waits
+    let sv = sigs.clone();
+    sim.spawn("w", move |ctx| {
+        assert_eq!(ctx.wait_any(&sv), 2);
+    });
+    sim.run().unwrap();
+}

@@ -1,0 +1,30 @@
+//! Lock-free bank transfers: `compare_and_swap` retry loops inside one
+//! long-lived `lock_all` epoch, with flushes for remote completion. Money
+//! is conserved exactly no matter how transfers interleave.
+//!
+//! Run with: `cargo run --release --example bank`
+
+use nonblocking_rma::apps::{run_bank, BankConfig};
+use nonblocking_rma::JobConfig;
+
+fn main() {
+    let n = 16;
+    let cfg = BankConfig {
+        accounts_per_rank: 4,
+        initial_balance: 1_000,
+        transfers_per_rank: 200,
+        max_amount: 300,
+    };
+    let expected = n as u64 * cfg.accounts_per_rank as u64 * cfg.initial_balance;
+    let r = run_bank(JobConfig::new(n), cfg).unwrap();
+    println!(
+        "{} transfers committed, {} aborted (insufficient funds), {} CAS retries",
+        r.committed, r.insufficient, r.retries
+    );
+    println!(
+        "total money: {} (expected {}), min balance {}, {} of virtual time",
+        r.total_money, expected, r.min_balance, r.elapsed
+    );
+    assert_eq!(r.total_money, expected, "conservation violated!");
+    println!("conservation holds ✓");
+}

@@ -1,0 +1,42 @@
+//! Visualize epoch lifecycles: run the Late Post scenario with tracing on
+//! and print the per-epoch timeline — deferral, early closes, and
+//! asynchronous completion are directly visible.
+//!
+//! Run with: `cargo run --release --example epoch_timeline`
+
+use nonblocking_rma::core::trace::render_timeline;
+use nonblocking_rma::{run_job, Group, JobConfig, Rank, SimTime};
+
+fn main() {
+    let mut cfg = JobConfig::all_internode(2);
+    cfg.trace = true;
+    let report = run_job(cfg, |env| {
+        let win = env.win_allocate(1 << 20).unwrap();
+        env.barrier().unwrap();
+        if env.rank().idx() == 1 {
+            // The target posts its exposure 1000 µs late.
+            env.compute(SimTime::from_micros(1000));
+            env.post(win, Group::single(Rank(0))).unwrap();
+            env.wait_epoch(win).unwrap();
+        } else {
+            // The origin closes nonblockingly and moves on immediately.
+            env.start(win, Group::single(Rank(1))).unwrap();
+            env.put_synthetic(win, Rank(1), 0, 1 << 20).unwrap();
+            let r = env.icomplete(win).unwrap();
+            env.compute(SimTime::from_micros(300)); // independent work
+            env.wait(r).unwrap();
+        }
+        env.barrier().unwrap();
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+
+    println!("Late Post through the lens of the epoch trace (µs):\n");
+    print!("{}", render_timeline(&report.trace));
+    println!(
+        "\nReading it: rank 0's gats-access epoch is *closed* a few µs in \
+         (icomplete) but *completes* only after the late target posts at \
+         ~1000 µs — the close→done column is exactly the latency the \
+         nonblocking epoch keeps off the application's critical path."
+    );
+}

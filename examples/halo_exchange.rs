@@ -1,0 +1,38 @@
+//! 1-D ghost-cell exchange: the same stencil driven by fence epochs, GATS
+//! epochs, and nonblocking GATS epochs — all producing bitwise-identical
+//! fields. The GATS variants rely on the paper's reorder flags to let each
+//! rank's access and exposure epochs progress concurrently.
+//!
+//! Run with: `cargo run --release --example halo_exchange`
+
+use nonblocking_rma::apps::{run_halo, HaloConfig, HaloSync};
+use nonblocking_rma::JobConfig;
+
+fn main() {
+    let mut checksums = Vec::new();
+    for (label, sync) in [
+        ("fence epochs", HaloSync::Fence),
+        ("GATS epochs", HaloSync::Gats),
+        ("GATS nonblocking", HaloSync::GatsNonblocking),
+    ] {
+        let r = run_halo(
+            JobConfig::new(8),
+            HaloConfig {
+                cells_per_rank: 256,
+                iters: 50,
+                sync,
+            },
+        )
+        .unwrap();
+        println!(
+            "{label:<18} time {:>12}   checksum {:.6}",
+            r.total_time, r.checksum
+        );
+        checksums.push(r.checksum.to_bits());
+    }
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "sync flavours disagree!"
+    );
+    println!("all three synchronization flavours agree bitwise ✓");
+}

@@ -1,0 +1,33 @@
+//! 2-D five-point stencil with RMA ghost exchange: halo columns travel as
+//! strided puts, halo rows as contiguous puts, all inside GATS epochs made
+//! concurrent by the paper's reorder flags. Validated bitwise against a
+//! sequential oracle.
+//!
+//! Run with: `cargo run --release --example stencil2d`
+
+use nonblocking_rma::apps::{process_grid, run_stencil2d, Stencil2dConfig};
+use nonblocking_rma::JobConfig;
+
+fn main() {
+    let n = 8;
+    let (pr, pc) = process_grid(n);
+    println!("{n} ranks as a {pr}x{pc} process grid over a 32x32 periodic field\n");
+    for (label, nonblocking) in [("blocking epochs", false), ("nonblocking epochs", true)] {
+        let r = run_stencil2d(
+            JobConfig::new(n),
+            Stencil2dConfig {
+                rows: 32,
+                cols: 32,
+                iters: 25,
+                nonblocking,
+            },
+        )
+        .unwrap();
+        println!(
+            "{label:<20} time {:>12}  checksum {:.6}  max|err| vs oracle {}",
+            r.total_time, r.checksum, r.max_error
+        );
+        assert_eq!(r.max_error, 0.0);
+    }
+    println!("\nboth flavours reproduce the sequential stencil exactly ✓");
+}

@@ -1,0 +1,198 @@
+//! Cross-crate integration tests exercising the full stack through the
+//! `nonblocking-rma` facade: mixed epoch kinds in one program, application
+//! kernels across engine strategies, and whole-job determinism.
+
+use nonblocking_rma::apps::{
+    run_halo, run_lu, run_transactions, HaloConfig, HaloSync, LuConfig, LuSync, TxConfig, TxMode,
+};
+use nonblocking_rma::{
+    run_job, Datatype, Group, JobConfig, LockKind, Rank, ReduceOp, SimTime, SyncStrategy,
+};
+
+#[test]
+fn one_program_uses_every_epoch_kind() {
+    run_job(JobConfig::new(4), |env| {
+        let me = env.rank().idx();
+        let n = env.n_ranks();
+        let win = env.win_allocate(64).unwrap();
+
+        // Fence phase.
+        env.fence(win).unwrap();
+        env.put(win, Rank((me + 1) % n), 0, &[me as u8; 4]).unwrap();
+        env.fence(win).unwrap();
+        assert_eq!(
+            env.read_local(win, 0, 4).unwrap(),
+            vec![((me + n - 1) % n) as u8; 4]
+        );
+
+        // GATS phase.
+        if me == 0 {
+            env.start(win, Group::new(1..n)).unwrap();
+            for t in 1..n {
+                env.put(win, Rank(t), 8, &[0xAA; 4]).unwrap();
+            }
+            env.complete(win).unwrap();
+        } else {
+            env.post(win, Group::single(Rank(0))).unwrap();
+            env.wait_epoch(win).unwrap();
+            assert_eq!(env.read_local(win, 8, 4).unwrap(), vec![0xAA; 4]);
+        }
+        env.barrier().unwrap();
+
+        // Passive phase: everyone atomically increments rank 0's counter.
+        env.lock_all(win).unwrap();
+        let r = env
+            .fetch_and_op(win, Rank(0), 16, Datatype::U64, ReduceOp::Sum, &1u64.to_le_bytes())
+            .unwrap();
+        env.unlock_all(win).unwrap();
+        let _ = env.wait_data(r).unwrap();
+        env.barrier().unwrap();
+        if me == 0 {
+            let v = u64::from_le_bytes(env.read_local(win, 16, 8).unwrap().try_into().unwrap());
+            assert_eq!(v, n as u64);
+        }
+
+        // Two-sided epilogue.
+        if me == 0 {
+            for t in 1..n {
+                env.send(Rank(t), 5, b"bye").unwrap();
+            }
+        } else {
+            assert_eq!(env.recv(Rank(0), 5).unwrap().as_ref(), b"bye");
+        }
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn lu_results_identical_across_strategies_and_sync() {
+    // The factorization result must not depend on engine strategy or on
+    // blocking vs nonblocking synchronization — only timing may change.
+    let combos = [
+        (SyncStrategy::LazyBaseline, LuSync::Blocking),
+        (SyncStrategy::Redesigned, LuSync::Blocking),
+        (SyncStrategy::Redesigned, LuSync::Nonblocking),
+    ];
+    for (strategy, sync) in combos {
+        let r = run_lu(
+            JobConfig::all_internode(4).with_strategy(strategy),
+            LuConfig::small(20, sync),
+        )
+        .unwrap();
+        assert_eq!(
+            r.max_error,
+            Some(0.0),
+            "strategy {strategy:?} sync {sync:?} diverged from the oracle"
+        );
+    }
+}
+
+#[test]
+fn halo_checksums_identical_across_strategies() {
+    let mut sums = Vec::new();
+    for strategy in [SyncStrategy::LazyBaseline, SyncStrategy::Redesigned] {
+        for sync in [HaloSync::Fence, HaloSync::Gats] {
+            let r = run_halo(
+                JobConfig::all_internode(4).with_strategy(strategy),
+                HaloConfig {
+                    cells_per_rank: 32,
+                    iters: 10,
+                    sync,
+                },
+            )
+            .unwrap();
+            sums.push(r.checksum.to_bits());
+        }
+    }
+    assert!(sums.windows(2).all(|w| w[0] == w[1]));
+}
+
+#[test]
+fn transactions_preserve_every_update_under_contention() {
+    // Hammer a small set of slots from many ranks with deep pipelines and
+    // out-of-order completion: the global sum must be exact.
+    let cfg = TxConfig {
+        txs_per_rank: 60,
+        payload: 8,
+        slots: 4, // heavy slot contention
+        mode: TxMode::Nonblocking { max_inflight: 24 },
+        aaar: true,
+        think_time: SimTime::ZERO,
+        dist: nonblocking_rma::apps::TargetDist::Uniform,
+    };
+    let r = run_transactions(JobConfig::new(8), cfg.clone()).unwrap();
+    assert_eq!(
+        r.checksum,
+        nonblocking_rma::apps::expected_checksum(8, &cfg)
+    );
+}
+
+#[test]
+fn whole_application_runs_are_deterministic() {
+    fn run_once() -> (u64, u64, u64) {
+        let cfg = TxConfig {
+            txs_per_rank: 40,
+            payload: 16,
+            slots: 32,
+            mode: TxMode::Nonblocking { max_inflight: 8 },
+            aaar: true,
+            think_time: SimTime::from_micros(3),
+            dist: nonblocking_rma::apps::TargetDist::Uniform,
+        };
+        let r = run_transactions(JobConfig::new(6).with_seed(99), cfg).unwrap();
+        (r.elapsed.as_nanos(), r.checksum, r.total_txs)
+    }
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn mixed_intranode_and_internode_topology() {
+    // 8 ranks on 2 nodes: sync traffic crosses both the 64-bit FIFOs and
+    // the wire.
+    let mut cfg = JobConfig::new(8);
+    cfg.cores_per_node = 4;
+    run_job(cfg, |env| {
+        let me = env.rank().idx();
+        let n = env.n_ranks();
+        let win = env.win_allocate(8 * n).unwrap();
+        env.barrier().unwrap();
+        // Every rank locks every other rank in turn and deposits a marker.
+        for off in 1..n {
+            let t = Rank((me + off) % n);
+            env.lock(win, t, LockKind::Exclusive).unwrap();
+            env.put(win, t, 8 * me, &(me as u64 + 1).to_le_bytes()).unwrap();
+            env.unlock(win, t).unwrap();
+        }
+        env.barrier().unwrap();
+        for s in 0..n {
+            if s != me {
+                let v = u64::from_le_bytes(
+                    env.read_local(win, 8 * s, 8).unwrap().try_into().unwrap(),
+                );
+                assert_eq!(v, s as u64 + 1, "marker from {s} missing at {me}");
+            }
+        }
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+}
+
+#[test]
+fn report_surfaces_network_and_rank_stats() {
+    let report = run_job(JobConfig::new(4), |env| {
+        let win = env.win_allocate(64).unwrap();
+        env.fence(win).unwrap();
+        env.put(win, Rank(0), 0, &[1u8; 32]).unwrap();
+        env.fence(win).unwrap();
+        env.compute(SimTime::from_micros(50));
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+    assert!(report.net.msgs_delivered > 0);
+    assert!(report.net.bytes_sent > 0);
+    assert_eq!(report.ranks.len(), 4);
+    assert!(report.ranks.iter().all(|r| r.calls > 4));
+    assert!(report.mean_comm_fraction() > 0.0);
+    assert!(report.mean_comm_fraction() < 1.0);
+}
