@@ -1,0 +1,210 @@
+//! Differential checking: every generated program is executed across the
+//! full strategy × API matrix under a sweep of schedule perturbations, and
+//! each run must (a) reproduce the sequential oracle byte for byte and
+//! (b) pass the trace-invariant audit.
+
+use mpisim_core::SyncStrategy;
+
+use crate::audit::{audit, Violation};
+use crate::program::{generate, oracle, Family, Program};
+use crate::run::{execute, RunFailure, RunSpec};
+
+/// Why one run failed.
+#[derive(Clone, Debug)]
+pub enum FailureKind {
+    /// Final memory or get results differ from the sequential oracle.
+    Divergence(String),
+    /// The trace auditor found protocol violations.
+    Violations(Vec<Violation>),
+    /// The simulation deadlocked.
+    Deadlock(String),
+    /// A rank or the engine panicked.
+    Panic(String),
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Divergence(d) => write!(f, "divergence: {d}"),
+            FailureKind::Violations(vs) => {
+                write!(f, "{} invariant violation(s):", vs.len())?;
+                for v in vs {
+                    write!(f, "\n  {v}")?;
+                }
+                Ok(())
+            }
+            FailureKind::Deadlock(d) => write!(f, "{d}"),
+            FailureKind::Panic(d) => write!(f, "panic: {d}"),
+        }
+    }
+}
+
+/// A failing (program, spec) pair.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Why it failed.
+    pub kind: FailureKind,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.kind.fmt(f)
+    }
+}
+
+/// Execute `program` under `spec` and check it end to end: oracle
+/// comparison plus trace audit. `Ok(())` means the run is conformant.
+pub fn verify(program: &Program, spec: &RunSpec) -> Result<(), Failure> {
+    let expected = oracle(program);
+    let out = match execute(program, spec) {
+        Ok(out) => out,
+        Err(RunFailure::Deadlock(d)) => {
+            return Err(Failure { kind: FailureKind::Deadlock(d) });
+        }
+        Err(RunFailure::Panic(p)) => return Err(Failure { kind: FailureKind::Panic(p) }),
+    };
+    // Rank 0 is the origin in single-origin programs and its window is
+    // never a target, so comparing every rank is valid for both shapes.
+    for (r, (got, want)) in out.mems.iter().zip(expected.mems.iter()).enumerate() {
+        if got != want {
+            return Err(Failure {
+                kind: FailureKind::Divergence(format!(
+                    "rank {r} window: got {got:?}, oracle {want:?}"
+                )),
+            });
+        }
+    }
+    if out.gets != expected.gets {
+        return Err(Failure {
+            kind: FailureKind::Divergence(format!(
+                "get results: got {:?}, oracle {:?}",
+                out.gets, expected.gets
+            )),
+        });
+    }
+    let violations = audit(&out.report);
+    if !violations.is_empty() {
+        return Err(Failure { kind: FailureKind::Violations(violations) });
+    }
+    Ok(())
+}
+
+/// One recorded failure of a sweep.
+#[derive(Clone, Debug)]
+pub struct FoundFailure {
+    /// The failing program.
+    pub program: Program,
+    /// The failing matrix point.
+    pub spec: RunSpec,
+    /// What went wrong.
+    pub failure: Failure,
+}
+
+/// Outcome of sweeping one family.
+#[derive(Clone, Debug, Default)]
+pub struct SweepReport {
+    /// Programs generated.
+    pub programs: u64,
+    /// Total runs executed.
+    pub runs: u64,
+    /// Distinct perturbed schedules explored per program (seeds).
+    pub schedules: u64,
+    /// Every failure found (first per matrix point; the sweep continues).
+    pub failures: Vec<FoundFailure>,
+}
+
+/// The strategy × API matrix every program is pushed through.
+pub const MATRIX: [(SyncStrategy, bool); 4] = [
+    (SyncStrategy::Redesigned, false),
+    (SyncStrategy::Redesigned, true),
+    (SyncStrategy::LazyBaseline, false),
+    (SyncStrategy::LazyBaseline, true),
+];
+
+/// The spec for perturbation seed `s` of one matrix point. Seed 0 is the
+/// unperturbed FIFO schedule on the baseline network; later seeds walk the
+/// jitter × credit grid and the kernel tie-break space simultaneously.
+pub fn spec_for_seed(
+    strategy: SyncStrategy,
+    nonblocking: bool,
+    s: u64,
+    fault: &Option<String>,
+) -> RunSpec {
+    RunSpec {
+        strategy,
+        nonblocking,
+        net_profile: s % 16,
+        tiebreak_seed: if s == 0 { None } else { Some(s) },
+        sim_seed: 7 + s,
+        fault: fault.clone(),
+    }
+}
+
+/// Sweep one family: `programs` generated programs, each run under
+/// `seeds` perturbed schedules for all four matrix points. `fault`
+/// injects an engine bug into every run (the harness's self-test).
+pub fn sweep_family(
+    family: Family,
+    programs: u64,
+    seeds: u64,
+    fault: &Option<String>,
+) -> SweepReport {
+    let mut report = SweepReport { programs, schedules: seeds, ..SweepReport::default() };
+    for idx in 0..programs {
+        let program = generate(family, idx);
+        for (strategy, nonblocking) in MATRIX {
+            for s in 0..seeds {
+                let spec = spec_for_seed(strategy, nonblocking, s, fault);
+                report.runs += 1;
+                if let Err(failure) = verify(&program, &spec) {
+                    report.failures.push(FoundFailure {
+                        program: program.clone(),
+                        spec,
+                        failure,
+                    });
+                    // One failure per (program, matrix point) is enough;
+                    // move to the next point rather than repeat it 16×.
+                    break;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_sweep_is_green() {
+        // One program per family, a few seeds, full matrix: no failures.
+        for family in Family::ALL {
+            let r = sweep_family(family, 1, 3, &None);
+            assert_eq!(r.runs, 12, "{family:?}");
+            assert!(
+                r.failures.is_empty(),
+                "{family:?}: {}",
+                r.failures.iter().map(|f| f.failure.to_string()).collect::<Vec<_>>().join("; ")
+            );
+        }
+    }
+
+    #[test]
+    fn double_acc_fault_diverges() {
+        // A program with at least one accumulate must diverge when every
+        // eager accumulate is applied twice.
+        let program = Program::SingleOrigin {
+            n_ranks: 3,
+            reorder: false,
+            epochs: vec![crate::program::Epoch::Lock {
+                target: 1,
+                ops: vec![crate::program::Op::AccSum { target: 1, slot: 0, operand: 5 }],
+            }],
+        };
+        let mut spec = RunSpec::baseline(SyncStrategy::Redesigned, false);
+        spec.fault = Some("double-acc".into());
+        let err = verify(&program, &spec).expect_err("injected bug must be caught");
+        assert!(matches!(err.kind, FailureKind::Divergence(_)), "got {err}");
+    }
+}

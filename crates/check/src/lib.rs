@@ -1,0 +1,41 @@
+//! # mpisim-check — deterministic conformance harness
+//!
+//! Differential testing for the nonblocking-RMA middleware: generated RMA
+//! programs are executed across the full strategy × API matrix under a
+//! sweep of *legal* schedule perturbations, and every run must both
+//! reproduce a sequential oracle byte for byte and satisfy the ω-triple
+//! protocol invariants recovered from the engine's traces.
+//!
+//! The schedule space is explored through three orthogonal knobs, all
+//! deterministic given their seeds:
+//!
+//! * the simulation kernel's **tie-break seed** permutes same-virtual-time
+//!   events (legal because per-channel delivery times keep FIFO order);
+//! * **network perturbation profiles** sweep latency jitter × credit
+//!   starvation ([`mpisim_net::NetParams::perturbation_profile`]);
+//! * the **simulation seed** re-rolls every jitter stream.
+//!
+//! Pipeline: [`program::generate`] → [`run::execute`] → oracle comparison +
+//! [`audit::audit`] (via [`verify`]) → on failure, [`shrink::shrink`] and
+//! [`shrink::reproducer`] emit a minimized ready-to-paste test.
+//!
+//! The harness proves it can catch real bugs by injecting them: the engine
+//! recognizes the fault names `"skip-grant"` (liveness: a dropped exposure
+//! grant, surfacing as deadlock) and `"double-acc"` (safety: accumulates
+//! applied twice, surfacing as oracle divergence) — see
+//! [`mpisim_core::Fault`].
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod diff;
+pub mod program;
+pub mod run;
+pub mod shrink;
+
+pub use audit::{audit, Violation};
+pub use diff::{spec_for_seed, sweep_family, verify, Failure, FailureKind, FoundFailure, MATRIX};
+pub use mpisim_core::SyncStrategy;
+pub use program::{generate, oracle, Epoch, Family, Op, Program};
+pub use run::{execute, RunFailure, RunOutcome, RunSpec};
+pub use shrink::{reproducer, shrink};

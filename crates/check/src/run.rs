@@ -1,0 +1,340 @@
+//! Drive one generated program through the real runtime under one point of
+//! the exploration matrix: strategy × API flavour × network perturbation ×
+//! tie-break seed, with tracing always on so every run can be audited.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+use mpisim_core::{
+    run_job, Datatype, Group, JobConfig, JobReport, LockKind, Rank, ReduceOp, RmaResult,
+    SyncStrategy, WinInfo,
+};
+use mpisim_net::NetParams;
+use mpisim_sim::SimTime;
+
+use crate::program::{Epoch, Op, Program, MULTI_WIN_BYTES, WIN_BYTES};
+
+/// One point of the exploration matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Engine strategy.
+    pub strategy: SyncStrategy,
+    /// Close every epoch with the `i`-routines and wait at the end.
+    pub nonblocking: bool,
+    /// Index into [`NetParams::perturbation_profile`] (latency jitter ×
+    /// credit starvation grid).
+    pub net_profile: u64,
+    /// Kernel tie-break perturbation (`None` = FIFO).
+    pub tiebreak_seed: Option<u64>,
+    /// Simulation seed.
+    pub sim_seed: u64,
+    /// Injected engine fault (`None` = none). Always passed explicitly to
+    /// the job so the `MPISIM_CHECK_INJECT` env fallback never interferes
+    /// with harness runs.
+    pub fault: Option<String>,
+}
+
+impl RunSpec {
+    /// The unperturbed baseline point.
+    pub fn baseline(strategy: SyncStrategy, nonblocking: bool) -> Self {
+        RunSpec {
+            strategy,
+            nonblocking,
+            net_profile: 0,
+            tiebreak_seed: None,
+            sim_seed: 7,
+            fault: None,
+        }
+    }
+
+    /// Render as a Rust expression (for generated reproducer tests).
+    pub fn to_rust(&self) -> String {
+        let strategy = match self.strategy {
+            SyncStrategy::LazyBaseline => "SyncStrategy::LazyBaseline",
+            SyncStrategy::Redesigned => "SyncStrategy::Redesigned",
+        };
+        let fault = match &self.fault {
+            Some(f) => format!("Some({f:?}.to_string())"),
+            None => "None".into(),
+        };
+        format!(
+            "RunSpec {{\n        strategy: {strategy},\n        nonblocking: {},\n        \
+             net_profile: {},\n        tiebreak_seed: {:?},\n        sim_seed: {},\n        \
+             fault: {fault},\n    }}",
+            self.nonblocking, self.net_profile, self.tiebreak_seed, self.sim_seed
+        )
+    }
+}
+
+/// What a successful run produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Final window bytes per rank.
+    pub mems: Vec<Vec<u8>>,
+    /// Get results in program order (single-origin programs).
+    pub gets: Vec<Vec<u8>>,
+    /// The full job report (traces, stats) for auditing.
+    pub report: JobReport,
+}
+
+/// How a run failed before producing a result.
+#[derive(Clone, Debug)]
+pub enum RunFailure {
+    /// The simulation deadlocked (or hit the event cap).
+    Deadlock(String),
+    /// A rank panicked (failed assertion, engine invariant, …).
+    Panic(String),
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunFailure::Deadlock(m) => write!(f, "deadlock: {m}"),
+            RunFailure::Panic(m) => write!(f, "panic: {m}"),
+        }
+    }
+}
+
+fn job_config(n_ranks: usize, spec: &RunSpec) -> JobConfig {
+    let mut cfg = JobConfig::new(n_ranks).with_seed(spec.sim_seed).with_strategy(spec.strategy);
+    cfg.net = NetParams::perturbation_profile(spec.net_profile);
+    cfg.tiebreak_seed = spec.tiebreak_seed;
+    cfg.trace = true;
+    // `Some("")` disables the env-var fallback: harness runs are hermetic.
+    cfg.fault = Some(spec.fault.clone().unwrap_or_default());
+    cfg
+}
+
+fn issue(
+    env: &mpisim_core::RankEnv,
+    win: mpisim_core::WinId,
+    ops: &[Op],
+    gets: &mut Vec<mpisim_core::Req>,
+) -> RmaResult<()> {
+    for op in ops {
+        match op {
+            Op::Put { target, disp, val, len } => {
+                env.put(win, Rank(*target), *disp, &vec![*val; *len])?;
+            }
+            Op::AccSum { target, slot, operand } => {
+                env.accumulate(
+                    win,
+                    Rank(*target),
+                    slot * 8,
+                    Datatype::U64,
+                    ReduceOp::Sum,
+                    &operand.to_le_bytes(),
+                )?;
+            }
+            Op::Get { target, disp, len } => {
+                gets.push(env.get(win, Rank(*target), *disp, *len)?);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn execute_single_origin(
+    n_ranks: usize,
+    reorder: bool,
+    epochs: Arc<Vec<Epoch>>,
+    spec: &RunSpec,
+) -> Result<RunOutcome, RunFailure> {
+    let nonblocking = spec.nonblocking;
+    let mems = Arc::new(Mutex::new(vec![Vec::new(); n_ranks]));
+    let gets = Arc::new(Mutex::new(Vec::new()));
+    let (m2, g2) = (mems.clone(), gets.clone());
+    let info = if reorder { WinInfo::all_reorder() } else { WinInfo::default() };
+
+    let report = run_guarded(job_config(n_ranks, spec), move |env| {
+        let me = env.rank().idx();
+        let win = env.win_allocate_with(WIN_BYTES, info).unwrap();
+        env.barrier().unwrap();
+        if me == 0 {
+            let mut pending = Vec::new();
+            let mut get_reqs = Vec::new();
+            for e in epochs.iter() {
+                match e {
+                    Epoch::Fence(ops) => {
+                        env.fence(win).unwrap();
+                        issue(env, win, ops, &mut get_reqs).unwrap();
+                        if nonblocking {
+                            pending.push(env.ifence(win).unwrap());
+                        } else {
+                            env.fence(win).unwrap();
+                        }
+                    }
+                    Epoch::Gats(ops) => {
+                        env.start(win, Group::new(1..n_ranks)).unwrap();
+                        issue(env, win, ops, &mut get_reqs).unwrap();
+                        if nonblocking {
+                            pending.push(env.icomplete(win).unwrap());
+                        } else {
+                            env.complete(win).unwrap();
+                        }
+                    }
+                    Epoch::Lock { target, ops } => {
+                        env.lock(win, Rank(*target), LockKind::Exclusive).unwrap();
+                        issue(env, win, ops, &mut get_reqs).unwrap();
+                        if nonblocking {
+                            pending.push(env.iunlock(win, Rank(*target)).unwrap());
+                        } else {
+                            env.unlock(win, Rank(*target)).unwrap();
+                        }
+                    }
+                    Epoch::LockAll(ops) => {
+                        env.lock_all(win).unwrap();
+                        issue(env, win, ops, &mut get_reqs).unwrap();
+                        if nonblocking {
+                            pending.push(env.iunlock_all(win).unwrap());
+                        } else {
+                            env.unlock_all(win).unwrap();
+                        }
+                    }
+                }
+            }
+            env.wait_all(pending).unwrap();
+            let mut out = Vec::new();
+            for r in get_reqs {
+                out.push(env.wait_data(r).unwrap().to_vec());
+            }
+            *g2.lock().unwrap() = out;
+        } else {
+            // Targets: join every fence phase, expose for every GATS epoch.
+            for e in epochs.iter() {
+                match e {
+                    Epoch::Fence(_) => {
+                        env.fence(win).unwrap();
+                        env.fence(win).unwrap();
+                    }
+                    Epoch::Gats(_) => {
+                        env.post(win, Group::single(Rank(0))).unwrap();
+                        env.wait_epoch(win).unwrap();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        env.barrier().unwrap();
+        m2.lock().unwrap()[me] = env.read_local(win, 0, WIN_BYTES).unwrap();
+        env.win_free(win).unwrap();
+    })?;
+    let mems = mems.lock().unwrap().clone();
+    let gets = gets.lock().unwrap().clone();
+    Ok(RunOutcome { mems, gets, report })
+}
+
+fn execute_multi_origin(
+    n_ranks: usize,
+    plan: Arc<Vec<Vec<(usize, usize, u64)>>>,
+    spec: &RunSpec,
+) -> Result<RunOutcome, RunFailure> {
+    let nonblocking = spec.nonblocking;
+    let mems = Arc::new(Mutex::new(vec![Vec::new(); n_ranks]));
+    let m2 = mems.clone();
+
+    let report = run_guarded(job_config(n_ranks, spec), move |env| {
+        let me = env.rank().idx();
+        let win = env.win_allocate_with(MULTI_WIN_BYTES, WinInfo::aaar()).unwrap();
+        env.barrier().unwrap();
+        let mut pend = Vec::new();
+        for (target, slot, v) in &plan[me] {
+            if nonblocking {
+                // The dummy epoch-open request completes at creation but
+                // must still be consumed via test/wait (§VII.C).
+                pend.push(env.ilock(win, Rank(*target), LockKind::Exclusive).unwrap());
+            } else {
+                env.lock(win, Rank(*target), LockKind::Exclusive).unwrap();
+            }
+            env.accumulate(
+                win,
+                Rank(*target),
+                slot * 8,
+                Datatype::U64,
+                ReduceOp::Sum,
+                &v.to_le_bytes(),
+            )
+            .unwrap();
+            if nonblocking {
+                pend.push(env.iunlock(win, Rank(*target)).unwrap());
+            } else {
+                env.unlock(win, Rank(*target)).unwrap();
+            }
+            env.compute(SimTime::from_nanos(((me as u64) * 97 + 13) % 500));
+        }
+        env.wait_all(pend).unwrap();
+        env.barrier().unwrap();
+        m2.lock().unwrap()[me] = env.read_local(win, 0, MULTI_WIN_BYTES).unwrap();
+        env.win_free(win).unwrap();
+    })?;
+    let mems = mems.lock().unwrap().clone();
+    Ok(RunOutcome { mems, gets: Vec::new(), report })
+}
+
+/// `run_job` with both failure modes mapped into [`RunFailure`]: a
+/// simulated deadlock surfaces as `Err(SimError)`, an engine/rank panic
+/// unwinds through `sim.run()`.
+fn run_guarded<F>(cfg: JobConfig, f: F) -> Result<JobReport, RunFailure>
+where
+    F: Fn(&mut mpisim_core::RankEnv) + Send + Sync + 'static,
+{
+    match catch_unwind(AssertUnwindSafe(|| run_job(cfg, f))) {
+        Ok(Ok(report)) => Ok(report),
+        Ok(Err(e)) => Err(RunFailure::Deadlock(e.to_string())),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(RunFailure::Panic(msg))
+        }
+    }
+}
+
+/// Execute `program` under `spec`.
+pub fn execute(program: &Program, spec: &RunSpec) -> Result<RunOutcome, RunFailure> {
+    match program {
+        Program::SingleOrigin { n_ranks, reorder, epochs } => {
+            execute_single_origin(*n_ranks, *reorder, Arc::new(epochs.clone()), spec)
+        }
+        Program::MultiOrigin { n_ranks, plan } => {
+            execute_multi_origin(*n_ranks, Arc::new(plan.clone()), spec)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{generate, oracle, Family};
+
+    #[test]
+    fn baseline_run_matches_oracle() {
+        let p = generate(Family::MixedSerial, 0);
+        let exp = oracle(&p);
+        let out = execute(&p, &RunSpec::baseline(SyncStrategy::Redesigned, false)).unwrap();
+        assert_eq!(out.mems[1..], exp.mems[1..]);
+        assert_eq!(out.gets, exp.gets);
+        assert!(!out.report.trace.is_empty(), "tracing must be on");
+        assert!(out.report.live_requests == 0);
+    }
+
+    #[test]
+    fn spec_to_rust_mentions_every_field() {
+        let s = RunSpec {
+            strategy: SyncStrategy::LazyBaseline,
+            nonblocking: true,
+            net_profile: 5,
+            tiebreak_seed: Some(3),
+            sim_seed: 11,
+            fault: Some("skip-grant".into()),
+        };
+        let src = s.to_rust();
+        for needle in
+            ["LazyBaseline", "nonblocking: true", "net_profile: 5", "Some(3)", "skip-grant"]
+        {
+            assert!(src.contains(needle), "missing {needle} in {src}");
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Failing-case minimizer: given a failing (program, spec) pair, greedily
+//! remove epochs, then operations, then perturbation knobs while the
+//! failure persists, and emit a ready-to-paste reproducer test.
+//!
+//! Every candidate is re-verified with [`verify`], so the minimized pair is
+//! guaranteed to still fail — the reproducer compiles into a test that
+//! fails while the bug exists and passes once it is fixed.
+
+use crate::diff::verify;
+use crate::program::Program;
+use crate::run::RunSpec;
+
+/// Upper bound on re-verification runs during shrinking (each is a full
+/// simulation; generated programs are small, so this is generous).
+const SHRINK_BUDGET: usize = 200;
+
+struct Shrinker {
+    budget: usize,
+}
+
+impl Shrinker {
+    fn fails(&mut self, program: &Program, spec: &RunSpec) -> bool {
+        if self.budget == 0 {
+            return false; // out of budget: treat as "don't take this step"
+        }
+        self.budget -= 1;
+        verify(program, spec).is_err()
+    }
+}
+
+fn drop_epoch(p: &Program, idx: usize) -> Option<Program> {
+    match p {
+        Program::SingleOrigin { n_ranks, reorder, epochs } => {
+            if epochs.len() <= 1 || idx >= epochs.len() {
+                return None;
+            }
+            let mut e = epochs.clone();
+            e.remove(idx);
+            Some(Program::SingleOrigin { n_ranks: *n_ranks, reorder: *reorder, epochs: e })
+        }
+        Program::MultiOrigin { n_ranks, plan } => {
+            // Flat index over all (rank, tx) pairs.
+            let mut i = idx;
+            for (r, txs) in plan.iter().enumerate() {
+                if i < txs.len() {
+                    if plan.iter().map(Vec::len).sum::<usize>() <= 1 {
+                        return None;
+                    }
+                    let mut pl = plan.clone();
+                    pl[r].remove(i);
+                    return Some(Program::MultiOrigin { n_ranks: *n_ranks, plan: pl });
+                }
+                i -= txs.len();
+            }
+            None
+        }
+    }
+}
+
+fn epoch_slots(p: &Program) -> usize {
+    match p {
+        Program::SingleOrigin { epochs, .. } => epochs.len(),
+        Program::MultiOrigin { plan, .. } => plan.iter().map(Vec::len).sum(),
+    }
+}
+
+fn drop_op(p: &Program, epoch: usize, op: usize) -> Option<Program> {
+    match p {
+        Program::SingleOrigin { n_ranks, reorder, epochs } => {
+            let ops = epochs.get(epoch)?.ops();
+            if op >= ops.len() {
+                return None;
+            }
+            let mut e = epochs.clone();
+            e[epoch].ops_mut().remove(op);
+            Some(Program::SingleOrigin { n_ranks: *n_ranks, reorder: *reorder, epochs: e })
+        }
+        Program::MultiOrigin { .. } => None, // transactions are single-op
+    }
+}
+
+/// Greedily minimize a failing pair. Panics if the input pair does not
+/// fail (nothing to shrink).
+pub fn shrink(program: &Program, spec: &RunSpec) -> (Program, RunSpec) {
+    let mut sh = Shrinker { budget: SHRINK_BUDGET };
+    assert!(
+        sh.fails(program, spec),
+        "shrink() called on a passing (program, spec) pair"
+    );
+    let mut p = program.clone();
+    let mut s = spec.clone();
+
+    // 1. Remove whole epochs / transactions, scanning to fixpoint.
+    loop {
+        let mut changed = false;
+        let mut idx = 0;
+        while idx < epoch_slots(&p) {
+            if let Some(cand) = drop_epoch(&p, idx) {
+                if sh.fails(&cand, &s) {
+                    p = cand;
+                    changed = true;
+                    continue; // same index now names the next epoch
+                }
+            }
+            idx += 1;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 2. Remove individual operations inside surviving epochs.
+    if let Program::SingleOrigin { .. } = p {
+        loop {
+            let mut changed = false;
+            let n_epochs = epoch_slots(&p);
+            for e in 0..n_epochs {
+                let mut o = 0;
+                loop {
+                    let Some(cand) = drop_op(&p, e, o) else { break };
+                    if sh.fails(&cand, &s) {
+                        p = cand;
+                        changed = true;
+                    } else {
+                        o += 1;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    // 3. Simplify the spec: prefer the unperturbed schedule if it still
+    // reproduces the failure.
+    for simpler in [
+        RunSpec { net_profile: 0, ..s.clone() },
+        RunSpec { tiebreak_seed: None, ..s.clone() },
+        RunSpec { sim_seed: 7, ..s.clone() },
+    ] {
+        if simpler != s && sh.fails(&p, &simpler) {
+            s = simpler;
+        }
+    }
+    let both = RunSpec { net_profile: 0, tiebreak_seed: None, sim_seed: 7, ..s.clone() };
+    if both != s && sh.fails(&p, &both) {
+        s = both;
+    }
+
+    (p, s)
+}
+
+/// Render a ready-to-paste reproducer test for a failing pair.
+pub fn reproducer(program: &Program, spec: &RunSpec) -> String {
+    format!(
+        "#[test]\nfn shrunk_reproducer() {{\n    #[allow(unused_imports)]\n    use \
+         mpisim_check::program::{{Epoch, Op, Program}};\n    use mpisim_check::run::RunSpec;\n    \
+         use mpisim_check::SyncStrategy;\n\n    let program = {};\n    let spec = {};\n    // \
+         Fails while the bug is present; passes once it is fixed.\n    \
+         mpisim_check::verify(&program, &spec).unwrap();\n}}\n",
+        program.to_rust(),
+        spec.to_rust()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Epoch, Op};
+    use mpisim_core::SyncStrategy;
+
+    /// The double-acc fault only needs one accumulate; everything else in
+    /// the program must shrink away.
+    #[test]
+    fn shrinks_double_acc_to_a_single_accumulate() {
+        let program = Program::SingleOrigin {
+            n_ranks: 3,
+            reorder: false,
+            epochs: vec![
+                Epoch::Fence(vec![Op::Put { target: 1, disp: 0, val: 3, len: 4 }]),
+                Epoch::Lock {
+                    target: 1,
+                    ops: vec![
+                        Op::Put { target: 1, disp: 8, val: 9, len: 2 },
+                        Op::AccSum { target: 1, slot: 3, operand: 11 },
+                    ],
+                },
+                Epoch::Gats(vec![Op::Get { target: 2, disp: 0, len: 4 }]),
+            ],
+        };
+        let spec = RunSpec {
+            net_profile: 9,
+            tiebreak_seed: Some(4),
+            sim_seed: 21,
+            fault: Some("double-acc".into()),
+            ..RunSpec::baseline(SyncStrategy::Redesigned, true)
+        };
+        let (p, s) = shrink(&program, &spec);
+        assert!(verify(&p, &s).is_err(), "shrunk pair must still fail");
+        assert_eq!(p.weight(), 2, "one epoch + one accumulate, got {p:?}");
+        let Program::SingleOrigin { epochs, .. } = &p else { panic!() };
+        assert!(matches!(epochs[0].ops(), [Op::AccSum { .. }]));
+        // The perturbation knobs are irrelevant to this bug: all reset.
+        assert_eq!(s.net_profile, 0);
+        assert_eq!(s.tiebreak_seed, None);
+        let repro = reproducer(&p, &s);
+        assert!(repro.contains("fn shrunk_reproducer"));
+        assert!(repro.contains("Op::AccSum"));
+        assert!(repro.contains("double-acc"));
+    }
+}

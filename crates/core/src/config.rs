@@ -123,6 +123,18 @@ pub struct JobConfig {
     pub event_cap: u64,
     /// Record epoch lifecycle traces (see [`crate::trace`]).
     pub trace: bool,
+    /// Seeded tie-break perturbation for same-time simulator events
+    /// (`None` = FIFO order). Each seed selects one legal alternative
+    /// schedule; the conformance harness sweeps this to explore the
+    /// schedule space (see `Sim::set_tiebreak_seed`).
+    pub tiebreak_seed: Option<u64>,
+    /// Named fault to inject into the engine, used only by the conformance
+    /// harness to prove it catches real bugs. `None` (the default) reads
+    /// the `MPISIM_CHECK_INJECT` environment variable as a fallback, so a
+    /// fault can also be smuggled in without touching any call site;
+    /// `Some("")` disables injection unconditionally. Recognized names:
+    /// `"skip-grant"`, `"double-acc"`.
+    pub fault: Option<String>,
 }
 
 impl JobConfig {
@@ -140,6 +152,8 @@ impl JobConfig {
             stack_size: mpisim_sim::DEFAULT_STACK_SIZE,
             event_cap: mpisim_sim::DEFAULT_EVENT_CAP,
             trace: false,
+            tiebreak_seed: None,
+            fault: None,
         }
     }
 

@@ -388,6 +388,14 @@ impl Engine {
                         .expect("target state");
                     ts.access_id = aid;
                     ts.granted = granted;
+                    self.sync_event(
+                        st,
+                        rank,
+                        *t,
+                        win,
+                        crate::trace::Plane::Gats,
+                        crate::trace::SyncEvent::AccessAssigned { epoch: id.0, id: aid },
+                    );
                 }
                 st.mark_ops_dirty(rank, win, id);
                 st.mark_complete_dirty(rank, win, id);
@@ -403,6 +411,14 @@ impl Engine {
                     .get_mut(&target)
                     .expect("target state");
                 ts.access_id = aid;
+                self.sync_event(
+                    st,
+                    rank,
+                    target,
+                    win,
+                    crate::trace::Plane::Lock,
+                    crate::trace::SyncEvent::AccessAssigned { epoch: id.0, id: aid },
+                );
                 let sp = match lock {
                     LockKind::Exclusive => SyncPacket::LockReqExcl {
                         win,
@@ -432,6 +448,14 @@ impl Engine {
                         .entry(t)
                         .or_default()
                         .access_id = aid;
+                    self.sync_event(
+                        st,
+                        rank,
+                        t,
+                        win,
+                        crate::trace::Plane::Lock,
+                        crate::trace::SyncEvent::AccessAssigned { epoch: id.0, id: aid },
+                    );
                     self.send_sync(
                         rank,
                         t,
@@ -680,6 +704,7 @@ impl Engine {
             let w = st.win_mut(win, rank);
             w.cur_fence = None;
             w.retire(id);
+            st.eng_stats.dormant_retired += 1;
             st.mark_act_dirty(rank, win);
         }
     }

@@ -122,6 +122,14 @@ impl Engine {
                     }
                 }
                 st.eng_stats.lock_grants += 1;
+                self.sync_event(
+                    st,
+                    me,
+                    q.origin,
+                    win,
+                    crate::trace::Plane::Lock,
+                    crate::trace::SyncEvent::GrantSent { id: q.access_id },
+                );
                 self.send_sync(
                     me,
                     q.origin,
@@ -159,6 +167,11 @@ impl Engine {
                 if gs.exposure_credits == 0 {
                     break;
                 }
+                if self.fault == Some(crate::engine::Fault::SkipGrant) && next == 2 {
+                    // Injected liveness bug: the grant stream toward this
+                    // origin freezes before position 2 is ever emitted.
+                    break;
+                }
                 gs.exposure_credits -= 1;
                 gs.g_sent = next;
                 sent.push(next);
@@ -166,6 +179,14 @@ impl Engine {
         }
         st.eng_stats.exposure_grants += sent.len() as u64;
         for id in &sent {
+            self.sync_event(
+                st,
+                me,
+                origin,
+                win,
+                crate::trace::Plane::Gats,
+                crate::trace::SyncEvent::GrantSent { id: *id },
+            );
             self.send_sync(
                 me,
                 origin,
@@ -204,6 +225,18 @@ impl Engine {
             assert_eq!(*ctr + 1, id, "grants from {granter} arrived out of order");
             *ctr = id;
         }
+        let plane = match kind {
+            GrantKind::Exposure => crate::trace::Plane::Gats,
+            GrantKind::Lock => crate::trace::Plane::Lock,
+        };
+        self.sync_event(
+            st,
+            me,
+            granter,
+            win,
+            plane,
+            crate::trace::SyncEvent::GrantApplied { id },
+        );
         // Find the (activated) access epoch of the right plane waiting on
         // this grant.
         let hit: Option<EpochId> = st

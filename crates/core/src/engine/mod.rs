@@ -110,6 +110,28 @@ pub struct EngineStats {
     pub fifo_packets: u64,
     /// Progress sweeps executed.
     pub sweeps: u64,
+    /// Dormant trailing fence epochs retired at `win_free` (DESIGN.md
+    /// deviation 4). Counted so the deferred-queue balance
+    /// `epochs_opened == epochs_completed + dormant_retired` stays
+    /// checkable: these epochs are opened but never complete.
+    pub dormant_retired: u64,
+}
+
+/// A deliberately injected engine bug, used by the conformance harness to
+/// prove the differential checker and auditor catch real defects. Never
+/// active unless explicitly requested via [`JobConfig::fault`] or the
+/// `MPISIM_CHECK_INJECT` environment variable.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// `pump_exposure_grants` silently drops the second exposure grant of
+    /// every (granter, origin) stream — a liveness bug: the origin's
+    /// second epoch toward that target waits forever for `A_i ≤ g_r`,
+    /// surfacing as a simulated deadlock.
+    SkipGrant,
+    /// `handle_acc` applies every eager accumulate payload twice — a
+    /// safety bug: final window contents diverge from the oracle while
+    /// every synchronization invariant still holds.
+    DoubleAcc,
 }
 
 /// Per-rank cumulative timing, reported by [`crate::api::RankEnv::stats`].
@@ -187,6 +209,8 @@ pub(crate) struct EngState {
     pub coll_seq: Vec<u64>,
     /// Epoch lifecycle trace (populated when `JobConfig::trace`).
     pub trace: Vec<crate::trace::TraceRecord>,
+    /// Synchronization-plane trace (populated when `JobConfig::trace`).
+    pub sync_trace: Vec<crate::trace::SyncRecord>,
 }
 
 impl EngState {
@@ -243,6 +267,8 @@ pub struct Engine {
     pub(crate) net: Arc<Network<Body>>,
     pub(crate) sim: SimHandle,
     pub(crate) cfg: JobConfig,
+    /// Resolved injected fault (see [`Fault`]); `None` in normal operation.
+    pub(crate) fault: Option<Fault>,
 }
 
 /// Issue phase selector for sweep steps 2 and 4.
@@ -259,11 +285,27 @@ impl Engine {
         let net_params: NetParams = cfg.net.clone();
         let net = Network::new(sim.clone(), net_params, topo);
         let n = cfg.n_ranks;
+        // The explicit config field wins; the env var is the hidden fallback
+        // the harness self-test uses. Empty string = explicitly no fault.
+        let fault_name = cfg
+            .fault
+            .clone()
+            .or_else(|| std::env::var("MPISIM_CHECK_INJECT").ok());
+        let fault = match fault_name.as_deref() {
+            None | Some("") => None,
+            Some("skip-grant") => Some(Fault::SkipGrant),
+            Some("double-acc") => Some(Fault::DoubleAcc),
+            Some(other) => panic!("unknown injected fault {other:?}"),
+        };
         let eng = Arc::new(Engine {
             st: Mutex::new(EngState {
                 wins: Vec::new(),
                 created: vec![0; n],
-                reqs: ReqTable::new(),
+                reqs: {
+                    let mut t = ReqTable::new();
+                    t.set_logging(cfg.trace);
+                    t
+                },
                 p2p: (0..n).map(|_| P2pRank::default()).collect(),
                 barrier: (0..n).map(|_| BarrierRank::default()).collect(),
                 stats: vec![RankStats::default(); n],
@@ -273,10 +315,12 @@ impl Engine {
                 eng_stats: EngineStats::default(),
                 coll_seq: vec![0; n],
                 trace: Vec::new(),
+                sync_trace: Vec::new(),
             }),
             net: net.clone(),
             sim,
             cfg,
+            fault,
         });
         let e2 = eng.clone();
         net.set_handler(move |pkt| e2.on_message(pkt));
@@ -306,6 +350,45 @@ impl Engine {
     /// Drain the recorded epoch lifecycle trace.
     pub fn take_trace(&self) -> Vec<crate::trace::TraceRecord> {
         std::mem::take(&mut self.st.lock().trace)
+    }
+
+    /// Drain the recorded synchronization-plane trace.
+    pub fn take_sync_trace(&self) -> Vec<crate::trace::SyncRecord> {
+        std::mem::take(&mut self.st.lock().sync_trace)
+    }
+
+    /// Drain the recorded request-lifecycle log.
+    pub fn take_req_log(&self) -> Vec<(Req, crate::request::ReqEvent)> {
+        self.st.lock().reqs.take_log()
+    }
+
+    /// Number of live (unconsumed) requests right now.
+    pub fn live_requests(&self) -> usize {
+        self.st.lock().reqs.live()
+    }
+
+    /// Record one synchronization-plane event (no-op unless tracing).
+    pub(crate) fn sync_event(
+        &self,
+        st: &mut EngState,
+        rank: Rank,
+        peer: Rank,
+        win: WinId,
+        plane: crate::trace::Plane,
+        event: crate::trace::SyncEvent,
+    ) {
+        if !self.cfg.trace {
+            return;
+        }
+        let time = self.sim.now();
+        st.sync_trace.push(crate::trace::SyncRecord {
+            time,
+            rank,
+            peer,
+            win,
+            plane,
+            event,
+        });
     }
 
     /// Record one epoch lifecycle transition (no-op unless tracing).

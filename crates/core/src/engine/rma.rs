@@ -205,6 +205,19 @@ impl Engine {
     fn send_op(self: &Arc<Self>, st: &mut EngState, rank: Rank, win: WinId, eid: EpochId, op: OpDesc) {
         let tag = self.epoch_tag(st, rank, win, eid, op.target);
         let is_passive = st.win(win, rank).epoch(eid).kind.is_passive();
+        let plane = if is_passive {
+            crate::trace::Plane::Lock
+        } else {
+            crate::trace::Plane::Gats
+        };
+        self.sync_event(
+            st,
+            rank,
+            op.target,
+            win,
+            plane,
+            crate::trace::SyncEvent::DataIssued { epoch: eid.0 },
+        );
         let OpDesc {
             age,
             target,
@@ -583,6 +596,11 @@ impl Engine {
                 // operation atomic with respect to other accumulates.
                 datatype::apply(dt, op, &mut w.mem[disp..disp + len], bytes)
                     .expect("erroneous program: accumulate datatype mismatch at target");
+                if self.fault == Some(crate::engine::Fault::DoubleAcc) {
+                    // Injected safety bug: the reduction is applied twice.
+                    datatype::apply(dt, op, &mut w.mem[disp..disp + len], bytes)
+                        .expect("erroneous program: accumulate datatype mismatch at target");
+                }
             }
         }
         self.apply_fence_arrival(st, me, win, src, tag);

@@ -42,11 +42,30 @@ struct ReqState {
     waiters: Vec<Signal>,
 }
 
+/// One request-lifecycle transition, recorded when logging is enabled.
+/// Consumed by the conformance harness's auditor: a handle must go
+/// `Alloc → Complete → Consume`, complete effectively once, and be
+/// consumed exactly once — application-visible completion happens only at
+/// test/wait, which is the sole caller of `consume` (§VII.C).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReqEvent {
+    /// Allocated pending. Dummy epoch-open requests log `Alloc`
+    /// immediately followed by `Complete` (complete at creation).
+    Alloc(ReqKind),
+    /// Transitioned to complete (first effective completion only;
+    /// idempotent re-completions are not logged).
+    Complete,
+    /// Consumed by test/wait; the slot is freed.
+    Consume,
+}
+
 /// Table of live requests. One per job, inside the engine state.
 #[derive(Default)]
 pub struct ReqTable {
     slots: Vec<Slot>,
     free: Vec<u32>,
+    logging: bool,
+    log: Vec<(Req, ReqEvent)>,
 }
 
 fn unpack(r: Req) -> (usize, u32) {
@@ -63,6 +82,16 @@ impl ReqTable {
         ReqTable::default()
     }
 
+    /// Enable or disable lifecycle logging (see [`ReqEvent`]).
+    pub fn set_logging(&mut self, on: bool) {
+        self.logging = on;
+    }
+
+    /// Drain the recorded lifecycle log.
+    pub fn take_log(&mut self) -> Vec<(Req, ReqEvent)> {
+        std::mem::take(&mut self.log)
+    }
+
     /// Allocate a pending request.
     pub fn alloc(&mut self, kind: ReqKind) -> Req {
         let state = ReqState {
@@ -71,7 +100,7 @@ impl ReqTable {
             data: None,
             waiters: Vec::new(),
         };
-        match self.free.pop() {
+        let r = match self.free.pop() {
             Some(idx) => {
                 let slot = &mut self.slots[idx as usize];
                 slot.nonce = slot.nonce.wrapping_add(1);
@@ -85,7 +114,11 @@ impl ReqTable {
                 });
                 pack(self.slots.len() - 1, 0)
             }
+        };
+        if self.logging {
+            self.log.push((r, ReqEvent::Alloc(kind)));
         }
+        r
     }
 
     /// Allocate a request that is already complete (the dummy epoch-opening
@@ -124,12 +157,16 @@ impl ReqTable {
         if st.done && data.is_none() {
             return;
         }
+        let transition = !st.done;
         st.done = true;
         if data.is_some() {
             st.data = data;
         }
         for w in st.waiters.drain(..) {
             w.fire();
+        }
+        if self.logging && transition {
+            self.log.push((r, ReqEvent::Complete));
         }
     }
 
@@ -167,6 +204,9 @@ impl ReqTable {
         let st = slot.state.take().unwrap();
         assert!(st.done, "consume() on an incomplete request");
         self.free.push(idx as u32);
+        if self.logging {
+            self.log.push((r, ReqEvent::Consume));
+        }
         Ok(st.data)
     }
 
@@ -233,6 +273,28 @@ mod tests {
         t.complete(r, None);
         t.complete(r, None); // no panic
         assert!(t.is_done(r).unwrap());
+    }
+
+    #[test]
+    fn log_records_lifecycle_in_order() {
+        let mut t = ReqTable::new();
+        t.set_logging(true);
+        let r = t.alloc(ReqKind::Comm);
+        t.complete(r, None);
+        t.complete(r, None); // idempotent: not logged twice
+        t.consume(r).unwrap();
+        let d = t.alloc_done(ReqKind::EpochOpen);
+        assert_eq!(
+            t.take_log(),
+            vec![
+                (r, ReqEvent::Alloc(ReqKind::Comm)),
+                (r, ReqEvent::Complete),
+                (r, ReqEvent::Consume),
+                (d, ReqEvent::Alloc(ReqKind::EpochOpen)),
+                (d, ReqEvent::Complete),
+            ]
+        );
+        assert!(t.take_log().is_empty());
     }
 
     #[test]

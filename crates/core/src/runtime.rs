@@ -24,6 +24,14 @@ pub struct JobReport {
     pub ranks: Vec<RankStats>,
     /// Epoch lifecycle trace (empty unless `JobConfig::trace`).
     pub trace: Vec<crate::trace::TraceRecord>,
+    /// Synchronization-plane trace (empty unless `JobConfig::trace`).
+    pub sync_trace: Vec<crate::trace::SyncRecord>,
+    /// Request lifecycle log (empty unless `JobConfig::trace`).
+    pub req_events: Vec<(crate::types::Req, crate::request::ReqEvent)>,
+    /// Requests still unconsumed when the job finished (should be 0).
+    pub live_requests: usize,
+    /// Engine-level counters (epochs opened/activated/completed, grants…).
+    pub engine: crate::engine::EngineStats,
 }
 
 impl JobReport {
@@ -69,6 +77,7 @@ where
     let mut sim = Sim::new(cfg.seed);
     sim.set_stack_size(cfg.stack_size);
     sim.set_event_cap(cfg.event_cap);
+    sim.set_tiebreak_seed(cfg.tiebreak_seed);
     let eng = Engine::new(sim.handle(), cfg.clone());
     let f = Arc::new(f);
     for r in 0..cfg.n_ranks {
@@ -87,5 +96,9 @@ where
         net: eng.network().stats(),
         ranks,
         trace: eng.take_trace(),
+        sync_trace: eng.take_sync_trace(),
+        req_events: eng.take_req_log(),
+        live_requests: eng.live_requests(),
+        engine: eng.engine_stats(),
     })
 }

@@ -71,6 +71,87 @@ pub struct TraceRecord {
     pub event: EpochEvent,
 }
 
+/// Which ω-triple matching plane a synchronization event belongs to.
+///
+/// GATS/fence epochs match on the `⟨a, e, g⟩` counters; passive-target
+/// epochs match on the separate `⟨a_lock, g_lock⟩` pair (split matching
+/// planes, DESIGN.md deviation 1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Plane {
+    /// Active-target plane (`a`/`e`/`g` counters; fence and GATS).
+    Gats,
+    /// Passive-target plane (`a_lock`/`g_lock` counters; lock/lock_all).
+    Lock,
+}
+
+/// A synchronization-plane transition, recorded alongside the epoch trace
+/// when tracing is on. These are the raw material of the conformance
+/// harness's invariant auditor: grant emission and application must stay
+/// positional and monotone, and data must never be issued to a target
+/// before the matching grant arrived (§VII.B).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SyncEvent {
+    /// The granter sent positional grant number `id` to `peer`.
+    GrantSent {
+        /// Grant position within the (granter, peer, win, plane) stream.
+        id: u64,
+    },
+    /// The origin applied a grant, raising its `g_r` (or `g_lock`) to `id`.
+    GrantApplied {
+        /// The counter value after application.
+        id: u64,
+    },
+    /// An access epoch was assigned its positional access id `A_i` toward
+    /// `peer` at activation.
+    AccessAssigned {
+        /// Epoch id (matches the epoch trace).
+        epoch: u64,
+        /// The positional access id assigned.
+        id: u64,
+    },
+    /// An RMA data operation of `epoch` was handed to the network toward
+    /// `peer` (after the grant gate, except for fences which pre-grant).
+    DataIssued {
+        /// Epoch id (matches the epoch trace).
+        epoch: u64,
+    },
+}
+
+/// One synchronization-plane trace record.
+#[derive(Copy, Clone, Debug)]
+pub struct SyncRecord {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Rank on which the event happened.
+    pub rank: Rank,
+    /// The remote rank involved (grant peer, or data target).
+    pub peer: Rank,
+    /// Window.
+    pub win: WinId,
+    /// Matching plane.
+    pub plane: Plane,
+    /// The transition.
+    pub event: SyncEvent,
+}
+
+impl std::fmt::Display for SyncRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let plane = match self.plane {
+            Plane::Gats => "gats",
+            Plane::Lock => "lock",
+        };
+        write!(
+            f,
+            "{} r{} w{} peer r{} {plane} {:?}",
+            self.time,
+            self.rank.idx(),
+            self.win.0,
+            self.peer.idx(),
+            self.event
+        )
+    }
+}
+
 /// Per-epoch lifecycle summary assembled from raw records.
 #[derive(Clone, Debug, Default)]
 pub struct EpochSummary {

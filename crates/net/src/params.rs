@@ -125,6 +125,28 @@ impl NetParams {
         }
     }
 
+    /// Deterministic adversarial parameter set number `index`, used by the
+    /// conformance harness to stress schedules without changing semantics.
+    ///
+    /// Cycles through the cross product of four jitter magnitudes (off,
+    /// sub-latency, ≈latency, ≫latency) and four flow-control settings
+    /// (calibrated, starved-to-one-credit, nearly starved, unlimited) — 16
+    /// distinct profiles; higher indices wrap. Credit starvation only delays
+    /// sends (the backlog drains on acknowledgement), and jitter preserves
+    /// per-channel delivery order, so every profile is a legal network.
+    pub fn perturbation_profile(index: u64) -> Self {
+        const JITTER_NS: [u64; 4] = [0, 200, 2_000, 20_000];
+        const CREDITS: [(u32, u32); 4] = [(16, 256), (1, 2), (2, 4), (0, 0)];
+        let jitter = JITTER_NS[(index % 4) as usize];
+        let (channel_credits, rank_credits) = CREDITS[((index / 4) % 4) as usize];
+        NetParams {
+            jitter: SimTime::from_nanos(jitter),
+            channel_credits,
+            rank_credits,
+            ..NetParams::qdr_infiniband()
+        }
+    }
+
     /// Serialization time of `bytes` on an internode link.
     pub fn inter_ser(&self, bytes: usize) -> SimTime {
         SimTime::from_secs_f64(bytes as f64 / self.inter_bw)
@@ -177,5 +199,22 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn empty_topology_rejected() {
         let _ = Topology::new(0, 1);
+    }
+
+    #[test]
+    fn perturbation_profiles_are_distinct_and_wrap() {
+        let mut seen = Vec::new();
+        for i in 0..16u64 {
+            let p = NetParams::perturbation_profile(i);
+            let key = (p.jitter, p.channel_credits, p.rank_credits);
+            assert!(!seen.contains(&key), "profile {i} duplicates an earlier one");
+            seen.push(key);
+        }
+        // Index 0 is the calibrated baseline; indices wrap mod 16.
+        assert_eq!(NetParams::perturbation_profile(0).jitter, SimTime::ZERO);
+        assert_eq!(NetParams::perturbation_profile(0).channel_credits, 16);
+        let a = NetParams::perturbation_profile(3);
+        let b = NetParams::perturbation_profile(19);
+        assert_eq!((a.jitter, a.channel_credits), (b.jitter, b.channel_credits));
     }
 }

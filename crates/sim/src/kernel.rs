@@ -107,14 +107,29 @@ type EventFn = Box<dyn FnOnce() + Send>;
 pub(crate) struct Inner {
     pub(crate) now: SimTime,
     next_seq: u64,
-    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    // Heap entries are `(time, key, seq)`: `key == seq` by default (FIFO
+    // among same-time events), or a seeded hash of `seq` when a tie-break
+    // perturbation is installed. `seq` stays in the tuple so ordering is
+    // total even if two keys collide.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
     actions: HashMap<u64, EventFn>,
+    tiebreak_seed: Option<u64>,
     pub(crate) ready: VecDeque<ProcId>,
     pub(crate) procs: Vec<ProcRec>,
     pub(crate) aborting: bool,
     events_executed: u64,
     context_switches: u64,
     event_cap: u64,
+}
+
+impl Inner {
+    /// Tie-break key for a freshly assigned sequence number.
+    fn tiebreak_key(&self, seq: u64) -> u64 {
+        match self.tiebreak_seed {
+            None => seq,
+            Some(seed) => crate::rng::mix64(seed, seq),
+        }
+    }
 }
 
 /// Shared kernel state: the event queue plus per-process scheduling records.
@@ -179,7 +194,8 @@ impl SimHandle {
     fn push_event(inner: &mut Inner, at: SimTime, f: EventFn) -> EventId {
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.heap.push(Reverse((at, seq)));
+        let key = inner.tiebreak_key(seq);
+        inner.heap.push(Reverse((at, key, seq)));
         inner.actions.insert(seq, f);
         EventId(seq)
     }
@@ -235,6 +251,7 @@ impl Sim {
                     ready: VecDeque::new(),
                     procs: Vec::new(),
                     aborting: false,
+                    tiebreak_seed: None,
                     events_executed: 0,
                     context_switches: 0,
                     event_cap: DEFAULT_EVENT_CAP,
@@ -256,6 +273,28 @@ impl Sim {
     /// Override the event cap.
     pub fn set_event_cap(&mut self, cap: u64) {
         self.core.inner.lock().event_cap = cap;
+    }
+
+    /// Install a seeded tie-break perturbation for same-time events.
+    ///
+    /// By default, events scheduled for the same virtual time run in
+    /// scheduling (FIFO) order. With a tie-break seed, same-time events run
+    /// in the order of a seeded hash of their sequence numbers instead — a
+    /// deterministic, seed-keyed permutation of every tie. Each seed is one
+    /// legal alternative schedule: the kernel never promises an order among
+    /// same-time events, only that *some* total order is picked
+    /// deterministically. The conformance harness sweeps seeds to explore
+    /// the schedule space; `None` restores FIFO order.
+    ///
+    /// Must be set before the first event is scheduled to be meaningful
+    /// (events already in the heap keep the key assigned at push time).
+    pub fn set_tiebreak_seed(&mut self, seed: Option<u64>) {
+        let mut inner = self.core.inner.lock();
+        debug_assert!(
+            inner.heap.is_empty(),
+            "tie-break seed changed after events were scheduled"
+        );
+        inner.tiebreak_seed = seed;
     }
 
     /// A handle for scheduling events and reading the clock.
@@ -374,7 +413,7 @@ impl Sim {
                 let mut inner = self.core.inner.lock();
                 loop {
                     match inner.heap.pop() {
-                        Some(Reverse((t, seq))) => {
+                        Some(Reverse((t, _key, seq))) => {
                             if let Some(f) = inner.actions.remove(&seq) {
                                 debug_assert!(t >= inner.now, "event in the past");
                                 inner.now = t;
@@ -423,6 +462,19 @@ impl Sim {
     /// Wake every blocked process so its thread can observe `aborting` and
     /// unwind; used on deadlock or propagated panic.
     fn abort_all(&mut self) {
+        // The unwind is driven by `panic_any(AbortToken)` in each blocked
+        // thread — pure control flow, not an error. Silence the default
+        // panic hook for that payload type (once, process-wide) so a
+        // deadlocked simulation doesn't spray one backtrace per rank.
+        static HOOK: std::sync::Once = std::sync::Once::new();
+        HOOK.call_once(|| {
+            let prev = panic::take_hook();
+            panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<crate::process::AbortToken>().is_none() {
+                    prev(info);
+                }
+            }));
+        });
         let parkers: Vec<Arc<Parker>> = {
             let mut inner = self.core.inner.lock();
             inner.aborting = true;
@@ -475,6 +527,46 @@ mod tests {
         sim.run().unwrap();
         // delays 10(i=1), 10(i=3) tie-broken by insertion, then 20, then 30
         assert_eq!(*log.lock(), vec![1, 3, 2, 0]);
+    }
+
+    fn tie_order(seed: Option<u64>) -> Vec<usize> {
+        let mut sim = Sim::new(0);
+        sim.set_tiebreak_seed(seed);
+        let h = sim.handle();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // Eight events tied at t=10ns, one late straggler at t=20ns.
+        for i in 0..8 {
+            let log = log.clone();
+            h.schedule(SimTime::from_nanos(10), move || log.lock().push(i));
+        }
+        let log2 = log.clone();
+        h.schedule(SimTime::from_nanos(20), move || log2.lock().push(99));
+        sim.run().unwrap();
+        let v = log.lock().clone();
+        v
+    }
+
+    #[test]
+    fn tiebreak_default_is_fifo() {
+        assert_eq!(tie_order(None), vec![0, 1, 2, 3, 4, 5, 6, 7, 99]);
+    }
+
+    #[test]
+    fn tiebreak_seed_permutes_only_ties() {
+        let base = tie_order(None);
+        let mut saw_reorder = false;
+        for seed in 0..8u64 {
+            let p = tie_order(Some(seed));
+            // Same event set, straggler still strictly last.
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5, 6, 7, 99]);
+            assert_eq!(*p.last().unwrap(), 99);
+            // Same seed, same schedule.
+            assert_eq!(p, tie_order(Some(seed)));
+            saw_reorder |= p != base;
+        }
+        assert!(saw_reorder, "no seed in 0..8 permuted an 8-way tie");
     }
 
     #[test]

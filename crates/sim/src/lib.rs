@@ -38,5 +38,5 @@ pub use kernel::{
     EventId, ProcId, Sim, SimError, SimHandle, SimStats, DEFAULT_EVENT_CAP, DEFAULT_STACK_SIZE,
 };
 pub use process::{ProcCtx, Signal};
-pub use rng::seeded_rng;
+pub use rng::{mix64, seeded_rng};
 pub use time::SimTime;

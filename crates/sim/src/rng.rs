@@ -17,6 +17,18 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Stateless mix of `(seed, x)` into a well-distributed 64-bit value.
+///
+/// Used by the kernel's tie-break perturbation to key same-time events: for
+/// a fixed seed the map `x -> mix64(seed, x)` is a fixed pseudo-random
+/// relabeling, so sorting by it yields a deterministic but seed-dependent
+/// permutation of equal-time events.
+#[inline]
+pub fn mix64(seed: u64, x: u64) -> u64 {
+    let mut state = seed ^ x.rotate_left(27) ^ 0xD6E8_FEB8_6659_FD93;
+    splitmix64(&mut state)
+}
+
 /// Derive a deterministic RNG for `(seed, stream)`.
 pub fn seeded_rng(seed: u64, stream: u64) -> SmallRng {
     let mut state = seed ^ stream.rotate_left(32) ^ 0xA076_1D64_78BD_642F;

@@ -1,0 +1,93 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Supports the subset the workspace benches use: [`black_box`],
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros (simple form). Each
+//! benchmark runs a short warmup, then a fixed measurement pass, and prints
+//! mean wall-clock time per iteration. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that defeats constant folding.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the chosen number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark registry/runner.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark: calibrating warmup, then measurement.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Warmup with one iteration to estimate cost, then size the
+        // measurement pass to roughly 1s, capped to keep CI cheap.
+        let mut warm = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut warm);
+        let per_iter = warm.elapsed.max(Duration::from_nanos(1));
+        let target = Duration::from_secs(1);
+        let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1000) as u64;
+
+        let mut bench = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bench);
+        let mean = bench.elapsed.as_nanos() as f64 / bench.iters as f64;
+        println!("{name:<40} {:>12.1} ns/iter ({} iters)", mean, bench.iters);
+        self
+    }
+}
+
+/// Group benchmark functions under one runner function (simple form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_chains() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)))
+            .bench_function("count", |b| {
+                b.iter(|| calls += 1);
+            });
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Dormant trailing fences (DESIGN.md deviation 4).
+//!
+//! Every `fence` call closes the previous fence epoch and opens a new one,
+//! so the last call of any fence sequence leaves an open, empty fence
+//! epoch behind. The engine retires these at `win_free` instead of
+//! completing them — `EngineStats::dormant_retired` counts them, and the
+//! deferred-queue balance `epochs_opened == epochs_completed +
+//! dormant_retired` must hold so nothing leaks.
+
+use mpisim_check::audit;
+use nonblocking_rma::{run_job, JobConfig, Rank};
+
+fn traced(n: usize) -> JobConfig {
+    let mut cfg = JobConfig::new(n);
+    cfg.trace = true;
+    cfg
+}
+
+#[test]
+fn trailing_fence_is_retired_at_win_free() {
+    let n = 3;
+    let report = run_job(traced(n), move |env| {
+        let win = env.win_allocate(64).unwrap();
+        env.barrier().unwrap();
+        env.fence(win).unwrap();
+        if env.rank().idx() == 0 {
+            env.put(win, Rank(1), 0, b"x").unwrap();
+        }
+        env.fence(win).unwrap(); // closes the data phase, opens a trailing fence
+        env.barrier().unwrap();
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+    // One dormant trailing fence per rank, and the books balance.
+    assert_eq!(report.engine.dormant_retired, n as u64);
+    assert_eq!(
+        report.engine.epochs_opened,
+        report.engine.epochs_completed + report.engine.dormant_retired,
+        "deferred-queue leak: {:?}",
+        report.engine
+    );
+    assert_eq!(report.live_requests, 0);
+    let violations = audit(&report);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn back_to_back_fence_phases_leave_one_dormant_epoch() {
+    // Two consecutive data phases share the middle fence; only the very
+    // last fence of the sequence goes dormant.
+    let n = 3;
+    let report = run_job(traced(n), move |env| {
+        let win = env.win_allocate(64).unwrap();
+        env.barrier().unwrap();
+        env.fence(win).unwrap();
+        if env.rank().idx() == 0 {
+            env.put(win, Rank(1), 0, b"phase1").unwrap();
+        }
+        env.fence(win).unwrap();
+        if env.rank().idx() == 0 {
+            env.put(win, Rank(2), 0, b"phase2").unwrap();
+        }
+        env.fence(win).unwrap();
+        env.barrier().unwrap();
+        if env.rank().idx() == 1 {
+            assert_eq!(env.read_local(win, 0, 6).unwrap(), b"phase1");
+        }
+        if env.rank().idx() == 2 {
+            assert_eq!(env.read_local(win, 0, 6).unwrap(), b"phase2");
+        }
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+    assert_eq!(report.engine.dormant_retired, n as u64, "exactly the trailing fences");
+    assert_eq!(
+        report.engine.epochs_opened,
+        report.engine.epochs_completed + report.engine.dormant_retired
+    );
+    let violations = audit(&report);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn nonblocking_fence_closes_leave_no_leak() {
+    // ifence-closed phases plus the dormant trailing fence: the request
+    // table and deferred queue must both drain.
+    let n = 3;
+    let report = run_job(traced(n), move |env| {
+        let win = env.win_allocate(64).unwrap();
+        env.barrier().unwrap();
+        env.fence(win).unwrap();
+        if env.rank().idx() == 0 {
+            env.put(win, Rank(1), 0, b"nb").unwrap();
+        }
+        let f = env.ifence(win).unwrap();
+        env.wait(f).unwrap();
+        env.barrier().unwrap();
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+    assert_eq!(report.engine.dormant_retired, n as u64);
+    assert_eq!(
+        report.engine.epochs_opened,
+        report.engine.epochs_completed + report.engine.dormant_retired
+    );
+    assert_eq!(report.live_requests, 0, "ifence request leaked");
+    let violations = audit(&report);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn fence_only_window_is_all_dormant() {
+    // A window that only ever opens one fence epoch and frees: the single
+    // epoch per rank is dormant; nothing completes, nothing leaks.
+    let n = 2;
+    let report = run_job(traced(n), move |env| {
+        let win = env.win_allocate(64).unwrap();
+        env.barrier().unwrap();
+        env.fence(win).unwrap();
+        env.barrier().unwrap();
+        env.win_free(win).unwrap();
+    })
+    .unwrap();
+    assert_eq!(report.engine.dormant_retired, n as u64);
+    assert_eq!(
+        report.engine.epochs_opened,
+        report.engine.epochs_completed + report.engine.dormant_retired
+    );
+    let violations = audit(&report);
+    assert!(violations.is_empty(), "{violations:?}");
+}
