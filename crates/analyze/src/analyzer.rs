@@ -1,0 +1,648 @@
+//! Flow-sensitive static analysis of an [`IrProgram`].
+//!
+//! One pass walks every rank's statement list through a per-(rank, window)
+//! epoch state machine that mirrors the engine's API-level checks exactly
+//! (`AlreadyInEpoch`, `EpochMismatch`, `NoEpoch`, the dormant-trailing-
+//! fence tolerance, and the op→epoch routing order lock → lock_all → GATS
+//! → fence), collecting every data access with its covering epoch and
+//! concurrency scope. Cross-rank passes then check collective matching
+//! (E011) and byte-range interval conflicts: cross-origin conflicts within
+//! one concurrency scope (E006/E007) and same-origin cross-epoch conflicts
+//! made concurrent by reorder flags (E009).
+//!
+//! The analyzer recovers after every diagnostic (reports and keeps
+//! walking), so one malformed statement yields one diagnostic rather than
+//! a cascade.
+
+use std::collections::BTreeMap;
+
+use mpisim_core::trace::AccessKind;
+
+use crate::diag::{Code, Diagnostic};
+use crate::ir::{Close, IrProgram, Stmt};
+
+/// Epoch kinds that matter for reorder-region analysis.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum EKind {
+    Fence,
+    Gats,
+    Lock,
+    LockAll,
+}
+
+/// Which concurrency scope an access belongs to (who else can race with it
+/// at the target window).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Scope {
+    /// Fence phase `seq`: every rank's accesses of phase `seq` are
+    /// concurrent.
+    FencePhase(usize),
+    /// GATS access: the origin's `start_seq`-th start whose group contains
+    /// the target; resolved to the matching exposure instance in the
+    /// cross-rank pass.
+    Gats {
+        /// Occurrence index of this (origin → target) start.
+        start_seq: usize,
+    },
+    /// Exclusive lock: serialized by the lock manager, never concurrent.
+    ExclusiveLock,
+    /// Shared lock or `lock_all`: potentially concurrent with every other
+    /// shared-mode access to the same target.
+    Shared,
+}
+
+/// One recorded data access.
+#[derive(Clone, Debug)]
+struct Access {
+    rank: usize,
+    step: usize,
+    target: usize,
+    lo: usize,
+    hi: usize,
+    kind: AccessKind,
+    scope: Scope,
+    /// Per-rank ordinal of the covering access epoch.
+    epoch: usize,
+    /// Per-rank reorder-concurrency region of the covering epoch.
+    region: usize,
+}
+
+fn overlap(a: &Access, b: &Access) -> Option<(usize, usize)> {
+    let lo = a.lo.max(b.lo);
+    let hi = a.hi.min(b.hi);
+    (lo < hi).then_some((lo, hi))
+}
+
+/// Per-rank walker state.
+struct RankState {
+    rank: usize,
+    n_ranks: usize,
+    win_bytes: usize,
+    reorder: bool,
+    unsafe_fence_reorder: bool,
+
+    /// Open fence epoch: `Some((ordinal, region, phase_seq, has_ops))`.
+    fence: Option<(usize, usize, usize, bool)>,
+    /// Fence statements executed (collective fence count).
+    fence_calls: usize,
+    /// Open GATS access epoch: group + ordinal/region + open step +
+    /// per-target start occurrence indices.
+    gats: Option<GatsState>,
+    /// Open exposure epoch: (group, open step).
+    exposure: Option<(Vec<usize>, usize)>,
+    /// Open per-target locks: target → (exclusive, ordinal, region, step).
+    locks: BTreeMap<usize, (bool, usize, usize, usize)>,
+    /// Open lock_all epoch: (ordinal, region, step).
+    lock_all: Option<(usize, usize, usize)>,
+
+    /// Outstanding nonblocking-epoch requests: (step, what).
+    outstanding: Vec<(usize, &'static str)>,
+
+    /// Count of starts whose group contains each target (E011 + scope).
+    starts_toward: BTreeMap<usize, usize>,
+    /// This rank's posts, in order: the exposure-instance list.
+    posts: Vec<Vec<usize>>,
+
+    /// Reorder-region bookkeeping.
+    next_ordinal: usize,
+    region: usize,
+    prev_kind: Option<EKind>,
+    /// A blocking close / wait happened since the last epoch open: the
+    /// next epoch cannot overlap anything before it.
+    synced: bool,
+
+    accesses: Vec<Access>,
+    diags: Vec<Diagnostic>,
+}
+
+impl RankState {
+    fn new(rank: usize, p: &IrProgram) -> Self {
+        RankState {
+            rank,
+            n_ranks: p.n_ranks,
+            win_bytes: p.win_bytes,
+            reorder: p.reorder,
+            unsafe_fence_reorder: p.unsafe_fence_reorder,
+            fence: None,
+            fence_calls: 0,
+            gats: None,
+            exposure: None,
+            locks: BTreeMap::new(),
+            lock_all: None,
+            outstanding: Vec::new(),
+            starts_toward: BTreeMap::new(),
+            posts: Vec::new(),
+            next_ordinal: 0,
+            region: 0,
+            prev_kind: None,
+            synced: false,
+            accesses: Vec::new(),
+            diags: Vec::new(),
+        }
+    }
+
+    fn diag(&mut self, code: Code, step: Option<usize>, detail: String) {
+        self.diags.push(Diagnostic { code, rank: self.rank, step, detail });
+    }
+
+    /// Allocate the next access epoch's (ordinal, region), advancing the
+    /// reorder-concurrency region when the adjacent pair cannot progress
+    /// concurrently: reorder flags off, a blocking synchronization between
+    /// the opens, either side a `lock_all` epoch, or either side a fence
+    /// epoch without the `unsafe_fence_reorder` extension.
+    fn open_epoch(&mut self, kind: EKind) -> (usize, usize) {
+        let fence_blocks = |k: EKind| matches!(k, EKind::Fence) && !self.unsafe_fence_reorder;
+        let break_region = !self.reorder
+            || self.synced
+            || kind == EKind::LockAll
+            || self.prev_kind == Some(EKind::LockAll)
+            || fence_blocks(kind)
+            || self.prev_kind.map(fence_blocks).unwrap_or(false);
+        if break_region {
+            self.region += 1;
+        }
+        self.prev_kind = Some(kind);
+        self.synced = false;
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
+        (ordinal, self.region)
+    }
+
+    /// The engine's `check_fence_conflict`: a *non-dormant* open fence
+    /// epoch blocks every other epoch-opening routine; a dormant trailing
+    /// fence is tolerated.
+    fn fence_conflict(&mut self, step: usize, called: &str) {
+        if let Some((_, _, seq, has_ops)) = self.fence {
+            if has_ops {
+                self.diag(
+                    Code::E005,
+                    Some(step),
+                    format!("{called} while fence phase {seq} is open and has issued operations"),
+                );
+            }
+        }
+    }
+
+    fn push_request(&mut self, step: usize, what: &'static str) {
+        self.outstanding.push((step, what));
+    }
+
+    fn data_op(
+        &mut self,
+        step: usize,
+        target: usize,
+        disp: usize,
+        len: usize,
+        kind: AccessKind,
+        name: &str,
+    ) {
+        if target >= self.n_ranks {
+            self.diag(
+                Code::E002,
+                Some(step),
+                format!("{name} targets rank {target} but the job has {} ranks", self.n_ranks),
+            );
+            return;
+        }
+        if disp + len > self.win_bytes {
+            self.diag(
+                Code::E010,
+                Some(step),
+                format!(
+                    "{name} touches bytes [{disp}, {}) of rank {target}'s {}-byte window",
+                    disp + len,
+                    self.win_bytes
+                ),
+            );
+            return;
+        }
+        // Route to the covering access epoch exactly like the engine:
+        // single-target lock → lock_all → GATS access (target in group) →
+        // fence.
+        let (scope, epoch, region) = if let Some(&(excl, ord, reg, _)) = self.locks.get(&target) {
+            (if excl { Scope::ExclusiveLock } else { Scope::Shared }, ord, reg)
+        } else if let Some((ord, reg, _)) = self.lock_all {
+            (Scope::Shared, ord, reg)
+        } else if let Some(g) = self.gats.as_ref().filter(|g| g.group.contains(&target)) {
+            (Scope::Gats { start_seq: g.start_seq[&target] }, g.ordinal, g.region)
+        } else if self.gats.is_some() && self.fence.is_none() {
+            self.diag(
+                Code::E002,
+                Some(step),
+                format!("{name} targets rank {target}, which is not in the start group"),
+            );
+            return;
+        } else if let Some((ord, reg, seq, has_ops)) = self.fence.as_mut() {
+            if self.gats.is_some() {
+                // The engine would silently route this op into the open
+                // fence phase; it still escapes the start group.
+                let d = format!(
+                    "{name} targets rank {target}, which is not in the start group \
+                     (the operation would fall through to fence phase {seq})"
+                );
+                *has_ops = true;
+                let rec = (Scope::FencePhase(*seq), *ord, *reg);
+                self.diag(Code::E002, Some(step), d);
+                rec
+            } else {
+                *has_ops = true;
+                (Scope::FencePhase(*seq), *ord, *reg)
+            }
+        } else {
+            self.diag(
+                Code::E001,
+                Some(step),
+                format!("{name} toward rank {target} with no access epoch open"),
+            );
+            return;
+        };
+        self.accesses.push(Access {
+            rank: self.rank,
+            step,
+            target,
+            lo: disp,
+            hi: disp + len,
+            kind,
+            scope,
+            epoch,
+            region,
+        });
+    }
+
+    fn finish(&mut self) {
+        if let Some(g) = self.gats.take() {
+            self.diag(
+                Code::E003,
+                Some(g.step),
+                "GATS access epoch is never completed".into(),
+            );
+        }
+        if let Some((_, step)) = self.exposure.take() {
+            self.diag(Code::E003, Some(step), "exposure epoch is never waited".into());
+        }
+        let locks = std::mem::take(&mut self.locks);
+        for (target, (_, _, _, step)) in locks {
+            self.diag(
+                Code::E003,
+                Some(step),
+                format!("lock on rank {target} is never unlocked"),
+            );
+        }
+        if let Some((_, _, step)) = self.lock_all.take() {
+            self.diag(Code::E003, Some(step), "lock_all epoch is never unlocked".into());
+        }
+        if let Some((_, _, seq, true)) = self.fence {
+            self.diag(
+                Code::E003,
+                None,
+                format!("trailing fence phase {seq} issued operations but is never closed"),
+            );
+        }
+        let outstanding = std::mem::take(&mut self.outstanding);
+        for (step, what) in outstanding {
+            self.diag(
+                Code::E008,
+                Some(step),
+                format!("request returned by {what} is never tested or waited"),
+            );
+        }
+    }
+}
+
+/// Open-GATS bookkeeping.
+struct GatsState {
+    group: Vec<usize>,
+    step: usize,
+    ordinal: usize,
+    region: usize,
+    /// Per-target occurrence index of this start (0-based).
+    start_seq: BTreeMap<usize, usize>,
+}
+
+fn walk_rank(rank: usize, p: &IrProgram) -> RankState {
+    let mut st = RankState::new(rank, p);
+    for (step, stmt) in p.ranks[rank].iter().enumerate() {
+        match stmt {
+            Stmt::Fence(close) => {
+                // The engine rejects fence with any other epoch kind open.
+                if st.gats.is_some()
+                    || st.exposure.is_some()
+                    || !st.locks.is_empty()
+                    || st.lock_all.is_some()
+                {
+                    st.diag(
+                        Code::E005,
+                        Some(step),
+                        "fence while a GATS/lock/exposure epoch is open".into(),
+                    );
+                }
+                if st.fence.is_some() && close.is_blocking() {
+                    st.synced = true;
+                }
+                if matches!(close, Close::Nonblocking) {
+                    // `ifence` always returns a request: the closing
+                    // request, or a dummy opening request (§VII.C).
+                    st.push_request(step, "ifence");
+                }
+                let seq = st.fence_calls;
+                st.fence_calls += 1;
+                let (ord, reg) = st.open_epoch(EKind::Fence);
+                st.fence = Some((ord, reg, seq, false));
+            }
+            Stmt::Start(group) => {
+                st.fence_conflict(step, "start");
+                if st.gats.is_some() {
+                    st.diag(Code::E005, Some(step), "start while a start epoch is open".into());
+                }
+                if !st.locks.is_empty() || st.lock_all.is_some() {
+                    st.diag(Code::E005, Some(step), "start while a lock epoch is open".into());
+                }
+                let (ordinal, region) = st.open_epoch(EKind::Gats);
+                let mut start_seq = BTreeMap::new();
+                for &t in group {
+                    let c = st.starts_toward.entry(t).or_insert(0);
+                    start_seq.insert(t, *c);
+                    *c += 1;
+                }
+                st.gats = Some(GatsState { group: group.clone(), step, ordinal, region, start_seq });
+            }
+            Stmt::Complete(close) => {
+                if st.gats.take().is_none() {
+                    st.diag(Code::E004, Some(step), "complete without an open start epoch".into());
+                }
+                if close.is_blocking() {
+                    st.synced = true;
+                } else {
+                    st.push_request(step, "icomplete");
+                }
+            }
+            Stmt::Post(group) => {
+                st.fence_conflict(step, "post");
+                if st.exposure.is_some() {
+                    st.diag(Code::E005, Some(step), "post while an exposure epoch is open".into());
+                }
+                st.exposure = Some((group.clone(), step));
+                st.posts.push(group.clone());
+            }
+            Stmt::WaitEpoch(close) => {
+                if st.exposure.take().is_none() {
+                    st.diag(Code::E004, Some(step), "wait without an open exposure epoch".into());
+                }
+                if close.is_blocking() {
+                    st.synced = true;
+                } else {
+                    st.push_request(step, "iwait");
+                }
+            }
+            Stmt::Lock { target, exclusive, nonblocking } => {
+                if *target >= p.n_ranks {
+                    st.diag(
+                        Code::E002,
+                        Some(step),
+                        format!("lock targets rank {target} but the job has {} ranks", p.n_ranks),
+                    );
+                    continue;
+                }
+                st.fence_conflict(step, "lock");
+                if st.locks.contains_key(target) {
+                    st.diag(
+                        Code::E005,
+                        Some(step),
+                        format!("lock on rank {target}, which is already locked"),
+                    );
+                }
+                if st.lock_all.is_some() || st.gats.is_some() {
+                    st.diag(
+                        Code::E005,
+                        Some(step),
+                        "lock while a lock_all/start epoch is open".into(),
+                    );
+                }
+                if *nonblocking {
+                    st.push_request(step, "ilock");
+                }
+                let (ord, reg) = st.open_epoch(EKind::Lock);
+                st.locks.insert(*target, (*exclusive, ord, reg, step));
+            }
+            Stmt::Unlock { target, close } => {
+                if st.locks.remove(target).is_none() {
+                    st.diag(
+                        Code::E004,
+                        Some(step),
+                        format!("unlock of rank {target}, which is not locked"),
+                    );
+                }
+                if close.is_blocking() {
+                    st.synced = true;
+                } else {
+                    st.push_request(step, "iunlock");
+                }
+            }
+            Stmt::LockAll => {
+                st.fence_conflict(step, "lock_all");
+                if !st.locks.is_empty() || st.lock_all.is_some() || st.gats.is_some() {
+                    st.diag(
+                        Code::E005,
+                        Some(step),
+                        "lock_all while a lock/start epoch is open".into(),
+                    );
+                }
+                let (ord, reg) = st.open_epoch(EKind::LockAll);
+                st.lock_all = Some((ord, reg, step));
+            }
+            Stmt::UnlockAll(close) => {
+                if st.lock_all.take().is_none() {
+                    st.diag(
+                        Code::E004,
+                        Some(step),
+                        "unlock_all without an open lock_all epoch".into(),
+                    );
+                }
+                if close.is_blocking() {
+                    st.synced = true;
+                } else {
+                    st.push_request(step, "iunlock_all");
+                }
+            }
+            Stmt::Put { target, disp, len } => {
+                st.data_op(step, *target, *disp, *len, AccessKind::Write, "put");
+            }
+            Stmt::Get { target, disp, len } => {
+                st.data_op(step, *target, *disp, *len, AccessKind::Read, "get");
+            }
+            Stmt::Acc { target, disp, len, op } => {
+                st.data_op(step, *target, *disp, *len, AccessKind::Atomic(*op), "accumulate");
+            }
+            Stmt::WaitAll => {
+                st.outstanding.clear();
+                st.synced = true;
+            }
+            Stmt::Barrier => {}
+        }
+    }
+    st.finish();
+    st
+}
+
+/// Classify a conflicting pair: both mutate → E006, otherwise (one side is
+/// a read) → E007.
+fn conflict_code(a: AccessKind, b: AccessKind) -> Code {
+    if a.writes() && b.writes() {
+        Code::E006
+    } else {
+        Code::E007
+    }
+}
+
+fn describe(a: &Access) -> String {
+    format!(
+        "rank {} stmt {} ({:?} bytes [{}, {}) of rank {})",
+        a.rank, a.step, a.kind, a.lo, a.hi, a.target
+    )
+}
+
+/// Run the full static analysis. An empty result means the program is
+/// protocol-clean: every run of it should match its oracle and pass the
+/// trace audit.
+pub fn analyze(p: &IrProgram) -> Vec<Diagnostic> {
+    assert_eq!(p.ranks.len(), p.n_ranks, "one statement list per rank");
+    let states: Vec<RankState> = (0..p.n_ranks).map(|r| walk_rank(r, p)).collect();
+    let mut diags: Vec<Diagnostic> = states.iter().flat_map(|s| s.diags.clone()).collect();
+
+    // E011a: collective fence counts must agree on every rank.
+    for s in &states[1..] {
+        if s.fence_calls != states[0].fence_calls {
+            diags.push(Diagnostic {
+                code: Code::E011,
+                rank: s.rank,
+                step: None,
+                detail: format!(
+                    "rank {} makes {} fence calls but rank 0 makes {}",
+                    s.rank, s.fence_calls, states[0].fence_calls
+                ),
+            });
+        }
+    }
+
+    // E011b: every (origin, target) start count must equal the count of
+    // posts at the target whose group contains the origin.
+    for o in &states {
+        for (&t, &n_starts) in &o.starts_toward {
+            if t >= p.n_ranks {
+                continue; // reported as E002 at the start site's ops
+            }
+            let n_posts =
+                states[t].posts.iter().filter(|g| g.contains(&o.rank)).count();
+            if n_starts != n_posts {
+                diags.push(Diagnostic {
+                    code: Code::E011,
+                    rank: o.rank,
+                    step: None,
+                    detail: format!(
+                        "rank {} starts toward rank {t} {n_starts} time(s) but rank {t} \
+                         posts toward rank {} {n_posts} time(s)",
+                        o.rank, o.rank
+                    ),
+                });
+            }
+        }
+    }
+
+    // Resolve each GATS access to its exposure instance at the target: the
+    // origin's `start_seq`-th start containing t matches t's
+    // `start_seq`-th post containing the origin.
+    let mut accesses: Vec<(Access, Option<usize>)> = Vec::new();
+    for s in &states {
+        for a in &s.accesses {
+            let exposure = match &a.scope {
+                Scope::Gats { start_seq } => {
+                    let post = states[a.target]
+                        .posts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, g)| g.contains(&a.rank))
+                        .nth(*start_seq)
+                        .map(|(i, _)| i);
+                    if post.is_none() {
+                        continue; // unmatched start: E011 already reported
+                    }
+                    post
+                }
+                _ => None,
+            };
+            accesses.push((a.clone(), exposure));
+        }
+    }
+
+    // E006/E007: cross-origin conflicts within one concurrency scope.
+    // Same-origin same-target operations are per-channel FIFO ordered by
+    // the runtime, so only different origins can race here.
+    for (i, (a, ea)) in accesses.iter().enumerate() {
+        for (b, eb) in &accesses[i + 1..] {
+            if a.rank == b.rank || a.target != b.target {
+                continue;
+            }
+            let concurrent = match (&a.scope, &b.scope) {
+                (Scope::FencePhase(x), Scope::FencePhase(y)) => x == y,
+                (Scope::Gats { .. }, Scope::Gats { .. }) => ea == eb,
+                (Scope::Shared, Scope::Shared) => true,
+                _ => false,
+            };
+            if !concurrent {
+                continue;
+            }
+            if let Some((lo, hi)) = overlap(a, b) {
+                if a.kind.conflicts_with(b.kind) {
+                    diags.push(Diagnostic {
+                        code: conflict_code(a.kind, b.kind),
+                        rank: a.rank,
+                        step: Some(a.step),
+                        detail: format!(
+                            "bytes [{lo}, {hi}) of rank {}'s window: {} is unordered \
+                             against {}",
+                            a.target,
+                            describe(a),
+                            describe(b)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // E009: same-origin accesses in different epochs of one reorder-
+    // concurrency region — the flags let the runtime progress those epochs
+    // out of order, so conflicting overlaps are schedule-dependent.
+    if p.reorder {
+        for s in &states {
+            for (i, a) in s.accesses.iter().enumerate() {
+                for b in &s.accesses[i + 1..] {
+                    if a.target != b.target || a.epoch == b.epoch || a.region != b.region {
+                        continue;
+                    }
+                    if let Some((lo, hi)) = overlap(a, b) {
+                        if a.kind.conflicts_with(b.kind) {
+                            diags.push(Diagnostic {
+                                code: Code::E009,
+                                rank: s.rank,
+                                step: Some(a.step),
+                                detail: format!(
+                                    "reorder flags allow epochs {} and {} to progress \
+                                     concurrently, but bytes [{lo}, {hi}) of rank {}'s \
+                                     window conflict: {} vs {}",
+                                    a.epoch,
+                                    b.epoch,
+                                    a.target,
+                                    describe(a),
+                                    describe(b)
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    diags
+}

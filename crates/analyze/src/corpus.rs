@@ -1,0 +1,316 @@
+//! Generated-erroneous program corpus.
+//!
+//! Three seeded families of protocol-violating programs — the analyzer
+//! must flag **every** member (0 missed violations is a CI gate):
+//!
+//! * [`NegFamily::DroppedClose`] — a well-formed prefix whose final epoch
+//!   is opened but never closed (missing complete / wait / unlock /
+//!   unlock_all / closing fence) → `E003`.
+//! * [`NegFamily::OutOfEpochOp`] — a well-formed program with one data
+//!   operation inserted where no access epoch is open → `E001`.
+//! * [`NegFamily::ConflictingPuts`] — two origins touch overlapping bytes
+//!   of one target window inside the same fence phase → `E006` (or `E007`
+//!   when one side is a get).
+//!
+//! [`catalog_cases`] additionally provides one minimal deterministic
+//! positive program per diagnostic code — the CLI sweeps both.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mpisim_core::ReduceOp;
+
+use crate::diag::Code;
+use crate::ir::{Close, IrProgram, Stmt};
+
+/// Window size used by every corpus program.
+pub const NEG_WIN_BYTES: usize = 64;
+
+/// A generated-erroneous program family.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum NegFamily {
+    /// Final epoch's close is dropped → `E003`.
+    DroppedClose,
+    /// One data operation outside any epoch → `E001`.
+    OutOfEpochOp,
+    /// Cross-origin overlapping conflicting accesses in one fence phase →
+    /// `E006`/`E007`.
+    ConflictingPuts,
+}
+
+impl NegFamily {
+    /// All families, in sweep order.
+    pub const ALL: [NegFamily; 3] =
+        [NegFamily::DroppedClose, NegFamily::OutOfEpochOp, NegFamily::ConflictingPuts];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NegFamily::DroppedClose => "dropped-close",
+            NegFamily::OutOfEpochOp => "out-of-epoch-op",
+            NegFamily::ConflictingPuts => "conflicting-puts",
+        }
+    }
+}
+
+/// One generated erroneous program plus the diagnostic the analyzer is
+/// required to produce for it.
+#[derive(Clone, Debug)]
+pub struct NegCase {
+    /// The erroneous program.
+    pub program: IrProgram,
+    /// The code that must appear in `analyze(&program)`.
+    pub expect: Code,
+}
+
+fn ops_for(rng: &mut SmallRng, target: usize) -> Vec<Stmt> {
+    let n = rng.gen_range(1..3usize);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..8usize);
+            let disp = rng.gen_range(0..NEG_WIN_BYTES - len);
+            match rng.gen_range(0..3u32) {
+                0 => Stmt::Put { target, disp, len },
+                1 => Stmt::Get { target, disp, len },
+                _ => Stmt::Acc { target, disp: (disp / 8) * 8, len: 8, op: ReduceOp::Sum },
+            }
+        })
+        .collect()
+}
+
+/// Append one well-formed epoch (with its close) to rank 0's program and
+/// matching cooperation to the other ranks. `close` controls whether the
+/// epoch-closing statement is emitted.
+fn push_epoch(rng: &mut SmallRng, p: &mut IrProgram, close: bool, allow_fence: bool) {
+    let n = p.n_ranks;
+    let target = rng.gen_range(1..n);
+    let kind = if allow_fence { rng.gen_range(0..4u32) } else { rng.gen_range(1..4u32) };
+    match kind {
+        0 => {
+            // Fence phase (collective).
+            for r in 0..n {
+                p.ranks[r].push(Stmt::Fence(Close::Blocking));
+            }
+            p.ranks[0].extend(ops_for(rng, target));
+            if close {
+                for r in 0..n {
+                    p.ranks[r].push(Stmt::Fence(Close::Blocking));
+                }
+            } else {
+                // Rank 0 drops the closing fence; issuing more ops keeps
+                // its trailing phase non-dormant so E003 is guaranteed.
+                // (The other ranks still fence, so E011 fires too — the
+                // sweep only requires the expected code to be present.)
+                for r in 1..n {
+                    p.ranks[r].push(Stmt::Fence(Close::Blocking));
+                }
+                p.ranks[0].extend(ops_for(rng, target));
+            }
+        }
+        1 => {
+            let group: Vec<usize> = (1..n).collect();
+            p.ranks[0].push(Stmt::Start(group));
+            p.ranks[0].extend(ops_for(rng, target));
+            if close {
+                p.ranks[0].push(Stmt::Complete(Close::Blocking));
+            }
+            for r in 1..n {
+                p.ranks[r].push(Stmt::Post(vec![0]));
+                p.ranks[r].push(Stmt::WaitEpoch(Close::Blocking));
+            }
+        }
+        2 => {
+            p.ranks[0].push(Stmt::Lock { target, exclusive: true, nonblocking: false });
+            p.ranks[0].extend(ops_for(rng, target));
+            if close {
+                p.ranks[0].push(Stmt::Unlock { target, close: Close::Blocking });
+            }
+        }
+        _ => {
+            p.ranks[0].push(Stmt::LockAll);
+            p.ranks[0].extend(ops_for(rng, target));
+            if close {
+                p.ranks[0].push(Stmt::UnlockAll(Close::Blocking));
+            }
+        }
+    }
+}
+
+/// Deterministically generate the `index`-th erroneous program of a
+/// family.
+pub fn generate_negative(family: NegFamily, index: u64) -> NegCase {
+    let mut rng =
+        SmallRng::seed_from_u64(0xBAD_C0DE ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let n_ranks = 3;
+    let mut p = IrProgram::new(n_ranks, NEG_WIN_BYTES);
+    match family {
+        NegFamily::DroppedClose => {
+            for _ in 0..rng.gen_range(0..3usize) {
+                push_epoch(&mut rng, &mut p, true, true);
+            }
+            push_epoch(&mut rng, &mut p, false, true);
+            NegCase { program: p, expect: Code::E003 }
+        }
+        NegFamily::OutOfEpochOp => {
+            let stray = {
+                let target = rng.gen_range(1..n_ranks);
+                let len = rng.gen_range(1..8usize);
+                let disp = rng.gen_range(0..NEG_WIN_BYTES - len);
+                Stmt::Put { target, disp, len }
+            };
+            let before = rng.gen_bool(0.5);
+            if before {
+                p.ranks[0].push(stray);
+                for _ in 0..rng.gen_range(1..3usize) {
+                    push_epoch(&mut rng, &mut p, true, true);
+                }
+            } else {
+                // No fence epochs here: a program that ever fences keeps a
+                // trailing fence phase open which would legally absorb the
+                // stray op (the analyzer would report E003, not E001).
+                for _ in 0..rng.gen_range(1..3usize) {
+                    push_epoch(&mut rng, &mut p, true, false);
+                }
+                p.ranks[0].push(stray);
+            }
+            NegCase { program: p, expect: Code::E001 }
+        }
+        NegFamily::ConflictingPuts => {
+            // Ranks 1 and 2 access rank 0's window in the same fence
+            // phase with a guaranteed byte overlap.
+            let lo = rng.gen_range(0..NEG_WIN_BYTES - 16);
+            let len_a = rng.gen_range(4..12usize);
+            // Start the second access inside the first one's range.
+            let delta = rng.gen_range(0..len_a);
+            let lo_b = lo + delta;
+            let len_b = rng.gen_range(1..8usize).min(NEG_WIN_BYTES - lo_b);
+            let use_get = index % 2 == 1;
+            for r in 0..n_ranks {
+                p.ranks[r].push(Stmt::Fence(Close::Blocking));
+            }
+            p.ranks[1].push(Stmt::Put { target: 0, disp: lo, len: len_a });
+            p.ranks[2].push(if use_get {
+                Stmt::Get { target: 0, disp: lo_b, len: len_b }
+            } else {
+                Stmt::Put { target: 0, disp: lo_b, len: len_b }
+            });
+            for r in 0..n_ranks {
+                p.ranks[r].push(Stmt::Fence(Close::Blocking));
+            }
+            NegCase { program: p, expect: if use_get { Code::E007 } else { Code::E006 } }
+        }
+    }
+}
+
+/// One minimal deterministic positive program per diagnostic code: the
+/// analyzer must report exactly that code's violation. Used by the CLI
+/// sweep and the per-code diagnostics tests.
+pub fn catalog_cases() -> Vec<(Code, IrProgram)> {
+    let mut out = Vec::new();
+
+    // E001: put before any epoch opens.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].push(Stmt::Put { target: 1, disp: 0, len: 8 });
+    out.push((Code::E001, p));
+
+    // E002: op toward a rank outside the start group.
+    let mut p = IrProgram::new(3, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::Start(vec![1]),
+        Stmt::Put { target: 2, disp: 0, len: 8 },
+        Stmt::Complete(Close::Blocking),
+    ]);
+    p.ranks[1].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    out.push((Code::E002, p));
+
+    // E003: lock never unlocked.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { target: 1, disp: 0, len: 8 },
+    ]);
+    out.push((Code::E003, p));
+
+    // E004: unlock of a rank that was never locked.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].push(Stmt::Unlock { target: 1, close: Close::Blocking });
+    out.push((Code::E004, p));
+
+    // E005: lock_all while a GATS access epoch is open.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::Start(vec![1]),
+        Stmt::LockAll,
+        Stmt::UnlockAll(Close::Blocking),
+        Stmt::Complete(Close::Blocking),
+    ]);
+    p.ranks[1].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    out.push((Code::E005, p));
+
+    // E006: cross-origin overlapping puts in one fence phase.
+    let mut p = IrProgram::new(3, NEG_WIN_BYTES);
+    for r in 0..3 {
+        p.ranks[r].push(Stmt::Fence(Close::Blocking));
+    }
+    p.ranks[1].push(Stmt::Put { target: 0, disp: 0, len: 8 });
+    p.ranks[2].push(Stmt::Put { target: 0, disp: 4, len: 8 });
+    for r in 0..3 {
+        p.ranks[r].push(Stmt::Fence(Close::Blocking));
+    }
+    out.push((Code::E006, p));
+
+    // E007: cross-origin put/get overlap in one fence phase.
+    let mut p = IrProgram::new(3, NEG_WIN_BYTES);
+    for r in 0..3 {
+        p.ranks[r].push(Stmt::Fence(Close::Blocking));
+    }
+    p.ranks[1].push(Stmt::Put { target: 0, disp: 0, len: 8 });
+    p.ranks[2].push(Stmt::Get { target: 0, disp: 4, len: 8 });
+    for r in 0..3 {
+        p.ranks[r].push(Stmt::Fence(Close::Blocking));
+    }
+    out.push((Code::E007, p));
+
+    // E008: ifence request never waited.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Nonblocking)]);
+    p.ranks[1].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Blocking)]);
+    out.push((Code::E008, p));
+
+    // E009: reorder flags + unsafe fence reorder + conflicting puts in
+    // adjacent fence phases.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.reorder = true;
+    p.unsafe_fence_reorder = true;
+    p.ranks[0].extend([
+        Stmt::Fence(Close::Blocking),
+        Stmt::Put { target: 1, disp: 0, len: 8 },
+        Stmt::Fence(Close::Nonblocking),
+        Stmt::Put { target: 1, disp: 0, len: 8 },
+        Stmt::Fence(Close::Nonblocking),
+        Stmt::WaitAll,
+    ]);
+    p.ranks[1].extend([
+        Stmt::Fence(Close::Blocking),
+        Stmt::Fence(Close::Blocking),
+        Stmt::Fence(Close::Blocking),
+    ]);
+    out.push((Code::E009, p));
+
+    // E010: put past the end of the window.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { target: 1, disp: NEG_WIN_BYTES - 4, len: 8 },
+        Stmt::Unlock { target: 1, close: Close::Blocking },
+    ]);
+    out.push((Code::E010, p));
+
+    // E011: unequal collective fence counts.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Blocking)]);
+    p.ranks[1].push(Stmt::Fence(Close::Blocking));
+    out.push((Code::E011, p));
+
+    out
+}

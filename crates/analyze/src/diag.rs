@@ -1,0 +1,150 @@
+//! Stable diagnostic codes and the diagnostic record.
+//!
+//! Codes are append-only: a code's meaning never changes once released, so
+//! test suites and CI greps can rely on them.
+
+/// A stable diagnostic code of the static analyzer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// RMA data operation issued with no open access epoch covering the
+    /// target (engine error `NoEpoch`).
+    E001,
+    /// Operation target outside the current GATS start group (or an
+    /// invalid rank number).
+    E002,
+    /// Epoch opened but never closed by the end of the rank's program:
+    /// missing `complete`, `wait`, `unlock`, `unlock_all`, or a trailing
+    /// fence phase that issued operations.
+    E003,
+    /// Epoch-closing routine without a matching open (engine error
+    /// `EpochMismatch`).
+    E004,
+    /// Illegal synchronization-strategy mix on one window (engine error
+    /// `AlreadyInEpoch`): e.g. `start` inside a lock epoch, `fence` with
+    /// an exposure epoch open. A *dormant* trailing fence (no operations
+    /// issued) is tolerated, mirroring the engine.
+    E005,
+    /// Conflicting write/write accesses (put/put, or accumulates with
+    /// different operators) to overlapping bytes of one target window from
+    /// different origins within one concurrency scope.
+    E006,
+    /// Conflicting read/write accesses (put/get) to overlapping bytes of
+    /// one target window from different origins within one concurrency
+    /// scope.
+    E007,
+    /// A nonblocking epoch request (open or close) is never consumed by
+    /// the test/wait family before the end of the rank's program.
+    E008,
+    /// Reorder flags assert disjointness the program violates: two epochs
+    /// of one origin that may progress concurrently (per the flags and the
+    /// "never across `lock_all`, across fence only with
+    /// `unsafe_fence_reorder`" rule) issue conflicting overlapping
+    /// accesses to the same target.
+    E009,
+    /// Operation byte range exceeds the target window bounds.
+    E010,
+    /// Cross-rank synchronization matching mismatch: unequal collective
+    /// fence counts, or `start`/`post` pairing counts that differ between
+    /// an origin and a target (a deadlock at runtime).
+    E011,
+}
+
+impl Code {
+    /// Every code, in order.
+    pub const ALL: [Code; 11] = [
+        Code::E001,
+        Code::E002,
+        Code::E003,
+        Code::E004,
+        Code::E005,
+        Code::E006,
+        Code::E007,
+        Code::E008,
+        Code::E009,
+        Code::E010,
+        Code::E011,
+    ];
+
+    /// The stable code string (`"E001"` …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::E001 => "E001",
+            Code::E002 => "E002",
+            Code::E003 => "E003",
+            Code::E004 => "E004",
+            Code::E005 => "E005",
+            Code::E006 => "E006",
+            Code::E007 => "E007",
+            Code::E008 => "E008",
+            Code::E009 => "E009",
+            Code::E010 => "E010",
+            Code::E011 => "E011",
+        }
+    }
+
+    /// Short human title.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::E001 => "operation outside any access epoch",
+            Code::E002 => "target outside the start group",
+            Code::E003 => "epoch never closed",
+            Code::E004 => "close without matching open",
+            Code::E005 => "illegal synchronization mix on one window",
+            Code::E006 => "conflicting writes to overlapping bytes",
+            Code::E007 => "unordered read/write overlap",
+            Code::E008 => "nonblocking epoch request never consumed",
+            Code::E009 => "reorder flags violate epoch disjointness",
+            Code::E010 => "operation exceeds window bounds",
+            Code::E011 => "cross-rank synchronization mismatch",
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One reported violation, with rank/statement provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Rank whose program the diagnostic is anchored at.
+    pub rank: usize,
+    /// Statement index within that rank's program (`None` for end-of-
+    /// program diagnostics such as an unclosed epoch reported at exit).
+    pub step: Option<usize>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.step {
+            Some(s) => write!(
+                f,
+                "{} [rank {} stmt {}] {}: {}",
+                self.code,
+                self.rank,
+                s,
+                self.code.title(),
+                self.detail
+            ),
+            None => write!(
+                f,
+                "{} [rank {} end] {}: {}",
+                self.code,
+                self.rank,
+                self.code.title(),
+                self.detail
+            ),
+        }
+    }
+}
+
+/// Whether `diags` contains at least one diagnostic of `code`.
+pub fn has_code(diags: &[Diagnostic], code: Code) -> bool {
+    diags.iter().any(|d| d.code == code)
+}

@@ -1,0 +1,133 @@
+//! The analyzer's program IR: a per-rank statement list over one window.
+//!
+//! This is deliberately *lower-level* than the check harness's
+//! `Program` type — every epoch-open, epoch-close, and data operation is
+//! its own statement, with the blocking/nonblocking distinction explicit,
+//! so the flow-sensitive state machine sees exactly the call sequence the
+//! runtime would see. `mpisim-check` lowers its generated programs into
+//! this shape (mirroring its executor) before running the analyzer.
+
+use mpisim_core::ReduceOp;
+
+/// Whether an epoch-closing (or epoch-opening) routine is the blocking or
+/// the nonblocking (`i`-prefixed) variant. Nonblocking variants return a
+/// request that must eventually be consumed via the test/wait family
+/// (§VII.C) — dropping it is diagnostic [`crate::Code::E008`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Close {
+    /// Blocking variant: the call itself waits for epoch completion.
+    Blocking,
+    /// Nonblocking variant: returns a request consumed by a later
+    /// [`Stmt::WaitAll`].
+    Nonblocking,
+}
+
+impl Close {
+    /// Whether this close synchronizes at the call site.
+    pub fn is_blocking(self) -> bool {
+        matches!(self, Close::Blocking)
+    }
+}
+
+/// One statement of one rank's program. All statements address the single
+/// implicit window of the [`IrProgram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `MPI_WIN_FENCE` / `MPI_WIN_IFENCE`: closes the current fence epoch
+    /// (if any) and opens the next fence phase.
+    Fence(Close),
+    /// `MPI_WIN_START`: open a GATS access epoch toward `group`.
+    Start(Vec<usize>),
+    /// `MPI_WIN_COMPLETE` / `MPI_WIN_ICOMPLETE`.
+    Complete(Close),
+    /// `MPI_WIN_POST`: open an exposure epoch toward `group`.
+    Post(Vec<usize>),
+    /// `MPI_WIN_WAIT` / `MPI_WIN_IWAIT`: close the exposure epoch.
+    WaitEpoch(Close),
+    /// `MPI_WIN_LOCK` / `MPI_WIN_ILOCK` on one target.
+    Lock {
+        /// Locked rank.
+        target: usize,
+        /// Exclusive (vs shared) lock.
+        exclusive: bool,
+        /// `true` for `ilock`: the dummy epoch-open request must still be
+        /// consumed (§VII.C).
+        nonblocking: bool,
+    },
+    /// `MPI_WIN_UNLOCK` / `MPI_WIN_IUNLOCK`.
+    Unlock {
+        /// The rank being unlocked.
+        target: usize,
+        /// Blocking or nonblocking close.
+        close: Close,
+    },
+    /// `MPI_WIN_LOCK_ALL` (shared lock on every rank).
+    LockAll,
+    /// `MPI_WIN_UNLOCK_ALL` / `MPI_WIN_IUNLOCK_ALL`.
+    UnlockAll(Close),
+    /// `MPI_PUT` of `len` bytes at `disp` in `target`'s window.
+    Put {
+        /// Target rank.
+        target: usize,
+        /// Byte displacement.
+        disp: usize,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// `MPI_GET` of `len` bytes at `disp` from `target`'s window.
+    Get {
+        /// Target rank.
+        target: usize,
+        /// Byte displacement.
+        disp: usize,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// Accumulate-family atomic update of `len` bytes at `disp`.
+    Acc {
+        /// Target rank.
+        target: usize,
+        /// Byte displacement.
+        disp: usize,
+        /// Length in bytes.
+        len: usize,
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// Consume every outstanding nonblocking-epoch request
+    /// (`MPI_WAITALL` over the collected requests).
+    WaitAll,
+    /// Job-wide barrier (no effect on window epoch state).
+    Barrier,
+}
+
+/// A whole-job program over one window: `ranks[r]` is rank `r`'s
+/// statement sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IrProgram {
+    /// Number of ranks in the job.
+    pub n_ranks: usize,
+    /// Window size in bytes (bounds check for [`crate::Code::E010`]).
+    pub win_bytes: usize,
+    /// Window info reorder flags asserted (any of the four `*_REORDER`
+    /// flags): concurrently progressed epochs may activate out of order.
+    pub reorder: bool,
+    /// The `unsafe_fence_reorder` extension: reorder flags additionally
+    /// apply across fence epochs (never across `lock_all`; §VI.B, §X).
+    pub unsafe_fence_reorder: bool,
+    /// Per-rank statement lists.
+    pub ranks: Vec<Vec<Stmt>>,
+}
+
+impl IrProgram {
+    /// An empty program skeleton for `n_ranks` ranks.
+    pub fn new(n_ranks: usize, win_bytes: usize) -> Self {
+        IrProgram {
+            n_ranks,
+            win_bytes,
+            reorder: false,
+            unsafe_fence_reorder: false,
+            ranks: vec![Vec::new(); n_ranks],
+        }
+    }
+}

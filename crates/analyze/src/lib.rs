@@ -1,0 +1,43 @@
+//! Static and dynamic correctness analysis for the RMA epoch protocol.
+//!
+//! Two cooperating layers over the `mpisim-core` simulator:
+//!
+//! 1. **Static analyzer** ([`analyze`]) — a flow-sensitive per-(rank,
+//!    window) epoch state machine over a small program IR
+//!    ([`IrProgram`]). It rejects operations outside an access epoch,
+//!    targets outside the start group, missing `complete`/`wait`/
+//!    `unlock`, illegal synchronization-strategy mixes, conflicting
+//!    overlapping put/put and put/get pairs (byte-range interval
+//!    analysis), nonblocking epoch requests that are never tested or
+//!    waited, and reorder-flag configurations whose legality conditions
+//!    ("never across `lock_all`; across fence only with
+//!    `unsafe_fence_reorder`") the program violates. Each rejection is a
+//!    [`Diagnostic`] with a stable [`Code`] (`E001`…) plus rank and
+//!    statement provenance.
+//!
+//! 2. **Dynamic race detector** ([`detect_races`]) — vector-clock
+//!    happens-before checking over the sync-event trace a simulated run
+//!    produces. Synchronization edges are the epoch protocol's own
+//!    messages (post→start and lock grants, complete→wait and unlock
+//!    notifications, fence-completion announcements); data accesses carry
+//!    byte ranges and access kinds. Conflicting overlapping accesses that
+//!    no traced edge orders are reported as [`Race`]s.
+//!
+//! The static layer over-approximates (it reasons about all schedules),
+//! the dynamic layer under-approximates (it sees one schedule); together
+//! they bracket the protocol semantics, and `mpisim-check` runs both on
+//! every generated program.
+
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod corpus;
+pub mod diag;
+pub mod ir;
+pub mod race;
+
+pub use analyzer::analyze;
+pub use corpus::{catalog_cases, generate_negative, NegCase, NegFamily, NEG_WIN_BYTES};
+pub use diag::{has_code, Code, Diagnostic};
+pub use ir::{Close, IrProgram, Stmt};
+pub use race::{detect_races, detect_races_in, Race, RaceAccess};

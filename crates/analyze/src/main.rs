@@ -1,0 +1,97 @@
+//! Negative-corpus sweep driver for the static analyzer.
+//!
+//! Generates seeded erroneous programs from every [`NegFamily`] and
+//! verifies the analyzer flags each one with its expected diagnostic
+//! code; with `--catalog` it additionally checks the one-per-code minimal
+//! positive programs. Exits nonzero on any missed violation, so CI can
+//! gate on it.
+//!
+//! ```text
+//! cargo run -p mpisim-analyze -- --seeds 64 --catalog
+//! ```
+
+use mpisim_analyze::{analyze, catalog_cases, generate_negative, has_code, NegFamily};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mpisim-analyze [--seeds N] [--catalog] [--verbose]\n\
+         \n\
+         Sweeps the generated negative corpus (N seeds per family; default 32)\n\
+         through the static analyzer and fails if any violation is missed.\n\
+         --catalog additionally sweeps the per-code minimal positive programs.\n\
+         --verbose prints every diagnostic produced."
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut seeds: u64 = 32;
+    let mut catalog = false;
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => {
+                seeds = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--catalog" => catalog = true,
+            "--verbose" => verbose = true,
+            _ => usage(),
+        }
+    }
+    if seeds == 0 {
+        eprintln!("--seeds must be at least 1 (a 0-seed sweep gates nothing)");
+        std::process::exit(2);
+    }
+
+    let mut checked = 0usize;
+    let mut missed = 0usize;
+
+    for family in NegFamily::ALL {
+        for index in 0..seeds {
+            let case = generate_negative(family, index);
+            let diags = analyze(&case.program);
+            checked += 1;
+            if verbose {
+                for d in &diags {
+                    println!("  {} #{index}: {d}", family.label());
+                }
+            }
+            if !has_code(&diags, case.expect) {
+                missed += 1;
+                eprintln!(
+                    "MISS: {} seed {index} not flagged with {} (got: {:?})",
+                    family.label(),
+                    case.expect,
+                    diags.iter().map(|d| d.code).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    if catalog {
+        for (code, program) in catalog_cases() {
+            let diags = analyze(&program);
+            checked += 1;
+            if verbose {
+                for d in &diags {
+                    println!("  catalog {code}: {d}");
+                }
+            }
+            if !has_code(&diags, code) {
+                missed += 1;
+                eprintln!(
+                    "MISS: catalog case for {code} not flagged (got: {:?})",
+                    diags.iter().map(|d| d.code).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    if missed == 0 {
+        println!("analyzer sweep: {checked} erroneous programs, all flagged");
+    } else {
+        eprintln!("analyzer sweep: {missed}/{checked} violations MISSED");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,250 @@
+//! Dynamic happens-before race detection over a job's sync trace.
+//!
+//! ThreadSanitizer-style vector clocks, but the "threads" are ranks and
+//! the synchronization edges are the RMA epoch protocol's own messages,
+//! all of which the engine already traces:
+//!
+//! | edge | trace events (send → apply) |
+//! |------|-----------------------------|
+//! | post → start (exposure grant) | `GrantSent` → `GrantApplied` (plane Gats) |
+//! | lock grant | `GrantSent` → `GrantApplied` (plane Lock) |
+//! | complete → wait (GATS done) | `EpochDoneSent` → `EpochDoneApplied` (plane Gats) |
+//! | unlock → next lock | `EpochDoneSent` → `EpochDoneApplied` (plane Lock) |
+//! | fence barrier | `FenceDoneSent` → `FenceDoneApplied` (per peer, per seq) |
+//!
+//! Every [`SyncEvent::DataIssued`] carries the target byte range and an
+//! [`AccessKind`]; [`SyncEvent::LocalAccess`] records a rank touching its
+//! own window. Two accesses to overlapping bytes of one window owner race
+//! when their kinds conflict, they come from different ranks, and neither
+//! happens-before the other. Same-rank same-target accesses are always
+//! ordered here (program order plus per-channel FIFO delivery), so only
+//! cross-rank pairs are candidates.
+
+use std::collections::HashMap;
+
+use mpisim_core::trace::{AccessKind, Plane, SyncEvent, SyncRecord};
+use mpisim_core::JobReport;
+
+/// One side of a detected race.
+#[derive(Clone, Debug)]
+pub struct RaceAccess {
+    /// Rank performing the access.
+    pub rank: usize,
+    /// Byte displacement in the owner's window.
+    pub disp: usize,
+    /// Length in bytes.
+    pub len: usize,
+    /// How the bytes were touched.
+    pub kind: AccessKind,
+    /// `true` for a local (same-rank) window access, `false` for an RMA
+    /// operation issued toward a remote window.
+    pub local: bool,
+}
+
+/// A pair of conflicting window accesses unordered by happens-before.
+#[derive(Clone, Debug)]
+pub struct Race {
+    /// Window id.
+    pub win: u32,
+    /// Rank owning the window memory.
+    pub owner: usize,
+    /// Overlap start (byte).
+    pub lo: usize,
+    /// Overlap end (exclusive).
+    pub hi: usize,
+    /// The earlier access in trace order.
+    pub first: RaceAccess,
+    /// The later access in trace order.
+    pub second: RaceAccess,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let side = |a: &RaceAccess| {
+            format!(
+                "rank {} {}{:?} [{}, {})",
+                a.rank,
+                if a.local { "local " } else { "" },
+                a.kind,
+                a.disp,
+                a.disp + a.len
+            )
+        };
+        write!(
+            f,
+            "race on bytes [{}, {}) of rank {}'s window {}: {} unordered against {}",
+            self.lo,
+            self.hi,
+            self.owner,
+            self.win,
+            side(&self.first),
+            side(&self.second)
+        )
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum EdgeKey {
+    Grant { from: usize, to: usize, win: u32, plane: Plane, id: u64 },
+    Done { from: usize, to: usize, win: u32, plane: Plane, id: u64 },
+    Fence { from: usize, to: usize, win: u32, seq: u64 },
+}
+
+struct Shadow {
+    rank: usize,
+    lo: usize,
+    hi: usize,
+    kind: AccessKind,
+    /// The accessor's own clock component at access time: a later access
+    /// by rank `r` is ordered after this one iff `clock_r[rank] >= own`.
+    own: u64,
+    local: bool,
+}
+
+fn join(into: &mut [u64], other: &[u64]) {
+    for (a, b) in into.iter_mut().zip(other) {
+        *a = (*a).max(*b);
+    }
+}
+
+/// Scan the sync trace of `report` and return every conflicting,
+/// happens-before-unordered access pair. An empty result means the run is
+/// race-free under the traced synchronization edges.
+pub fn detect_races(report: &JobReport) -> Vec<Race> {
+    detect_races_in(&report.sync_trace, report.ranks.len())
+}
+
+/// [`detect_races`] over a bare sync trace (`n` = number of ranks). The
+/// trace must be in global virtual-time order, as the runtime records it.
+pub fn detect_races_in(trace: &[SyncRecord], n: usize) -> Vec<Race> {
+    let mut clocks: Vec<Vec<u64>> = vec![vec![0; n]; n];
+    let mut snapshots: HashMap<EdgeKey, Vec<u64>> = HashMap::new();
+    // Shadow state per (win, owner): every access recorded so far.
+    let mut shadow: HashMap<(u32, usize), Vec<Shadow>> = HashMap::new();
+    let mut races = Vec::new();
+
+    for r in trace {
+        let me = r.rank.idx();
+        let peer = r.peer.idx();
+        let win = r.win.0;
+        // Every traced event is a distinct point in its rank's history.
+        clocks[me][me] += 1;
+        match r.event {
+            SyncEvent::GrantSent { id } => {
+                snapshots.insert(
+                    EdgeKey::Grant { from: me, to: peer, win, plane: r.plane, id },
+                    clocks[me].clone(),
+                );
+            }
+            SyncEvent::GrantApplied { id } => {
+                if let Some(snap) =
+                    snapshots.get(&EdgeKey::Grant { from: peer, to: me, win, plane: r.plane, id })
+                {
+                    let snap = snap.clone();
+                    join(&mut clocks[me], &snap);
+                }
+            }
+            SyncEvent::EpochDoneSent { id, .. } => {
+                snapshots.insert(
+                    EdgeKey::Done { from: me, to: peer, win, plane: r.plane, id },
+                    clocks[me].clone(),
+                );
+            }
+            SyncEvent::EpochDoneApplied { id } => {
+                if let Some(snap) =
+                    snapshots.get(&EdgeKey::Done { from: peer, to: me, win, plane: r.plane, id })
+                {
+                    let snap = snap.clone();
+                    join(&mut clocks[me], &snap);
+                }
+            }
+            SyncEvent::FenceDoneSent { seq } => {
+                snapshots.insert(EdgeKey::Fence { from: me, to: peer, win, seq }, clocks[me].clone());
+            }
+            SyncEvent::FenceDoneApplied { seq } => {
+                if let Some(snap) =
+                    snapshots.get(&EdgeKey::Fence { from: peer, to: me, win, seq })
+                {
+                    let snap = snap.clone();
+                    join(&mut clocks[me], &snap);
+                }
+            }
+            SyncEvent::DataIssued { disp, len, access, .. } => {
+                record_access(
+                    &mut shadow,
+                    &clocks,
+                    &mut races,
+                    win,
+                    peer,
+                    me,
+                    disp,
+                    len,
+                    access,
+                    false,
+                );
+            }
+            SyncEvent::LocalAccess { disp, len, access } => {
+                record_access(
+                    &mut shadow,
+                    &clocks,
+                    &mut races,
+                    win,
+                    me,
+                    me,
+                    disp,
+                    len,
+                    access,
+                    true,
+                );
+            }
+            SyncEvent::AccessAssigned { .. } => {}
+        }
+    }
+    races
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_access(
+    shadow: &mut HashMap<(u32, usize), Vec<Shadow>>,
+    clocks: &[Vec<u64>],
+    races: &mut Vec<Race>,
+    win: u32,
+    owner: usize,
+    rank: usize,
+    disp: usize,
+    len: usize,
+    kind: AccessKind,
+    local: bool,
+) {
+    let cell = shadow.entry((win, owner)).or_default();
+    for prev in cell.iter() {
+        if prev.rank == rank {
+            continue; // program order + per-channel FIFO
+        }
+        let lo = prev.lo.max(disp);
+        let hi = prev.hi.min(disp + len);
+        if lo >= hi || !prev.kind.conflicts_with(kind) {
+            continue;
+        }
+        // prev happens-before this access iff the accessor has observed
+        // prev's own clock component.
+        if clocks[rank][prev.rank] >= prev.own {
+            continue;
+        }
+        races.push(Race {
+            win,
+            owner,
+            lo,
+            hi,
+            first: RaceAccess {
+                rank: prev.rank,
+                disp: prev.lo,
+                len: prev.hi - prev.lo,
+                kind: prev.kind,
+                local: prev.local,
+            },
+            second: RaceAccess { rank, disp, len, kind, local },
+        });
+    }
+    cell.push(Shadow { rank, lo: disp, hi: disp + len, kind, own: clocks[rank][rank], local });
+}

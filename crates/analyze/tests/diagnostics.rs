@@ -1,0 +1,458 @@
+//! One minimal positive program and one near-miss negative program per
+//! diagnostic code E001–E011, plus direct vector-clock race-detector
+//! checks over synthetic sync traces.
+//!
+//! "Near-miss" means the negative differs from the positive by the
+//! smallest edit that makes it legal — the analyzer must report nothing
+//! at all for it.
+
+use mpisim_analyze::{analyze, detect_races_in, has_code, Close, Code, IrProgram, Stmt};
+use mpisim_core::trace::{AccessKind, Plane, SyncEvent, SyncRecord};
+use mpisim_core::{Rank, ReduceOp, WinId};
+
+const WIN: usize = 64;
+
+fn fence_all(p: &mut IrProgram, close: Close) {
+    for r in 0..p.n_ranks {
+        p.ranks[r].push(Stmt::Fence(close));
+    }
+}
+
+fn assert_clean(p: &IrProgram) {
+    let diags = analyze(p);
+    assert!(diags.is_empty(), "expected no diagnostics, got: {diags:?}");
+}
+
+// ---------------------------------------------------------------- E001
+
+#[test]
+fn e001_op_outside_epoch() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].push(Stmt::Put { target: 1, disp: 0, len: 8 });
+    assert!(has_code(&analyze(&p), Code::E001));
+}
+
+#[test]
+fn e001_near_miss_op_inside_lock() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { target: 1, close: Close::Blocking },
+    ]);
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E002
+
+#[test]
+fn e002_target_outside_start_group() {
+    let mut p = IrProgram::new(3, WIN);
+    p.ranks[0].extend([
+        Stmt::Start(vec![1]),
+        Stmt::Put { target: 2, disp: 0, len: 8 },
+        Stmt::Complete(Close::Blocking),
+    ]);
+    p.ranks[1].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    assert!(has_code(&analyze(&p), Code::E002));
+}
+
+#[test]
+fn e002_near_miss_target_in_group() {
+    let mut p = IrProgram::new(3, WIN);
+    p.ranks[0].extend([
+        Stmt::Start(vec![1, 2]),
+        Stmt::Put { target: 2, disp: 0, len: 8 },
+        Stmt::Complete(Close::Blocking),
+    ]);
+    for r in 1..3 {
+        p.ranks[r].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    }
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E003
+
+#[test]
+fn e003_lock_never_unlocked() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { target: 1, disp: 0, len: 8 },
+    ]);
+    assert!(has_code(&analyze(&p), Code::E003));
+}
+
+#[test]
+fn e003_near_miss_lock_unlocked() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { target: 1, close: Close::Blocking },
+    ]);
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E004
+
+#[test]
+fn e004_unlock_without_lock() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].push(Stmt::Unlock { target: 1, close: Close::Blocking });
+    assert!(has_code(&analyze(&p), Code::E004));
+}
+
+#[test]
+fn e004_near_miss_matched_unlock() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { target: 1, exclusive: false, nonblocking: false },
+        Stmt::Unlock { target: 1, close: Close::Blocking },
+    ]);
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E005
+
+#[test]
+fn e005_lock_all_inside_start_epoch() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Start(vec![1]),
+        Stmt::LockAll,
+        Stmt::UnlockAll(Close::Blocking),
+        Stmt::Complete(Close::Blocking),
+    ]);
+    p.ranks[1].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    assert!(has_code(&analyze(&p), Code::E005));
+}
+
+#[test]
+fn e005_near_miss_dormant_trailing_fence() {
+    // A trailing fence phase with no operations is dormant; the engine
+    // (and thus the analyzer) tolerates opening a lock epoch under it.
+    let mut p = IrProgram::new(2, WIN);
+    fence_all(&mut p, Close::Blocking);
+    fence_all(&mut p, Close::Blocking);
+    p.ranks[0].extend([
+        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { target: 1, close: Close::Blocking },
+    ]);
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E006
+
+#[test]
+fn e006_overlapping_cross_origin_puts() {
+    let mut p = IrProgram::new(3, WIN);
+    fence_all(&mut p, Close::Blocking);
+    p.ranks[1].push(Stmt::Put { target: 0, disp: 0, len: 8 });
+    p.ranks[2].push(Stmt::Put { target: 0, disp: 4, len: 8 });
+    fence_all(&mut p, Close::Blocking);
+    assert!(has_code(&analyze(&p), Code::E006));
+}
+
+#[test]
+fn e006_near_miss_disjoint_puts() {
+    let mut p = IrProgram::new(3, WIN);
+    fence_all(&mut p, Close::Blocking);
+    p.ranks[1].push(Stmt::Put { target: 0, disp: 0, len: 8 });
+    p.ranks[2].push(Stmt::Put { target: 0, disp: 8, len: 8 });
+    fence_all(&mut p, Close::Blocking);
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E007
+
+#[test]
+fn e007_put_get_overlap() {
+    let mut p = IrProgram::new(3, WIN);
+    fence_all(&mut p, Close::Blocking);
+    p.ranks[1].push(Stmt::Put { target: 0, disp: 0, len: 8 });
+    p.ranks[2].push(Stmt::Get { target: 0, disp: 4, len: 8 });
+    fence_all(&mut p, Close::Blocking);
+    assert!(has_code(&analyze(&p), Code::E007));
+}
+
+#[test]
+fn e007_near_miss_get_get_overlap() {
+    // Two overlapping reads never conflict.
+    let mut p = IrProgram::new(3, WIN);
+    fence_all(&mut p, Close::Blocking);
+    p.ranks[1].push(Stmt::Get { target: 0, disp: 0, len: 8 });
+    p.ranks[2].push(Stmt::Get { target: 0, disp: 4, len: 8 });
+    fence_all(&mut p, Close::Blocking);
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E008
+
+#[test]
+fn e008_leaked_ifence_request() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Nonblocking)]);
+    p.ranks[1].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Blocking)]);
+    assert!(has_code(&analyze(&p), Code::E008));
+}
+
+#[test]
+fn e008_near_miss_request_waited() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Fence(Close::Blocking),
+        Stmt::Fence(Close::Nonblocking),
+        Stmt::WaitAll,
+    ]);
+    p.ranks[1].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Blocking)]);
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E009
+
+fn reordered_fence_phases(second_disp: usize) -> IrProgram {
+    let mut p = IrProgram::new(2, WIN);
+    p.reorder = true;
+    p.unsafe_fence_reorder = true;
+    p.ranks[0].extend([
+        Stmt::Fence(Close::Blocking),
+        Stmt::Put { target: 1, disp: 0, len: 8 },
+        Stmt::Fence(Close::Nonblocking),
+        Stmt::Put { target: 1, disp: second_disp, len: 8 },
+        Stmt::Fence(Close::Nonblocking),
+        Stmt::WaitAll,
+    ]);
+    p.ranks[1].extend([
+        Stmt::Fence(Close::Blocking),
+        Stmt::Fence(Close::Blocking),
+        Stmt::Fence(Close::Blocking),
+    ]);
+    p
+}
+
+#[test]
+fn e009_conflicting_reordered_fence_phases() {
+    // unsafe_fence_reorder lets adjacent fence phases progress
+    // concurrently; writing the same bytes in both is schedule-dependent.
+    assert!(has_code(&analyze(&reordered_fence_phases(0)), Code::E009));
+}
+
+#[test]
+fn e009_near_miss_disjoint_reordered_phases() {
+    assert_clean(&reordered_fence_phases(8));
+}
+
+#[test]
+fn e009_near_miss_no_reorder_flags() {
+    let mut p = reordered_fence_phases(0);
+    p.reorder = false;
+    p.unsafe_fence_reorder = false;
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E010
+
+#[test]
+fn e010_put_past_window_end() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { target: 1, disp: WIN - 4, len: 8 },
+        Stmt::Unlock { target: 1, close: Close::Blocking },
+    ]);
+    assert!(has_code(&analyze(&p), Code::E010));
+}
+
+#[test]
+fn e010_near_miss_put_to_window_end() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { target: 1, disp: WIN - 8, len: 8 },
+        Stmt::Unlock { target: 1, close: Close::Blocking },
+    ]);
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E011
+
+#[test]
+fn e011_unequal_fence_counts() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Blocking)]);
+    p.ranks[1].push(Stmt::Fence(Close::Blocking));
+    assert!(has_code(&analyze(&p), Code::E011));
+}
+
+#[test]
+fn e011_start_without_matching_post() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([Stmt::Start(vec![1]), Stmt::Complete(Close::Blocking)]);
+    assert!(has_code(&analyze(&p), Code::E011));
+}
+
+#[test]
+fn e011_near_miss_matched_collectives() {
+    let mut p = IrProgram::new(2, WIN);
+    fence_all(&mut p, Close::Blocking);
+    fence_all(&mut p, Close::Blocking);
+    p.ranks[0].extend([Stmt::Start(vec![1]), Stmt::Complete(Close::Blocking)]);
+    p.ranks[1].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    assert_clean(&p);
+}
+
+// ------------------------------------------------- accumulate semantics
+
+#[test]
+fn same_op_accumulates_do_not_conflict() {
+    let mut p = IrProgram::new(3, WIN);
+    fence_all(&mut p, Close::Blocking);
+    p.ranks[1].push(Stmt::Acc { target: 0, disp: 0, len: 8, op: ReduceOp::Sum });
+    p.ranks[2].push(Stmt::Acc { target: 0, disp: 0, len: 8, op: ReduceOp::Sum });
+    fence_all(&mut p, Close::Blocking);
+    assert_clean(&p);
+}
+
+#[test]
+fn mixed_op_accumulates_conflict() {
+    let mut p = IrProgram::new(3, WIN);
+    fence_all(&mut p, Close::Blocking);
+    p.ranks[1].push(Stmt::Acc { target: 0, disp: 0, len: 8, op: ReduceOp::Sum });
+    p.ranks[2].push(Stmt::Acc { target: 0, disp: 0, len: 8, op: ReduceOp::Prod });
+    fence_all(&mut p, Close::Blocking);
+    assert!(has_code(&analyze(&p), Code::E006));
+}
+
+// ----------------------------------------------- negative-corpus sweep
+
+#[test]
+fn negative_corpus_fully_flagged() {
+    use mpisim_analyze::{analyze as run, generate_negative, NegFamily};
+    for family in NegFamily::ALL {
+        for index in 0..32 {
+            let case = generate_negative(family, index);
+            let diags = run(&case.program);
+            assert!(
+                has_code(&diags, case.expect),
+                "{family:?} seed {index} not flagged with {}: {diags:?}",
+                case.expect
+            );
+        }
+    }
+}
+
+#[test]
+fn catalog_cases_cover_every_code() {
+    use mpisim_analyze::catalog_cases;
+    let cases = catalog_cases();
+    for code in Code::ALL {
+        let covered = cases
+            .iter()
+            .any(|(c, p)| *c == code && has_code(&analyze(p), code));
+        assert!(covered, "no catalog case triggers {code}");
+    }
+}
+
+// ------------------------------------------------- race detector (HB)
+
+fn rec(rank: usize, peer: usize, plane: Plane, event: SyncEvent) -> SyncRecord {
+    SyncRecord {
+        time: Default::default(),
+        rank: Rank(rank),
+        peer: Rank(peer),
+        win: WinId(0),
+        plane,
+        event,
+    }
+}
+
+#[test]
+fn unsynchronized_conflicting_access_races() {
+    // Rank 1 writes rank 0's window; rank 0 reads the same bytes locally
+    // with no intervening synchronization edge.
+    let trace = vec![
+        rec(1, 0, Plane::Lock, SyncEvent::DataIssued {
+            epoch: 0,
+            disp: 0,
+            len: 8,
+            access: AccessKind::Write,
+        }),
+        rec(0, 0, Plane::Lock, SyncEvent::LocalAccess {
+            disp: 4,
+            len: 8,
+            access: AccessKind::Read,
+        }),
+    ];
+    let races = detect_races_in(&trace, 2);
+    assert_eq!(races.len(), 1, "expected exactly one race: {races:?}");
+    assert_eq!((races[0].lo, races[0].hi), (4, 8));
+}
+
+#[test]
+fn done_edge_orders_the_access() {
+    // Same accesses, but the write's epoch closure (unlock) is applied at
+    // rank 0 before the local read: complete happens-before edge, no race.
+    let trace = vec![
+        rec(1, 0, Plane::Lock, SyncEvent::DataIssued {
+            epoch: 0,
+            disp: 0,
+            len: 8,
+            access: AccessKind::Write,
+        }),
+        rec(1, 0, Plane::Lock, SyncEvent::EpochDoneSent { epoch: 0, id: 0 }),
+        rec(0, 1, Plane::Lock, SyncEvent::EpochDoneApplied { id: 0 }),
+        rec(0, 0, Plane::Lock, SyncEvent::LocalAccess {
+            disp: 4,
+            len: 8,
+            access: AccessKind::Read,
+        }),
+    ];
+    assert!(detect_races_in(&trace, 2).is_empty());
+}
+
+#[test]
+fn read_read_overlap_is_not_a_race() {
+    let trace = vec![
+        rec(1, 0, Plane::Lock, SyncEvent::DataIssued {
+            epoch: 0,
+            disp: 0,
+            len: 8,
+            access: AccessKind::Read,
+        }),
+        rec(2, 0, Plane::Lock, SyncEvent::DataIssued {
+            epoch: 0,
+            disp: 0,
+            len: 8,
+            access: AccessKind::Read,
+        }),
+    ];
+    assert!(detect_races_in(&trace, 3).is_empty());
+}
+
+#[test]
+fn grant_edge_orders_lock_epochs() {
+    // Rank 1 writes under a lock, unlocks (done edge to rank 0's lock
+    // manager), then rank 2's lock grant — carrying rank 0's knowledge —
+    // orders rank 2's overlapping write after rank 1's.
+    let trace = vec![
+        rec(1, 0, Plane::Lock, SyncEvent::DataIssued {
+            epoch: 0,
+            disp: 0,
+            len: 8,
+            access: AccessKind::Write,
+        }),
+        rec(1, 0, Plane::Lock, SyncEvent::EpochDoneSent { epoch: 0, id: 0 }),
+        rec(0, 1, Plane::Lock, SyncEvent::EpochDoneApplied { id: 0 }),
+        rec(0, 2, Plane::Lock, SyncEvent::GrantSent { id: 1 }),
+        rec(2, 0, Plane::Lock, SyncEvent::GrantApplied { id: 1 }),
+        rec(2, 0, Plane::Lock, SyncEvent::DataIssued {
+            epoch: 1,
+            disp: 0,
+            len: 8,
+            access: AccessKind::Write,
+        }),
+    ];
+    assert!(detect_races_in(&trace, 3).is_empty());
+}

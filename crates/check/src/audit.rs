@@ -121,7 +121,7 @@ fn audit_sync_plane(report: &JobReport, out: &mut Vec<Violation>) {
             SyncEvent::AccessAssigned { epoch, id } => {
                 access.insert((me, win, r.plane, epoch, peer), id);
             }
-            SyncEvent::DataIssued { epoch } => {
+            SyncEvent::DataIssued { epoch, .. } => {
                 // Fences carry no access id toward the peer: exempt.
                 if let Some(&aid) = access.get(&(me, win, r.plane, epoch, peer)) {
                     let g = applied.get(&(me, peer, win, r.plane)).copied().unwrap_or(0);
@@ -137,6 +137,13 @@ fn audit_sync_plane(report: &JobReport, out: &mut Vec<Violation>) {
                     }
                 }
             }
+            // Close/fence HB-edge events are consumed by the race detector
+            // (mpisim-analyze), not by the grant-plane invariants.
+            SyncEvent::EpochDoneSent { .. }
+            | SyncEvent::EpochDoneApplied { .. }
+            | SyncEvent::FenceDoneSent { .. }
+            | SyncEvent::FenceDoneApplied { .. }
+            | SyncEvent::LocalAccess { .. } => {}
         }
     }
 }

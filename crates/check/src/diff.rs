@@ -1,21 +1,30 @@
 //! Differential checking: every generated program is executed across the
 //! full strategy × API matrix under a sweep of schedule perturbations, and
-//! each run must (a) reproduce the sequential oracle byte for byte and
-//! (b) pass the trace-invariant audit.
+//! each run must (a) be clean under the static analyzer on the lowered
+//! call sequence, (b) reproduce the sequential oracle byte for byte,
+//! (c) pass the trace-invariant audit, and (d) be free of happens-before
+//! races under the vector-clock detector.
 
+use mpisim_analyze::{analyze, detect_races, Diagnostic, Race};
 use mpisim_core::SyncStrategy;
 
 use crate::audit::{audit, Violation};
+use crate::lower::lower;
 use crate::program::{generate, oracle, Family, Program};
 use crate::run::{execute, RunFailure, RunSpec};
 
 /// Why one run failed.
 #[derive(Clone, Debug)]
 pub enum FailureKind {
+    /// The static analyzer rejected the lowered program before execution.
+    Static(Vec<Diagnostic>),
     /// Final memory or get results differ from the sequential oracle.
     Divergence(String),
     /// The trace auditor found protocol violations.
     Violations(Vec<Violation>),
+    /// The happens-before race detector found unordered conflicting
+    /// accesses in the run's sync trace.
+    Races(Vec<Race>),
     /// The simulation deadlocked.
     Deadlock(String),
     /// A rank or the engine panicked.
@@ -25,6 +34,13 @@ pub enum FailureKind {
 impl std::fmt::Display for FailureKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            FailureKind::Static(ds) => {
+                write!(f, "{} static diagnostic(s):", ds.len())?;
+                for d in ds {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             FailureKind::Divergence(d) => write!(f, "divergence: {d}"),
             FailureKind::Violations(vs) => {
                 write!(f, "{} invariant violation(s):", vs.len())?;
@@ -33,9 +49,31 @@ impl std::fmt::Display for FailureKind {
                 }
                 Ok(())
             }
+            FailureKind::Races(rs) => {
+                write!(f, "{} happens-before race(s):", rs.len())?;
+                for r in rs {
+                    write!(f, "\n  {r}")?;
+                }
+                Ok(())
+            }
             FailureKind::Deadlock(d) => write!(f, "{d}"),
             FailureKind::Panic(d) => write!(f, "panic: {d}"),
         }
+    }
+}
+
+/// Which checking layers [`verify_with`] applies around the run.
+#[derive(Copy, Clone, Debug)]
+pub struct VerifyOpts {
+    /// Run the static analyzer on the lowered program before executing.
+    pub static_analysis: bool,
+    /// Run the happens-before race detector on the run's sync trace.
+    pub races: bool,
+}
+
+impl Default for VerifyOpts {
+    fn default() -> Self {
+        VerifyOpts { static_analysis: true, races: true }
     }
 }
 
@@ -52,9 +90,22 @@ impl std::fmt::Display for Failure {
     }
 }
 
-/// Execute `program` under `spec` and check it end to end: oracle
-/// comparison plus trace audit. `Ok(())` means the run is conformant.
+/// [`verify_with`] under the default options (every layer on).
 pub fn verify(program: &Program, spec: &RunSpec) -> Result<(), Failure> {
+    verify_with(program, spec, VerifyOpts::default())
+}
+
+/// Execute `program` under `spec` and check it end to end: static
+/// analysis of the lowered call sequence, oracle comparison, trace audit,
+/// and happens-before race detection. `Ok(())` means the run is
+/// conformant under every enabled layer.
+pub fn verify_with(program: &Program, spec: &RunSpec, opts: VerifyOpts) -> Result<(), Failure> {
+    if opts.static_analysis {
+        let diags = analyze(&lower(program, spec.nonblocking));
+        if !diags.is_empty() {
+            return Err(Failure { kind: FailureKind::Static(diags) });
+        }
+    }
     let expected = oracle(program);
     let out = match execute(program, spec) {
         Ok(out) => out,
@@ -85,6 +136,12 @@ pub fn verify(program: &Program, spec: &RunSpec) -> Result<(), Failure> {
     let violations = audit(&out.report);
     if !violations.is_empty() {
         return Err(Failure { kind: FailureKind::Violations(violations) });
+    }
+    if opts.races {
+        let races = detect_races(&out.report);
+        if !races.is_empty() {
+            return Err(Failure { kind: FailureKind::Races(races) });
+        }
     }
     Ok(())
 }
@@ -140,14 +197,26 @@ pub fn spec_for_seed(
     }
 }
 
-/// Sweep one family: `programs` generated programs, each run under
-/// `seeds` perturbed schedules for all four matrix points. `fault`
-/// injects an engine bug into every run (the harness's self-test).
+/// [`sweep_family_with`] under the default options (every layer on).
 pub fn sweep_family(
     family: Family,
     programs: u64,
     seeds: u64,
     fault: &Option<String>,
+) -> SweepReport {
+    sweep_family_with(family, programs, seeds, fault, VerifyOpts::default())
+}
+
+/// Sweep one family: `programs` generated programs, each run under
+/// `seeds` perturbed schedules for all four matrix points. `fault`
+/// injects an engine bug into every run (the harness's self-test);
+/// `opts` selects the checking layers applied to every run.
+pub fn sweep_family_with(
+    family: Family,
+    programs: u64,
+    seeds: u64,
+    fault: &Option<String>,
+    opts: VerifyOpts,
 ) -> SweepReport {
     let mut report = SweepReport { programs, schedules: seeds, ..SweepReport::default() };
     for idx in 0..programs {
@@ -156,7 +225,7 @@ pub fn sweep_family(
             for s in 0..seeds {
                 let spec = spec_for_seed(strategy, nonblocking, s, fault);
                 report.runs += 1;
-                if let Err(failure) = verify(&program, &spec) {
+                if let Err(failure) = verify_with(&program, &spec, opts) {
                     report.failures.push(FoundFailure {
                         program: program.clone(),
                         spec,

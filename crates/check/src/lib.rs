@@ -15,26 +15,35 @@
 //!   starvation ([`mpisim_net::NetParams::perturbation_profile`]);
 //! * the **simulation seed** re-rolls every jitter stream.
 //!
-//! Pipeline: [`program::generate`] → [`run::execute`] → oracle comparison +
-//! [`audit::audit`] (via [`verify`]) → on failure, [`shrink::shrink`] and
-//! [`shrink::reproducer`] emit a minimized ready-to-paste test.
+//! Pipeline: [`program::generate`] → static analysis of the lowered call
+//! sequence ([`lower::lower`] + [`mpisim_analyze::analyze`]) →
+//! [`run::execute`] → oracle comparison + [`audit::audit`] + happens-before
+//! race detection ([`mpisim_analyze::detect_races`]), all via [`verify`] →
+//! on failure, [`shrink::shrink`] and [`shrink::reproducer`] emit a
+//! minimized ready-to-paste test.
 //!
 //! The harness proves it can catch real bugs by injecting them: the engine
 //! recognizes the fault names `"skip-grant"` (liveness: a dropped exposure
-//! grant, surfacing as deadlock) and `"double-acc"` (safety: accumulates
-//! applied twice, surfacing as oracle divergence) — see
-//! [`mpisim_core::Fault`].
+//! grant, surfacing as deadlock), `"double-acc"` (safety: accumulates
+//! applied twice, surfacing as oracle divergence), and `"hb-race"` (a
+//! planted unsynchronized local window read, caught only by the race
+//! detector) — see [`mpisim_core::Fault`].
 
 #![warn(missing_docs)]
 
 pub mod audit;
 pub mod diff;
+pub mod lower;
 pub mod program;
 pub mod run;
 pub mod shrink;
 
 pub use audit::{audit, Violation};
-pub use diff::{spec_for_seed, sweep_family, verify, Failure, FailureKind, FoundFailure, MATRIX};
+pub use diff::{
+    spec_for_seed, sweep_family, sweep_family_with, verify, verify_with, Failure, FailureKind,
+    FoundFailure, VerifyOpts, MATRIX,
+};
+pub use lower::lower;
 pub use mpisim_core::SyncStrategy;
 pub use program::{generate, oracle, Epoch, Family, Op, Program};
 pub use run::{execute, RunFailure, RunOutcome, RunSpec};

@@ -1,0 +1,148 @@
+//! Lower a generated [`Program`] into the analyzer's [`IrProgram`].
+//!
+//! The lowering mirrors [`crate::run::execute`] statement for statement —
+//! the exact call sequence each rank makes, including the blocking vs
+//! nonblocking close selection, the targets' cooperating fences and
+//! post/wait pairs, and the trailing `wait_all` — so that a clean verdict
+//! from the static analyzer speaks about precisely the program the runtime
+//! will execute. `mpisim-check` runs [`mpisim_analyze::analyze`] over this
+//! IR before executing anything: analyzer-clean is a precondition for
+//! every conformance run (analyzer-clean ⇒ oracle-clean ∧ audit-clean is
+//! the harness's soundness claim).
+
+use mpisim_analyze::{Close, IrProgram, Stmt};
+use mpisim_core::ReduceOp;
+
+use crate::program::{Epoch, Op, Program, MULTI_WIN_BYTES, WIN_BYTES};
+
+fn lower_op(op: &Op) -> Stmt {
+    match op {
+        Op::Put { target, disp, len, .. } => {
+            Stmt::Put { target: *target, disp: *disp, len: *len }
+        }
+        Op::Get { target, disp, len } => Stmt::Get { target: *target, disp: *disp, len: *len },
+        Op::AccSum { target, slot, .. } => {
+            Stmt::Acc { target: *target, disp: slot * 8, len: 8, op: ReduceOp::Sum }
+        }
+    }
+}
+
+/// Lower `program` as it would execute with `nonblocking` epoch closes.
+pub fn lower(program: &Program, nonblocking: bool) -> IrProgram {
+    let close = if nonblocking { Close::Nonblocking } else { Close::Blocking };
+    match program {
+        Program::SingleOrigin { n_ranks, reorder, epochs } => {
+            let mut p = IrProgram::new(*n_ranks, WIN_BYTES);
+            // `WinInfo::all_reorder()` sets the four reorder flags but not
+            // the unsafe fence-reorder extension.
+            p.reorder = *reorder;
+            // Rank 0 drives every epoch.
+            for e in epochs {
+                match e {
+                    Epoch::Fence(ops) => {
+                        p.ranks[0].push(Stmt::Fence(Close::Blocking));
+                        p.ranks[0].extend(ops.iter().map(lower_op));
+                        p.ranks[0].push(Stmt::Fence(close));
+                    }
+                    Epoch::Gats(ops) => {
+                        p.ranks[0].push(Stmt::Start((1..*n_ranks).collect()));
+                        p.ranks[0].extend(ops.iter().map(lower_op));
+                        p.ranks[0].push(Stmt::Complete(close));
+                    }
+                    Epoch::Lock { target, ops } => {
+                        p.ranks[0].push(Stmt::Lock {
+                            target: *target,
+                            exclusive: true,
+                            nonblocking: false,
+                        });
+                        p.ranks[0].extend(ops.iter().map(lower_op));
+                        p.ranks[0].push(Stmt::Unlock { target: *target, close });
+                    }
+                    Epoch::LockAll(ops) => {
+                        p.ranks[0].push(Stmt::LockAll);
+                        p.ranks[0].extend(ops.iter().map(lower_op));
+                        p.ranks[0].push(Stmt::UnlockAll(close));
+                    }
+                }
+            }
+            p.ranks[0].push(Stmt::WaitAll);
+            p.ranks[0].push(Stmt::Barrier);
+            // Targets join every fence phase and expose for every GATS
+            // epoch (blocking closes on their side, as in the executor).
+            for r in 1..*n_ranks {
+                for e in epochs {
+                    match e {
+                        Epoch::Fence(_) => {
+                            p.ranks[r].push(Stmt::Fence(Close::Blocking));
+                            p.ranks[r].push(Stmt::Fence(Close::Blocking));
+                        }
+                        Epoch::Gats(_) => {
+                            p.ranks[r].push(Stmt::Post(vec![0]));
+                            p.ranks[r].push(Stmt::WaitEpoch(Close::Blocking));
+                        }
+                        _ => {}
+                    }
+                }
+                p.ranks[r].push(Stmt::Barrier);
+            }
+            p
+        }
+        Program::MultiOrigin { n_ranks, plan } => {
+            let mut p = IrProgram::new(*n_ranks, MULTI_WIN_BYTES);
+            // `WinInfo::aaar()`: access-after-access reorder only.
+            p.reorder = true;
+            for (r, txs) in plan.iter().enumerate() {
+                for (target, slot, _) in txs {
+                    p.ranks[r].push(Stmt::Lock {
+                        target: *target,
+                        exclusive: true,
+                        nonblocking,
+                    });
+                    p.ranks[r].push(Stmt::Acc {
+                        target: *target,
+                        disp: slot * 8,
+                        len: 8,
+                        op: ReduceOp::Sum,
+                    });
+                    p.ranks[r].push(Stmt::Unlock { target: *target, close });
+                }
+                p.ranks[r].push(Stmt::WaitAll);
+                p.ranks[r].push(Stmt::Barrier);
+            }
+            p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{generate, Family};
+    use mpisim_analyze::analyze;
+
+    #[test]
+    fn lowered_generated_programs_are_analyzer_clean() {
+        for family in Family::ALL {
+            for idx in 0..16 {
+                let program = generate(family, idx);
+                for nonblocking in [false, true] {
+                    let ir = lower(&program, nonblocking);
+                    let diags = analyze(&ir);
+                    assert!(
+                        diags.is_empty(),
+                        "{family:?} #{idx} nb={nonblocking}: {diags:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_reflects_close_mode() {
+        let program = generate(Family::MixedSerial, 0);
+        let b = lower(&program, false);
+        let nb = lower(&program, true);
+        assert!(!b.ranks[0].contains(&Stmt::Fence(Close::Nonblocking)));
+        assert_ne!(b, nb);
+    }
+}

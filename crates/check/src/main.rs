@@ -1,35 +1,41 @@
 //! `mpisim-check` CLI: sweep the conformance matrix and report.
 //!
 //! ```text
-//! mpisim-check [--seeds N] [--programs N] [--inject FAULT]
+//! mpisim-check [--seeds N] [--programs N] [--inject FAULT] [--no-race-detect]
 //! ```
 //!
 //! * `--seeds N` — perturbed schedules per (program, matrix point);
 //!   default 16.
 //! * `--programs N` — generated programs per family; default 4.
 //! * `--inject FAULT` — self-test mode: inject the named engine fault
-//!   (`skip-grant` or `double-acc`) into every run, *require* the sweep to
-//!   catch it, and print the shrunk reproducer. Exit status inverts: 0 if
-//!   the bug was caught, 1 if it slipped through.
+//!   (`skip-grant`, `double-acc`, or `hb-race`) into every run, *require*
+//!   the sweep to catch it, and print the shrunk reproducer. Exit status
+//!   inverts: 0 if the bug was caught, 1 if it slipped through.
+//! * `--no-race-detect` — disable the happens-before race detector. With
+//!   `--inject hb-race` this must make the self-test fail loudly: the
+//!   planted unsynchronized read is invisible to the oracle and the trace
+//!   audit, so only the race detector can catch it.
 //!
 //! Without `--inject`, exit status 0 means every run of every family
-//! matched its oracle and passed the trace audit.
+//! passed static analysis, matched its oracle, passed the trace audit,
+//! and was race-free.
 
 use std::process::ExitCode;
 
-use mpisim_check::{reproducer, shrink, sweep_family, Family};
+use mpisim_check::{reproducer, shrink, sweep_family_with, Family, VerifyOpts};
 
 struct Args {
     seeds: u64,
     programs: u64,
     inject: Option<String>,
+    race_detect: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     // Four programs per family is the smallest count whose generated set
     // exercises every epoch kind at least twice per family — enough for
     // both injected-fault self-tests to trip.
-    let mut args = Args { seeds: 16, programs: 4, inject: None };
+    let mut args = Args { seeds: 16, programs: 4, inject: None, race_detect: true };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -45,8 +51,10 @@ fn parse_args() -> Result<Args, String> {
                     value("--programs")?.parse().map_err(|e| format!("--programs: {e}"))?;
             }
             "--inject" => args.inject = Some(value("--inject")?),
+            "--no-race-detect" => args.race_detect = false,
             "--help" | "-h" => {
-                return Err("usage: mpisim-check [--seeds N] [--programs N] [--inject FAULT]"
+                return Err("usage: mpisim-check [--seeds N] [--programs N] [--inject FAULT] \
+                            [--no-race-detect]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),
@@ -78,10 +86,11 @@ fn main() -> ExitCode {
         }
     );
 
+    let opts = VerifyOpts { static_analysis: true, races: args.race_detect };
     let mut total_runs = 0;
     let mut all_failures = Vec::new();
     for family in Family::ALL {
-        let report = sweep_family(family, args.programs, args.seeds, &args.inject);
+        let report = sweep_family_with(family, args.programs, args.seeds, &args.inject, opts);
         println!(
             "  {:<18} {:>4} runs, {:>2} schedules/program: {}",
             family.label(),

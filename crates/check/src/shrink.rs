@@ -116,8 +116,7 @@ pub fn shrink(program: &Program, spec: &RunSpec) -> (Program, RunSpec) {
             let n_epochs = epoch_slots(&p);
             for e in 0..n_epochs {
                 let mut o = 0;
-                loop {
-                    let Some(cand) = drop_op(&p, e, o) else { break };
+                while let Some(cand) = drop_op(&p, e, o) {
                     if sh.fails(&cand, &s) {
                         p = cand;
                         changed = true;

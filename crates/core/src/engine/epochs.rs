@@ -571,6 +571,14 @@ impl Engine {
         }
         st.eng_stats.gats_dones += to_send.len() as u64;
         for (t, aid) in to_send {
+            self.sync_event(
+                st,
+                rank,
+                t,
+                win,
+                crate::trace::Plane::Gats,
+                crate::trace::SyncEvent::EpochDoneSent { epoch: id.0, id: aid },
+            );
             self.send_sync(
                 rank,
                 t,
@@ -605,6 +613,14 @@ impl Engine {
             }
         }
         for (t, aid) in to_send {
+            self.sync_event(
+                st,
+                rank,
+                t,
+                win,
+                crate::trace::Plane::Lock,
+                crate::trace::SyncEvent::EpochDoneSent { epoch: id.0, id: aid },
+            );
             self.send_sync(
                 rank,
                 t,

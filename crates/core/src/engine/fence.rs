@@ -91,6 +91,14 @@ impl Engine {
                 }
             }
             for (t, ops_sent) in to_send {
+                self.sync_event(
+                    st,
+                    rank,
+                    t,
+                    win,
+                    crate::trace::Plane::Gats,
+                    crate::trace::SyncEvent::FenceDoneSent { seq },
+                );
                 self.net.send(Packet {
                     src: rank,
                     dst: t,
@@ -116,6 +124,18 @@ impl Engine {
                     }
                 }
             }
+        }
+        // Epoch complete: this rank has now observed every peer's closing
+        // announcement (and all announced data) — record the HB join edges.
+        for p in 0..n {
+            self.sync_event(
+                st,
+                rank,
+                Rank(p),
+                win,
+                crate::trace::Plane::Gats,
+                crate::trace::SyncEvent::FenceDoneApplied { seq },
+            );
         }
         // Clean up the per-sequence bookkeeping.
         let w = st.win_mut(win, rank);

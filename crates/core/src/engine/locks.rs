@@ -59,8 +59,16 @@ impl Engine {
         me: Rank,
         origin: Rank,
         win: WinId,
-        _access_id: u64,
+        access_id: u64,
     ) {
+        self.sync_event(
+            st,
+            me,
+            origin,
+            win,
+            crate::trace::Plane::Lock,
+            crate::trace::SyncEvent::EpochDoneApplied { id: access_id },
+        );
         st.sweep[me.idx()].pending_unlocks.push_back((win, origin));
         st.mark_lock_backlog(me, win);
     }
@@ -294,6 +302,14 @@ impl Engine {
         win: WinId,
         access_id: u64,
     ) {
+        self.sync_event(
+            st,
+            me,
+            origin,
+            win,
+            crate::trace::Plane::Gats,
+            crate::trace::SyncEvent::EpochDoneApplied { id: access_id },
+        );
         {
             let w = st.win_mut(win, me);
             let slot = &mut w.gats_done_recv[origin.idx()];

@@ -132,6 +132,13 @@ pub enum Fault {
     /// safety bug: final window contents diverge from the oracle while
     /// every synchronization invariant still holds.
     DoubleAcc,
+    /// The target performs an unsynchronized local read of the bytes every
+    /// arriving put/accumulate touches — a memory-model bug: the oracle
+    /// and every ω-triple invariant stay intact (the read mutates
+    /// nothing), but the access is unordered with the origin's write
+    /// under the happens-before relation, so only the race detector in
+    /// `mpisim-analyze` can catch it.
+    HbRace,
 }
 
 /// Per-rank cumulative timing, reported by [`crate::api::RankEnv::stats`].
@@ -295,6 +302,7 @@ impl Engine {
             None | Some("") => None,
             Some("skip-grant") => Some(Fault::SkipGrant),
             Some("double-acc") => Some(Fault::DoubleAcc),
+            Some("hb-race") => Some(Fault::HbRace),
             Some(other) => panic!("unknown injected fault {other:?}"),
         };
         let eng = Arc::new(Engine {

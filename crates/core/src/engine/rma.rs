@@ -210,13 +210,33 @@ impl Engine {
         } else {
             crate::trace::Plane::Gats
         };
+        // Target byte range + access kind travel with the trace record so
+        // the race detector needs no side channel into the op stream.
+        let (len, access) = match &op.kind {
+            OpKind::Put { payload, layout } => {
+                (layout.extent(payload.len()), crate::trace::AccessKind::Write)
+            }
+            OpKind::Get { len, layout } => {
+                (layout.extent(*len), crate::trace::AccessKind::Read)
+            }
+            OpKind::Acc { op: rop, payload, .. } => {
+                (payload.len(), crate::trace::AccessKind::Atomic(*rop))
+            }
+            OpKind::Fetch { fetch, op: rop, operand, .. } => (
+                operand.len(),
+                match fetch {
+                    FetchKind::CompareAndSwap { .. } => crate::trace::AccessKind::AtomicCas,
+                    _ => crate::trace::AccessKind::Atomic(*rop),
+                },
+            ),
+        };
         self.sync_event(
             st,
             rank,
             op.target,
             win,
             plane,
-            crate::trace::SyncEvent::DataIssued { epoch: eid.0 },
+            crate::trace::SyncEvent::DataIssued { epoch: eid.0, disp: op.disp, len, access },
         );
         let OpDesc {
             age,
@@ -508,6 +528,41 @@ impl Engine {
     // data-plane handlers (target side unless noted)
     // ------------------------------------------------------------------
 
+    /// `hb-race` fault injection: the target reads the bytes an arriving
+    /// write just touched, with no synchronization ordering the read
+    /// against the origin's epoch — the planted race the `mpisim-analyze`
+    /// detector must catch. Memory is unchanged and no protocol counter
+    /// moves, so the oracle and the ω-triple auditor both stay green.
+    fn plant_local_read(
+        &self,
+        st: &mut EngState,
+        me: Rank,
+        win: WinId,
+        tag: EpochTag,
+        disp: usize,
+        len: usize,
+    ) {
+        if self.fault != Some(crate::engine::Fault::HbRace) {
+            return;
+        }
+        let plane = match tag {
+            EpochTag::Lock { .. } => crate::trace::Plane::Lock,
+            EpochTag::Gats { .. } | EpochTag::Fence { .. } => crate::trace::Plane::Gats,
+        };
+        self.sync_event(
+            st,
+            me,
+            me,
+            win,
+            plane,
+            crate::trace::SyncEvent::LocalAccess {
+                disp,
+                len,
+                access: crate::trace::AccessKind::Read,
+            },
+        );
+    }
+
     fn apply_fence_arrival(&self, st: &mut EngState, me: Rank, win: WinId, src: Rank, tag: EpochTag) {
         if let EpochTag::Fence { seq } = tag {
             let w = st.win_mut(win, me);
@@ -568,6 +623,7 @@ impl Engine {
                 }
             }
         }
+        self.plant_local_read(st, me, win, tag, disp, layout.extent(payload.len()));
         self.apply_fence_arrival(st, me, win, src, tag);
     }
 
@@ -603,6 +659,7 @@ impl Engine {
                 }
             }
         }
+        self.plant_local_read(st, me, win, tag, disp, payload.len());
         self.apply_fence_arrival(st, me, win, src, tag);
     }
 

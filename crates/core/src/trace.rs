@@ -84,11 +84,57 @@ pub enum Plane {
     Lock,
 }
 
+/// How an RMA data operation touches target window memory, as recorded in
+/// the sync trace for the happens-before race detector
+/// (`mpisim-analyze`). Accumulate-family operations are applied atomically
+/// elementwise by the engine, so two accumulates with the *same* reduction
+/// operator never conflict; everything else follows the usual
+/// read/write matrix.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Get-style read of target bytes.
+    Read,
+    /// Put-style overwrite of target bytes.
+    Write,
+    /// Accumulate-family atomic update with this reduction operator
+    /// (accumulate, get_accumulate, fetch_and_op).
+    Atomic(crate::datatype::ReduceOp),
+    /// Compare-and-swap: an atomic conditional write.
+    AtomicCas,
+}
+
+impl AccessKind {
+    /// Whether two accesses to overlapping bytes of one window conflict
+    /// (i.e. at least one mutates and the pair is not an atomic pair that
+    /// commutes). Unordered conflicting accesses are data races under the
+    /// MPI-3 RMA memory model.
+    pub fn conflicts_with(self, other: AccessKind) -> bool {
+        use AccessKind::*;
+        match (self, other) {
+            (Read, Read) => false,
+            // Same-operator accumulates are atomic and commute; mixed
+            // operators leave a schedule-dependent result.
+            (Atomic(a), Atomic(b)) => a != b,
+            _ => true,
+        }
+    }
+
+    /// Whether the access mutates target memory.
+    pub fn writes(self) -> bool {
+        !matches!(self, AccessKind::Read)
+    }
+}
+
 /// A synchronization-plane transition, recorded alongside the epoch trace
 /// when tracing is on. These are the raw material of the conformance
-/// harness's invariant auditor: grant emission and application must stay
+/// harness's invariant auditor — grant emission and application must stay
 /// positional and monotone, and data must never be issued to a target
-/// before the matching grant arrived (§VII.B).
+/// before the matching grant arrived (§VII.B) — and of the
+/// happens-before race detector, which advances vector clocks on the
+/// grant / epoch-done / fence-done edges and checks [`DataIssued`] byte
+/// ranges for unordered conflicts.
+///
+/// [`DataIssued`]: SyncEvent::DataIssued
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum SyncEvent {
     /// The granter sent positional grant number `id` to `peer`.
@@ -111,9 +157,59 @@ pub enum SyncEvent {
     },
     /// An RMA data operation of `epoch` was handed to the network toward
     /// `peer` (after the grant gate, except for fences which pre-grant).
+    /// Carries the target byte range and access kind so the race detector
+    /// needs no side channels.
     DataIssued {
         /// Epoch id (matches the epoch trace).
         epoch: u64,
+        /// Target window byte displacement.
+        disp: usize,
+        /// Target window extent in bytes (layout extent for strided ops).
+        len: usize,
+        /// How the operation touches `[disp, disp+len)` at the target.
+        access: AccessKind,
+    },
+    /// The origin announced epoch closure toward `peer`: a GATS done
+    /// packet (plane [`Plane::Gats`]) or an unlock packet
+    /// ([`Plane::Lock`]), carrying the positional access id. The
+    /// complete→wait / unlock→lock happens-before edge starts here.
+    EpochDoneSent {
+        /// Epoch id (matches the epoch trace).
+        epoch: u64,
+        /// Positional access id of the closing epoch toward `peer`.
+        id: u64,
+    },
+    /// The target consumed the origin's closure announcement `id` (done
+    /// packet raised `gats_done_recv`, or the unlock entered the release
+    /// backlog). The complete→wait / unlock→lock edge lands here.
+    EpochDoneApplied {
+        /// Positional access id of the origin's closing epoch.
+        id: u64,
+    },
+    /// This rank announced its closing fence of sequence `seq` to `peer`
+    /// (the fence barrier's outgoing half).
+    FenceDoneSent {
+        /// Fence sequence number on the window.
+        seq: u64,
+    },
+    /// This rank's fence of sequence `seq` completed having consumed the
+    /// announcement from `peer` (the fence barrier's incoming half; one
+    /// record per peer at completion).
+    FenceDoneApplied {
+        /// Fence sequence number on the window.
+        seq: u64,
+    },
+    /// The rank touched its *own* window memory outside any traced
+    /// synchronization (`peer` = self). Emitted only by the `hb-race`
+    /// fault injection today: a planted unsynchronized local access the
+    /// race detector must flag.
+    LocalAccess {
+        /// Byte displacement in the local window.
+        disp: usize,
+        /// Length in bytes.
+        len: usize,
+        /// How local memory was touched.
+        access: AccessKind,
     },
 }
 
