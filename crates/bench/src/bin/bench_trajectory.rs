@@ -1,0 +1,39 @@
+//! Perf-trajectory runner: executes the macro-benchmarks (fence-heavy
+//! halo, GATS pipeline, lock_all contention) and writes `BENCH_3.json`.
+//!
+//! Usage: `cargo run --release -p mpisim-bench --bin bench_trajectory --
+//! [--short] [--out PATH]`. `--short` runs CI-smoke scales; `--out`
+//! overrides the output path (default `BENCH_3.json` in the current
+//! directory — run from the repo root).
+
+/// Trajectory point: this runner was introduced in PR 3.
+const PR: u32 = 3;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let short = args.iter().any(|a| a == "--short");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| format!("BENCH_{PR}.json"));
+
+    let results = mpisim_bench::macrobench::run_suite(short);
+    for r in &results {
+        println!(
+            "{:>22}  ranks={} ops={:>6}  {:>10.1} ns/op  (sweeps={}, ops_issued={}, fifo={}={}) ",
+            r.name,
+            r.ranks,
+            r.ops,
+            r.ns_per_op(),
+            r.engine.sweeps,
+            r.engine.ops_issued,
+            r.engine.fifo_packets,
+            r.engine.fifo_drained,
+        );
+    }
+    let json = mpisim_bench::macrobench::trajectory_json(PR, short, &results);
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

@@ -22,12 +22,18 @@
 //! `run_all` regenerates everything in sequence. All numbers are virtual
 //! time on the calibrated cluster model; EXPERIMENTS.md records
 //! paper-vs-measured for each figure.
+//!
+//! [`macrobench`] is different: it measures *host* wall-clock per RMA
+//! operation across three engine-stressing workloads, and its
+//! `bench_trajectory` binary writes `BENCH_<pr>.json` at the repo root —
+//! the PR-over-PR perf trajectory CI archives for regression tracking.
 
 #![warn(missing_docs)]
 
 pub mod fig12;
 pub mod fig13;
 pub mod flags;
+pub mod macrobench;
 pub mod micro;
 pub mod series;
 pub mod table;

@@ -1,0 +1,269 @@
+//! Macro-benchmarks for the work-list progress engine, and the PR-over-PR
+//! perf trajectory file they feed.
+//!
+//! Unlike the figure harnesses (which report *virtual* time on the
+//! calibrated cluster model), these benchmarks measure **host wall-clock
+//! per RMA operation** — the cost of the engine itself: sweep dispatch,
+//! FIFO drains, epoch matching, request bookkeeping. Three workloads
+//! cover the three epoch disciplines the sweep serves:
+//!
+//! * `halo_fence` — fence-heavy 1-D halo exchange (active target,
+//!   collective epochs; stresses step 2/3 issue + completion);
+//! * `gats_pipeline` — back-to-back nonblocking GATS epochs toward a
+//!   ring neighbour (stresses §VII.A deferral and steps 3/7 activation);
+//! * `lock_all_contention` — every rank repeatedly `lock_all`s the same
+//!   window and accumulates into shared slots (passive target; stresses
+//!   step 5 FIFO drains and step 6 grant pumping).
+//!
+//! [`trajectory_json`] renders the results, together with the engine's
+//! work counters, as `BENCH_<pr>.json` at the repo root so successive
+//! PRs accumulate a comparable perf baseline.
+
+use std::time::Instant;
+
+use mpisim_core::{
+    run_job, Datatype, EngineStats, Group, JobConfig, Rank, ReduceOp,
+};
+use mpisim_sim::SimTime;
+
+/// One macro-benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Workload name (JSON key).
+    pub name: &'static str,
+    /// Ranks in the simulated job.
+    pub ranks: usize,
+    /// RMA data operations the workload source issues (puts/accumulates).
+    pub ops: u64,
+    /// Host wall-clock for the whole `run_job`, nanoseconds.
+    pub wall_ns: u128,
+    /// Final virtual time of the job, nanoseconds.
+    pub virt_ns: u64,
+    /// Engine work counters accumulated over the run.
+    pub engine: EngineStats,
+}
+
+impl BenchResult {
+    /// Host nanoseconds of engine+simulation work per RMA operation.
+    pub fn ns_per_op(&self) -> f64 {
+        self.wall_ns as f64 / self.ops as f64
+    }
+}
+
+fn measure<F>(name: &'static str, ranks: usize, ops: u64, body: F) -> BenchResult
+where
+    F: Fn(&mut mpisim_core::RankEnv) + Send + Sync + 'static,
+{
+    let t0 = Instant::now();
+    let report = run_job(JobConfig::new(ranks), body).expect(name);
+    let wall_ns = t0.elapsed().as_nanos();
+    assert_eq!(report.live_requests, 0, "{name}: leaked requests");
+    assert!(report.protocol_errors.is_empty(), "{name}: protocol errors");
+    BenchResult {
+        name,
+        ranks,
+        ops,
+        wall_ns,
+        virt_ns: report.final_time.as_nanos(),
+        engine: report.engine,
+    }
+}
+
+/// Fence-heavy 1-D halo exchange: each iteration puts a boundary cell to
+/// both ring neighbours and closes with a blocking fence.
+pub fn halo_fence(n_ranks: usize, iters: usize) -> BenchResult {
+    let ops = (n_ranks * iters * 2) as u64;
+    measure("halo_fence", n_ranks, ops, move |env| {
+        let win = env.win_allocate(64).unwrap();
+        let me = env.rank().idx();
+        let n = env.n_ranks();
+        let left = Rank((me + n - 1) % n);
+        let right = Rank((me + 1) % n);
+        env.fence(win).unwrap();
+        for i in 0..iters {
+            env.put(win, left, 8, &(i as u64).to_le_bytes()).unwrap();
+            env.put(win, right, 0, &(i as u64).to_le_bytes()).unwrap();
+            env.fence(win).unwrap();
+        }
+        env.win_free(win).unwrap();
+    })
+}
+
+/// Pipelined GATS ring: every epoch opens, puts, and closes with the
+/// nonblocking variants; completion is only collected at the end, so the
+/// engine carries a deep deferred-epoch queue (§VII.A).
+pub fn gats_pipeline(n_ranks: usize, epochs: usize) -> BenchResult {
+    let ops = (n_ranks * epochs) as u64;
+    measure("gats_pipeline", n_ranks, ops, move |env| {
+        // Every rank runs interleaved exposure and access epochs on the
+        // same window; the reorder flags (§VI.B) let them progress
+        // concurrently — without them the ring deadlocks on the E_A
+        // serialization rule.
+        let win = env
+            .win_allocate_with(64, mpisim_core::WinInfo::all_reorder())
+            .unwrap();
+        let me = env.rank().idx();
+        let n = env.n_ranks();
+        let next = Rank((me + 1) % n);
+        let prev = Rank((me + n - 1) % n);
+        let mut pending = Vec::new();
+        for e in 0..epochs {
+            pending.push(env.ipost(win, Group::single(prev)).unwrap());
+            pending.push(env.istart(win, Group::single(next)).unwrap());
+            env.put(win, next, 0, &(e as u64).to_le_bytes()).unwrap();
+            pending.push(env.icomplete(win).unwrap());
+            pending.push(env.iwait(win).unwrap());
+            env.compute(SimTime::from_nanos(200));
+        }
+        env.wait_all(pending).unwrap();
+        env.barrier().unwrap();
+        env.win_free(win).unwrap();
+    })
+}
+
+/// `lock_all` contention storm: every rank repeatedly opens a nonblocking
+/// shared-all epoch over the same window and Sum-accumulates into slots
+/// spread across all ranks.
+pub fn lock_all_contention(n_ranks: usize, rounds: usize, accs: usize) -> BenchResult {
+    let ops = (n_ranks * rounds * accs) as u64;
+    measure("lock_all_contention", n_ranks, ops, move |env| {
+        let win = env.win_allocate(256).unwrap();
+        env.barrier().unwrap();
+        let me = env.rank().idx();
+        let n = env.n_ranks();
+        let mut pending = Vec::new();
+        for r in 0..rounds {
+            pending.push(env.ilock_all(win).unwrap());
+            for a in 0..accs {
+                let target = Rank((me + a + 1) % n);
+                let slot = (me + a + r) % (256 / 8);
+                env.accumulate(
+                    win,
+                    target,
+                    slot * 8,
+                    Datatype::U64,
+                    ReduceOp::Sum,
+                    &1u64.to_le_bytes(),
+                )
+                .unwrap();
+            }
+            pending.push(env.iunlock_all(win).unwrap());
+        }
+        env.wait_all(pending).unwrap();
+        env.barrier().unwrap();
+        env.win_free(win).unwrap();
+    })
+}
+
+/// Run the full trajectory suite. `short` uses reduced scales for CI
+/// smoke runs; the numbers are still comparable across PRs as long as
+/// the mode matches.
+pub fn run_suite(short: bool) -> Vec<BenchResult> {
+    if short {
+        vec![
+            halo_fence(4, 16),
+            gats_pipeline(4, 16),
+            lock_all_contention(4, 8, 4),
+        ]
+    } else {
+        vec![
+            halo_fence(8, 128),
+            gats_pipeline(8, 96),
+            lock_all_contention(8, 48, 8),
+        ]
+    }
+}
+
+fn json_stats(e: &EngineStats, indent: &str) -> String {
+    let steps = e
+        .step_runs
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{i}\"sweeps\": {}, \"step_runs\": [{steps}],\n\
+         {i}\"notices_drained\": {}, \"issue_scans\": {}, \"ops_issued\": {},\n\
+         {i}\"completion_checks\": {}, \"activation_scans\": {},\n\
+         {i}\"fifo_packets\": {}, \"fifo_drained\": {}, \"fifo_decode_errors\": {},\n\
+         {i}\"unlocks_applied\": {}, \"grant_pumps\": {},\n\
+         {i}\"epochs_opened\": {}, \"epochs_deferred\": {}, \"epochs_completed\": {}",
+        e.sweeps,
+        e.notices_drained,
+        e.issue_scans,
+        e.ops_issued,
+        e.completion_checks,
+        e.activation_scans,
+        e.fifo_packets,
+        e.fifo_drained,
+        e.fifo_decode_errors,
+        e.unlocks_applied,
+        e.grant_pumps,
+        e.epochs_opened,
+        e.epochs_deferred,
+        e.epochs_completed,
+        i = indent,
+    )
+}
+
+/// Render the trajectory file contents (hand-formatted JSON; the
+/// workspace is offline and carries no serde).
+pub fn trajectory_json(pr: u32, short: bool, results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mpisim-bench-trajectory-v1\",\n");
+    out.push_str(&format!("  \"pr\": {pr},\n"));
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if short { "short" } else { "full" }
+    ));
+    out.push_str("  \"benchmarks\": [\n");
+    for (k, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"ranks\": {},\n", r.ranks));
+        out.push_str(&format!("      \"ops\": {},\n", r.ops));
+        out.push_str(&format!("      \"wall_ns\": {},\n", r.wall_ns));
+        out.push_str(&format!("      \"ns_per_op\": {:.1},\n", r.ns_per_op()));
+        out.push_str(&format!("      \"virtual_ns\": {},\n", r.virt_ns));
+        out.push_str("      \"engine\": {\n");
+        out.push_str(&json_stats(&r.engine, "        "));
+        out.push_str("\n      }\n");
+        out.push_str(if k + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_and_counters_balance() {
+        for r in run_suite(true) {
+            assert!(r.ops > 0);
+            assert!(r.wall_ns > 0);
+            assert_eq!(
+                r.engine.fifo_packets, r.engine.fifo_drained,
+                "{}: pushed != drained",
+                r.name
+            );
+            assert_eq!(r.engine.fifo_decode_errors, 0, "{}", r.name);
+            // Every workload issues its ops through the engine.
+            assert!(r.engine.ops_issued >= r.ops, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn trajectory_json_is_well_formed() {
+        let results = vec![halo_fence(4, 4), lock_all_contention(4, 2, 2)];
+        let j = trajectory_json(3, true, &results);
+        assert!(j.starts_with("{\n"));
+        assert!(j.ends_with("}\n"));
+        assert_eq!(j.matches("\"name\"").count(), 2);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"schema\": \"mpisim-bench-trajectory-v1\""));
+        assert!(j.contains("\"step_runs\": ["));
+    }
+}

@@ -111,6 +111,29 @@ pub fn lower(program: &Program, nonblocking: bool) -> IrProgram {
             }
             p
         }
+        Program::LockAllStorm { n_ranks, rounds } => {
+            let mut p = IrProgram::new(*n_ranks, MULTI_WIN_BYTES);
+            // `WinInfo::default()`: no reorder flags; back-to-back
+            // lock_all epochs serialize per rank (§VI.A rule 4).
+            p.reorder = false;
+            for (r, eps) in rounds.iter().enumerate() {
+                for accs in eps {
+                    p.ranks[r].push(Stmt::LockAll);
+                    for (target, slot, _) in accs {
+                        p.ranks[r].push(Stmt::Acc {
+                            target: *target,
+                            disp: slot * 8,
+                            len: 8,
+                            op: ReduceOp::Sum,
+                        });
+                    }
+                    p.ranks[r].push(Stmt::UnlockAll(close));
+                }
+                p.ranks[r].push(Stmt::WaitAll);
+                p.ranks[r].push(Stmt::Barrier);
+            }
+            p
+        }
     }
 }
 

@@ -15,6 +15,12 @@
 //! * [`Family::MultiOriginSum`] — every rank fires `Sum` accumulates at
 //!   random targets through out-of-order (`A_A_A_R`) passive epochs.
 //!   Addition commutes, so the final contents are schedule-independent.
+//! * [`Family::LockAllStorm`] — every rank opens a sequence of `lock_all`
+//!   epochs, each batching `Sum` accumulates at random targets. Shared
+//!   locks from all ranks contend at every target simultaneously and
+//!   back-to-back `lock_all` epochs exercise the deferral/activation
+//!   machinery (§VII.A); commutativity of `Sum` keeps the sequential
+//!   replay a valid oracle for every schedule.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -115,12 +121,18 @@ pub enum Family {
     DisjointReorder,
     /// Every rank accumulates sums through `A_A_A_R` lock epochs.
     MultiOriginSum,
+    /// Every rank accumulates sums through back-to-back `lock_all` epochs.
+    LockAllStorm,
 }
 
 impl Family {
     /// All families, in sweep order.
-    pub const ALL: [Family; 3] =
-        [Family::MixedSerial, Family::DisjointReorder, Family::MultiOriginSum];
+    pub const ALL: [Family; 4] = [
+        Family::MixedSerial,
+        Family::DisjointReorder,
+        Family::MultiOriginSum,
+        Family::LockAllStorm,
+    ];
 
     /// Short label for reports.
     pub fn label(self) -> &'static str {
@@ -128,6 +140,7 @@ impl Family {
             Family::MixedSerial => "mixed-serial",
             Family::DisjointReorder => "disjoint-reorder",
             Family::MultiOriginSum => "multi-origin-sum",
+            Family::LockAllStorm => "lock-all-storm",
         }
     }
 }
@@ -153,13 +166,27 @@ pub enum Program {
         /// Per-rank accumulate transactions.
         plan: Vec<Vec<(usize, usize, u64)>>,
     },
+    /// Every rank `r` runs `rounds[r]`: a sequence of `lock_all` epochs,
+    /// each holding a batch of `(target, slot, v)` Sum-accumulates.
+    LockAllStorm {
+        /// Total ranks in the job.
+        n_ranks: usize,
+        /// Per-rank, per-epoch accumulate batches.
+        rounds: StormRounds,
+    },
 }
+
+/// `LockAllStorm` schedule: per rank → per `lock_all` epoch → batch of
+/// `(target, slot, operand)` Sum-accumulates.
+pub type StormRounds = Vec<Vec<Vec<(usize, usize, u64)>>>;
 
 impl Program {
     /// Number of ranks this program needs.
     pub fn n_ranks(&self) -> usize {
         match self {
-            Program::SingleOrigin { n_ranks, .. } | Program::MultiOrigin { n_ranks, .. } => *n_ranks,
+            Program::SingleOrigin { n_ranks, .. }
+            | Program::MultiOrigin { n_ranks, .. }
+            | Program::LockAllStorm { n_ranks, .. } => *n_ranks,
         }
     }
 
@@ -171,6 +198,10 @@ impl Program {
                 epochs.len() + epochs.iter().map(|e| e.ops().len()).sum::<usize>()
             }
             Program::MultiOrigin { plan, .. } => plan.iter().map(Vec::len).sum(),
+            Program::LockAllStorm { rounds, .. } => rounds
+                .iter()
+                .map(|eps| eps.len() + eps.iter().map(Vec::len).sum::<usize>())
+                .sum(),
         }
     }
 
@@ -228,6 +259,29 @@ impl Program {
                     rows.join(",\n            ")
                 )
             }
+            Program::LockAllStorm { n_ranks, rounds } => {
+                let rows: Vec<String> = rounds
+                    .iter()
+                    .map(|eps| {
+                        let inner: Vec<String> = eps
+                            .iter()
+                            .map(|accs| {
+                                let items: Vec<String> = accs
+                                    .iter()
+                                    .map(|(t, s, v)| format!("({t}, {s}, {v})"))
+                                    .collect();
+                                format!("vec![{}]", items.join(", "))
+                            })
+                            .collect();
+                        format!("vec![{}]", inner.join(", "))
+                    })
+                    .collect();
+                format!(
+                    "Program::LockAllStorm {{\n        n_ranks: {n_ranks},\n        rounds: \
+                     vec![\n            {}\n        ],\n    }}",
+                    rows.join(",\n            ")
+                )
+            }
         }
     }
 }
@@ -275,6 +329,19 @@ pub fn oracle(program: &Program) -> Expected {
                     let d = slot * 8;
                     let cur = u64::from_le_bytes(mem[*target][d..d + 8].try_into().unwrap());
                     mem[*target][d..d + 8].copy_from_slice(&cur.wrapping_add(*v).to_le_bytes());
+                }
+            }
+            Expected { mems: mem, gets: Vec::new() }
+        }
+        Program::LockAllStorm { n_ranks, rounds } => {
+            let mut mem = vec![vec![0u8; MULTI_WIN_BYTES]; *n_ranks];
+            for eps in rounds {
+                for accs in eps {
+                    for (target, slot, v) in accs {
+                        let d = slot * 8;
+                        let cur = u64::from_le_bytes(mem[*target][d..d + 8].try_into().unwrap());
+                        mem[*target][d..d + 8].copy_from_slice(&cur.wrapping_add(*v).to_le_bytes());
+                    }
                 }
             }
             Expected { mems: mem, gets: Vec::new() }
@@ -365,6 +432,29 @@ pub fn generate(family: Family, index: u64) -> Program {
                 .collect();
             Program::MultiOrigin { n_ranks, plan }
         }
+        Family::LockAllStorm => {
+            let n_ranks = 4;
+            let rounds = (0..n_ranks)
+                .map(|_| {
+                    let n_epochs = rng.gen_range(1..4usize);
+                    (0..n_epochs)
+                        .map(|_| {
+                            let n_accs = rng.gen_range(1..6usize);
+                            (0..n_accs)
+                                .map(|_| {
+                                    (
+                                        rng.gen_range(0..n_ranks),
+                                        rng.gen_range(0..MULTI_WIN_BYTES / 8),
+                                        rng.gen_range(0..1000u64),
+                                    )
+                                })
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            Program::LockAllStorm { n_ranks, rounds }
+        }
     }
 }
 
@@ -433,5 +523,27 @@ mod tests {
         assert!(src.contains("epochs: vec!["));
         let m = generate(Family::MultiOriginSum, 0);
         assert!(m.to_rust().starts_with("Program::MultiOrigin"));
+        let s = generate(Family::LockAllStorm, 0);
+        assert!(s.to_rust().starts_with("Program::LockAllStorm"));
+    }
+
+    #[test]
+    fn lock_all_storm_batches_are_bounded() {
+        for i in 0..16 {
+            let Program::LockAllStorm { n_ranks, rounds } = generate(Family::LockAllStorm, i)
+            else {
+                panic!("wrong variant")
+            };
+            assert_eq!(rounds.len(), n_ranks);
+            for eps in &rounds {
+                assert!(!eps.is_empty());
+                for accs in eps {
+                    assert!(!accs.is_empty());
+                    for &(t, s, _) in accs {
+                        assert!(t < n_ranks && s < MULTI_WIN_BYTES / 8);
+                    }
+                }
+            }
+        }
     }
 }

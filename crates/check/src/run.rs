@@ -12,7 +12,7 @@ use mpisim_core::{
 use mpisim_net::NetParams;
 use mpisim_sim::SimTime;
 
-use crate::program::{Epoch, Op, Program, MULTI_WIN_BYTES, WIN_BYTES};
+use crate::program::{Epoch, Op, Program, StormRounds, MULTI_WIN_BYTES, WIN_BYTES};
 
 /// One point of the exploration matrix.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -271,6 +271,53 @@ fn execute_multi_origin(
     Ok(RunOutcome { mems, gets: Vec::new(), report })
 }
 
+fn execute_lock_all_storm(
+    n_ranks: usize,
+    rounds: Arc<StormRounds>,
+    spec: &RunSpec,
+) -> Result<RunOutcome, RunFailure> {
+    let nonblocking = spec.nonblocking;
+    let mems = Arc::new(Mutex::new(vec![Vec::new(); n_ranks]));
+    let m2 = mems.clone();
+
+    let report = run_guarded(job_config(n_ranks, spec), move |env| {
+        let me = env.rank().idx();
+        let win = env.win_allocate_with(MULTI_WIN_BYTES, WinInfo::default()).unwrap();
+        env.barrier().unwrap();
+        let mut pend = Vec::new();
+        for accs in &rounds[me] {
+            if nonblocking {
+                pend.push(env.ilock_all(win).unwrap());
+            } else {
+                env.lock_all(win).unwrap();
+            }
+            for (target, slot, v) in accs {
+                env.accumulate(
+                    win,
+                    Rank(*target),
+                    slot * 8,
+                    Datatype::U64,
+                    ReduceOp::Sum,
+                    &v.to_le_bytes(),
+                )
+                .unwrap();
+            }
+            if nonblocking {
+                pend.push(env.iunlock_all(win).unwrap());
+            } else {
+                env.unlock_all(win).unwrap();
+            }
+            env.compute(SimTime::from_nanos(((me as u64) * 131 + 29) % 400));
+        }
+        env.wait_all(pend).unwrap();
+        env.barrier().unwrap();
+        m2.lock().unwrap()[me] = env.read_local(win, 0, MULTI_WIN_BYTES).unwrap();
+        env.win_free(win).unwrap();
+    })?;
+    let mems = mems.lock().unwrap().clone();
+    Ok(RunOutcome { mems, gets: Vec::new(), report })
+}
+
 /// `run_job` with both failure modes mapped into [`RunFailure`]: a
 /// simulated deadlock surfaces as `Err(SimError)`, an engine/rank panic
 /// unwinds through `sim.run()`.
@@ -301,6 +348,9 @@ pub fn execute(program: &Program, spec: &RunSpec) -> Result<RunOutcome, RunFailu
         Program::MultiOrigin { n_ranks, plan } => {
             execute_multi_origin(*n_ranks, Arc::new(plan.clone()), spec)
         }
+        Program::LockAllStorm { n_ranks, rounds } => {
+            execute_lock_all_storm(*n_ranks, Arc::new(rounds.clone()), spec)
+        }
     }
 }
 
@@ -318,6 +368,17 @@ mod tests {
         assert_eq!(out.gets, exp.gets);
         assert!(!out.report.trace.is_empty(), "tracing must be on");
         assert!(out.report.live_requests == 0);
+    }
+
+    #[test]
+    fn lock_all_storm_matches_oracle() {
+        let p = generate(Family::LockAllStorm, 0);
+        let exp = oracle(&p);
+        for nb in [false, true] {
+            let out = execute(&p, &RunSpec::baseline(SyncStrategy::Redesigned, nb)).unwrap();
+            assert_eq!(out.mems, exp.mems, "nb={nb}");
+            assert_eq!(out.report.live_requests, 0);
+        }
     }
 
     #[test]

@@ -54,6 +54,22 @@ fn drop_epoch(p: &Program, idx: usize) -> Option<Program> {
             }
             None
         }
+        Program::LockAllStorm { n_ranks, rounds } => {
+            // Flat index over all (rank, epoch) pairs.
+            let mut i = idx;
+            for (r, eps) in rounds.iter().enumerate() {
+                if i < eps.len() {
+                    if rounds.iter().map(Vec::len).sum::<usize>() <= 1 {
+                        return None;
+                    }
+                    let mut rs = rounds.clone();
+                    rs[r].remove(i);
+                    return Some(Program::LockAllStorm { n_ranks: *n_ranks, rounds: rs });
+                }
+                i -= eps.len();
+            }
+            None
+        }
     }
 }
 
@@ -61,6 +77,7 @@ fn epoch_slots(p: &Program) -> usize {
     match p {
         Program::SingleOrigin { epochs, .. } => epochs.len(),
         Program::MultiOrigin { plan, .. } => plan.iter().map(Vec::len).sum(),
+        Program::LockAllStorm { rounds, .. } => rounds.iter().map(Vec::len).sum(),
     }
 }
 
@@ -76,6 +93,22 @@ fn drop_op(p: &Program, epoch: usize, op: usize) -> Option<Program> {
             Some(Program::SingleOrigin { n_ranks: *n_ranks, reorder: *reorder, epochs: e })
         }
         Program::MultiOrigin { .. } => None, // transactions are single-op
+        Program::LockAllStorm { n_ranks, rounds } => {
+            // `epoch` is the same flat (rank, epoch) index as drop_epoch's.
+            let mut i = epoch;
+            for (r, eps) in rounds.iter().enumerate() {
+                if i < eps.len() {
+                    if op >= eps[i].len() || eps[i].len() <= 1 {
+                        return None; // keep epochs non-empty; drop_epoch removes them
+                    }
+                    let mut rs = rounds.clone();
+                    rs[r][i].remove(op);
+                    return Some(Program::LockAllStorm { n_ranks: *n_ranks, rounds: rs });
+                }
+                i -= eps.len();
+            }
+            None
+        }
     }
 }
 
@@ -110,7 +143,7 @@ pub fn shrink(program: &Program, spec: &RunSpec) -> (Program, RunSpec) {
     }
 
     // 2. Remove individual operations inside surviving epochs.
-    if let Program::SingleOrigin { .. } = p {
+    if matches!(p, Program::SingleOrigin { .. } | Program::LockAllStorm { .. }) {
         loop {
             let mut changed = false;
             let n_epochs = epoch_slots(&p);

@@ -250,12 +250,22 @@ impl Engine {
     /// the first deferred epoch is encountered that fails activation
     /// conditions", §VII.A).
     pub(crate) fn activation_scan(self: &Arc<Self>, st: &mut EngState, rank: Rank, win: WinId) {
-        let order: Vec<EpochId> = st.win(win, rank).order.iter().copied().collect();
-        for id in order {
-            if !st.win(win, rank).epochs.contains_key(&id.0) {
+        st.eng_stats.activation_scans += 1;
+        // Index walk over `order` (re-borrowed each iteration) instead of
+        // snapshotting into a Vec: activation never reorders `order`, so
+        // the walk is stable and allocation-free.
+        let mut i = 0;
+        loop {
+            let w = st.win(win, rank);
+            if i >= w.order.len() {
+                break;
+            }
+            let id = w.order[i];
+            i += 1;
+            if !w.epochs.contains_key(&id.0) {
                 continue; // retired during this scan
             }
-            if st.win(win, rank).epoch(id).activated {
+            if w.epoch(id).activated {
                 continue;
             }
             if self.can_activate(st, rank, win, id) {
@@ -559,7 +569,7 @@ impl Engine {
 
     /// Send per-target GATS done packets for fulfilled targets.
     fn emit_gats_dones(self: &Arc<Self>, st: &mut EngState, rank: Rank, win: WinId, id: EpochId) {
-        let mut to_send: Vec<(Rank, u64)> = Vec::new();
+        let mut to_send = std::mem::take(&mut st.sweep[rank.idx()].send_scratch);
         {
             let e = st.win_mut(win, rank).epoch_mut(id);
             for (t, ts) in e.targets.iter_mut() {
@@ -570,7 +580,7 @@ impl Engine {
             }
         }
         st.eng_stats.gats_dones += to_send.len() as u64;
-        for (t, aid) in to_send {
+        for &(t, aid) in &to_send {
             self.sync_event(
                 st,
                 rank,
@@ -590,19 +600,24 @@ impl Engine {
                 },
             );
         }
+        to_send.clear();
+        st.sweep[rank.idx()].send_scratch = to_send;
     }
 
     /// Send per-target unlock packets once every covered op at that target
     /// has fully completed (local + response + remote ack).
     fn emit_unlocks(self: &Arc<Self>, st: &mut EngState, rank: Rank, win: WinId, id: EpochId) {
-        let mut to_send: Vec<(Rank, u64)> = Vec::new();
+        let sw = &mut st.sweep[rank.idx()];
+        let mut to_send = std::mem::take(&mut sw.send_scratch);
+        let mut blocked = std::mem::take(&mut sw.rank_scratch);
         {
             let e = st.win_mut(win, rank).epoch_mut(id);
-            // Collect per-target liveness first (immutable pass).
-            let mut blocked: std::collections::BTreeSet<Rank> = std::collections::BTreeSet::new();
+            // Collect per-target liveness first (immutable pass). The
+            // blocked set is tiny (≤ a handful of targets), so a scratch
+            // Vec with a contains-dedup beats a fresh BTreeSet.
             for op in e.live_ops.values() {
-                if !op.done() {
-                    blocked.insert(op.target);
+                if !op.done() && !blocked.contains(&op.target) {
+                    blocked.push(op.target);
                 }
             }
             for (t, ts) in e.targets.iter_mut() {
@@ -612,7 +627,7 @@ impl Engine {
                 }
             }
         }
-        for (t, aid) in to_send {
+        for &(t, aid) in &to_send {
             self.sync_event(
                 st,
                 rank,
@@ -632,6 +647,11 @@ impl Engine {
                 },
             );
         }
+        to_send.clear();
+        blocked.clear();
+        let sw = &mut st.sweep[rank.idx()];
+        sw.send_scratch = to_send;
+        sw.rank_scratch = blocked;
     }
 
     /// Whether an exposure epoch's completion conditions hold: every origin

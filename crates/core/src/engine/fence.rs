@@ -79,8 +79,9 @@ impl Engine {
         let closed = st.win(win, rank).epoch(id).closed;
         if closed {
             // Send FenceDone to every peer (self included, for uniformity)
-            // whose outgoing data is fully posted.
-            let mut to_send: Vec<(Rank, u64)> = Vec::new();
+            // whose outgoing data is fully posted. The batch reuses the
+            // rank's send scratch buffer.
+            let mut to_send = std::mem::take(&mut st.sweep[rank.idx()].send_scratch);
             {
                 let e = st.win_mut(win, rank).epoch_mut(id);
                 for (t, ts) in e.targets.iter_mut() {
@@ -90,7 +91,7 @@ impl Engine {
                     }
                 }
             }
-            for (t, ops_sent) in to_send {
+            for &(t, ops_sent) in &to_send {
                 self.sync_event(
                     st,
                     rank,
@@ -105,6 +106,8 @@ impl Engine {
                     body: Body::FenceDone { win, seq, ops_sent },
                 });
             }
+            to_send.clear();
+            st.sweep[rank.idx()].send_scratch = to_send;
         }
         // Completion: closed, everything announced and locally complete,
         // and every peer's announcement + announced data received.

@@ -119,12 +119,14 @@ impl Engine {
         if !(became_local || became_done) {
             return;
         }
-        let mut completed: Vec<Req> = Vec::new();
+        // Check emptiness before borrowing the scratch buffer so the
+        // common no-flush case stays a pure early return.
+        if st.win(win, rank).flushes.is_empty() {
+            return;
+        }
+        let mut completed = std::mem::take(&mut st.sweep[rank.idx()].req_scratch);
         {
             let w = st.win_mut(win, rank);
-            if w.flushes.is_empty() {
-                return;
-            }
             for f in w.flushes.iter_mut() {
                 if !f.epochs.contains(&epoch)
                     || age > f.stamp
@@ -143,8 +145,10 @@ impl Engine {
             }
             w.flushes.retain(|f| f.remaining > 0);
         }
-        for r in completed {
+        for &r in &completed {
             st.reqs.complete(r, None);
         }
+        completed.clear();
+        st.sweep[rank.idx()].req_scratch = completed;
     }
 }

@@ -77,15 +77,21 @@ impl Engine {
     /// every backlogged window until quiescent.
     pub(crate) fn pump_lock_backlog(self: &Arc<Self>, st: &mut EngState, rank: Rank) {
         while let Some((win, origin)) = st.sweep[rank.idx()].pending_unlocks.pop_front() {
+            st.eng_stats.unlocks_applied += 1;
             let w = st.win_mut(win, rank);
             w.lock_mgr.release(origin);
             // A release may make any queued request admissible.
             st.mark_lock_backlog(rank, win);
         }
-        let wins = std::mem::take(&mut st.sweep[rank.idx()].lock_backlog);
-        for win in wins {
+        let sw = &mut st.sweep[rank.idx()];
+        let wins = std::mem::replace(&mut sw.lock_backlog, std::mem::take(&mut sw.win_scratch));
+        st.eng_stats.grant_pumps += wins.len() as u64;
+        for &win in &wins {
             self.pump_window_grants(st, rank, win);
         }
+        let mut wins = wins;
+        wins.clear();
+        st.sweep[rank.idx()].win_scratch = wins;
     }
 
     /// Emit every grant that has become possible on this window.
@@ -93,11 +99,17 @@ impl Engine {
         loop {
             let mut progressed = false;
 
-            // Positional exposure grants per dirty origin.
-            let dirty = std::mem::take(&mut st.win_mut(win, me).grant_dirty);
-            for origin in dirty {
+            // Positional exposure grants per dirty origin. The dirty list
+            // ping-pongs with the rank scratch buffer: origins marked while
+            // pumping land in the scratch-backed live list and the drained
+            // buffer becomes the next scratch.
+            let scratch = std::mem::take(&mut st.sweep[me.idx()].rank_scratch);
+            let mut dirty = std::mem::replace(&mut st.win_mut(win, me).grant_dirty, scratch);
+            for &origin in &dirty {
                 progressed |= self.pump_exposure_grants(st, me, win, origin);
             }
+            dirty.clear();
+            st.sweep[me.idx()].rank_scratch = dirty;
 
             // Lock grants: scan the arrival-order queue. FIFO fairness —
             // the first *eligible but inadmissible* request stops the scan.
@@ -166,7 +178,7 @@ impl Engine {
         win: WinId,
         origin: Rank,
     ) -> bool {
-        let mut sent = Vec::new();
+        let mut sent = std::mem::take(&mut st.sweep[me.idx()].grant_scratch);
         {
             let w = st.win_mut(win, me);
             loop {
@@ -206,7 +218,10 @@ impl Engine {
                 },
             );
         }
-        !sent.is_empty()
+        let progressed = !sent.is_empty();
+        sent.clear();
+        st.sweep[me.idx()].grant_scratch = sent;
+        progressed
     }
 
     // ------------------------------------------------------------------
@@ -315,19 +330,22 @@ impl Engine {
             let slot = &mut w.gats_done_recv[origin.idx()];
             *slot = (*slot).max(access_id);
         }
-        let ids: Vec<EpochId> = st
-            .win(win, me)
-            .order
-            .iter()
-            .copied()
-            .filter(|eid| {
-                let e = st.win(win, me).epoch(*eid);
-                matches!(e.kind, EpochKind::GatsExposure { .. })
-                    && e.exposure_origins.contains_key(&origin)
-            })
-            .collect();
-        for id in ids {
-            st.mark_complete_dirty(me, win, id);
+        // Index walk instead of snapshotting `order` (the marker never
+        // mutates `order`), so the re-check is allocation-free.
+        let mut i = 0;
+        loop {
+            let w = st.win(win, me);
+            if i >= w.order.len() {
+                break;
+            }
+            let eid = w.order[i];
+            i += 1;
+            let e = w.epoch(eid);
+            if matches!(e.kind, EpochKind::GatsExposure { .. })
+                && e.exposure_origins.contains_key(&origin)
+            {
+                st.mark_complete_dirty(me, win, eid);
+            }
         }
     }
 }

@@ -106,15 +106,67 @@ pub struct EngineStats {
     pub lock_grants: u64,
     /// GATS done packets sent.
     pub gats_dones: u64,
-    /// 64-bit packets pushed through intranode notification FIFOs.
+    /// 64-bit packets successfully pushed through intranode notification
+    /// FIFOs. Retries after a full ring are not double-counted, so this
+    /// balances [`EngineStats::fifo_drained`] at quiescence.
     pub fifo_packets: u64,
     /// Progress sweeps executed.
     pub sweeps: u64,
+    /// Per-step execution counts: how many times each of the seven sweep
+    /// steps actually ran. A step whose work list is empty is skipped
+    /// entirely (never counted), so a quiescent sweep leaves this array
+    /// untouched. Index 0..6 = steps 1..7 of §VII.D.
+    pub step_runs: [u64; 7],
+    /// Completion notices consumed by step 1.
+    pub notices_drained: u64,
+    /// Dirty (window, epoch) entries scanned by the issue steps 2/4.
+    pub issue_scans: u64,
+    /// RMA operations put on the wire by the issue steps 2/4.
+    pub ops_issued: u64,
+    /// Dirty epochs whose completion conditions were rechecked (steps 3/7).
+    pub completion_checks: u64,
+    /// Per-window activation scans performed (steps 3/7).
+    pub activation_scans: u64,
+    /// 64-bit packets drained from intranode FIFOs by step 5.
+    pub fifo_drained: u64,
+    /// Corrupt 64-bit packets dropped by step 5 (each leaves a
+    /// [`ProtocolError`] record instead of aborting the job).
+    pub fifo_decode_errors: u64,
+    /// Deferred lock releases applied by step 6.
+    pub unlocks_applied: u64,
+    /// Backlogged windows pumped for grant emission by step 6.
+    pub grant_pumps: u64,
     /// Dormant trailing fence epochs retired at `win_free` (DESIGN.md
     /// deviation 4). Counted so the deferred-queue balance
     /// `epochs_opened == epochs_completed + dormant_retired` stays
     /// checkable: these epochs are opened but never complete.
     pub dormant_retired: u64,
+}
+
+/// A malformed packet the engine recorded and survived instead of
+/// aborting the simulated job, with full provenance for diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Rank that observed the error.
+    pub rank: Rank,
+    /// Window whose notification FIFO carried the packet.
+    pub win: WinId,
+    /// Peer the packet came from.
+    pub src: Rank,
+    /// The raw 64-bit word that failed to decode.
+    pub raw: u64,
+    /// What went wrong.
+    pub detail: &'static str,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} win {} peer {}: {} (raw 0x{:016x})",
+            self.rank, self.win.0, self.src, self.detail, self.raw
+        )
+    }
 }
 
 /// A deliberately injected engine bug, used by the conformance harness to
@@ -152,7 +204,13 @@ pub struct RankStats {
     pub calls: u64,
 }
 
-/// One rank's side of every window, plus sweep queues.
+/// One rank's sweep work lists plus reusable scratch buffers.
+///
+/// Every sweep step is driven by an explicit, deduplicated work list: a
+/// step touches only state some earlier event enqueued, never scans
+/// per-window or per-peer structures looking for work (DESIGN.md §10).
+/// The `*_scratch` buffers ping-pong with their work lists so the steady
+/// state of a sweep performs no heap allocation.
 pub(crate) struct RankSweepState {
     pub notices: VecDeque<Notice>,
     /// Epochs that may have issueable ops.
@@ -165,9 +223,33 @@ pub(crate) struct RankSweepState {
     pub lock_backlog: Vec<WinId>,
     /// Deferred lock releases: (window, origin releasing).
     pub pending_unlocks: VecDeque<(WinId, Rank)>,
-    /// An intranode notification FIFO received packets since the last
-    /// drain (step 5 has work).
-    pub fifo_pending: bool,
+    /// Pending-FIFO index (step 5's work list): the (window, peer) pairs
+    /// whose intranode notification FIFO received packets since the last
+    /// drain. Deduplicated; maintained by the `Fifo64` delivery path on
+    /// every *successful* push (a full ring is already indexed by the
+    /// pushes that filled it).
+    pub fifo_pending: Vec<(WinId, Rank)>,
+    /// Ping-pong buffer for `dirty_ops` (issue steps 2/4).
+    pub ops_scratch: Vec<(WinId, EpochId)>,
+    /// Ping-pong buffer for `dirty_complete` (steps 3/7).
+    pub complete_scratch: Vec<(WinId, EpochId)>,
+    /// Ping-pong buffer for `act_dirty` (steps 3/7).
+    pub act_scratch: Vec<WinId>,
+    /// Ping-pong buffer for `fifo_pending` (step 5).
+    pub fifo_scratch: Vec<(WinId, Rank)>,
+    /// Ping-pong buffer for `lock_backlog` (step 6).
+    pub win_scratch: Vec<WinId>,
+    /// Ping-pong buffer for an epoch's `pending_ops` during issue.
+    pub pending_scratch: VecDeque<crate::epoch::OpDesc>,
+    /// Scratch for per-target (rank, id) send batches (done/unlock/fence
+    /// announcements).
+    pub send_scratch: Vec<(Rank, u64)>,
+    /// Scratch for exposure-grant id batches.
+    pub grant_scratch: Vec<u64>,
+    /// Scratch for small rank sets (grant pumping, unlock blocking).
+    pub rank_scratch: Vec<Rank>,
+    /// Scratch for completed flush requests.
+    pub req_scratch: Vec<Req>,
 }
 
 impl RankSweepState {
@@ -179,7 +261,17 @@ impl RankSweepState {
             act_dirty: Vec::new(),
             lock_backlog: Vec::new(),
             pending_unlocks: VecDeque::new(),
-            fifo_pending: false,
+            fifo_pending: Vec::new(),
+            ops_scratch: Vec::new(),
+            complete_scratch: Vec::new(),
+            act_scratch: Vec::new(),
+            fifo_scratch: Vec::new(),
+            win_scratch: Vec::new(),
+            pending_scratch: VecDeque::new(),
+            send_scratch: Vec::new(),
+            grant_scratch: Vec::new(),
+            rank_scratch: Vec::new(),
+            req_scratch: Vec::new(),
         }
     }
 
@@ -190,7 +282,7 @@ impl RankSweepState {
             || !self.act_dirty.is_empty()
             || !self.lock_backlog.is_empty()
             || !self.pending_unlocks.is_empty()
-            || self.fifo_pending
+            || !self.fifo_pending.is_empty()
     }
 }
 
@@ -218,6 +310,9 @@ pub(crate) struct EngState {
     pub trace: Vec<crate::trace::TraceRecord>,
     /// Synchronization-plane trace (populated when `JobConfig::trace`).
     pub sync_trace: Vec<crate::trace::SyncRecord>,
+    /// Non-fatal protocol violations (e.g. undecodable 64-bit sync
+    /// packets) recorded with provenance instead of aborting the job.
+    pub protocol_errors: Vec<ProtocolError>,
 }
 
 impl EngState {
@@ -324,6 +419,7 @@ impl Engine {
                 coll_seq: vec![0; n],
                 trace: Vec::new(),
                 sync_trace: Vec::new(),
+                protocol_errors: Vec::new(),
             }),
             net: net.clone(),
             sim,
@@ -353,6 +449,12 @@ impl Engine {
     /// Aggregate progress-engine counters.
     pub fn engine_stats(&self) -> EngineStats {
         self.st.lock().eng_stats
+    }
+
+    /// Drain the accumulated non-fatal protocol errors (decode failures
+    /// surfaced with rank/window provenance instead of a panic).
+    pub fn take_protocol_errors(&self) -> Vec<ProtocolError> {
+        std::mem::take(&mut self.st.lock().protocol_errors)
     }
 
     /// Drain the recorded epoch lifecycle trace.
@@ -617,11 +719,18 @@ impl Engine {
                 Body::Fifo64 { win, packet } => {
                     // Push into the per-pair FIFO; drained in sweep step 5.
                     // A full FIFO forces a retry, as a real shared-memory
-                    // ring would.
-                    st.sweep[dst.idx()].fifo_pending = true;
-                    st.eng_stats.fifo_packets += 1;
+                    // ring would. The pending-FIFO index and the pushed
+                    // counter are updated only on a *successful* push: a
+                    // full ring's pair is already indexed by the pushes
+                    // that filled it, and retries must not double-count.
                     let w = st.win_mut(win, dst);
-                    if !w.fifo_from(src).push(packet) {
+                    if w.fifo_from(src).push(packet) {
+                        st.eng_stats.fifo_packets += 1;
+                        let idx = &mut st.sweep[dst.idx()].fifo_pending;
+                        if !idx.contains(&(win, src)) {
+                            idx.push((win, src));
+                        }
+                    } else {
                         let me = self.clone();
                         self.sim.schedule(SimTime::from_micros(1), move || {
                             me.on_message(Packet {
@@ -659,33 +768,70 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Run the progress engine for `rank` until quiescent.
+    ///
+    /// Each iteration runs only the steps whose work lists are non-empty
+    /// (fine-grained dispatch): an idle step is skipped entirely and does
+    /// not touch any per-window or per-peer state. Running a step with an
+    /// empty queue was always a no-op — the gating elides the no-op, it
+    /// does not change what work gets done.
     pub(crate) fn sweep(self: &Arc<Self>, rank: Rank) {
         let mut st = self.st.lock();
         st.eng_stats.sweeps += 1;
         loop {
-            if !st.sweep[rank.idx()].has_work() {
+            let sw = &st.sweep[rank.idx()];
+            if !sw.has_work() {
                 break;
             }
             // Step 1: verification of outgoing/incoming completion.
-            self.drain_notices(&mut st, rank);
+            if !st.sweep[rank.idx()].notices.is_empty() {
+                st.eng_stats.step_runs[0] += 1;
+                self.drain_notices(&mut st, rank);
+            }
             // Step 2: post internode RMA communications.
-            self.issue_phase(&mut st, rank, Phase::Internode);
+            if !st.sweep[rank.idx()].dirty_ops.is_empty() {
+                st.eng_stats.step_runs[1] += 1;
+                self.issue_phase(&mut st, rank, Phase::Internode);
+            }
             // Step 3: batch completion + activation of deferred epochs.
-            self.complete_and_activate(&mut st, rank);
+            if Self::completion_work(&st, rank) {
+                st.eng_stats.step_runs[2] += 1;
+                self.complete_and_activate(&mut st, rank);
+            }
             // Step 4: post intranode RMA communications.
-            self.issue_phase(&mut st, rank, Phase::Intranode);
+            if !st.sweep[rank.idx()].dirty_ops.is_empty() {
+                st.eng_stats.step_runs[3] += 1;
+                self.issue_phase(&mut st, rank, Phase::Intranode);
+            }
             // Step 5: consume intranode notifications.
-            self.drain_fifos(&mut st, rank);
+            if !st.sweep[rank.idx()].fifo_pending.is_empty() {
+                st.eng_stats.step_runs[4] += 1;
+                self.drain_fifos(&mut st, rank);
+            }
             // Step 6: batch processing of lock/unlock requests.
-            self.pump_lock_backlog(&mut st, rank);
+            if !st.sweep[rank.idx()].lock_backlog.is_empty()
+                || !st.sweep[rank.idx()].pending_unlocks.is_empty()
+            {
+                st.eng_stats.step_runs[5] += 1;
+                self.pump_lock_backlog(&mut st, rank);
+            }
             // Step 7: batch completion + activation again.
-            self.complete_and_activate(&mut st, rank);
+            if Self::completion_work(&st, rank) {
+                st.eng_stats.step_runs[6] += 1;
+                self.complete_and_activate(&mut st, rank);
+            }
         }
+    }
+
+    /// Whether steps 3/7 (completion + activation) have pending work.
+    fn completion_work(st: &EngState, rank: Rank) -> bool {
+        let sw = &st.sweep[rank.idx()];
+        !sw.dirty_complete.is_empty() || !sw.act_dirty.is_empty()
     }
 
     /// Step 1: consume completion notices.
     fn drain_notices(self: &Arc<Self>, st: &mut EngState, rank: Rank) {
         while let Some(n) = st.sweep[rank.idx()].notices.pop_front() {
+            st.eng_stats.notices_drained += 1;
             match n {
                 Notice::LocalComplete { win, epoch, age } => {
                     self.op_update(st, rank, win, epoch, age, |o| o.needs_local = false);
@@ -698,60 +844,113 @@ impl Engine {
     }
 
     /// Steps 3 and 7: batch-complete dirty epochs, then scan deferred
-    /// epochs for activation.
+    /// epochs for activation. Both work lists ping-pong with scratch
+    /// buffers so the steady state allocates nothing: entries marked
+    /// *during* processing land in the scratch-backed live list and the
+    /// drained buffer (cleared, capacity kept) becomes the next scratch.
     fn complete_and_activate(self: &Arc<Self>, st: &mut EngState, rank: Rank) {
-        let dirty = std::mem::take(&mut st.sweep[rank.idx()].dirty_complete);
-        for (win, epoch) in dirty {
+        let sw = &mut st.sweep[rank.idx()];
+        let dirty = std::mem::replace(
+            &mut sw.dirty_complete,
+            std::mem::take(&mut sw.complete_scratch),
+        );
+        st.eng_stats.completion_checks += dirty.len() as u64;
+        for &(win, epoch) in &dirty {
             self.check_epoch_progress(st, rank, win, epoch);
         }
-        let wins = std::mem::take(&mut st.sweep[rank.idx()].act_dirty);
-        for win in wins {
+        let mut dirty = dirty;
+        dirty.clear();
+        st.sweep[rank.idx()].complete_scratch = dirty;
+
+        let sw = &mut st.sweep[rank.idx()];
+        let wins = std::mem::replace(&mut sw.act_dirty, std::mem::take(&mut sw.act_scratch));
+        for &win in &wins {
             self.activation_scan(st, rank, win);
         }
+        let mut wins = wins;
+        wins.clear();
+        st.sweep[rank.idx()].act_scratch = wins;
     }
 
-    /// Step 5: drain every intranode FIFO of every window of this rank and
-    /// dispatch the decoded 64-bit packets.
+    /// Step 5: drain exactly the (window, peer) FIFOs indexed as pending
+    /// and dispatch the decoded 64-bit packets. Pairs that receive more
+    /// packets while we dispatch re-index themselves through the normal
+    /// delivery path, so nothing is lost; the drained index buffer is
+    /// recycled as the next scratch.
     fn drain_fifos(self: &Arc<Self>, st: &mut EngState, rank: Rank) {
-        st.sweep[rank.idx()].fifo_pending = false;
-        let n_wins = st.wins.len();
-        let mut packets: Vec<(WinId, Rank, u64)> = Vec::new();
-        for w in 0..n_wins {
-            let win = WinId(w as u32);
-            if st.wins[w].per_rank[rank.idx()].is_none() {
+        let sw = &mut st.sweep[rank.idx()];
+        let pairs = std::mem::replace(&mut sw.fifo_pending, std::mem::take(&mut sw.fifo_scratch));
+        for &(win, src) in &pairs {
+            if st.wins[win.0 as usize].per_rank[rank.idx()].is_none() {
                 continue;
             }
-            let wr = st.win_mut(win, rank);
-            let peers: Vec<Rank> = wr.fifos_in.keys().copied().collect();
-            for p in peers {
-                let fifo = wr.fifo_from(p);
-                while let Some(pkt) = fifo.pop() {
-                    packets.push((win, p, pkt));
-                }
+            while let Some(raw) = st.win_mut(win, rank).fifo_from(src).pop() {
+                st.eng_stats.fifo_drained += 1;
+                let Some(sp) = SyncPacket::decode(raw) else {
+                    // Surface corrupt packets with provenance instead of
+                    // aborting the simulated job (the real library would
+                    // raise an MPI error on the window).
+                    st.eng_stats.fifo_decode_errors += 1;
+                    st.protocol_errors.push(ProtocolError {
+                        rank,
+                        win,
+                        src,
+                        raw,
+                        detail: "corrupt 64-bit sync packet",
+                    });
+                    continue;
+                };
+                self.dispatch_sync_packet(st, rank, win, src, sp);
             }
         }
-        for (win, src, raw) in packets {
-            match SyncPacket::decode(raw).expect("corrupt 64-bit sync packet") {
-                SyncPacket::LockReqExcl {
-                    origin, access_id, ..
-                } => self.handle_lock_req(st, rank, origin, win, access_id, crate::types::LockKind::Exclusive),
-                SyncPacket::LockReqShared {
-                    origin, access_id, ..
-                } => self.handle_lock_req(st, rank, origin, win, access_id, crate::types::LockKind::Shared),
-                SyncPacket::GrantExposure { granter, id, .. } => {
-                    debug_assert_eq!(granter, src);
-                    self.handle_grant(st, rank, granter, win, id, crate::msg::GrantKind::Exposure)
-                }
-                SyncPacket::GrantLock { granter, id, .. } => {
-                    self.handle_grant(st, rank, granter, win, id, crate::msg::GrantKind::Lock)
-                }
-                SyncPacket::GatsDone {
-                    origin, access_id, ..
-                } => self.handle_gats_done(st, rank, origin, win, access_id),
-                SyncPacket::Unlock {
-                    origin, access_id, ..
-                } => self.handle_unlock(st, rank, origin, win, access_id),
+        let mut pairs = pairs;
+        pairs.clear();
+        st.sweep[rank.idx()].fifo_scratch = pairs;
+    }
+
+    /// Dispatch one decoded intranode sync packet (step 5 payload).
+    fn dispatch_sync_packet(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        rank: Rank,
+        win: WinId,
+        src: Rank,
+        sp: SyncPacket,
+    ) {
+        match sp {
+            SyncPacket::LockReqExcl {
+                origin, access_id, ..
+            } => self.handle_lock_req(
+                st,
+                rank,
+                origin,
+                win,
+                access_id,
+                crate::types::LockKind::Exclusive,
+            ),
+            SyncPacket::LockReqShared {
+                origin, access_id, ..
+            } => self.handle_lock_req(
+                st,
+                rank,
+                origin,
+                win,
+                access_id,
+                crate::types::LockKind::Shared,
+            ),
+            SyncPacket::GrantExposure { granter, id, .. } => {
+                debug_assert_eq!(granter, src);
+                self.handle_grant(st, rank, granter, win, id, crate::msg::GrantKind::Exposure)
             }
+            SyncPacket::GrantLock { granter, id, .. } => {
+                self.handle_grant(st, rank, granter, win, id, crate::msg::GrantKind::Lock)
+            }
+            SyncPacket::GatsDone {
+                origin, access_id, ..
+            } => self.handle_gats_done(st, rank, origin, win, access_id),
+            SyncPacket::Unlock {
+                origin, access_id, ..
+            } => self.handle_unlock(st, rank, origin, win, access_id),
         }
     }
 
@@ -794,5 +993,66 @@ impl Engine {
             }
         };
         self.net.send(Packet { src, dst, body });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WinInfo;
+    use mpisim_sim::Sim;
+
+    /// Build an engine with one 2-rank window whose peer FIFO is
+    /// registered (but empty) — the state a drained rank is left in.
+    fn engine_with_window() -> Arc<Engine> {
+        let sim = Sim::new(1);
+        let eng = Engine::new(sim.handle(), JobConfig::new(2));
+        {
+            let mut st = eng.st.lock();
+            st.wins.push(WinGlobal {
+                per_rank: (0..2).map(|_| Some(WinRank::new(64, WinInfo::default(), 2))).collect(),
+            });
+            st.win_mut(WinId(0), Rank(0)).fifo_from(Rank(1));
+        }
+        eng
+    }
+
+    #[test]
+    fn quiescent_sweep_does_no_step_work() {
+        let eng = engine_with_window();
+        eng.sweep(Rank(0));
+        let s = eng.engine_stats();
+        assert_eq!(s.sweeps, 1);
+        // Every step was elided: no per-window or per-FIFO state was
+        // touched even though a window and a registered FIFO exist.
+        assert_eq!(s.step_runs, [0; 7]);
+        assert_eq!(s.notices_drained, 0);
+        assert_eq!(s.issue_scans, 0);
+        assert_eq!(s.completion_checks, 0);
+        assert_eq!(s.activation_scans, 0);
+        assert_eq!(s.fifo_drained, 0);
+        assert_eq!(s.grant_pumps, 0);
+    }
+
+    #[test]
+    fn corrupt_fifo_packet_is_surfaced_not_fatal() {
+        let eng = engine_with_window();
+        {
+            let mut st = eng.st.lock();
+            // 0xF type nibble: SyncPacket::decode returns None.
+            assert!(st.win_mut(WinId(0), Rank(0)).fifo_from(Rank(1)).push(0xF << 60));
+            st.sweep[0].fifo_pending.push((WinId(0), Rank(1)));
+        }
+        eng.sweep(Rank(0));
+        let s = eng.engine_stats();
+        assert_eq!(s.fifo_drained, 1);
+        assert_eq!(s.fifo_decode_errors, 1);
+        assert_eq!(s.step_runs[4], 1, "step 5 ran exactly once");
+        let errs = eng.take_protocol_errors();
+        assert_eq!(errs.len(), 1);
+        assert_eq!((errs[0].rank, errs[0].win, errs[0].src), (Rank(0), WinId(0), Rank(1)));
+        let msg = errs[0].to_string();
+        assert!(msg.contains("corrupt") && msg.contains("0xf000000000000000"), "{msg}");
+        assert!(eng.take_protocol_errors().is_empty(), "take drains");
     }
 }

@@ -98,17 +98,22 @@ impl Engine {
     /// and step 4 hands internode leftovers to the next pass's step 2 (the
     /// sweep loops until quiescent).
     pub(crate) fn issue_phase(self: &Arc<Self>, st: &mut EngState, rank: Rank, phase: Phase) {
-        let dirty = std::mem::take(&mut st.sweep[rank.idx()].dirty_ops);
-        let mut keep: Vec<(WinId, EpochId)> = Vec::new();
-        for (win, eid) in dirty {
+        let sw = &mut st.sweep[rank.idx()];
+        let dirty = std::mem::replace(&mut sw.dirty_ops, std::mem::take(&mut sw.ops_scratch));
+        st.eng_stats.issue_scans += dirty.len() as u64;
+        for &(win, eid) in &dirty {
             if !st.win(win, rank).epochs.contains_key(&eid.0) {
                 continue;
             }
             if self.issue_ops(st, rank, win, eid, phase) {
-                keep.push((win, eid));
+                // Re-queue via the marker so it dedupes against entries
+                // enqueued while issuing.
+                st.mark_ops_dirty(rank, win, eid);
             }
         }
-        st.sweep[rank.idx()].dirty_ops.extend(keep);
+        let mut dirty = dirty;
+        dirty.clear();
+        st.sweep[rank.idx()].ops_scratch = dirty;
     }
 
     /// Issue eligible ops of one epoch; returns whether ops remain that the
@@ -155,33 +160,34 @@ impl Engine {
                 }
             }
         }
-        // Drain issueable ops, preserving order of the rest.
-        let mut ready: Vec<OpDesc> = Vec::new();
+        // Drain issueable ops, preserving order of the rest. Ready ops are
+        // sent as they are found (`send_op` never touches `pending_ops`);
+        // the survivors accumulate in a recycled scratch deque, so the
+        // steady state allocates nothing.
         let mut leftovers_other_phase = false;
-        {
-            let e = st.win_mut(win, rank).epoch_mut(eid);
-            let mut rest = std::collections::VecDeque::new();
-            while let Some(op) = e.pending_ops.pop_front() {
-                let granted = e.targets.get(&op.target).is_some_and(|t| t.granted);
-                let intranode = topo.same_node(rank, op.target);
-                let phase_ok = match phase {
-                    Phase::Internode => !intranode,
-                    Phase::Intranode => intranode,
-                };
-                if granted && phase_ok {
-                    ready.push(op);
-                } else {
-                    if granted && !phase_ok {
-                        leftovers_other_phase = true;
-                    }
-                    rest.push_back(op);
+        let mut rest = std::mem::take(&mut st.sweep[rank.idx()].pending_scratch);
+        let mut pending = std::mem::take(&mut st.win_mut(win, rank).epoch_mut(eid).pending_ops);
+        while let Some(op) = pending.pop_front() {
+            let granted = {
+                let e = st.win(win, rank).epoch(eid);
+                e.targets.get(&op.target).is_some_and(|t| t.granted)
+            };
+            let intranode = topo.same_node(rank, op.target);
+            let phase_ok = match phase {
+                Phase::Internode => !intranode,
+                Phase::Intranode => intranode,
+            };
+            if granted && phase_ok {
+                self.send_op(st, rank, win, eid, op);
+            } else {
+                if granted && !phase_ok {
+                    leftovers_other_phase = true;
                 }
+                rest.push_back(op);
             }
-            e.pending_ops = rest;
         }
-        for op in ready {
-            self.send_op(st, rank, win, eid, op);
-        }
+        st.win_mut(win, rank).epoch_mut(eid).pending_ops = rest;
+        st.sweep[rank.idx()].pending_scratch = pending;
         st.mark_complete_dirty(rank, win, eid);
         leftovers_other_phase
     }
@@ -203,6 +209,7 @@ impl Engine {
 
     /// Put one recorded op on the wire.
     fn send_op(self: &Arc<Self>, st: &mut EngState, rank: Rank, win: WinId, eid: EpochId, op: OpDesc) {
+        st.eng_stats.ops_issued += 1;
         let tag = self.epoch_tag(st, rank, win, eid, op.target);
         let is_passive = st.win(win, rank).epoch(eid).kind.is_passive();
         let plane = if is_passive {
@@ -572,17 +579,20 @@ impl Engine {
     }
 
     pub(crate) fn mark_fence_dirty(&self, st: &mut EngState, me: Rank, win: WinId, seq: u64) {
-        let ids: Vec<EpochId> = st
-            .win(win, me)
-            .order
-            .iter()
-            .copied()
-            .filter(|id| {
-                matches!(st.win(win, me).epoch(*id).kind, EpochKind::Fence { seq: s } if s == seq)
-            })
-            .collect();
-        for id in ids {
-            st.mark_complete_dirty(me, win, id);
+        // Index walk instead of snapshotting `order`: `mark_complete_dirty`
+        // never mutates `order`, so re-borrowing per iteration is safe and
+        // allocation-free.
+        let mut i = 0;
+        loop {
+            let w = st.win(win, me);
+            if i >= w.order.len() {
+                break;
+            }
+            let id = w.order[i];
+            i += 1;
+            if matches!(w.epoch(id).kind, EpochKind::Fence { seq: s } if s == seq) {
+                st.mark_complete_dirty(me, win, id);
+            }
         }
     }
 
@@ -769,7 +779,8 @@ impl Engine {
                         let d = disp + b * stride;
                         packed.extend_from_slice(&w.mem[d..d + blocklen]);
                     }
-                    Payload::Bytes(bytes::Bytes::from(packed))
+                    // `from_vec` adopts the packed buffer without a copy.
+                    Payload::from_vec(packed)
                 }
             }
         };
@@ -794,10 +805,10 @@ impl Engine {
             panic!("GetResp with unknown token");
         };
         debug_assert_eq!(rank, me);
+        let len = payload.len();
         let data = payload
-            .bytes()
-            .cloned()
-            .unwrap_or_else(|| bytes::Bytes::from(vec![0u8; payload.len()]));
+            .into_bytes()
+            .unwrap_or_else(|| bytes::Bytes::from(vec![0u8; len]));
         st.reqs.complete(req, Some(data));
         self.op_update(st, me, win, epoch, age, |o| o.needs_resp = false);
     }
@@ -865,10 +876,10 @@ impl Engine {
             panic!("FetchResp with unknown token");
         };
         debug_assert_eq!(rank, me);
+        let len = payload.len();
         let data = payload
-            .bytes()
-            .cloned()
-            .unwrap_or_else(|| bytes::Bytes::from(vec![0u8; payload.len()]));
+            .into_bytes()
+            .unwrap_or_else(|| bytes::Bytes::from(vec![0u8; len]));
         st.reqs.complete(req, Some(data));
         self.op_update(st, me, win, epoch, age, |o| o.needs_resp = false);
     }

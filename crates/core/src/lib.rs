@@ -71,7 +71,7 @@ pub mod window;
 pub use api::RankEnv;
 pub use config::{JobConfig, Overheads, SyncStrategy, WinInfo};
 pub use datatype::{Datatype, ReduceOp};
-pub use engine::{Engine, EngineStats, Fault, RankStats};
+pub use engine::{Engine, EngineStats, Fault, ProtocolError, RankStats};
 pub use error::{RmaError, RmaResult};
 pub use runtime::{run_job, JobReport};
 pub use types::{Group, LockKind, Rank, Req, WinId};

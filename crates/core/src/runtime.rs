@@ -32,6 +32,10 @@ pub struct JobReport {
     pub live_requests: usize,
     /// Engine-level counters (epochs opened/activated/completed, grants…).
     pub engine: crate::engine::EngineStats,
+    /// Non-fatal protocol violations the engine recorded (e.g. corrupt
+    /// 64-bit sync packets), with rank/window provenance. Empty on a
+    /// healthy run.
+    pub protocol_errors: Vec<crate::engine::ProtocolError>,
 }
 
 impl JobReport {
@@ -100,5 +104,6 @@ where
         req_events: eng.take_req_log(),
         live_requests: eng.live_requests(),
         engine: eng.engine_stats(),
+        protocol_errors: eng.take_protocol_errors(),
     })
 }

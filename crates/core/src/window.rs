@@ -98,7 +98,9 @@ pub struct WinRank {
 
     /// Target-side grant sequencing per origin.
     pub grant_seq: Vec<GrantSeq>,
-    /// Origins whose grant sequence may have emission work pending.
+    /// Origins whose grant sequence may have emission work pending
+    /// (deduplicated work list; ping-pongs with a sweep scratch buffer
+    /// while the grant pump drains it).
     pub grant_dirty: Vec<Rank>,
     /// Target-side lock manager.
     pub lock_mgr: LockMgr,
@@ -118,6 +120,9 @@ pub struct WinRank {
     pub flushes: Vec<FlushState>,
 
     /// Inbound intranode notification FIFOs, one per same-node peer.
+    /// Sweep step 5 never scans this map: the engine's pending-FIFO index
+    /// records exactly which (window, peer) rings hold packets, so only
+    /// those are drained.
     pub fifos_in: BTreeMap<Rank, U64Fifo>,
 }
 

@@ -32,28 +32,34 @@ impl U64Fifo {
     }
 
     /// Number of packets currently queued.
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// Whether the FIFO is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
     /// Whether the FIFO is full.
+    #[inline]
     pub fn is_full(&self) -> bool {
         self.len == self.buf.len()
     }
 
     /// Capacity in packets.
+    #[inline]
     pub fn capacity(&self) -> usize {
         self.buf.len()
     }
 
     /// Enqueue a packet. Returns `false` (leaving the FIFO unchanged) if
     /// full — the producer must retry later, exactly like a full
-    /// shared-memory ring.
+    /// shared-memory ring. Never allocates: this sits on the progress
+    /// engine's per-packet hot path.
+    #[inline]
     pub fn push(&mut self, packet: u64) -> bool {
         if self.is_full() {
             return false;
@@ -64,7 +70,9 @@ impl U64Fifo {
         true
     }
 
-    /// Dequeue the oldest packet, if any.
+    /// Dequeue the oldest packet, if any. Never allocates (hot path of
+    /// sweep step 5).
+    #[inline]
     pub fn pop(&mut self) -> Option<u64> {
         if self.is_empty() {
             return None;

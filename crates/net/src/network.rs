@@ -216,6 +216,11 @@ impl<M: Wire> Network<M> {
 
     /// Compute the timing of one message and schedule its local-completion,
     /// delivery, and (internode) credit-return events.
+    ///
+    /// The packet moves by value from the sender into the delivery
+    /// closure and on into the handler: the network never clones or
+    /// copies a payload in transit (payload sharing, where it happens,
+    /// is a refcount bump inside [`bytes::Bytes`]).
     fn transmit(self: &Arc<Self>, inner: &mut NetInner<M>, now: SimTime, req: SendReq<M>) {
         let SendReq {
             pkt,

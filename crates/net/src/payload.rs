@@ -35,9 +35,24 @@ impl Payload {
         }
     }
 
+    /// Take the real bytes by value, if any — avoids the refcount bump
+    /// (and, for unique buffers, the deep copy) a `bytes().cloned()`
+    /// round trip would cost.
+    pub fn into_bytes(self) -> Option<Bytes> {
+        match self {
+            Payload::Bytes(b) => Some(b),
+            Payload::Synthetic(_) => None,
+        }
+    }
+
     /// Build a payload from a slice (copies).
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Payload::Bytes(Bytes::copy_from_slice(data))
+    }
+
+    /// Adopt an owned buffer without copying it.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Payload::Bytes(Bytes::from(data))
     }
 
     /// An empty real payload.
@@ -63,5 +78,13 @@ mod tests {
         let p = Payload::copy_from_slice(b"hi");
         assert_eq!(p.bytes().unwrap().as_ref(), b"hi");
         assert!(Payload::Synthetic(2).bytes().is_none());
+    }
+
+    #[test]
+    fn from_vec_and_into_bytes_round_trip() {
+        let p = Payload::from_vec(vec![9, 8, 7]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.into_bytes().unwrap().as_ref(), &[9, 8, 7]);
+        assert!(Payload::Synthetic(4).into_bytes().is_none());
     }
 }

@@ -1,6 +1,9 @@
 //! Minimal offline stand-in for the `bytes` crate. [`Bytes`] is a cheaply
-//! clonable, immutable, contiguous byte buffer backed by `Arc<[u8]>` —
-//! exactly the subset this workspace uses for RMA payloads.
+//! clonable, immutable, contiguous byte buffer backed by `Arc<Vec<u8>>` —
+//! exactly the subset this workspace uses for RMA payloads. The `Vec`
+//! backing (rather than `Arc<[u8]>`) makes `From<Vec<u8>>` adopt the
+//! allocation instead of copying it, so building a payload from a
+//! locally packed buffer is zero-copy.
 
 use std::ops::Deref;
 use std::sync::Arc;
@@ -8,23 +11,23 @@ use std::sync::Arc;
 /// Cheaply clonable immutable byte buffer.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes { data: Arc::new(Vec::new()) }
     }
 
     /// Copy `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes { data: Arc::new(data.to_vec()) }
     }
 
     /// Wrap a static slice (copies here; the real crate borrows).
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes { data: Arc::new(data.to_vec()) }
     }
 
     /// Length in bytes.
@@ -58,7 +61,8 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        // Adopts the allocation — no copy.
+        Bytes { data: Arc::new(v) }
     }
 }
 
@@ -127,5 +131,13 @@ mod tests {
         let a = Bytes::from(vec![1u8; 1024]);
         let b = a.clone();
         assert!(std::ptr::eq(a.as_ref().as_ptr(), b.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn from_vec_adopts_the_allocation() {
+        let v = vec![7u8; 64];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert!(std::ptr::eq(ptr, b.as_ref().as_ptr()));
     }
 }
