@@ -484,6 +484,85 @@ fn walk_rank(rank: usize, p: &IrProgram) -> RankState {
     st
 }
 
+/// E012 scan: every synchronization statement of a *surviving* rank whose
+/// completion requires a crashed peer's cooperation. Crashed ranks' own
+/// programs are skipped — they stop executing at the crash point, so their
+/// dangling dependencies are the fault model's doing, not the program's.
+fn crashed_dependencies(p: &IrProgram) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if p.crashed.is_empty() {
+        return diags;
+    }
+    let dead = |r: &usize| p.crashed.contains(r);
+    for (rank, stmts) in p.ranks.iter().enumerate() {
+        if dead(&rank) {
+            continue;
+        }
+        let mut diag = |step: usize, detail: String| {
+            diags.push(Diagnostic { code: Code::E012, rank, step: Some(step), detail });
+        };
+        for (step, stmt) in stmts.iter().enumerate() {
+            match stmt {
+                Stmt::Start(group) => {
+                    for &t in group.iter().filter(|t| dead(t)) {
+                        diag(
+                            step,
+                            format!(
+                                "start toward rank {t}, which the fault model crashes: its \
+                                 exposure epoch may never open and complete cannot terminate"
+                            ),
+                        );
+                    }
+                }
+                Stmt::Post(group) => {
+                    for &o in group.iter().filter(|o| dead(o)) {
+                        diag(
+                            step,
+                            format!(
+                                "post toward rank {o}, which the fault model crashes: its \
+                                 completion notification may never arrive and wait cannot \
+                                 terminate"
+                            ),
+                        );
+                    }
+                }
+                Stmt::Lock { target, .. } if dead(target) => {
+                    diag(
+                        step,
+                        format!(
+                            "lock on rank {target}, which the fault model crashes: the \
+                             grant may never arrive"
+                        ),
+                    );
+                }
+                Stmt::LockAll => {
+                    diag(
+                        step,
+                        format!(
+                            "lock_all needs a grant from every rank, but the fault model \
+                             crashes {:?}",
+                            p.crashed
+                        ),
+                    );
+                }
+                Stmt::Fence(_) | Stmt::Barrier => {
+                    let name = if matches!(stmt, Stmt::Fence(_)) { "fence" } else { "barrier" };
+                    diag(
+                        step,
+                        format!(
+                            "{name} with crashed participant(s) {:?}: the collective \
+                             cannot complete",
+                            p.crashed
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    diags
+}
+
 /// Classify a conflicting pair: both mutate → E006, otherwise (one side is
 /// a read) → E007.
 fn conflict_code(a: AccessKind, b: AccessKind) -> Code {
@@ -508,6 +587,11 @@ pub fn analyze(p: &IrProgram) -> Vec<Diagnostic> {
     assert_eq!(p.ranks.len(), p.n_ranks, "one statement list per rank");
     let states: Vec<RankState> = (0..p.n_ranks).map(|r| walk_rank(r, p)).collect();
     let mut diags: Vec<Diagnostic> = states.iter().flat_map(|s| s.diags.clone()).collect();
+
+    // E012: a surviving rank's epoch structure blocks on a peer the fault
+    // model crashes. The crash may land before the dependency is
+    // satisfied, so without the stall watchdog the program can hang.
+    diags.extend(crashed_dependencies(p));
 
     // E011a: collective fence counts must agree on every rank.
     for s in &states[1..] {

@@ -11,6 +11,9 @@
 //! * [`NegFamily::ConflictingPuts`] — two origins touch overlapping bytes
 //!   of one target window inside the same fence phase → `E006` (or `E007`
 //!   when one side is a get).
+//! * [`NegFamily::CrashedDependency`] — a well-formed program whose epoch
+//!   structure blocks on a peer the fault model crashes (a GATS start
+//!   toward a rank whose exposure may never open) → `E012`.
 //!
 //! [`catalog_cases`] additionally provides one minimal deterministic
 //! positive program per diagnostic code — the CLI sweeps both.
@@ -36,12 +39,18 @@ pub enum NegFamily {
     /// Cross-origin overlapping conflicting accesses in one fence phase →
     /// `E006`/`E007`.
     ConflictingPuts,
+    /// Epoch structure blocks on a crashed peer → `E012`.
+    CrashedDependency,
 }
 
 impl NegFamily {
     /// All families, in sweep order.
-    pub const ALL: [NegFamily; 3] =
-        [NegFamily::DroppedClose, NegFamily::OutOfEpochOp, NegFamily::ConflictingPuts];
+    pub const ALL: [NegFamily; 4] = [
+        NegFamily::DroppedClose,
+        NegFamily::OutOfEpochOp,
+        NegFamily::ConflictingPuts,
+        NegFamily::CrashedDependency,
+    ];
 
     /// Short label for reports.
     pub fn label(self) -> &'static str {
@@ -49,6 +58,7 @@ impl NegFamily {
             NegFamily::DroppedClose => "dropped-close",
             NegFamily::OutOfEpochOp => "out-of-epoch-op",
             NegFamily::ConflictingPuts => "conflicting-puts",
+            NegFamily::CrashedDependency => "crashed-dependency",
         }
     }
 }
@@ -199,6 +209,26 @@ pub fn generate_negative(family: NegFamily, index: u64) -> NegCase {
             }
             NegCase { program: p, expect: if use_get { Code::E007 } else { Code::E006 } }
         }
+        NegFamily::CrashedDependency => {
+            // A few well-formed non-fence epochs, then a GATS start whose
+            // group contains the peer the fault model crashes: if the
+            // crash lands before that peer's post, rank 0's complete can
+            // never terminate.
+            for _ in 0..rng.gen_range(0..3usize) {
+                push_epoch(&mut rng, &mut p, true, false);
+            }
+            let victim = rng.gen_range(1..n_ranks);
+            p.crashed = vec![victim];
+            let group: Vec<usize> = (1..n_ranks).collect();
+            p.ranks[0].push(Stmt::Start(group));
+            p.ranks[0].extend(ops_for(&mut rng, victim));
+            p.ranks[0].push(Stmt::Complete(Close::Blocking));
+            for r in 1..n_ranks {
+                p.ranks[r].push(Stmt::Post(vec![0]));
+                p.ranks[r].push(Stmt::WaitEpoch(Close::Blocking));
+            }
+            NegCase { program: p, expect: Code::E012 }
+        }
     }
 }
 
@@ -311,6 +341,19 @@ pub fn catalog_cases() -> Vec<(Code, IrProgram)> {
     p.ranks[0].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Blocking)]);
     p.ranks[1].push(Stmt::Fence(Close::Blocking));
     out.push((Code::E011, p));
+
+    // E012: start toward a peer the fault model crashes.
+    let mut p = IrProgram::new(3, NEG_WIN_BYTES);
+    p.crashed = vec![2];
+    p.ranks[0].extend([
+        Stmt::Start(vec![1, 2]),
+        Stmt::Put { target: 2, disp: 0, len: 8 },
+        Stmt::Complete(Close::Blocking),
+    ]);
+    for r in 1..3 {
+        p.ranks[r].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    }
+    out.push((Code::E012, p));
 
     out
 }

@@ -47,11 +47,18 @@ pub enum Code {
     /// fence counts, or `start`/`post` pairing counts that differ between
     /// an origin and a target (a deadlock at runtime).
     E011,
+    /// Unguarded remote dependency: the fault model crashes a peer this
+    /// rank's epoch structure blocks on — a start toward a peer whose
+    /// exposure may never open, a lock whose grant may never arrive, a
+    /// post waiting on a dead origin's completion, or a collective with a
+    /// dead participant. Without the stall watchdog the program cannot
+    /// terminate if the crash lands before the dependency is satisfied.
+    E012,
 }
 
 impl Code {
     /// Every code, in order.
-    pub const ALL: [Code; 11] = [
+    pub const ALL: [Code; 12] = [
         Code::E001,
         Code::E002,
         Code::E003,
@@ -63,6 +70,7 @@ impl Code {
         Code::E009,
         Code::E010,
         Code::E011,
+        Code::E012,
     ];
 
     /// The stable code string (`"E001"` …).
@@ -79,6 +87,7 @@ impl Code {
             Code::E009 => "E009",
             Code::E010 => "E010",
             Code::E011 => "E011",
+            Code::E012 => "E012",
         }
     }
 
@@ -96,6 +105,7 @@ impl Code {
             Code::E009 => "reorder flags violate epoch disjointness",
             Code::E010 => "operation exceeds window bounds",
             Code::E011 => "cross-rank synchronization mismatch",
+            Code::E012 => "unguarded remote dependency",
         }
     }
 }

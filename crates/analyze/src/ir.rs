@@ -115,6 +115,11 @@ pub struct IrProgram {
     /// The `unsafe_fence_reorder` extension: reorder flags additionally
     /// apply across fence epochs (never across `lock_all`; §VI.B, §X).
     pub unsafe_fence_reorder: bool,
+    /// Ranks the job's fault model declares crashed (NIC death at some
+    /// point of the run). A surviving rank whose epoch structure blocks on
+    /// one of these peers can never terminate without the watchdog
+    /// cancelling the epoch — diagnostic [`crate::Code::E012`].
+    pub crashed: Vec<usize>,
     /// Per-rank statement lists.
     pub ranks: Vec<Vec<Stmt>>,
 }
@@ -127,6 +132,7 @@ impl IrProgram {
             win_bytes,
             reorder: false,
             unsafe_fence_reorder: false,
+            crashed: Vec::new(),
             ranks: vec![Vec::new(); n_ranks],
         }
     }

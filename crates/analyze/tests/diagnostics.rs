@@ -325,6 +325,62 @@ fn mixed_op_accumulates_conflict() {
     assert!(has_code(&analyze(&p), Code::E006));
 }
 
+// ------------------------------------- E012: unguarded remote dependency
+
+#[test]
+fn e012_start_toward_crashed_peer() {
+    let mut p = IrProgram::new(3, WIN);
+    p.crashed = vec![2];
+    p.ranks[0].extend([
+        Stmt::Start(vec![1, 2]),
+        Stmt::Put { target: 2, disp: 0, len: 8 },
+        Stmt::Complete(Close::Blocking),
+    ]);
+    for r in 1..3 {
+        p.ranks[r].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    }
+    assert!(has_code(&analyze(&p), Code::E012));
+}
+
+#[test]
+fn e012_lock_on_crashed_peer() {
+    let mut p = IrProgram::new(3, WIN);
+    p.crashed = vec![1];
+    p.ranks[0].extend([
+        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { target: 1, close: Close::Blocking },
+    ]);
+    assert!(has_code(&analyze(&p), Code::E012));
+}
+
+#[test]
+fn e012_not_reported_when_dependencies_avoid_the_crash() {
+    // Rank 2 crashes, but nothing a surviving rank does waits on it:
+    // rank 0's whole epoch structure points at rank 1.
+    let mut p = IrProgram::new(3, WIN);
+    p.crashed = vec![2];
+    p.ranks[0].extend([
+        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { target: 1, close: Close::Blocking },
+    ]);
+    assert!(!has_code(&analyze(&p), Code::E012));
+}
+
+#[test]
+fn e012_crashed_ranks_own_program_is_not_flagged() {
+    // The crashed rank's own dangling dependencies are the fault model's
+    // doing, not the program's.
+    let mut p = IrProgram::new(3, WIN);
+    p.crashed = vec![0];
+    p.ranks[0].extend([
+        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
+        Stmt::Unlock { target: 1, close: Close::Blocking },
+    ]);
+    assert!(!has_code(&analyze(&p), Code::E012));
+}
+
 // ----------------------------------------------- negative-corpus sweep
 
 #[test]

@@ -54,11 +54,24 @@ fn measure<F>(name: &'static str, ranks: usize, ops: u64, body: F) -> BenchResul
 where
     F: Fn(&mut mpisim_core::RankEnv) + Send + Sync + 'static,
 {
+    measure_cfg(name, JobConfig::new(ranks), ranks, ops, body)
+}
+
+fn measure_cfg<F>(
+    name: &'static str,
+    cfg: JobConfig,
+    ranks: usize,
+    ops: u64,
+    body: F,
+) -> BenchResult
+where
+    F: Fn(&mut mpisim_core::RankEnv) + Send + Sync + 'static,
+{
     let t0 = Instant::now();
-    let report = run_job(JobConfig::new(ranks), body).expect(name);
+    let report = run_job(cfg, body).expect(name);
     let wall_ns = t0.elapsed().as_nanos();
     assert_eq!(report.live_requests, 0, "{name}: leaked requests");
-    assert!(report.protocol_errors.is_empty(), "{name}: protocol errors");
+    assert!(report.is_clean(), "{name}: degradations: {:?}", report.degradations);
     BenchResult {
         name,
         ranks,
@@ -69,11 +82,10 @@ where
     }
 }
 
-/// Fence-heavy 1-D halo exchange: each iteration puts a boundary cell to
-/// both ring neighbours and closes with a blocking fence.
-pub fn halo_fence(n_ranks: usize, iters: usize) -> BenchResult {
-    let ops = (n_ranks * iters * 2) as u64;
-    measure("halo_fence", n_ranks, ops, move |env| {
+/// The halo-exchange workload body, shared by the three `halo_fence*`
+/// placements.
+fn halo_body(iters: usize) -> impl Fn(&mut mpisim_core::RankEnv) + Send + Sync + 'static {
+    move |env| {
         let win = env.win_allocate(64).unwrap();
         let me = env.rank().idx();
         let n = env.n_ranks();
@@ -86,7 +98,42 @@ pub fn halo_fence(n_ranks: usize, iters: usize) -> BenchResult {
             env.fence(win).unwrap();
         }
         env.win_free(win).unwrap();
-    })
+    }
+}
+
+/// Fence-heavy 1-D halo exchange: each iteration puts a boundary cell to
+/// both ring neighbours and closes with a blocking fence.
+pub fn halo_fence(n_ranks: usize, iters: usize) -> BenchResult {
+    let ops = (n_ranks * iters * 2) as u64;
+    measure("halo_fence", n_ranks, ops, halo_body(iters))
+}
+
+/// The same halo exchange with one rank per node: every message crosses
+/// the interconnect. Baseline for [`halo_fence_reliable`].
+pub fn halo_fence_internode(n_ranks: usize, iters: usize) -> BenchResult {
+    let ops = (n_ranks * iters * 2) as u64;
+    measure_cfg(
+        "halo_fence_internode",
+        JobConfig::all_internode(n_ranks),
+        n_ranks,
+        ops,
+        halo_body(iters),
+    )
+}
+
+/// Degraded-mode overhead probe: the internode halo exchange with the
+/// ack/retransmit reliability sublayer armed on a *fault-free* network
+/// (and no watchdog). The delta against [`halo_fence_internode`] is the
+/// pure cost of framing, acking, and retransmit bookkeeping.
+pub fn halo_fence_reliable(n_ranks: usize, iters: usize) -> BenchResult {
+    let ops = (n_ranks * iters * 2) as u64;
+    measure_cfg(
+        "halo_fence_reliable",
+        JobConfig::all_internode(n_ranks).with_reliability(),
+        n_ranks,
+        ops,
+        halo_body(iters),
+    )
 }
 
 /// Pipelined GATS ring: every epoch opens, puts, and closes with the
@@ -164,12 +211,16 @@ pub fn run_suite(short: bool) -> Vec<BenchResult> {
             halo_fence(4, 16),
             gats_pipeline(4, 16),
             lock_all_contention(4, 8, 4),
+            halo_fence_internode(4, 16),
+            halo_fence_reliable(4, 16),
         ]
     } else {
         vec![
             halo_fence(8, 128),
             gats_pipeline(8, 96),
             lock_all_contention(8, 48, 8),
+            halo_fence_internode(8, 128),
+            halo_fence_reliable(8, 128),
         ]
     }
 }
@@ -187,7 +238,9 @@ fn json_stats(e: &EngineStats, indent: &str) -> String {
          {i}\"completion_checks\": {}, \"activation_scans\": {},\n\
          {i}\"fifo_packets\": {}, \"fifo_drained\": {}, \"fifo_decode_errors\": {},\n\
          {i}\"unlocks_applied\": {}, \"grant_pumps\": {},\n\
-         {i}\"epochs_opened\": {}, \"epochs_deferred\": {}, \"epochs_completed\": {}",
+         {i}\"epochs_opened\": {}, \"epochs_deferred\": {}, \"epochs_completed\": {},\n\
+         {i}\"rel_frames_sent\": {}, \"rel_delivered\": {}, \"rel_acks_sent\": {},\n\
+         {i}\"rel_retransmits\": {}, \"rel_dups_dropped\": {}, \"epochs_cancelled\": {}",
         e.sweeps,
         e.notices_drained,
         e.issue_scans,
@@ -202,6 +255,12 @@ fn json_stats(e: &EngineStats, indent: &str) -> String {
         e.epochs_opened,
         e.epochs_deferred,
         e.epochs_completed,
+        e.rel_frames_sent,
+        e.rel_delivered,
+        e.rel_acks_sent,
+        e.rel_retransmits,
+        e.rel_dups_dropped,
+        e.epochs_cancelled,
         i = indent,
     )
 }
@@ -252,6 +311,17 @@ mod tests {
             assert_eq!(r.engine.fifo_decode_errors, 0, "{}", r.name);
             // Every workload issues its ops through the engine.
             assert!(r.engine.ops_issued >= r.ops, "{}", r.name);
+            if r.name == "halo_fence_reliable" {
+                // The sublayer must actually frame the internode traffic
+                // and reach channel quiescence on the fault-free network.
+                assert!(r.engine.rel_frames_sent > 0, "{}", r.name);
+                assert_eq!(
+                    r.engine.rel_delivered, r.engine.rel_frames_sent,
+                    "{}: sublayer not quiescent",
+                    r.name
+                );
+                assert_eq!(r.engine.rel_retransmits, 0, "{}: spurious retransmits", r.name);
+            }
         }
     }
 

@@ -29,6 +29,10 @@ pub enum FailureKind {
     Deadlock(String),
     /// A rank or the engine panicked.
     Panic(String),
+    /// The run terminated but only degraded — the reliability sublayer or
+    /// the stall watchdog had to give up on something (a fault-sweep run
+    /// must recover *cleanly*, not merely terminate).
+    Degraded(Vec<String>),
 }
 
 impl std::fmt::Display for FailureKind {
@@ -58,6 +62,13 @@ impl std::fmt::Display for FailureKind {
             }
             FailureKind::Deadlock(d) => write!(f, "{d}"),
             FailureKind::Panic(d) => write!(f, "panic: {d}"),
+            FailureKind::Degraded(ds) => {
+                write!(f, "{} degradation(s):", ds.len())?;
+                for d in ds {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -69,11 +80,16 @@ pub struct VerifyOpts {
     pub static_analysis: bool,
     /// Run the happens-before race detector on the run's sync trace.
     pub races: bool,
+    /// Named network fault plan applied to every run of the sweep
+    /// (see [`mpisim_net::FaultPlan::by_name`]).
+    pub fault_plan: Option<&'static str>,
+    /// Arm the reliability sublayer + stall watchdog in every run.
+    pub reliable: bool,
 }
 
 impl Default for VerifyOpts {
     fn default() -> Self {
-        VerifyOpts { static_analysis: true, races: true }
+        VerifyOpts { static_analysis: true, races: true, fault_plan: None, reliable: false }
     }
 }
 
@@ -114,6 +130,15 @@ pub fn verify_with(program: &Program, spec: &RunSpec, opts: VerifyOpts) -> Resul
         }
         Err(RunFailure::Panic(p)) => return Err(Failure { kind: FailureKind::Panic(p) }),
     };
+    // Under a fault plan, terminating is not enough: the sublayer must
+    // have repaired every injected fault with zero residual degradations.
+    if !out.report.is_clean() {
+        return Err(Failure {
+            kind: FailureKind::Degraded(
+                out.report.degradations.iter().map(|d| d.to_string()).collect(),
+            ),
+        });
+    }
     // Rank 0 is the origin in single-origin programs and its window is
     // never a target, so comparing every rank is valid for both shapes.
     for (r, (got, want)) in out.mems.iter().zip(expected.mems.iter()).enumerate() {
@@ -194,6 +219,8 @@ pub fn spec_for_seed(
         tiebreak_seed: if s == 0 { None } else { Some(s) },
         sim_seed: 7 + s,
         fault: fault.clone(),
+        fault_plan: None,
+        reliable: false,
     }
 }
 
@@ -223,7 +250,9 @@ pub fn sweep_family_with(
         let program = generate(family, idx);
         for (strategy, nonblocking) in MATRIX {
             for s in 0..seeds {
-                let spec = spec_for_seed(strategy, nonblocking, s, fault);
+                let mut spec = spec_for_seed(strategy, nonblocking, s, fault);
+                spec.fault_plan = opts.fault_plan.map(String::from);
+                spec.reliable = opts.reliable;
                 report.runs += 1;
                 if let Err(failure) = verify_with(&program, &spec, opts) {
                     report.failures.push(FoundFailure {
@@ -257,6 +286,42 @@ mod tests {
                 r.failures.iter().map(|f| f.failure.to_string()).collect::<Vec<_>>().join("; ")
             );
         }
+    }
+
+    #[test]
+    fn drop_storm_without_sublayer_is_detected() {
+        // 35% frame loss with the reliability sublayer OFF must produce a
+        // detectable failure (deadlocked blocking sync, a panic from
+        // out-of-order grants, or outright divergence) — this is the
+        // harness's proof that the fault plans have teeth.
+        let program = generate(Family::MixedSerial, 0);
+        let mut spec = RunSpec::baseline(SyncStrategy::Redesigned, false);
+        spec.fault_plan = Some("drop-storm".into());
+        let err = verify(&program, &spec).expect_err("an unprotected storm must be caught");
+        assert!(
+            matches!(
+                err.kind,
+                FailureKind::Deadlock(_)
+                    | FailureKind::Panic(_)
+                    | FailureKind::Divergence(_)
+                    | FailureKind::Violations(_)
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn faulty_sweep_with_sublayer_is_green() {
+        // The same machinery with the sublayer on: a lossy sweep must be
+        // not just terminating but conformant and degradation-free.
+        let opts = VerifyOpts { fault_plan: Some("light-loss"), reliable: true, ..VerifyOpts::default() };
+        let r = sweep_family_with(Family::MixedSerial, 1, 2, &None, opts);
+        assert_eq!(r.runs, 8);
+        assert!(
+            r.failures.is_empty(),
+            "{}",
+            r.failures.iter().map(|f| f.failure.to_string()).collect::<Vec<_>>().join("; ")
+        );
     }
 
     #[test]

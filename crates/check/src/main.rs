@@ -1,16 +1,26 @@
 //! `mpisim-check` CLI: sweep the conformance matrix and report.
 //!
 //! ```text
-//! mpisim-check [--seeds N] [--programs N] [--inject FAULT] [--no-race-detect]
+//! mpisim-check [--seeds N] [--programs N] [--inject FAULT] [--faults PLAN]
+//!              [--no-race-detect]
 //! ```
 //!
 //! * `--seeds N` — perturbed schedules per (program, matrix point);
 //!   default 16.
 //! * `--programs N` — generated programs per family; default 4.
-//! * `--inject FAULT` — self-test mode: inject the named engine fault
-//!   (`skip-grant`, `double-acc`, or `hb-race`) into every run, *require*
-//!   the sweep to catch it, and print the shrunk reproducer. Exit status
-//!   inverts: 0 if the bug was caught, 1 if it slipped through.
+//! * `--inject FAULT` — self-test mode: inject the named fault into every
+//!   run, *require* the sweep to catch it, and print the shrunk
+//!   reproducer. Exit status inverts: 0 if the bug was caught, 1 if it
+//!   slipped through. Engine faults (`skip-grant`, `double-acc`,
+//!   `hb-race`) plant a protocol bug; network storms (`drop-storm`,
+//!   `dup-storm`, `partition`) batter the interconnect with the
+//!   reliability sublayer deliberately OFF — proving the fault plans have
+//!   teeth, and that the sublayer is what `--faults` is actually testing.
+//! * `--faults PLAN` — clean-sweep mode under an unreliable interconnect:
+//!   apply the named fault plan (`light-loss`, `heavy-dup-reorder`,
+//!   `transient-partition`) to every run with the reliability sublayer
+//!   and the stall watchdog ON. Normal exit semantics: every run must be
+//!   conformant *and* degradation-free.
 //! * `--no-race-detect` — disable the happens-before race detector. With
 //!   `--inject hb-race` this must make the self-test fail loudly: the
 //!   planted unsynchronized read is invisible to the oracle and the trace
@@ -28,14 +38,29 @@ struct Args {
     seeds: u64,
     programs: u64,
     inject: Option<String>,
+    faults: Option<String>,
     race_detect: bool,
+}
+
+/// Canonical `&'static` name for a network fault plan accepted by the
+/// CLI, or `None` for engine-fault names and typos.
+fn canonical_plan(name: &str) -> Option<&'static str> {
+    match name {
+        "light-loss" => Some("light-loss"),
+        "heavy-dup-reorder" => Some("heavy-dup-reorder"),
+        "partition" | "transient-partition" => Some("transient-partition"),
+        "drop-storm" => Some("drop-storm"),
+        "dup-storm" => Some("dup-storm"),
+        _ => None,
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
     // Four programs per family is the smallest count whose generated set
     // exercises every epoch kind at least twice per family — enough for
     // both injected-fault self-tests to trip.
-    let mut args = Args { seeds: 16, programs: 4, inject: None, race_detect: true };
+    let mut args =
+        Args { seeds: 16, programs: 4, inject: None, faults: None, race_detect: true };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -51,10 +76,11 @@ fn parse_args() -> Result<Args, String> {
                     value("--programs")?.parse().map_err(|e| format!("--programs: {e}"))?;
             }
             "--inject" => args.inject = Some(value("--inject")?),
+            "--faults" => args.faults = Some(value("--faults")?),
             "--no-race-detect" => args.race_detect = false,
             "--help" | "-h" => {
                 return Err("usage: mpisim-check [--seeds N] [--programs N] [--inject FAULT] \
-                            [--no-race-detect]"
+                            [--faults PLAN] [--no-race-detect]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),
@@ -62,6 +88,17 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.seeds == 0 || args.programs == 0 {
         return Err("--seeds and --programs must be at least 1".into());
+    }
+    if let Some(plan) = &args.faults {
+        if canonical_plan(plan).is_none() {
+            return Err(format!(
+                "--faults: unknown plan {plan:?} (try light-loss, heavy-dup-reorder, \
+                 transient-partition)"
+            ));
+        }
+        if args.inject.is_some() {
+            return Err("--faults and --inject are mutually exclusive".into());
+        }
     }
     Ok(args)
 }
@@ -76,21 +113,44 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "mpisim-check: {} programs/family x {} schedules x {} matrix points{}",
+        "mpisim-check: {} programs/family x {} schedules x {} matrix points{}{}",
         args.programs,
         args.seeds,
         mpisim_check::MATRIX.len(),
         match &args.inject {
             Some(f) => format!("  [injecting fault: {f}]"),
             None => String::new(),
+        },
+        match &args.faults {
+            Some(p) => format!("  [fault plan: {p}, reliability sublayer + watchdog ON]"),
+            None => String::new(),
         }
     );
 
-    let opts = VerifyOpts { static_analysis: true, races: args.race_detect };
+    let mut opts = VerifyOpts {
+        static_analysis: true,
+        races: args.race_detect,
+        ..VerifyOpts::default()
+    };
+    // A storm name under --inject is a *network* self-test: batter the
+    // interconnect with the sublayer off and require a detected failure.
+    // Everything else under --inject is an engine fault passed through to
+    // the job config.
+    let mut engine_fault = None;
+    if let Some(name) = &args.inject {
+        match canonical_plan(name) {
+            Some(plan) => opts.fault_plan = Some(plan),
+            None => engine_fault = Some(name.clone()),
+        }
+    }
+    if let Some(plan) = &args.faults {
+        opts.fault_plan = canonical_plan(plan);
+        opts.reliable = true;
+    }
     let mut total_runs = 0;
     let mut all_failures = Vec::new();
     for family in Family::ALL {
-        let report = sweep_family_with(family, args.programs, args.seeds, &args.inject, opts);
+        let report = sweep_family_with(family, args.programs, args.seeds, &engine_fault, opts);
         println!(
             "  {:<18} {:>4} runs, {:>2} schedules/program: {}",
             family.label(),

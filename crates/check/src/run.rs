@@ -32,6 +32,15 @@ pub struct RunSpec {
     /// the job so the `MPISIM_CHECK_INJECT` env fallback never interferes
     /// with harness runs.
     pub fault: Option<String>,
+    /// Named network fault plan ([`mpisim_net::FaultPlan::by_name`],
+    /// seeded from `sim_seed`). When set, every rank is placed on its own
+    /// node so the plan's internode faults actually strike the traffic.
+    pub fault_plan: Option<String>,
+    /// Run with the ack/retransmit reliability sublayer and the epoch
+    /// stall watchdog on. Required for clean runs under any lossy
+    /// `fault_plan`; left off in storm self-tests to prove the harness
+    /// detects unprotected fault damage.
+    pub reliable: bool,
 }
 
 impl RunSpec {
@@ -44,6 +53,8 @@ impl RunSpec {
             tiebreak_seed: None,
             sim_seed: 7,
             fault: None,
+            fault_plan: None,
+            reliable: false,
         }
     }
 
@@ -57,11 +68,15 @@ impl RunSpec {
             Some(f) => format!("Some({f:?}.to_string())"),
             None => "None".into(),
         };
+        let fault_plan = match &self.fault_plan {
+            Some(p) => format!("Some({p:?}.to_string())"),
+            None => "None".into(),
+        };
         format!(
             "RunSpec {{\n        strategy: {strategy},\n        nonblocking: {},\n        \
              net_profile: {},\n        tiebreak_seed: {:?},\n        sim_seed: {},\n        \
-             fault: {fault},\n    }}",
-            self.nonblocking, self.net_profile, self.tiebreak_seed, self.sim_seed
+             fault: {fault},\n        fault_plan: {fault_plan},\n        reliable: {},\n    }}",
+            self.nonblocking, self.net_profile, self.tiebreak_seed, self.sim_seed, self.reliable
         )
     }
 }
@@ -102,6 +117,19 @@ fn job_config(n_ranks: usize, spec: &RunSpec) -> JobConfig {
     cfg.trace = true;
     // `Some("")` disables the env-var fallback: harness runs are hermetic.
     cfg.fault = Some(spec.fault.clone().unwrap_or_default());
+    if let Some(plan) = &spec.fault_plan {
+        // One rank per node: the default 16-cores-per-node placement would
+        // keep every channel intranode, where the fault model (and the
+        // sublayer's framing) never applies.
+        cfg.cores_per_node = 1;
+        cfg.net.faults = Some(
+            mpisim_net::FaultPlan::by_name(plan, spec.sim_seed)
+                .unwrap_or_else(|| panic!("unknown fault plan {plan:?}")),
+        );
+    }
+    if spec.reliable {
+        cfg = cfg.with_reliability().with_watchdog(SimTime::from_millis(20));
+    }
     cfg
 }
 
@@ -390,11 +418,19 @@ mod tests {
             tiebreak_seed: Some(3),
             sim_seed: 11,
             fault: Some("skip-grant".into()),
+            fault_plan: Some("light-loss".into()),
+            reliable: true,
         };
         let src = s.to_rust();
-        for needle in
-            ["LazyBaseline", "nonblocking: true", "net_profile: 5", "Some(3)", "skip-grant"]
-        {
+        for needle in [
+            "LazyBaseline",
+            "nonblocking: true",
+            "net_profile: 5",
+            "Some(3)",
+            "skip-grant",
+            "light-loss",
+            "reliable: true",
+        ] {
             assert!(src.contains(needle), "missing {needle} in {src}");
         }
     }

@@ -9,7 +9,8 @@ use mpisim_check::{
     VerifyOpts,
 };
 
-const STATIC_ONLY: VerifyOpts = VerifyOpts { static_analysis: true, races: false };
+const STATIC_ONLY: VerifyOpts =
+    VerifyOpts { static_analysis: true, races: false, fault_plan: None, reliable: false };
 
 /// Satellite acceptance: 3 families × ≥16 seeds, zero false positives
 /// from the static analyzer (both close modes).

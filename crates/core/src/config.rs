@@ -98,6 +98,37 @@ impl Default for Overheads {
     }
 }
 
+/// Tuning of the ack/retransmit reliability sublayer (see DESIGN.md §11).
+///
+/// Present (`Some`) = every internode message travels as a
+/// sequence-numbered [`crate::msg::Body::Rel`] frame with cumulative acks,
+/// timeout-driven retransmit, duplicate suppression, and checksum
+/// validation. Absent = messages ride the fabric raw, the pre-fault-model
+/// behaviour.
+#[derive(Clone, Debug)]
+pub struct Reliability {
+    /// Initial retransmit timeout (doubled per retry).
+    pub rto: SimTime,
+    /// Backoff ceiling: the per-retry delay never exceeds this.
+    pub max_backoff: SimTime,
+    /// Retransmit attempts before the frame is abandoned and surfaced as
+    /// a `RetriesExhausted` (or `PeerCrash`) degradation.
+    pub max_retries: u32,
+}
+
+impl Default for Reliability {
+    fn default() -> Self {
+        // RTO ≈ 13× the calibrated one-way latency; 7 doublings reach the
+        // 2 ms cap, so the default budget rides out the CI transient
+        // partition (heals at 2 ms) with retries to spare.
+        Reliability {
+            rto: SimTime::from_micros(20),
+            max_backoff: SimTime::from_millis(2),
+            max_retries: 12,
+        }
+    }
+}
+
 /// Everything needed to run one simulated MPI job.
 #[derive(Clone, Debug)]
 pub struct JobConfig {
@@ -135,6 +166,16 @@ pub struct JobConfig {
     /// `Some("")` disables injection unconditionally. Recognized names:
     /// `"skip-grant"`, `"double-acc"`.
     pub fault: Option<String>,
+    /// Ack/retransmit reliability sublayer for internode traffic
+    /// (`None` = off, the pre-fault-model behaviour). Required for clean
+    /// runs whenever `net.faults` injects loss, duplication, reordering,
+    /// or corruption.
+    pub reliability: Option<Reliability>,
+    /// Epoch stall watchdog: the sim-time budget an open epoch or pending
+    /// request may go without progress before it is cancelled and
+    /// surfaced as a structured `StallReport` (`None` = no watchdog; a
+    /// genuinely stuck schedule then surfaces as a simulator deadlock).
+    pub watchdog: Option<SimTime>,
 }
 
 impl JobConfig {
@@ -154,6 +195,8 @@ impl JobConfig {
             trace: false,
             tiebreak_seed: None,
             fault: None,
+            reliability: None,
+            watchdog: None,
         }
     }
 
@@ -175,6 +218,18 @@ impl JobConfig {
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enable the reliability sublayer with default tuning.
+    pub fn with_reliability(mut self) -> Self {
+        self.reliability = Some(Reliability::default());
+        self
+    }
+
+    /// Arm the epoch stall watchdog with the given progress budget.
+    pub fn with_watchdog(mut self, budget: SimTime) -> Self {
+        self.watchdog = Some(budget);
         self
     }
 }

@@ -137,12 +137,15 @@ impl Engine {
                 .take()
                 .ok_or(RmaError::EpochMismatch { called: "complete" })?;
             let req = st.reqs.alloc(ReqKind::EpochClose);
+            let now = self.sim.now();
             let e = st.win_mut(win, rank).epoch_mut(id);
             e.closed = true;
+            e.closed_at = Some(now);
             e.close_req = Some(req);
             self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
             st.mark_ops_dirty(rank, win, id);
             st.mark_complete_dirty(rank, win, id);
+            self.arm_watchdog(&mut st);
             req
         };
         self.sweep(rank);
@@ -159,11 +162,14 @@ impl Engine {
                 .take()
                 .ok_or(RmaError::EpochMismatch { called: "wait" })?;
             let req = st.reqs.alloc(ReqKind::EpochClose);
+            let now = self.sim.now();
             let e = st.win_mut(win, rank).epoch_mut(id);
             e.closed = true;
+            e.closed_at = Some(now);
             e.close_req = Some(req);
             self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
             st.mark_complete_dirty(rank, win, id);
+            self.arm_watchdog(&mut st);
             req
         };
         self.sweep(rank);
@@ -203,14 +209,17 @@ impl Engine {
                 .remove(&target)
                 .ok_or(RmaError::EpochMismatch { called: "unlock" })?;
             let req = st.reqs.alloc(ReqKind::EpochClose);
+            let now = self.sim.now();
             let e = st.win_mut(win, rank).epoch_mut(id);
             e.closed = true;
+            e.closed_at = Some(now);
             e.close_req = Some(req);
             e.lazy_hold = false; // lazy baseline: now the epoch may activate
             self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
             st.mark_ops_dirty(rank, win, id);
             st.mark_complete_dirty(rank, win, id);
             st.mark_act_dirty(rank, win);
+            self.arm_watchdog(&mut st);
             req
         };
         self.sweep(rank);
@@ -227,14 +236,17 @@ impl Engine {
                 .take()
                 .ok_or(RmaError::EpochMismatch { called: "unlock_all" })?;
             let req = st.reqs.alloc(ReqKind::EpochClose);
+            let now = self.sim.now();
             let e = st.win_mut(win, rank).epoch_mut(id);
             e.closed = true;
+            e.closed_at = Some(now);
             e.close_req = Some(req);
             e.lazy_hold = false;
             self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
             st.mark_ops_dirty(rank, win, id);
             st.mark_complete_dirty(rank, win, id);
             st.mark_act_dirty(rank, win);
+            self.arm_watchdog(&mut st);
             req
         };
         self.sweep(rank);
@@ -251,6 +263,13 @@ impl Engine {
     /// conditions", §VII.A).
     pub(crate) fn activation_scan(self: &Arc<Self>, st: &mut EngState, rank: Rank, win: WinId) {
         st.eng_stats.activation_scans += 1;
+        // The window may be gone: `win_free` marks the activation list when
+        // it retires a dormant trailing fence, and with the reliability
+        // sublayer on, late traffic (re-acks, duplicate retransmits) can
+        // still trigger sweeps after the free.
+        if st.wins[win.0 as usize].per_rank[rank.idx()].is_none() {
+            return;
+        }
         // Index walk over `order` (re-borrowed each iteration) instead of
         // snapshotting into a Vec: activation never reorders `order`, so
         // the walk is stable and allocation-free.
@@ -441,7 +460,7 @@ impl Engine {
                         access_id: aid,
                     },
                 };
-                self.send_sync(rank, target, win, sp);
+                self.send_sync(st, rank, target, win, sp);
                 st.mark_complete_dirty(rank, win, id);
             }
             EpochKind::LockAll => {
@@ -467,6 +486,7 @@ impl Engine {
                         crate::trace::SyncEvent::AccessAssigned { epoch: id.0, id: aid },
                     );
                     self.send_sync(
+                        st,
                         rank,
                         t,
                         win,
@@ -532,8 +552,13 @@ impl Engine {
         win: WinId,
         id: EpochId,
     ) {
-        if !st.win(win, rank).epochs.contains_key(&id.0) {
-            return; // already retired
+        // Tolerate a freed window (late post-free sweeps, see
+        // `activation_scan`) and an already-retired epoch.
+        let live = st.wins[win.0 as usize].per_rank[rank.idx()]
+            .as_ref()
+            .is_some_and(|w| w.epochs.contains_key(&id.0));
+        if !live {
+            return;
         }
         let (activated, complete, closed, kind) = {
             let e = st.win(win, rank).epoch(id);
@@ -590,6 +615,7 @@ impl Engine {
                 crate::trace::SyncEvent::EpochDoneSent { epoch: id.0, id: aid },
             );
             self.send_sync(
+                st,
                 rank,
                 t,
                 win,
@@ -637,6 +663,7 @@ impl Engine {
                 crate::trace::SyncEvent::EpochDoneSent { epoch: id.0, id: aid },
             );
             self.send_sync(
+                st,
                 rank,
                 t,
                 win,

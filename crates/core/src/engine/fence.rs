@@ -37,12 +37,15 @@ impl Engine {
             let req = match closing {
                 Some(id) => {
                     let req = st.reqs.alloc(ReqKind::EpochClose);
+                    let now = self.sim.now();
                     let e = st.win_mut(win, rank).epoch_mut(id);
                     e.closed = true;
+                    e.closed_at = Some(now);
                     e.close_req = Some(req);
                     self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
                     st.mark_ops_dirty(rank, win, id);
                     st.mark_complete_dirty(rank, win, id);
+                    self.arm_watchdog(&mut st);
                     req
                 }
                 // An opening-only fence completes immediately (§VII.C).
@@ -100,11 +103,16 @@ impl Engine {
                     crate::trace::Plane::Gats,
                     crate::trace::SyncEvent::FenceDoneSent { seq },
                 );
-                self.net.send(Packet {
-                    src: rank,
-                    dst: t,
-                    body: Body::FenceDone { win, seq, ops_sent },
-                });
+                self.send_framed(
+                    st,
+                    Packet {
+                        src: rank,
+                        dst: t,
+                        body: Body::FenceDone { win, seq, ops_sent },
+                    },
+                    None,
+                    None,
+                );
             }
             to_send.clear();
             st.sweep[rank.idx()].send_scratch = to_send;

@@ -31,6 +31,13 @@ impl Engine {
         access_id: u64,
         kind: LockKind,
     ) {
+        // Late arrival for a freed window: a retransmit-delayed frame can
+        // land after the final barrier let this rank free the window (the
+        // origin is nonblocking and has already moved on). The lock state
+        // is gone and nothing can ever wait on the grant — drop it.
+        if st.wins[win.0 as usize].per_rank[me.idx()].is_none() {
+            return;
+        }
         let w = st.win_mut(win, me);
         debug_assert!(
             w.grant_seq[origin.idx()].gl_sent < access_id,
@@ -77,6 +84,11 @@ impl Engine {
     /// every backlogged window until quiescent.
     pub(crate) fn pump_lock_backlog(self: &Arc<Self>, st: &mut EngState, rank: Rank) {
         while let Some((win, origin)) = st.sweep[rank.idx()].pending_unlocks.pop_front() {
+            // Freed window (see `handle_lock_req`): a retransmit-delayed
+            // unlock whose release is moot — the origin already completed.
+            if st.wins[win.0 as usize].per_rank[rank.idx()].is_none() {
+                continue;
+            }
             st.eng_stats.unlocks_applied += 1;
             let w = st.win_mut(win, rank);
             w.lock_mgr.release(origin);
@@ -87,6 +99,9 @@ impl Engine {
         let wins = std::mem::replace(&mut sw.lock_backlog, std::mem::take(&mut sw.win_scratch));
         st.eng_stats.grant_pumps += wins.len() as u64;
         for &win in &wins {
+            if st.wins[win.0 as usize].per_rank[rank.idx()].is_none() {
+                continue;
+            }
             self.pump_window_grants(st, rank, win);
         }
         let mut wins = wins;
@@ -151,6 +166,7 @@ impl Engine {
                     crate::trace::SyncEvent::GrantSent { id: q.access_id },
                 );
                 self.send_sync(
+                    st,
                     me,
                     q.origin,
                     win,
@@ -208,6 +224,7 @@ impl Engine {
                 crate::trace::SyncEvent::GrantSent { id: *id },
             );
             self.send_sync(
+                st,
                 me,
                 origin,
                 win,

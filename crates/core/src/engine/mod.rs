@@ -23,7 +23,9 @@ mod fence;
 mod flush;
 mod locks;
 mod p2p;
+pub(crate) mod rel;
 mod rma;
+mod watchdog;
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -39,9 +41,17 @@ use crate::types::{EpochId, Rank, Req, WinId};
 use crate::window::WinRank;
 
 pub(crate) use p2p::{BarrierRank, P2pRank};
+pub use rel::Degradation;
+pub(crate) use rel::RelRank;
+pub use watchdog::StallReport;
 
 /// Completion notices consumed by sweep step 1.
-#[derive(Debug)]
+///
+/// `Copy` matters: the reliability sublayer stores an op's ack notice as
+/// plain data inside its retransmit window and pushes it onto the sweep
+/// queue when the peer's cumulative ack arrives — while the engine lock is
+/// already held, where a re-entrant closure would deadlock.
+#[derive(Debug, Clone, Copy)]
 pub(crate) enum Notice {
     /// An outgoing data message finished serializing (origin buffer free).
     LocalComplete {
@@ -141,6 +151,35 @@ pub struct EngineStats {
     /// `epochs_opened == epochs_completed + dormant_retired` stays
     /// checkable: these epochs are opened but never complete.
     pub dormant_retired: u64,
+    /// Internode messages wrapped in reliability frames (sublayer on).
+    /// At quiescence `rel_frames_sent == rel_delivered + rel_checksum_drops
+    /// - rel_dups_dropped`-style balances do not hold message-by-message
+    /// (duplication faults add copies); the channel invariant is
+    /// `pushed == acked + retransmit-pending` per (src, dst) pair.
+    pub rel_frames_sent: u64,
+    /// Frames re-sent by the retransmit timer scan (sweep step 1).
+    pub rel_retransmits: u64,
+    /// Cumulative acks flushed by sweep step 2.
+    pub rel_acks_sent: u64,
+    /// Duplicate frames suppressed at delivery (retransmit races and
+    /// fabric-level duplication faults).
+    pub rel_dups_dropped: u64,
+    /// Reordered frames buffered ahead of the in-order point.
+    pub rel_ooo_buffered: u64,
+    /// Frames dropped for checksum mismatch (recovered by retransmit).
+    pub rel_checksum_drops: u64,
+    /// In-order frames dispatched by sweep step 5.
+    pub rel_delivered: u64,
+    /// Frames abandoned after exhausting the retry cap.
+    pub retries_exhausted: u64,
+    /// Epochs force-terminated by the stall watchdog.
+    pub epochs_cancelled: u64,
+    /// Watchdog tick events fired.
+    pub watchdog_ticks: u64,
+    /// Responses whose correlation token was already gone (epoch cancelled
+    /// or late duplicate), tolerated instead of asserted in resilient
+    /// configurations.
+    pub orphan_responses: u64,
 }
 
 /// A malformed packet the engine recorded and survived instead of
@@ -310,9 +349,14 @@ pub(crate) struct EngState {
     pub trace: Vec<crate::trace::TraceRecord>,
     /// Synchronization-plane trace (populated when `JobConfig::trace`).
     pub sync_trace: Vec<crate::trace::SyncRecord>,
-    /// Non-fatal protocol violations (e.g. undecodable 64-bit sync
-    /// packets) recorded with provenance instead of aborting the job.
-    pub protocol_errors: Vec<ProtocolError>,
+    /// Degraded-but-survived events (decode failures, checksum drops,
+    /// abandoned frames, cancelled epochs) recorded with provenance
+    /// instead of aborting the job.
+    pub degradations: Vec<Degradation>,
+    /// Per-rank reliability-sublayer channels and work lists.
+    pub rel: Vec<RelRank>,
+    /// Whether a stall-watchdog tick is currently scheduled.
+    pub watchdog_armed: bool,
 }
 
 impl EngState {
@@ -419,7 +463,9 @@ impl Engine {
                 coll_seq: vec![0; n],
                 trace: Vec::new(),
                 sync_trace: Vec::new(),
-                protocol_errors: Vec::new(),
+                degradations: Vec::new(),
+                rel: (0..n).map(|_| RelRank::new()).collect(),
+                watchdog_armed: false,
             }),
             net: net.clone(),
             sim,
@@ -451,10 +497,11 @@ impl Engine {
         self.st.lock().eng_stats
     }
 
-    /// Drain the accumulated non-fatal protocol errors (decode failures
-    /// surfaced with rank/window provenance instead of a panic).
-    pub fn take_protocol_errors(&self) -> Vec<ProtocolError> {
-        std::mem::take(&mut self.st.lock().protocol_errors)
+    /// Drain the accumulated degradations (decode failures, checksum
+    /// drops, abandoned frames, cancelled epochs — every non-fatal event
+    /// the engine survived instead of aborting on).
+    pub fn take_degradations(&self) -> Vec<Degradation> {
+        std::mem::take(&mut self.st.lock().degradations)
     }
 
     /// Drain the recorded epoch lifecycle trace.
@@ -652,115 +699,127 @@ impl Engine {
         let src = pkt.src;
         {
             let mut st = self.st.lock();
-            match pkt.body {
-                // ---- data plane ----
-                Body::PutData {
-                    win,
-                    tag,
-                    disp,
-                    layout,
-                    payload,
-                } => self.handle_put(&mut st, dst, src, win, tag, disp, layout, payload),
-                Body::AccData {
-                    win,
-                    tag,
-                    disp,
-                    dt,
-                    op,
-                    payload,
-                } => self.handle_acc(&mut st, dst, src, win, tag, disp, dt, op, payload),
-                Body::AccRts { win, size, token } => {
-                    self.handle_acc_rts(&mut st, dst, src, win, size, token)
-                }
-                Body::AccCts { token } => self.handle_acc_cts(&mut st, dst, token),
-                Body::GetReq {
-                    win,
-                    tag,
-                    disp,
-                    len,
-                    layout,
-                    token,
-                } => self.handle_get_req(&mut st, dst, src, win, tag, disp, len, layout, token),
-                Body::GetResp { win, token, payload } => {
-                    self.handle_get_resp(&mut st, dst, win, token, payload)
-                }
-                Body::FetchReq {
-                    win,
-                    tag,
-                    fetch,
-                    disp,
-                    dt,
-                    op,
-                    operand,
-                    token,
-                } => self.handle_fetch_req(
-                    &mut st, dst, src, win, tag, fetch, disp, dt, op, operand, token,
-                ),
-                Body::FetchResp { win, token, payload } => {
-                    self.handle_fetch_resp(&mut st, dst, win, token, payload)
-                }
-
-                // ---- synchronization plane ----
-                Body::LockReq {
-                    win,
-                    access_id,
-                    kind,
-                } => self.handle_lock_req(&mut st, dst, src, win, access_id, kind),
-                Body::Grant { win, id, kind } => self.handle_grant(&mut st, dst, src, win, id, kind),
-                Body::GatsDone { win, access_id } => {
-                    self.handle_gats_done(&mut st, dst, src, win, access_id)
-                }
-                Body::Unlock { win, access_id } => {
-                    self.handle_unlock(&mut st, dst, src, win, access_id)
-                }
-                Body::FenceDone { win, seq, ops_sent } => {
-                    self.handle_fence_done(&mut st, dst, src, win, seq, ops_sent)
-                }
-                Body::Fifo64 { win, packet } => {
-                    // Push into the per-pair FIFO; drained in sweep step 5.
-                    // A full FIFO forces a retry, as a real shared-memory
-                    // ring would. The pending-FIFO index and the pushed
-                    // counter are updated only on a *successful* push: a
-                    // full ring's pair is already indexed by the pushes
-                    // that filled it, and retries must not double-count.
-                    let w = st.win_mut(win, dst);
-                    if w.fifo_from(src).push(packet) {
-                        st.eng_stats.fifo_packets += 1;
-                        let idx = &mut st.sweep[dst.idx()].fifo_pending;
-                        if !idx.contains(&(win, src)) {
-                            idx.push((win, src));
-                        }
-                    } else {
-                        let me = self.clone();
-                        self.sim.schedule(SimTime::from_micros(1), move || {
-                            me.on_message(Packet {
-                                src,
-                                dst,
-                                body: Body::Fifo64 { win, packet },
-                            });
-                        });
-                    }
-                }
-
-                // ---- two-sided ----
-                Body::P2pEager { tag, payload } => {
-                    self.handle_p2p_eager(&mut st, dst, src, tag, payload)
-                }
-                Body::P2pRts { tag, size, token } => {
-                    self.handle_p2p_rts(&mut st, dst, src, tag, size, token)
-                }
-                Body::P2pCts { token, data_token } => {
-                    self.handle_p2p_cts_from(&mut st, dst, src, token, data_token)
-                }
-                Body::P2pData { data_token, payload } => {
-                    self.handle_p2p_data(&mut st, dst, data_token, payload)
-                }
-                Body::BarrierMsg { seq, round } => {
-                    self.handle_barrier_msg(&mut st, dst, seq, round)
-                }
-            }
+            self.dispatch_body(&mut st, dst, src, pkt.body);
         }
         self.sweep(dst);
+    }
+
+    /// Dispatch one message body to its handler. Factored out of
+    /// [`Engine::on_message`] so the reliability sublayer's in-order
+    /// delivery queue (sweep step 5) can re-enter it for unwrapped frames.
+    pub(crate) fn dispatch_body(self: &Arc<Self>, st: &mut EngState, dst: Rank, src: Rank, body: Body) {
+        match body {
+            // ---- reliability sublayer ----
+            Body::Rel { seq, checksum, inner } => {
+                self.rel_receive(st, dst, src, seq, checksum, *inner)
+            }
+            Body::RelAck { cum } => self.rel_handle_ack(st, dst, src, cum),
+            // ---- data plane ----
+            Body::PutData {
+                win,
+                tag,
+                disp,
+                layout,
+                payload,
+            } => self.handle_put(st, dst, src, win, tag, disp, layout, payload),
+            Body::AccData {
+                win,
+                tag,
+                disp,
+                dt,
+                op,
+                payload,
+            } => self.handle_acc(st, dst, src, win, tag, disp, dt, op, payload),
+            Body::AccRts { win, size, token } => {
+                self.handle_acc_rts(st, dst, src, win, size, token)
+            }
+            Body::AccCts { token } => self.handle_acc_cts(st, dst, token),
+            Body::GetReq {
+                win,
+                tag,
+                disp,
+                len,
+                layout,
+                token,
+            } => self.handle_get_req(st, dst, src, win, tag, disp, len, layout, token),
+            Body::GetResp { win, token, payload } => {
+                self.handle_get_resp(st, dst, win, token, payload)
+            }
+            Body::FetchReq {
+                win,
+                tag,
+                fetch,
+                disp,
+                dt,
+                op,
+                operand,
+                token,
+            } => self.handle_fetch_req(
+                st, dst, src, win, tag, fetch, disp, dt, op, operand, token,
+            ),
+            Body::FetchResp { win, token, payload } => {
+                self.handle_fetch_resp(st, dst, win, token, payload)
+            }
+
+            // ---- synchronization plane ----
+            Body::LockReq {
+                win,
+                access_id,
+                kind,
+            } => self.handle_lock_req(st, dst, src, win, access_id, kind),
+            Body::Grant { win, id, kind } => self.handle_grant(st, dst, src, win, id, kind),
+            Body::GatsDone { win, access_id } => {
+                self.handle_gats_done(st, dst, src, win, access_id)
+            }
+            Body::Unlock { win, access_id } => {
+                self.handle_unlock(st, dst, src, win, access_id)
+            }
+            Body::FenceDone { win, seq, ops_sent } => {
+                self.handle_fence_done(st, dst, src, win, seq, ops_sent)
+            }
+            Body::Fifo64 { win, packet } => {
+                // Push into the per-pair FIFO; drained in sweep step 5.
+                // A full FIFO forces a retry, as a real shared-memory
+                // ring would. The pending-FIFO index and the pushed
+                // counter are updated only on a *successful* push: a
+                // full ring's pair is already indexed by the pushes
+                // that filled it, and retries must not double-count.
+                let w = st.win_mut(win, dst);
+                if w.fifo_from(src).push(packet) {
+                    st.eng_stats.fifo_packets += 1;
+                    let idx = &mut st.sweep[dst.idx()].fifo_pending;
+                    if !idx.contains(&(win, src)) {
+                        idx.push((win, src));
+                    }
+                } else {
+                    let me = self.clone();
+                    self.sim.schedule(SimTime::from_micros(1), move || {
+                        me.on_message(Packet {
+                            src,
+                            dst,
+                            body: Body::Fifo64 { win, packet },
+                        });
+                    });
+                }
+            }
+
+            // ---- two-sided ----
+            Body::P2pEager { tag, payload } => {
+                self.handle_p2p_eager(st, dst, src, tag, payload)
+            }
+            Body::P2pRts { tag, size, token } => {
+                self.handle_p2p_rts(st, dst, src, tag, size, token)
+            }
+            Body::P2pCts { token, data_token } => {
+                self.handle_p2p_cts_from(st, dst, src, token, data_token)
+            }
+            Body::P2pData { data_token, payload } => {
+                self.handle_p2p_data(st, dst, data_token, payload)
+            }
+            Body::BarrierMsg { seq, round } => {
+                self.handle_barrier_msg(st, dst, seq, round)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -779,18 +838,32 @@ impl Engine {
         st.eng_stats.sweeps += 1;
         loop {
             let sw = &st.sweep[rank.idx()];
-            if !sw.has_work() {
+            if !sw.has_work() && !st.rel[rank.idx()].has_work() {
                 break;
             }
-            // Step 1: verification of outgoing/incoming completion.
-            if !st.sweep[rank.idx()].notices.is_empty() {
+            // Step 1: verification of outgoing/incoming completion. The
+            // reliability sublayer grows this step with the retransmit
+            // timer scan.
+            if !st.sweep[rank.idx()].notices.is_empty() || st.rel[rank.idx()].timer_due {
                 st.eng_stats.step_runs[0] += 1;
+                if st.rel[rank.idx()].timer_due {
+                    self.rel_retransmit_scan(&mut st, rank);
+                }
                 self.drain_notices(&mut st, rank);
             }
-            // Step 2: post internode RMA communications.
-            if !st.sweep[rank.idx()].dirty_ops.is_empty() {
+            // Step 2: post internode RMA communications. The sublayer
+            // grows this step with the cumulative-ack flush (acks are
+            // internode postings too).
+            if !st.sweep[rank.idx()].dirty_ops.is_empty()
+                || !st.rel[rank.idx()].ack_due.is_empty()
+            {
                 st.eng_stats.step_runs[1] += 1;
-                self.issue_phase(&mut st, rank, Phase::Internode);
+                if !st.rel[rank.idx()].ack_due.is_empty() {
+                    self.rel_flush_acks(&mut st, rank);
+                }
+                if !st.sweep[rank.idx()].dirty_ops.is_empty() {
+                    self.issue_phase(&mut st, rank, Phase::Internode);
+                }
             }
             // Step 3: batch completion + activation of deferred epochs.
             if Self::completion_work(&st, rank) {
@@ -802,10 +875,19 @@ impl Engine {
                 st.eng_stats.step_runs[3] += 1;
                 self.issue_phase(&mut st, rank, Phase::Intranode);
             }
-            // Step 5: consume intranode notifications.
-            if !st.sweep[rank.idx()].fifo_pending.is_empty() {
+            // Step 5: consume intranode notifications. The sublayer grows
+            // this step with the in-order frame delivery queue (dedup'd
+            // internode notifications).
+            if !st.sweep[rank.idx()].fifo_pending.is_empty()
+                || !st.rel[rank.idx()].deliver.is_empty()
+            {
                 st.eng_stats.step_runs[4] += 1;
-                self.drain_fifos(&mut st, rank);
+                if !st.rel[rank.idx()].deliver.is_empty() {
+                    self.rel_deliver(&mut st, rank);
+                }
+                if !st.sweep[rank.idx()].fifo_pending.is_empty() {
+                    self.drain_fifos(&mut st, rank);
+                }
             }
             // Step 6: batch processing of lock/unlock requests.
             if !st.sweep[rank.idx()].lock_backlog.is_empty()
@@ -891,13 +973,13 @@ impl Engine {
                     // aborting the simulated job (the real library would
                     // raise an MPI error on the window).
                     st.eng_stats.fifo_decode_errors += 1;
-                    st.protocol_errors.push(ProtocolError {
+                    st.degradations.push(Degradation::FifoDecode(ProtocolError {
                         rank,
                         win,
                         src,
                         raw,
                         detail: "corrupt 64-bit sync packet",
-                    });
+                    }));
                     continue;
                 };
                 self.dispatch_sync_packet(st, rank, win, src, sp);
@@ -959,8 +1041,16 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Send a synchronization-plane packet; intranode it travels as a
-    /// 64-bit word through the notification FIFO (§VII.D).
-    pub(crate) fn send_sync(self: &Arc<Self>, src: Rank, dst: Rank, win: WinId, sp: SyncPacket) {
+    /// 64-bit word through the notification FIFO (§VII.D), internode it
+    /// rides the reliability sublayer when configured.
+    pub(crate) fn send_sync(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        src: Rank,
+        dst: Rank,
+        win: WinId,
+        sp: SyncPacket,
+    ) {
         let body = if self.net.topology().same_node(src, dst) {
             Body::Fifo64 {
                 win,
@@ -992,7 +1082,7 @@ impl Engine {
                 SyncPacket::Unlock { access_id, .. } => Body::Unlock { win, access_id },
             }
         };
-        self.net.send(Packet { src, dst, body });
+        self.send_framed(st, Packet { src, dst, body }, None, None);
     }
 }
 
@@ -1048,11 +1138,15 @@ mod tests {
         assert_eq!(s.fifo_drained, 1);
         assert_eq!(s.fifo_decode_errors, 1);
         assert_eq!(s.step_runs[4], 1, "step 5 ran exactly once");
-        let errs = eng.take_protocol_errors();
+        let errs = eng.take_degradations();
         assert_eq!(errs.len(), 1);
-        assert_eq!((errs[0].rank, errs[0].win, errs[0].src), (Rank(0), WinId(0), Rank(1)));
+        let Degradation::FifoDecode(e) = &errs[0] else {
+            panic!("expected a fifo-decode degradation, got {:?}", errs[0])
+        };
+        assert_eq!((e.rank, e.win, e.src), (Rank(0), WinId(0), Rank(1)));
         let msg = errs[0].to_string();
         assert!(msg.contains("corrupt") && msg.contains("0xf000000000000000"), "{msg}");
-        assert!(eng.take_protocol_errors().is_empty(), "take drains");
+        assert_eq!(errs[0].kind(), "fifo-decode");
+        assert!(eng.take_degradations().is_empty(), "take drains");
     }
 }

@@ -81,26 +81,33 @@ impl Engine {
             let req = st.reqs.alloc(ReqKind::P2p);
             if payload.len() <= self.cfg.rndv_threshold {
                 let me = self.clone();
-                self.net.send_with_completion(
+                self.send_framed(
+                    &mut st,
                     Packet {
                         src: rank,
                         dst,
                         body: Body::P2pEager { tag, payload },
                     },
-                    move || me.complete_req_and_sweep(rank, req, None),
+                    Some(Box::new(move || me.complete_req_and_sweep(rank, req, None))),
+                    None,
                 );
             } else {
                 let token = st.alloc_token();
                 st.tokens.insert(token, TokenInfo::P2pSend { rank, payload, req });
-                self.net.send(Packet {
-                    src: rank,
-                    dst,
-                    body: Body::P2pRts {
-                        tag,
-                        size: 0,
-                        token,
+                self.send_framed(
+                    &mut st,
+                    Packet {
+                        src: rank,
+                        dst,
+                        body: Body::P2pRts {
+                            tag,
+                            size: 0,
+                            token,
+                        },
                     },
-                });
+                    None,
+                    None,
+                );
             }
             req
         };
@@ -134,11 +141,16 @@ impl Engine {
                         UnexpContent::Rndv { token } => {
                             let data_token = st.alloc_token();
                             st.tokens.insert(data_token, TokenInfo::P2pRecv { req });
-                            self.net.send(Packet {
-                                src: rank,
-                                dst: msg.src,
-                                body: Body::P2pCts { token, data_token },
-                            });
+                            self.send_framed(
+                                &mut st,
+                                Packet {
+                                    src: rank,
+                                    dst: msg.src,
+                                    body: Body::P2pCts { token, data_token },
+                                },
+                                None,
+                                None,
+                            );
                         }
                     }
                 }
@@ -196,11 +208,16 @@ impl Engine {
                 let posted = st.p2p[me.idx()].posted.remove(i).unwrap();
                 let data_token = st.alloc_token();
                 st.tokens.insert(data_token, TokenInfo::P2pRecv { req: posted.req });
-                self.net.send(Packet {
-                    src: me,
-                    dst: src,
-                    body: Body::P2pCts { token, data_token },
-                });
+                self.send_framed(
+                    st,
+                    Packet {
+                        src: me,
+                        dst: src,
+                        body: Body::P2pCts { token, data_token },
+                    },
+                    None,
+                    None,
+                );
             }
             None => st.p2p[me.idx()].unexpected.push_back(UnexpMsg {
                 src,
@@ -220,17 +237,20 @@ impl Engine {
         data_token: u64,
     ) {
         let Some(TokenInfo::P2pSend { rank, payload, req }) = st.tokens.remove(&token) else {
-            panic!("P2pCts with unknown token");
+            self.orphan_response(st, "P2pCts");
+            return;
         };
         debug_assert_eq!(rank, me);
         let m = self.clone();
-        self.net.send_with_completion(
+        self.send_framed(
+            st,
             Packet {
                 src: me,
                 dst: cts_src,
                 body: Body::P2pData { data_token, payload },
             },
-            move || m.complete_req_and_sweep(me, req, None),
+            Some(Box::new(move || m.complete_req_and_sweep(me, req, None))),
+            None,
         );
     }
 
@@ -243,7 +263,8 @@ impl Engine {
         payload: Payload,
     ) {
         let Some(TokenInfo::P2pRecv { req }) = st.tokens.remove(&data_token) else {
-            panic!("P2pData with unknown token");
+            self.orphan_response(st, "P2pData");
+            return;
         };
         let data = payload_to_bytes(payload);
         st.reqs.complete(req, Some(data));
@@ -279,11 +300,16 @@ impl Engine {
             } else {
                 let seq = st.barrier[rank.idx()].seq;
                 let peer = Rank((rank.idx() + 1) % n);
-                self.net.send(Packet {
-                    src: rank,
-                    dst: peer,
-                    body: Body::BarrierMsg { seq, round: 0 },
-                });
+                self.send_framed(
+                    &mut st,
+                    Packet {
+                        src: rank,
+                        dst: peer,
+                        body: Body::BarrierMsg { seq, round: 0 },
+                    },
+                    None,
+                    None,
+                );
                 self.barrier_try_advance(&mut st, rank);
             }
             req
@@ -327,11 +353,16 @@ impl Engine {
             let round = b.round;
             let seq = b.seq;
             let peer = Rank((me.idx() + (1 << round)) % n);
-            self.net.send(Packet {
-                src: me,
-                dst: peer,
-                body: Body::BarrierMsg { seq, round },
-            });
+            self.send_framed(
+                st,
+                Packet {
+                    src: me,
+                    dst: peer,
+                    body: Body::BarrierMsg { seq, round },
+                },
+                None,
+                None,
+            );
         }
     }
 }

@@ -308,11 +308,16 @@ impl Engine {
                             },
                         },
                     );
-                    self.net.send(Packet {
-                        src: rank,
-                        dst: target,
-                        body: Body::AccRts { win, size, token },
-                    });
+                    self.send_framed(
+                        st,
+                        Packet {
+                            src: rank,
+                            dst: target,
+                            body: Body::AccRts { win, size, token },
+                        },
+                        None,
+                        None,
+                    );
                 } else {
                     self.track_send(
                         st,
@@ -362,18 +367,23 @@ impl Engine {
                 let ts = st.win_mut(win, rank).epoch_mut(eid).targets.get_mut(&target).unwrap();
                 ts.unsent -= 1;
                 ts.data_msgs_sent += 1;
-                self.net.send(Packet {
-                    src: rank,
-                    dst: target,
-                    body: Body::GetReq {
-                        win,
-                        tag,
-                        disp,
-                        len,
-                        layout,
-                        token,
+                self.send_framed(
+                    st,
+                    Packet {
+                        src: rank,
+                        dst: target,
+                        body: Body::GetReq {
+                            win,
+                            tag,
+                            disp,
+                            len,
+                            layout,
+                            token,
+                        },
                     },
-                });
+                    None,
+                    None,
+                );
             }
             OpKind::Fetch {
                 fetch,
@@ -406,7 +416,8 @@ impl Engine {
                 ts.unsent -= 1;
                 ts.data_msgs_sent += 1;
                 let me = self.clone();
-                self.net.send_with_completion(
+                self.send_framed(
+                    st,
                     Packet {
                         src: rank,
                         dst: target,
@@ -421,7 +432,10 @@ impl Engine {
                             token,
                         },
                     },
-                    move || me.post_notice(rank, Notice::LocalComplete { win, epoch: eid, age }),
+                    Some(Box::new(move || {
+                        me.post_notice(rank, Notice::LocalComplete { win, epoch: eid, age })
+                    })),
+                    None,
                 );
             }
         }
@@ -457,20 +471,12 @@ impl Engine {
             dst: target,
             body,
         };
-        if is_passive {
-            let me = self.clone();
-            let me2 = self.clone();
-            self.net.send_tracked(
-                pkt,
-                move || me.post_notice(rank, Notice::LocalComplete { win, epoch: eid, age }),
-                move || me2.post_notice(rank, Notice::Acked { win, epoch: eid, age }),
-            );
-        } else {
-            let me = self.clone();
-            self.net.send_with_completion(pkt, move || {
-                me.post_notice(rank, Notice::LocalComplete { win, epoch: eid, age })
-            });
-        }
+        let me = self.clone();
+        let local = Box::new(move || {
+            me.post_notice(rank, Notice::LocalComplete { win, epoch: eid, age })
+        });
+        let ack = is_passive.then_some(Notice::Acked { win, epoch: eid, age });
+        self.send_framed(st, pkt, Some(local), ack);
     }
 
     /// Enqueue a completion notice and run the owner's sweep (called from
@@ -683,18 +689,23 @@ impl Engine {
         token: u64,
     ) {
         // The target stages an intermediate buffer and replies CTS.
-        let _ = st;
-        self.net.send(Packet {
-            src: me,
-            dst: src,
-            body: Body::AccCts { token },
-        });
+        self.send_framed(
+            st,
+            Packet {
+                src: me,
+                dst: src,
+                body: Body::AccCts { token },
+            },
+            None,
+            None,
+        );
     }
 
     /// Origin side: CTS arrived, send the staged accumulate payload.
     pub(crate) fn handle_acc_cts(self: &Arc<Self>, st: &mut EngState, me: Rank, token: u64) {
         let Some(TokenInfo::AccRndv { rank, win, epoch, op }) = st.tokens.remove(&token) else {
-            panic!("AccCts with unknown token");
+            self.orphan_response(st, "AccCts");
+            return;
         };
         debug_assert_eq!(rank, me);
         if !st.win(win, me).epochs.contains_key(&epoch.0) {
@@ -734,20 +745,12 @@ impl Engine {
                 payload,
             },
         };
-        if is_passive {
-            let m1 = self.clone();
-            let m2 = self.clone();
-            self.net.send_tracked(
-                pkt,
-                move || m1.post_notice(me, Notice::LocalComplete { win, epoch, age }),
-                move || m2.post_notice(me, Notice::Acked { win, epoch, age }),
-            );
-        } else {
-            let m1 = self.clone();
-            self.net.send_with_completion(pkt, move || {
-                m1.post_notice(me, Notice::LocalComplete { win, epoch, age })
-            });
-        }
+        let m1 = self.clone();
+        let local = Box::new(move || {
+            m1.post_notice(me, Notice::LocalComplete { win, epoch, age })
+        });
+        let ack = is_passive.then_some(Notice::Acked { win, epoch, age });
+        self.send_framed(st, pkt, Some(local), ack);
         st.mark_complete_dirty(me, win, epoch);
     }
 
@@ -785,11 +788,16 @@ impl Engine {
             }
         };
         self.apply_fence_arrival(st, me, win, src, tag);
-        self.net.send(Packet {
-            src: me,
-            dst: src,
-            body: Body::GetResp { win, token, payload },
-        });
+        self.send_framed(
+            st,
+            Packet {
+                src: me,
+                dst: src,
+                body: Body::GetResp { win, token, payload },
+            },
+            None,
+            None,
+        );
     }
 
     /// Origin side: get data arrived.
@@ -802,7 +810,8 @@ impl Engine {
         payload: Payload,
     ) {
         let Some(TokenInfo::Get { rank, win, epoch, age, req }) = st.tokens.remove(&token) else {
-            panic!("GetResp with unknown token");
+            self.orphan_response(st, "GetResp");
+            return;
         };
         debug_assert_eq!(rank, me);
         let len = payload.len();
@@ -852,15 +861,20 @@ impl Engine {
             old
         };
         self.apply_fence_arrival(st, me, win, src, tag);
-        self.net.send(Packet {
-            src: me,
-            dst: src,
-            body: Body::FetchResp {
-                win,
-                token,
-                payload: old,
+        self.send_framed(
+            st,
+            Packet {
+                src: me,
+                dst: src,
+                body: Body::FetchResp {
+                    win,
+                    token,
+                    payload: old,
+                },
             },
-        });
+            None,
+            None,
+        );
     }
 
     /// Origin side: fetch result arrived.
@@ -873,7 +887,8 @@ impl Engine {
         payload: Payload,
     ) {
         let Some(TokenInfo::Fetch { rank, win, epoch, age, req }) = st.tokens.remove(&token) else {
-            panic!("FetchResp with unknown token");
+            self.orphan_response(st, "FetchResp");
+            return;
         };
         debug_assert_eq!(rank, me);
         let len = payload.len();

@@ -9,6 +9,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use mpisim_net::Payload;
+use mpisim_sim::SimTime;
 
 use crate::datatype::{Datatype, ReduceOp};
 use crate::msg::FetchKind;
@@ -222,6 +223,9 @@ pub struct EpochObj {
     pub complete: bool,
     /// The epoch-closing request, if the epoch was closed.
     pub close_req: Option<Req>,
+    /// Virtual time at which the closing routine ran (stall-watchdog
+    /// deadline anchor; `None` while the application may still add ops).
+    pub closed_at: Option<SimTime>,
     /// Recorded RMA calls awaiting activation/grant ("epoch recording",
     /// §VII.A).
     pub pending_ops: VecDeque<OpDesc>,
@@ -257,6 +261,7 @@ impl EpochObj {
             closed: false,
             complete: false,
             close_req: None,
+            closed_at: None,
             pending_ops: VecDeque::new(),
             targets,
             exposure_origins: BTreeMap::new(),

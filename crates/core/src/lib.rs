@@ -69,9 +69,9 @@ pub mod types;
 pub mod window;
 
 pub use api::RankEnv;
-pub use config::{JobConfig, Overheads, SyncStrategy, WinInfo};
+pub use config::{JobConfig, Overheads, Reliability, SyncStrategy, WinInfo};
 pub use datatype::{Datatype, ReduceOp};
-pub use engine::{Engine, EngineStats, Fault, ProtocolError, RankStats};
+pub use engine::{Degradation, Engine, EngineStats, Fault, ProtocolError, RankStats, StallReport};
 pub use error::{RmaError, RmaResult};
 pub use runtime::{run_job, JobReport};
 pub use types::{Group, LockKind, Rank, Req, WinId};

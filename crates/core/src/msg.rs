@@ -104,7 +104,7 @@ pub enum GrantKind {
 }
 
 /// Every message the middleware puts on the wire.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum Body {
     // ---------------- data plane ----------------
     /// Put payload into the target window.
@@ -299,6 +299,95 @@ pub enum Body {
         /// Dissemination round.
         round: u32,
     },
+
+    // ---------------- reliability sublayer ----------------
+    /// A sequence-numbered reliability frame wrapping one internode
+    /// message. The receiver delivers frames of a channel in sequence
+    /// order exactly once, acknowledges cumulatively, and drops frames
+    /// whose checksum does not match the inner body.
+    Rel {
+        /// Per-`(src, dst)` channel sequence number (1-based, contiguous).
+        seq: u64,
+        /// Structural digest of `inner` at send time (see [`Body::digest`]).
+        checksum: u64,
+        /// The framed message.
+        inner: Box<Body>,
+    },
+    /// Cumulative acknowledgement for a reliability channel: every frame
+    /// with `seq <= cum` has been received (delivered or deduplicated).
+    /// Acks are never framed themselves — a lost ack is repaired by the
+    /// retransmit it provokes.
+    RelAck {
+        /// Highest in-order sequence received on the reverse channel.
+        cum: u64,
+    },
+}
+
+impl Body {
+    /// Deterministic structural digest used as the reliability-frame
+    /// checksum. It mixes the variant, the modeled wire size, and the
+    /// identifying header fields; payload *contents* are not hashed
+    /// (payloads may be synthetic sizes), matching a real transport's CRC
+    /// over header-plus-length granularity at simulation fidelity.
+    pub fn digest(&self) -> u64 {
+        fn tag_bits(t: &EpochTag) -> u64 {
+            match t {
+                EpochTag::Gats { access_id } => 0x10 ^ (access_id << 8),
+                EpochTag::Lock { access_id } => 0x20 ^ (access_id << 8),
+                EpochTag::Fence { seq } => 0x30 ^ (seq << 8),
+            }
+        }
+        let (ty, a, b): (u64, u64, u64) = match self {
+            Body::PutData { win, tag, disp, .. } => {
+                (1, u64::from(win.0) ^ tag_bits(tag), *disp as u64)
+            }
+            Body::AccData { win, tag, disp, .. } => {
+                (2, u64::from(win.0) ^ tag_bits(tag), *disp as u64)
+            }
+            Body::AccRts { win, size, token } => {
+                (3, u64::from(win.0) ^ (*size as u64), *token)
+            }
+            Body::AccCts { token } => (4, *token, 0),
+            Body::GetReq { win, tag, disp, token, .. } => {
+                (5, u64::from(win.0) ^ tag_bits(tag) ^ (*disp as u64), *token)
+            }
+            Body::GetResp { win, token, .. } => (6, u64::from(win.0), *token),
+            Body::FetchReq { win, tag, disp, token, .. } => {
+                (7, u64::from(win.0) ^ tag_bits(tag) ^ (*disp as u64), *token)
+            }
+            Body::FetchResp { win, token, .. } => (8, u64::from(win.0), *token),
+            Body::LockReq { win, access_id, kind } => (
+                9,
+                u64::from(win.0) ^ (*access_id << 8),
+                matches!(kind, LockKind::Exclusive) as u64,
+            ),
+            Body::Grant { win, id, kind } => (
+                10,
+                u64::from(win.0) ^ (*id << 8),
+                matches!(kind, GrantKind::Lock) as u64,
+            ),
+            Body::GatsDone { win, access_id } => (11, u64::from(win.0), *access_id),
+            Body::Unlock { win, access_id } => (12, u64::from(win.0), *access_id),
+            Body::FenceDone { win, seq, ops_sent } => {
+                (13, u64::from(win.0) ^ (*seq << 8), *ops_sent)
+            }
+            Body::Fifo64 { win, packet } => (14, u64::from(win.0), *packet),
+            Body::P2pEager { tag, .. } => (15, *tag, 0),
+            Body::P2pRts { tag, size, token } => (16, *tag ^ (*size as u64), *token),
+            Body::P2pCts { token, data_token } => (17, *token, *data_token),
+            Body::P2pData { data_token, .. } => (18, *data_token, 0),
+            Body::BarrierMsg { seq, round } => (19, *seq, u64::from(*round)),
+            Body::Rel { seq, inner, .. } => (20, *seq, inner.digest()),
+            Body::RelAck { cum } => (21, *cum, 0),
+        };
+        // FNV-1a over the three words plus the wire size.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in [ty, a, b, self.payload_len() as u64] {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 impl Wire for Body {
@@ -320,8 +409,26 @@ impl Wire for Body {
             // Control packets are priced by the fixed header alone; the
             // intranode 64-bit packet adds its word.
             Body::Fifo64 { .. } => 8,
+            // A reliability frame carries its inner message plus the
+            // 16-byte sequence/checksum trailer; acks are pure control.
+            Body::Rel { inner, .. } => inner.payload_len() + 16,
             _ => 0,
         }
+    }
+
+    fn corrupt_in_transit(&mut self) {
+        // Model in-transit corruption as a checksum mismatch on framed
+        // traffic: the receiver recomputes the inner digest, sees the
+        // flip, and drops the frame for retransmit. Unframed traffic has
+        // no integrity check — corruption of it is silent, exactly the
+        // failure mode the reliability sublayer exists to close.
+        if let Body::Rel { checksum, .. } = self {
+            *checksum ^= 1;
+        }
+    }
+
+    fn duplicate(&self) -> Option<Self> {
+        Some(self.clone())
     }
 }
 

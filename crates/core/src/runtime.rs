@@ -32,13 +32,21 @@ pub struct JobReport {
     pub live_requests: usize,
     /// Engine-level counters (epochs opened/activated/completed, grants…).
     pub engine: crate::engine::EngineStats,
-    /// Non-fatal protocol violations the engine recorded (e.g. corrupt
-    /// 64-bit sync packets), with rank/window provenance. Empty on a
-    /// healthy run.
-    pub protocol_errors: Vec<crate::engine::ProtocolError>,
+    /// Degraded-mode events the engine recorded — protocol violations,
+    /// checksum drops, retry exhaustion, peer crashes, and cancelled
+    /// (stalled) epochs — each with rank/window provenance. Empty on a
+    /// healthy run; see [`JobReport::is_clean`].
+    pub degradations: Vec<crate::engine::Degradation>,
 }
 
 impl JobReport {
+    /// `true` when the run recorded no degraded-mode events: no corrupt
+    /// sync packets, checksum failures, exhausted retries, peer crashes,
+    /// or watchdog-cancelled epochs.
+    pub fn is_clean(&self) -> bool {
+        self.degradations.is_empty()
+    }
+
     /// Mean fraction of rank time spent in MPI calls (Fig 13 b/d).
     pub fn mean_comm_fraction(&self) -> f64 {
         if self.ranks.is_empty() || self.final_time.is_zero() {
@@ -104,6 +112,6 @@ where
         req_events: eng.take_req_log(),
         live_requests: eng.live_requests(),
         engine: eng.engine_stats(),
-        protocol_errors: eng.take_protocol_errors(),
+        degradations: eng.take_degradations(),
     })
 }

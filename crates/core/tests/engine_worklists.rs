@@ -43,7 +43,7 @@ fn fifo_packets_balance_at_quiescence() {
         "every successfully pushed sync packet must be drained by quiescence"
     );
     assert_eq!(e.fifo_decode_errors, 0);
-    assert!(report.protocol_errors.is_empty(), "{:?}", report.protocol_errors);
+    assert!(report.is_clean(), "{:?}", report.degradations);
     assert_eq!(report.live_requests, 0);
 }
 
@@ -62,7 +62,7 @@ fn fifo_balance_holds_under_fault_injection() {
         );
         // These faults corrupt data, not the sync-packet wire format.
         assert_eq!(e.fifo_decode_errors, 0, "fault {fault:?}");
-        assert!(report.protocol_errors.is_empty(), "fault {fault:?}");
+        assert!(report.is_clean(), "fault {fault:?}");
     }
 }
 

@@ -11,11 +11,13 @@
 
 #![warn(missing_docs)]
 
+mod fault;
 mod fifo;
 mod network;
 mod params;
 mod payload;
 
+pub use fault::{FaultKind, FaultPlan, FaultRecord, Partition};
 pub use fifo::U64Fifo;
 pub use network::{NetStats, Network, Packet, Wire};
 pub use params::{NetParams, Rank, Topology};

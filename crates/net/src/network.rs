@@ -21,17 +21,32 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use mpisim_sim::{seeded_rng, SimHandle, SimTime};
+use mpisim_sim::{mix64, seeded_rng, SimHandle, SimTime};
 use parking_lot::Mutex;
+use rand::rngs::SmallRng;
 use rand::Rng;
 
+use crate::fault::{FaultKind, FaultPlan, FaultRecord};
 use crate::params::{NetParams, Rank, Topology};
 
 /// Implemented by the middleware's message body type so the network can
-/// price it.
+/// price it (and, under a fault plan, corrupt or duplicate it).
 pub trait Wire: Send + 'static {
     /// Payload bytes carried beyond the fixed header.
     fn payload_len(&self) -> usize;
+
+    /// Flip bits in transit (bit-corruption fault). The default is a
+    /// no-op: bodies that cannot express corruption are simply immune.
+    fn corrupt_in_transit(&mut self) {}
+
+    /// Clone the body for a duplicate delivery. The default (`None`)
+    /// makes the body immune to duplication faults.
+    fn duplicate(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// An addressed message.
@@ -58,6 +73,22 @@ pub struct NetStats {
     pub credit_stalls: u64,
     /// Largest backlog depth observed on any rank.
     pub max_backlog: usize,
+    /// Total faults injected by the active [`FaultPlan`].
+    pub faults_injected: u64,
+    /// Random drops injected.
+    pub fault_drops: u64,
+    /// Duplicate deliveries injected.
+    pub fault_dups: u64,
+    /// Bodies corrupted in transit.
+    pub fault_corrupts: u64,
+    /// Messages held back past later channel traffic.
+    pub fault_reorders: u64,
+    /// Order-preserving extra delays injected.
+    pub fault_delays: u64,
+    /// Messages cut by a transient partition.
+    pub fault_partition_drops: u64,
+    /// Messages discarded at a crashed NIC.
+    pub fault_crash_drops: u64,
 }
 
 struct SendReq<M> {
@@ -70,6 +101,23 @@ struct SendReq<M> {
 struct ChannelState {
     last_delivery: SimTime,
     in_flight: u32,
+}
+
+/// One message's drawn fault outcome.
+#[derive(Default)]
+struct FaultDraw {
+    /// Discarded in the fabric (drop / partition / crash).
+    lost: Option<FaultKind>,
+    /// Deliver a second copy.
+    dup: bool,
+    /// Offset of the duplicate after the primary delivery.
+    dup_extra: SimTime,
+    /// Corrupt the body before delivery.
+    corrupt: bool,
+    /// Late handoff past the in-order clamp (reordering).
+    reorder_extra: SimTime,
+    /// Order-preserving extra latency.
+    delay_extra: SimTime,
 }
 
 struct RankState<M> {
@@ -95,6 +143,11 @@ struct NetInner<M> {
     ranks: Vec<RankState<M>>,
     stats: NetStats,
     jitter_rng: rand::rngs::SmallRng,
+    /// Per-channel fault decision streams, lazily seeded from
+    /// `(plan.seed, src, dst)` so a plan replays identically.
+    fault_rngs: HashMap<(Rank, Rank), SmallRng>,
+    /// Replayable log of every injected fault.
+    fault_log: Vec<FaultRecord>,
 }
 
 type Handler<M> = Arc<dyn Fn(Packet<M>) + Send + Sync>;
@@ -118,6 +171,8 @@ impl<M: Wire> Network<M> {
                 ranks: (0..n).map(|_| RankState::default()).collect(),
                 stats: NetStats::default(),
                 jitter_rng: seeded_rng(handle.seed(), 0x0021_77E2),
+                fault_rngs: HashMap::new(),
+                fault_log: Vec::new(),
             }),
             handler: Mutex::new(None),
             handle,
@@ -145,6 +200,16 @@ impl<M: Wire> Network<M> {
     /// Snapshot of the aggregate counters.
     pub fn stats(&self) -> NetStats {
         self.inner.lock().stats
+    }
+
+    /// Snapshot of the replayable fault log.
+    pub fn fault_log(&self) -> Vec<FaultRecord> {
+        self.inner.lock().fault_log.clone()
+    }
+
+    /// Drain the replayable fault log.
+    pub fn take_fault_log(&self) -> Vec<FaultRecord> {
+        std::mem::take(&mut self.inner.lock().fault_log)
     }
 
     /// Send a packet, fire-and-forget.
@@ -223,18 +288,32 @@ impl<M: Wire> Network<M> {
     /// is a refcount bump inside [`bytes::Bytes`]).
     fn transmit(self: &Arc<Self>, inner: &mut NetInner<M>, now: SimTime, req: SendReq<M>) {
         let SendReq {
-            pkt,
+            mut pkt,
             on_local,
             on_remote,
         } = req;
         let (src, dst) = (pkt.src, pkt.dst);
         let internode = !self.topo.same_node(src, dst);
         let wire = self.params.header_bytes + pkt.body.payload_len();
+
+        // Fault decisions, drawn before timing: internode channels only,
+        // never self-sends, from the per-channel replayable stream.
+        let plan = self
+            .params
+            .faults
+            .as_ref()
+            .filter(|p| internode && src != dst && p.is_active());
+        let faults = plan.map(|p| Self::decide_faults(inner, now, src, dst, p));
+        let faults = faults.unwrap_or_default();
+        let slowdown = plan.map(|p| p.slowdown(src)).unwrap_or(1.0);
+
         let (alpha, ser) = if internode {
             (self.params.inter_latency, self.params.inter_ser(wire))
         } else {
             (self.params.intra_latency, self.params.intra_ser(wire))
         };
+        let scale = |t: SimTime| SimTime::from_nanos((t.as_nanos() as f64 * slowdown) as u64);
+        let (alpha, ser) = if slowdown > 1.0 { (scale(alpha), scale(ser)) } else { (alpha, ser) };
 
         inner.stats.bytes_sent += wire as u64;
 
@@ -242,42 +321,71 @@ impl<M: Wire> Network<M> {
         let local_complete = start + ser;
         inner.ranks[src.idx()].egress_free = local_complete;
 
-        let mut arrive = local_complete + alpha;
+        let mut arrive = local_complete + alpha + faults.delay_extra;
         if !self.params.jitter.is_zero() {
             let j = inner.jitter_rng.gen_range(0..=self.params.jitter.as_nanos());
             arrive += SimTime::from_nanos(j);
         }
+
+        if internode {
+            let chan = inner.channels.entry((src, dst)).or_default();
+            chan.in_flight += 1;
+            inner.ranks[src.idx()].in_flight += 1;
+        }
+
+        // Origin-side effects happen regardless of in-fabric loss: the
+        // message did leave the NIC, and the credit slot is reclaimed at
+        // the nominal acknowledgement time (a NIC-level timeout) so a
+        // lossy fabric can never deadlock flow control.
+        if let Some(cb) = on_local {
+            self.handle.schedule_at(local_complete, cb);
+        }
+
+        if let Some(kind) = faults.lost {
+            // The message vanishes in the fabric: no delivery, no remote
+            // acknowledgement, destination clamps untouched.
+            drop(on_remote);
+            let ack_at = arrive + self.params.inter_latency;
+            if internode {
+                let net = self.clone();
+                self.handle.schedule_at(ack_at, move || net.return_credit(src, dst));
+            }
+            debug_assert!(matches!(
+                kind,
+                FaultKind::Drop | FaultKind::PartitionDrop | FaultKind::CrashDrop
+            ));
+            return;
+        }
+
+        if faults.corrupt {
+            pkt.body.corrupt_in_transit();
+        }
+
+        // Per-channel order clamps always use the *nominal* delivery time;
+        // a reordered message is then handed to the handler late, so later
+        // channel traffic can legally overtake it.
         let ingress_ready = inner.ranks[dst.idx()].ingress_free + ser;
         let chan = inner.channels.entry((src, dst)).or_default();
         let delivery = arrive.max(ingress_ready).max(chan.last_delivery);
         chan.last_delivery = delivery;
         inner.ranks[dst.idx()].ingress_free = delivery;
+        let handoff = delivery + faults.reorder_extra;
 
-        if internode {
-            chan.in_flight += 1;
-            inner.ranks[src.idx()].in_flight += 1;
-        }
-
-        if let Some(cb) = on_local {
-            self.handle.schedule_at(local_complete, cb);
+        if faults.dup {
+            if let Some(body) = pkt.body.duplicate() {
+                let net = self.clone();
+                let twin = Packet { src, dst, body };
+                self.handle.schedule_at(handoff + faults.dup_extra, move || net.deliver(twin));
+            }
         }
 
         let net = self.clone();
-        self.handle.schedule_at(delivery, move || {
-            let handler = {
-                let mut inner = net.inner.lock();
-                inner.stats.msgs_delivered += 1;
-                net.handler.lock().clone()
-            };
-            if let Some(h) = handler {
-                h(pkt);
-            }
-        });
+        self.handle.schedule_at(handoff, move || net.deliver(pkt));
 
         let ack_at = if internode {
-            delivery + self.params.inter_latency
+            handoff + self.params.inter_latency
         } else {
-            delivery
+            handoff
         };
         if let Some(cb) = on_remote {
             self.handle.schedule_at(ack_at, cb);
@@ -287,6 +395,90 @@ impl<M: Wire> Network<M> {
             let net = self.clone();
             self.handle.schedule_at(ack_at, move || net.return_credit(src, dst));
         }
+    }
+
+    /// Hand one packet to the installed handler (delivery time).
+    fn deliver(self: &Arc<Self>, pkt: Packet<M>) {
+        let handler = {
+            let mut inner = self.inner.lock();
+            inner.stats.msgs_delivered += 1;
+            self.handler.lock().clone()
+        };
+        if let Some(h) = handler {
+            h(pkt);
+        }
+    }
+
+    /// Draw this message's fault outcome from the channel's seeded stream,
+    /// recording every injection in the stats and the replayable log.
+    fn decide_faults(
+        inner: &mut NetInner<M>,
+        now: SimTime,
+        src: Rank,
+        dst: Rank,
+        plan: &FaultPlan,
+    ) -> FaultDraw {
+        let mut draw = FaultDraw::default();
+        let record = |inner: &mut NetInner<M>, kind: FaultKind| {
+            inner.stats.faults_injected += 1;
+            match kind {
+                FaultKind::Drop => inner.stats.fault_drops += 1,
+                FaultKind::Duplicate => inner.stats.fault_dups += 1,
+                FaultKind::Corrupt => inner.stats.fault_corrupts += 1,
+                FaultKind::Reorder => inner.stats.fault_reorders += 1,
+                FaultKind::Delay => inner.stats.fault_delays += 1,
+                FaultKind::PartitionDrop => inner.stats.fault_partition_drops += 1,
+                FaultKind::CrashDrop => inner.stats.fault_crash_drops += 1,
+            }
+            inner.fault_log.push(FaultRecord { at: now, src, dst, kind });
+        };
+
+        if plan.crashed(src, dst, now) {
+            draw.lost = Some(FaultKind::CrashDrop);
+            record(inner, FaultKind::CrashDrop);
+            return draw;
+        }
+        if plan.partitioned(src, dst, now) {
+            draw.lost = Some(FaultKind::PartitionDrop);
+            record(inner, FaultKind::PartitionDrop);
+            return draw;
+        }
+
+        let seed = plan.seed;
+        let rng = inner
+            .fault_rngs
+            .entry((src, dst))
+            .or_insert_with(|| {
+                seeded_rng(seed, mix64(0xFA17, ((src.idx() as u64) << 32) | dst.idx() as u64))
+            });
+        if plan.drop_p > 0.0 && rng.gen_bool(plan.drop_p) {
+            draw.lost = Some(FaultKind::Drop);
+            record(inner, FaultKind::Drop);
+            return draw;
+        }
+        let mut hits = Vec::new();
+        if plan.dup_p > 0.0 && rng.gen_bool(plan.dup_p) {
+            draw.dup = true;
+            draw.dup_extra = SimTime::from_nanos(rng.gen_range(1..=2_000));
+            hits.push(FaultKind::Duplicate);
+        }
+        if plan.corrupt_p > 0.0 && rng.gen_bool(plan.corrupt_p) {
+            draw.corrupt = true;
+            hits.push(FaultKind::Corrupt);
+        }
+        if plan.reorder_p > 0.0 && rng.gen_bool(plan.reorder_p) {
+            let window = plan.reorder_window.as_nanos().max(1);
+            draw.reorder_extra = SimTime::from_nanos(rng.gen_range(1..=window));
+            hits.push(FaultKind::Reorder);
+        } else if plan.delay_p > 0.0 && rng.gen_bool(plan.delay_p) {
+            let cap = plan.max_delay.as_nanos().max(1);
+            draw.delay_extra = SimTime::from_nanos(rng.gen_range(1..=cap));
+            hits.push(FaultKind::Delay);
+        }
+        for kind in hits {
+            record(inner, kind);
+        }
+        draw
     }
 
     fn return_credit(self: &Arc<Self>, src: Rank, dst: Rank) {
@@ -646,6 +838,126 @@ mod tests {
             jittered.iter().map(|e| e.1).collect::<Vec<_>>(),
             clean.iter().map(|e| e.1).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn drop_storm_loses_messages_but_returns_credits() {
+        let sim = Sim::new(11);
+        let h = sim.handle();
+        let mut p = NetParams::qdr_infiniband();
+        p.channel_credits = 2;
+        p.faults = Some(crate::FaultPlan::drop_storm(5));
+        let net = Network::new(h.clone(), p, Topology::all_internode(2));
+        let log = collect_deliveries(&net, &h);
+        for i in 0..40 {
+            net.send(Packet { src: Rank(0), dst: Rank(1), body: ctrl(i) });
+        }
+        sim.run().unwrap();
+        let s = net.stats();
+        assert!(s.fault_drops > 0, "a 35% storm over 40 sends must drop something");
+        assert_eq!(log.lock().len() as u64, 40 - s.fault_drops);
+        assert_eq!(net.fault_log().len() as u64, s.faults_injected);
+        // Dropped messages still return their credit: everything launched.
+        assert_eq!(s.msgs_sent, 40);
+    }
+
+    #[test]
+    fn duplicates_need_body_support_and_deliver_twice() {
+        struct CloneBody(u64);
+        impl Wire for CloneBody {
+            fn payload_len(&self) -> usize {
+                0
+            }
+            fn duplicate(&self) -> Option<Self> {
+                Some(CloneBody(self.0))
+            }
+        }
+        let sim = Sim::new(3);
+        let h = sim.handle();
+        let mut p = NetParams::qdr_infiniband();
+        p.faults = Some(crate::FaultPlan::dup_storm(9));
+        let net = Network::new(h.clone(), p, Topology::all_internode(2));
+        let log: Log = Arc::new(Mutex::new(Vec::new()));
+        let (l, hh) = (log.clone(), h.clone());
+        net.set_handler(move |pkt: Packet<CloneBody>| {
+            l.lock().push((pkt.body.0, hh.now().as_nanos()));
+        });
+        for i in 0..30 {
+            net.send(Packet { src: Rank(0), dst: Rank(1), body: CloneBody(i) });
+        }
+        sim.run().unwrap();
+        let s = net.stats();
+        assert!(s.fault_dups > 0);
+        assert_eq!(log.lock().len() as u64, 30 + s.fault_dups);
+    }
+
+    #[test]
+    fn partition_cuts_only_inside_its_window() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let mut p = NetParams::qdr_infiniband();
+        p.faults = Some(crate::FaultPlan::transient_partition(1));
+        let net = Network::new(h.clone(), p, Topology::all_internode(2));
+        let log = collect_deliveries(&net, &h);
+        // One message before the cut, one inside it, one after the heal.
+        net.send(Packet { src: Rank(0), dst: Rank(1), body: ctrl(0) });
+        let n2 = net.clone();
+        h.schedule_at(SimTime::from_micros(100), move || {
+            n2.send(Packet { src: Rank(0), dst: Rank(1), body: ctrl(1) });
+        });
+        let n3 = net.clone();
+        h.schedule_at(SimTime::from_micros(3_000), move || {
+            n3.send(Packet { src: Rank(0), dst: Rank(1), body: ctrl(2) });
+        });
+        sim.run().unwrap();
+        let tags: Vec<u64> = log.lock().iter().map(|e| e.0).collect();
+        assert_eq!(tags, vec![0, 2]);
+        assert_eq!(net.stats().fault_partition_drops, 1);
+    }
+
+    #[test]
+    fn reorder_lets_later_traffic_overtake_but_replays_identically() {
+        fn run(seed: u64) -> Vec<u64> {
+            let sim = Sim::new(seed);
+            let h = sim.handle();
+            let mut p = NetParams::qdr_infiniband();
+            p.faults = Some(crate::FaultPlan::heavy_dup_reorder(13));
+            let net = Network::new(h.clone(), p, Topology::all_internode(2));
+            let log = collect_deliveries(&net, &h);
+            for i in 0..40 {
+                net.send(Packet { src: Rank(0), dst: Rank(1), body: ctrl(i) });
+            }
+            sim.run().unwrap();
+            assert!(net.stats().fault_reorders > 0);
+            let v = log.lock().iter().map(|e| e.0).collect();
+            v
+        }
+        let a = run(21);
+        assert_ne!(a, (0..40).collect::<Vec<u64>>(), "reorders must be visible");
+        assert_eq!(a, run(21), "same seeds must replay the same schedule");
+    }
+
+    #[test]
+    fn crashed_nic_discards_all_later_traffic() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let mut p = NetParams::qdr_infiniband();
+        let mut plan = crate::FaultPlan::none(1);
+        plan.crashes.push((Rank(1), SimTime::from_micros(50)));
+        p.faults = Some(plan);
+        let net = Network::new(h.clone(), p, Topology::all_internode(3));
+        let log = collect_deliveries(&net, &h);
+        net.send(Packet { src: Rank(0), dst: Rank(1), body: ctrl(0) });
+        let n2 = net.clone();
+        h.schedule_at(SimTime::from_micros(60), move || {
+            n2.send(Packet { src: Rank(0), dst: Rank(1), body: ctrl(1) });
+            n2.send(Packet { src: Rank(1), dst: Rank(2), body: ctrl(2) });
+            n2.send(Packet { src: Rank(0), dst: Rank(2), body: ctrl(3) });
+        });
+        sim.run().unwrap();
+        let tags: Vec<u64> = log.lock().iter().map(|e| e.0).collect();
+        assert_eq!(tags, vec![0, 3], "post-crash traffic touching rank 1 is gone");
+        assert_eq!(net.stats().fault_crash_drops, 2);
     }
 
     #[test]

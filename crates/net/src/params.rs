@@ -2,6 +2,8 @@
 
 use mpisim_sim::SimTime;
 
+use crate::fault::FaultPlan;
+
 /// A process rank within the simulated job (dense, zero-based).
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Rank(pub usize);
@@ -96,6 +98,10 @@ pub struct NetParams {
     /// `[0, jitter]`, drawn from a seeded stream). Zero disables it.
     /// Per-channel delivery order is preserved regardless.
     pub jitter: SimTime,
+    /// Unreliable-interconnect fault schedule (`None` = the fabric is
+    /// perfectly reliable and in order, the pre-fault-model behaviour).
+    /// Faults apply to internode channels only.
+    pub faults: Option<FaultPlan>,
 }
 
 impl NetParams {
@@ -112,6 +118,7 @@ impl NetParams {
             channel_credits: 16,
             rank_credits: 256,
             jitter: SimTime::ZERO,
+            faults: None,
         }
     }
 
