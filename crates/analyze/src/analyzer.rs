@@ -8,7 +8,9 @@
 //! concurrency scope. Cross-rank passes then check collective matching
 //! (E011) and byte-range interval conflicts: cross-origin conflicts within
 //! one concurrency scope (E006/E007) and same-origin cross-epoch conflicts
-//! made concurrent by reorder flags (E009).
+//! made concurrent by reorder flags (E009). The whole-job deadlock and
+//! progress passes (E013–E017) live in [`crate::deadlock`] and run from
+//! [`analyze`] after the per-rank walk.
 //!
 //! The analyzer recovers after every diagnostic (reports and keeps
 //! walking), so one malformed statement yields one diagnostic rather than
@@ -34,8 +36,8 @@ enum EKind {
 /// at the target window).
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Scope {
-    /// Fence phase `seq`: every rank's accesses of phase `seq` are
-    /// concurrent.
+    /// Fence phase `seq`: every rank's accesses of phase `seq` on the
+    /// same window are concurrent.
     FencePhase(usize),
     /// GATS access: the origin's `start_seq`-th start whose group contains
     /// the target; resolved to the matching exposure instance in the
@@ -56,6 +58,7 @@ enum Scope {
 struct Access {
     rank: usize,
     step: usize,
+    win: usize,
     target: usize,
     lo: usize,
     hi: usize,
@@ -63,7 +66,8 @@ struct Access {
     scope: Scope,
     /// Per-rank ordinal of the covering access epoch.
     epoch: usize,
-    /// Per-rank reorder-concurrency region of the covering epoch.
+    /// Per-(rank, window) reorder-concurrency region of the covering
+    /// epoch.
     region: usize,
 }
 
@@ -73,20 +77,24 @@ fn overlap(a: &Access, b: &Access) -> Option<(usize, usize)> {
     (lo < hi).then_some((lo, hi))
 }
 
-/// Per-rank walker state.
-struct RankState {
-    rank: usize,
-    n_ranks: usize,
-    win_bytes: usize,
-    reorder: bool,
-    unsafe_fence_reorder: bool,
+/// An outstanding nonblocking-epoch request, with the detail needed for
+/// the flush-discharge rule.
+struct OutReq {
+    step: usize,
+    what: &'static str,
+    /// `Some` iff this is an `iflush` family request (dischargeable by a
+    /// later covering blocking flush).
+    flush: Option<(usize, Option<usize>, bool)>,
+}
 
+/// Per-window epoch-machine state of one rank.
+#[derive(Default)]
+struct WinState {
     /// Open fence epoch: `Some((ordinal, region, phase_seq, has_ops))`.
     fence: Option<(usize, usize, usize, bool)>,
-    /// Fence statements executed (collective fence count).
+    /// Fence statements executed on this window (collective fence count).
     fence_calls: usize,
-    /// Open GATS access epoch: group + ordinal/region + open step +
-    /// per-target start occurrence indices.
+    /// Open GATS access epoch.
     gats: Option<GatsState>,
     /// Open exposure epoch: (group, open step).
     exposure: Option<(Vec<usize>, usize)>,
@@ -94,22 +102,37 @@ struct RankState {
     locks: BTreeMap<usize, (bool, usize, usize, usize)>,
     /// Open lock_all epoch: (ordinal, region, step).
     lock_all: Option<(usize, usize, usize)>,
-
-    /// Outstanding nonblocking-epoch requests: (step, what).
-    outstanding: Vec<(usize, &'static str)>,
-
     /// Count of starts whose group contains each target (E011 + scope).
     starts_toward: BTreeMap<usize, usize>,
-    /// This rank's posts, in order: the exposure-instance list.
+    /// This rank's posts on this window, in order: the exposure-instance
+    /// list.
     posts: Vec<Vec<usize>>,
-
-    /// Reorder-region bookkeeping.
-    next_ordinal: usize,
+    /// Reorder-region bookkeeping (regions are per window: epochs on
+    /// different windows touch disjoint memory).
     region: usize,
     prev_kind: Option<EKind>,
-    /// A blocking close / wait happened since the last epoch open: the
-    /// next epoch cannot overlap anything before it.
+    /// A blocking close / wait happened since the last epoch open on this
+    /// window: the next epoch cannot overlap anything before it.
     synced: bool,
+}
+
+/// Per-rank walker state.
+struct RankState {
+    rank: usize,
+    n_ranks: usize,
+    windows: Vec<usize>,
+    reorder: bool,
+    unsafe_fence_reorder: bool,
+
+    /// Per-window epoch machines, created on first touch.
+    wins: BTreeMap<usize, WinState>,
+
+    /// Outstanding nonblocking-epoch requests.
+    outstanding: Vec<OutReq>,
+
+    /// Per-rank epoch ordinal counter (shared across windows: an ordinal
+    /// names one epoch of this rank).
+    next_ordinal: usize,
 
     accesses: Vec<Access>,
     diags: Vec<Diagnostic>,
@@ -120,22 +143,12 @@ impl RankState {
         RankState {
             rank,
             n_ranks: p.n_ranks,
-            win_bytes: p.win_bytes,
+            windows: p.windows.clone(),
             reorder: p.reorder,
             unsafe_fence_reorder: p.unsafe_fence_reorder,
-            fence: None,
-            fence_calls: 0,
-            gats: None,
-            exposure: None,
-            locks: BTreeMap::new(),
-            lock_all: None,
+            wins: BTreeMap::new(),
             outstanding: Vec::new(),
-            starts_toward: BTreeMap::new(),
-            posts: Vec::new(),
             next_ordinal: 0,
-            region: 0,
-            prev_kind: None,
-            synced: false,
             accesses: Vec::new(),
             diags: Vec::new(),
         }
@@ -145,57 +158,99 @@ impl RankState {
         self.diags.push(Diagnostic { code, rank: self.rank, step, detail });
     }
 
-    /// Allocate the next access epoch's (ordinal, region), advancing the
-    /// reorder-concurrency region when the adjacent pair cannot progress
-    /// concurrently: reorder flags off, a blocking synchronization between
-    /// the opens, either side a `lock_all` epoch, or either side a fence
-    /// epoch without the `unsafe_fence_reorder` extension.
-    fn open_epoch(&mut self, kind: EKind) -> (usize, usize) {
-        let fence_blocks = |k: EKind| matches!(k, EKind::Fence) && !self.unsafe_fence_reorder;
-        let break_region = !self.reorder
-            || self.synced
-            || kind == EKind::LockAll
-            || self.prev_kind == Some(EKind::LockAll)
-            || fence_blocks(kind)
-            || self.prev_kind.map(fence_blocks).unwrap_or(false);
-        if break_region {
-            self.region += 1;
+    /// Validate a statement's window index; reports and returns `false`
+    /// when out of range.
+    fn check_win(&mut self, win: usize, step: usize) -> bool {
+        if win >= self.windows.len() {
+            self.diag(
+                Code::E010,
+                Some(step),
+                format!(
+                    "statement addresses window {win} but the program declares {} window(s)",
+                    self.windows.len()
+                ),
+            );
+            return false;
         }
-        self.prev_kind = Some(kind);
-        self.synced = false;
+        true
+    }
+
+    fn ws(&mut self, win: usize) -> &mut WinState {
+        self.wins.entry(win).or_default()
+    }
+
+    /// A blocking synchronization serializes the rank in real time: no
+    /// later epoch (on any window) can progress concurrently with anything
+    /// before it.
+    fn sync_all(&mut self) {
+        for ws in self.wins.values_mut() {
+            ws.synced = true;
+        }
+    }
+
+    /// Allocate the next access epoch's (ordinal, region) on `win`,
+    /// advancing the window's reorder-concurrency region when the adjacent
+    /// pair cannot progress concurrently: reorder flags off, a blocking
+    /// synchronization between the opens, either side a `lock_all` epoch,
+    /// or either side a fence epoch without the `unsafe_fence_reorder`
+    /// extension.
+    fn open_epoch(&mut self, win: usize, kind: EKind) -> (usize, usize) {
+        let unsafe_fence = self.unsafe_fence_reorder;
+        let reorder = self.reorder;
         let ordinal = self.next_ordinal;
         self.next_ordinal += 1;
-        (ordinal, self.region)
+        let ws = self.ws(win);
+        let fence_blocks = |k: EKind| matches!(k, EKind::Fence) && !unsafe_fence;
+        let break_region = !reorder
+            || ws.synced
+            || kind == EKind::LockAll
+            || ws.prev_kind == Some(EKind::LockAll)
+            || fence_blocks(kind)
+            || ws.prev_kind.map(fence_blocks).unwrap_or(false);
+        if break_region {
+            ws.region += 1;
+        }
+        ws.prev_kind = Some(kind);
+        ws.synced = false;
+        (ordinal, ws.region)
     }
 
     /// The engine's `check_fence_conflict`: a *non-dormant* open fence
-    /// epoch blocks every other epoch-opening routine; a dormant trailing
-    /// fence is tolerated.
-    fn fence_conflict(&mut self, step: usize, called: &str) {
-        if let Some((_, _, seq, has_ops)) = self.fence {
+    /// epoch on the same window blocks every other epoch-opening routine;
+    /// a dormant trailing fence is tolerated.
+    fn fence_conflict(&mut self, win: usize, step: usize, called: &str) {
+        if let Some((_, _, seq, has_ops)) = self.ws(win).fence {
             if has_ops {
                 self.diag(
                     Code::E005,
                     Some(step),
-                    format!("{called} while fence phase {seq} is open and has issued operations"),
+                    format!(
+                        "{called} while fence phase {seq} of window {win} is open and has \
+                         issued operations"
+                    ),
                 );
             }
         }
     }
 
     fn push_request(&mut self, step: usize, what: &'static str) {
-        self.outstanding.push((step, what));
+        self.outstanding.push(OutReq { step, what, flush: None });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn data_op(
         &mut self,
         step: usize,
+        win: usize,
         target: usize,
         disp: usize,
         len: usize,
         kind: AccessKind,
         name: &str,
     ) {
+        if !self.check_win(win, step) {
+            return;
+        }
         if target >= self.n_ranks {
             self.diag(
                 Code::E002,
@@ -204,36 +259,39 @@ impl RankState {
             );
             return;
         }
-        if disp + len > self.win_bytes {
+        let win_bytes = self.windows[win];
+        if disp + len > win_bytes {
             self.diag(
                 Code::E010,
                 Some(step),
                 format!(
-                    "{name} touches bytes [{disp}, {}) of rank {target}'s {}-byte window",
+                    "{name} touches bytes [{disp}, {}) of rank {target}'s {win_bytes}-byte \
+                     window {win}",
                     disp + len,
-                    self.win_bytes
                 ),
             );
             return;
         }
+        let rank = self.rank;
+        let ws = self.ws(win);
         // Route to the covering access epoch exactly like the engine:
         // single-target lock → lock_all → GATS access (target in group) →
         // fence.
-        let (scope, epoch, region) = if let Some(&(excl, ord, reg, _)) = self.locks.get(&target) {
+        let (scope, epoch, region) = if let Some(&(excl, ord, reg, _)) = ws.locks.get(&target) {
             (if excl { Scope::ExclusiveLock } else { Scope::Shared }, ord, reg)
-        } else if let Some((ord, reg, _)) = self.lock_all {
+        } else if let Some((ord, reg, _)) = ws.lock_all {
             (Scope::Shared, ord, reg)
-        } else if let Some(g) = self.gats.as_ref().filter(|g| g.group.contains(&target)) {
+        } else if let Some(g) = ws.gats.as_ref().filter(|g| g.group.contains(&target)) {
             (Scope::Gats { start_seq: g.start_seq[&target] }, g.ordinal, g.region)
-        } else if self.gats.is_some() && self.fence.is_none() {
+        } else if ws.gats.is_some() && ws.fence.is_none() {
             self.diag(
                 Code::E002,
                 Some(step),
                 format!("{name} targets rank {target}, which is not in the start group"),
             );
             return;
-        } else if let Some((ord, reg, seq, has_ops)) = self.fence.as_mut() {
-            if self.gats.is_some() {
+        } else if let Some((ord, reg, seq, has_ops)) = ws.fence.as_mut() {
+            if ws.gats.is_some() {
                 // The engine would silently route this op into the open
                 // fence phase; it still escapes the start group.
                 let d = format!(
@@ -257,8 +315,9 @@ impl RankState {
             return;
         };
         self.accesses.push(Access {
-            rank: self.rank,
+            rank,
             step,
+            win,
             target,
             lo: disp,
             hi: disp + len,
@@ -269,41 +328,73 @@ impl RankState {
         });
     }
 
+    /// A blocking flush on `win` covering (`target`, `local_only`)
+    /// completes — and thereby discharges — every earlier `iflush`-family
+    /// request whose scope it covers: the engine's age stamps are
+    /// monotone, so waiting for the later stamp completes every operation
+    /// the earlier stamp covered. A full flush discharges local-only
+    /// flushes of the same coverage (remote completion implies local); a
+    /// `flush_local` only discharges local-only requests.
+    fn discharge_flushes(&mut self, win: usize, target: Option<usize>, local_only: bool) {
+        self.outstanding.retain(|r| match r.flush {
+            Some((fw, ft, fl)) => {
+                let covered = fw == win
+                    && (target.is_none() || ft == target)
+                    && (!local_only || fl);
+                !covered
+            }
+            None => true,
+        });
+    }
+
     fn finish(&mut self) {
-        if let Some(g) = self.gats.take() {
-            self.diag(
-                Code::E003,
-                Some(g.step),
-                "GATS access epoch is never completed".into(),
-            );
+        // Gather end-of-program violations without consuming the
+        // per-window state (the cross-rank passes still need it).
+        let mut found: Vec<(Option<usize>, String)> = Vec::new();
+        for (win, ws) in &self.wins {
+            if let Some(g) = &ws.gats {
+                found.push((
+                    Some(g.step),
+                    format!("GATS access epoch on window {win} is never completed"),
+                ));
+            }
+            if let Some((_, step)) = &ws.exposure {
+                found.push((
+                    Some(*step),
+                    format!("exposure epoch on window {win} is never waited"),
+                ));
+            }
+            for (target, (_, _, _, step)) in &ws.locks {
+                found.push((
+                    Some(*step),
+                    format!("lock on rank {target} (window {win}) is never unlocked"),
+                ));
+            }
+            if let Some((_, _, step)) = ws.lock_all {
+                found.push((
+                    Some(step),
+                    format!("lock_all epoch on window {win} is never unlocked"),
+                ));
+            }
+            if let Some((_, _, seq, true)) = ws.fence {
+                found.push((
+                    None,
+                    format!(
+                        "trailing fence phase {seq} of window {win} issued operations but \
+                         is never closed"
+                    ),
+                ));
+            }
         }
-        if let Some((_, step)) = self.exposure.take() {
-            self.diag(Code::E003, Some(step), "exposure epoch is never waited".into());
-        }
-        let locks = std::mem::take(&mut self.locks);
-        for (target, (_, _, _, step)) in locks {
-            self.diag(
-                Code::E003,
-                Some(step),
-                format!("lock on rank {target} is never unlocked"),
-            );
-        }
-        if let Some((_, _, step)) = self.lock_all.take() {
-            self.diag(Code::E003, Some(step), "lock_all epoch is never unlocked".into());
-        }
-        if let Some((_, _, seq, true)) = self.fence {
-            self.diag(
-                Code::E003,
-                None,
-                format!("trailing fence phase {seq} issued operations but is never closed"),
-            );
+        for (step, detail) in found {
+            self.diag(Code::E003, step, detail);
         }
         let outstanding = std::mem::take(&mut self.outstanding);
-        for (step, what) in outstanding {
+        for r in outstanding {
             self.diag(
                 Code::E008,
-                Some(step),
-                format!("request returned by {what} is never tested or waited"),
+                Some(r.step),
+                format!("request returned by {} is never tested or waited", r.what),
             );
         }
     }
@@ -322,79 +413,95 @@ struct GatsState {
 fn walk_rank(rank: usize, p: &IrProgram) -> RankState {
     let mut st = RankState::new(rank, p);
     for (step, stmt) in p.ranks[rank].iter().enumerate() {
+        if let Some(win) = stmt.win() {
+            if !st.check_win(win, step) {
+                continue;
+            }
+        }
         match stmt {
-            Stmt::Fence(close) => {
-                // The engine rejects fence with any other epoch kind open.
-                if st.gats.is_some()
-                    || st.exposure.is_some()
-                    || !st.locks.is_empty()
-                    || st.lock_all.is_some()
+            Stmt::Fence { win, close } => {
+                let win = *win;
+                // The engine rejects fence with any other epoch kind open
+                // on the same window.
+                let ws = st.ws(win);
+                if ws.gats.is_some()
+                    || ws.exposure.is_some()
+                    || !ws.locks.is_empty()
+                    || ws.lock_all.is_some()
                 {
                     st.diag(
                         Code::E005,
                         Some(step),
-                        "fence while a GATS/lock/exposure epoch is open".into(),
+                        format!("fence while a GATS/lock/exposure epoch is open on window {win}"),
                     );
                 }
-                if st.fence.is_some() && close.is_blocking() {
-                    st.synced = true;
+                if st.ws(win).fence.is_some() && close.is_blocking() {
+                    st.sync_all();
                 }
                 if matches!(close, Close::Nonblocking) {
                     // `ifence` always returns a request: the closing
                     // request, or a dummy opening request (§VII.C).
                     st.push_request(step, "ifence");
                 }
-                let seq = st.fence_calls;
-                st.fence_calls += 1;
-                let (ord, reg) = st.open_epoch(EKind::Fence);
-                st.fence = Some((ord, reg, seq, false));
+                let seq = st.ws(win).fence_calls;
+                st.ws(win).fence_calls += 1;
+                let (ord, reg) = st.open_epoch(win, EKind::Fence);
+                st.ws(win).fence = Some((ord, reg, seq, false));
             }
-            Stmt::Start(group) => {
-                st.fence_conflict(step, "start");
-                if st.gats.is_some() {
+            Stmt::Start { win, group } => {
+                let win = *win;
+                st.fence_conflict(win, step, "start");
+                let ws = st.ws(win);
+                if ws.gats.is_some() {
                     st.diag(Code::E005, Some(step), "start while a start epoch is open".into());
                 }
-                if !st.locks.is_empty() || st.lock_all.is_some() {
+                let ws = st.ws(win);
+                if !ws.locks.is_empty() || ws.lock_all.is_some() {
                     st.diag(Code::E005, Some(step), "start while a lock epoch is open".into());
                 }
-                let (ordinal, region) = st.open_epoch(EKind::Gats);
+                let (ordinal, region) = st.open_epoch(win, EKind::Gats);
+                let ws = st.ws(win);
                 let mut start_seq = BTreeMap::new();
                 for &t in group {
-                    let c = st.starts_toward.entry(t).or_insert(0);
+                    let c = ws.starts_toward.entry(t).or_insert(0);
                     start_seq.insert(t, *c);
                     *c += 1;
                 }
-                st.gats = Some(GatsState { group: group.clone(), step, ordinal, region, start_seq });
+                ws.gats = Some(GatsState { group: group.clone(), step, ordinal, region, start_seq });
             }
-            Stmt::Complete(close) => {
-                if st.gats.take().is_none() {
+            Stmt::Complete { win, close } => {
+                if st.ws(*win).gats.take().is_none() {
                     st.diag(Code::E004, Some(step), "complete without an open start epoch".into());
                 }
                 if close.is_blocking() {
-                    st.synced = true;
+                    st.sync_all();
                 } else {
                     st.push_request(step, "icomplete");
                 }
             }
-            Stmt::Post(group) => {
-                st.fence_conflict(step, "post");
-                if st.exposure.is_some() {
+            Stmt::Post { win, group } => {
+                let win = *win;
+                st.fence_conflict(win, step, "post");
+                let ws = st.ws(win);
+                if ws.exposure.is_some() {
                     st.diag(Code::E005, Some(step), "post while an exposure epoch is open".into());
                 }
-                st.exposure = Some((group.clone(), step));
-                st.posts.push(group.clone());
+                let ws = st.ws(win);
+                ws.exposure = Some((group.clone(), step));
+                ws.posts.push(group.clone());
             }
-            Stmt::WaitEpoch(close) => {
-                if st.exposure.take().is_none() {
+            Stmt::WaitEpoch { win, close } => {
+                if st.ws(*win).exposure.take().is_none() {
                     st.diag(Code::E004, Some(step), "wait without an open exposure epoch".into());
                 }
                 if close.is_blocking() {
-                    st.synced = true;
+                    st.sync_all();
                 } else {
                     st.push_request(step, "iwait");
                 }
             }
-            Stmt::Lock { target, exclusive, nonblocking } => {
+            Stmt::Lock { win, target, exclusive, nonblocking } => {
+                let win = *win;
                 if *target >= p.n_ranks {
                     st.diag(
                         Code::E002,
@@ -403,15 +510,17 @@ fn walk_rank(rank: usize, p: &IrProgram) -> RankState {
                     );
                     continue;
                 }
-                st.fence_conflict(step, "lock");
-                if st.locks.contains_key(target) {
+                st.fence_conflict(win, step, "lock");
+                let ws = st.ws(win);
+                if ws.locks.contains_key(target) {
                     st.diag(
                         Code::E005,
                         Some(step),
                         format!("lock on rank {target}, which is already locked"),
                     );
                 }
-                if st.lock_all.is_some() || st.gats.is_some() {
+                let ws = st.ws(win);
+                if ws.lock_all.is_some() || ws.gats.is_some() {
                     st.diag(
                         Code::E005,
                         Some(step),
@@ -421,11 +530,11 @@ fn walk_rank(rank: usize, p: &IrProgram) -> RankState {
                 if *nonblocking {
                     st.push_request(step, "ilock");
                 }
-                let (ord, reg) = st.open_epoch(EKind::Lock);
-                st.locks.insert(*target, (*exclusive, ord, reg, step));
+                let (ord, reg) = st.open_epoch(win, EKind::Lock);
+                st.ws(win).locks.insert(*target, (*exclusive, ord, reg, step));
             }
-            Stmt::Unlock { target, close } => {
-                if st.locks.remove(target).is_none() {
+            Stmt::Unlock { win, target, close } => {
+                if st.ws(*win).locks.remove(target).is_none() {
                     st.diag(
                         Code::E004,
                         Some(step),
@@ -433,25 +542,27 @@ fn walk_rank(rank: usize, p: &IrProgram) -> RankState {
                     );
                 }
                 if close.is_blocking() {
-                    st.synced = true;
+                    st.sync_all();
                 } else {
                     st.push_request(step, "iunlock");
                 }
             }
-            Stmt::LockAll => {
-                st.fence_conflict(step, "lock_all");
-                if !st.locks.is_empty() || st.lock_all.is_some() || st.gats.is_some() {
+            Stmt::LockAll { win } => {
+                let win = *win;
+                st.fence_conflict(win, step, "lock_all");
+                let ws = st.ws(win);
+                if !ws.locks.is_empty() || ws.lock_all.is_some() || ws.gats.is_some() {
                     st.diag(
                         Code::E005,
                         Some(step),
                         "lock_all while a lock/start epoch is open".into(),
                     );
                 }
-                let (ord, reg) = st.open_epoch(EKind::LockAll);
-                st.lock_all = Some((ord, reg, step));
+                let (ord, reg) = st.open_epoch(win, EKind::LockAll);
+                st.ws(win).lock_all = Some((ord, reg, step));
             }
-            Stmt::UnlockAll(close) => {
-                if st.lock_all.take().is_none() {
+            Stmt::UnlockAll { win, close } => {
+                if st.ws(*win).lock_all.take().is_none() {
                     st.diag(
                         Code::E004,
                         Some(step),
@@ -459,23 +570,58 @@ fn walk_rank(rank: usize, p: &IrProgram) -> RankState {
                     );
                 }
                 if close.is_blocking() {
-                    st.synced = true;
+                    st.sync_all();
                 } else {
                     st.push_request(step, "iunlock_all");
                 }
             }
-            Stmt::Put { target, disp, len } => {
-                st.data_op(step, *target, *disp, *len, AccessKind::Write, "put");
+            Stmt::Flush { win, target, local_only, close } => {
+                let win = *win;
+                let ws = st.ws(win);
+                // The flush family requires an open passive-target epoch
+                // covering the flushed target(s).
+                let covered = match target {
+                    Some(t) => ws.locks.contains_key(t) || ws.lock_all.is_some(),
+                    None => !ws.locks.is_empty() || ws.lock_all.is_some(),
+                };
+                if !covered {
+                    let what = match target {
+                        Some(t) => format!("rank {t}"),
+                        None => "any target".into(),
+                    };
+                    st.diag(
+                        Code::E004,
+                        Some(step),
+                        format!(
+                            "flush on window {win} without an open passive-target epoch \
+                             covering {what}"
+                        ),
+                    );
+                }
+                if close.is_blocking() {
+                    st.sync_all();
+                    st.discharge_flushes(win, *target, *local_only);
+                } else {
+                    let what = if *local_only { "iflush_local" } else { "iflush" };
+                    st.outstanding.push(OutReq {
+                        step,
+                        what,
+                        flush: Some((win, *target, *local_only)),
+                    });
+                }
             }
-            Stmt::Get { target, disp, len } => {
-                st.data_op(step, *target, *disp, *len, AccessKind::Read, "get");
+            Stmt::Put { win, target, disp, len } => {
+                st.data_op(step, *win, *target, *disp, *len, AccessKind::Write, "put");
             }
-            Stmt::Acc { target, disp, len, op } => {
-                st.data_op(step, *target, *disp, *len, AccessKind::Atomic(*op), "accumulate");
+            Stmt::Get { win, target, disp, len } => {
+                st.data_op(step, *win, *target, *disp, *len, AccessKind::Read, "get");
+            }
+            Stmt::Acc { win, target, disp, len, op } => {
+                st.data_op(step, *win, *target, *disp, *len, AccessKind::Atomic(*op), "accumulate");
             }
             Stmt::WaitAll => {
                 st.outstanding.clear();
-                st.synced = true;
+                st.sync_all();
             }
             Stmt::Barrier => {}
         }
@@ -503,7 +649,7 @@ fn crashed_dependencies(p: &IrProgram) -> Vec<Diagnostic> {
         };
         for (step, stmt) in stmts.iter().enumerate() {
             match stmt {
-                Stmt::Start(group) => {
+                Stmt::Start { group, .. } => {
                     for &t in group.iter().filter(|t| dead(t)) {
                         diag(
                             step,
@@ -514,7 +660,7 @@ fn crashed_dependencies(p: &IrProgram) -> Vec<Diagnostic> {
                         );
                     }
                 }
-                Stmt::Post(group) => {
+                Stmt::Post { group, .. } => {
                     for &o in group.iter().filter(|o| dead(o)) {
                         diag(
                             step,
@@ -535,7 +681,7 @@ fn crashed_dependencies(p: &IrProgram) -> Vec<Diagnostic> {
                         ),
                     );
                 }
-                Stmt::LockAll => {
+                Stmt::LockAll { .. } => {
                     diag(
                         step,
                         format!(
@@ -545,8 +691,9 @@ fn crashed_dependencies(p: &IrProgram) -> Vec<Diagnostic> {
                         ),
                     );
                 }
-                Stmt::Fence(_) | Stmt::Barrier => {
-                    let name = if matches!(stmt, Stmt::Fence(_)) { "fence" } else { "barrier" };
+                Stmt::Fence { .. } | Stmt::Barrier => {
+                    let name =
+                        if matches!(stmt, Stmt::Fence { .. }) { "fence" } else { "barrier" };
                     diag(
                         step,
                         format!(
@@ -575,14 +722,14 @@ fn conflict_code(a: AccessKind, b: AccessKind) -> Code {
 
 fn describe(a: &Access) -> String {
     format!(
-        "rank {} stmt {} ({:?} bytes [{}, {}) of rank {})",
-        a.rank, a.step, a.kind, a.lo, a.hi, a.target
+        "rank {} stmt {} ({:?} bytes [{}, {}) of rank {}'s window {})",
+        a.rank, a.step, a.kind, a.lo, a.hi, a.target, a.win
     )
 }
 
 /// Run the full static analysis. An empty result means the program is
-/// protocol-clean: every run of it should match its oracle and pass the
-/// trace audit.
+/// protocol-clean: every run of it should match its oracle, pass the
+/// trace audit, and terminate without the stall watchdog firing.
 pub fn analyze(p: &IrProgram) -> Vec<Diagnostic> {
     assert_eq!(p.ranks.len(), p.n_ranks, "one statement list per rank");
     let states: Vec<RankState> = (0..p.n_ranks).map(|r| walk_rank(r, p)).collect();
@@ -593,60 +740,81 @@ pub fn analyze(p: &IrProgram) -> Vec<Diagnostic> {
     // satisfied, so without the stall watchdog the program can hang.
     diags.extend(crashed_dependencies(p));
 
-    // E011a: collective fence counts must agree on every rank.
-    for s in &states[1..] {
-        if s.fence_calls != states[0].fence_calls {
-            diags.push(Diagnostic {
-                code: Code::E011,
-                rank: s.rank,
-                step: None,
-                detail: format!(
-                    "rank {} makes {} fence calls but rank 0 makes {}",
-                    s.rank, s.fence_calls, states[0].fence_calls
-                ),
-            });
-        }
-    }
+    // Whole-job deadlock & progress passes: the cross-rank fixpoint
+    // interpreter (E013/E015/E016/E017 + collective-barrier E011) and the
+    // lock-acquisition-order pass (E014).
+    diags.extend(crate::deadlock::deadlock_passes(p));
 
-    // E011b: every (origin, target) start count must equal the count of
-    // posts at the target whose group contains the origin.
-    for o in &states {
-        for (&t, &n_starts) in &o.starts_toward {
-            if t >= p.n_ranks {
-                continue; // reported as E002 at the start site's ops
-            }
-            let n_posts =
-                states[t].posts.iter().filter(|g| g.contains(&o.rank)).count();
-            if n_starts != n_posts {
+    // E011a: collective fence counts must agree on every rank, per
+    // window (a fence is job-collective on its window).
+    for w in 0..p.windows.len() {
+        let count = |s: &RankState| s.wins.get(&w).map(|ws| ws.fence_calls).unwrap_or(0);
+        let base = count(&states[0]);
+        for s in &states[1..] {
+            let c = count(s);
+            if c != base {
                 diags.push(Diagnostic {
                     code: Code::E011,
-                    rank: o.rank,
+                    rank: s.rank,
                     step: None,
                     detail: format!(
-                        "rank {} starts toward rank {t} {n_starts} time(s) but rank {t} \
-                         posts toward rank {} {n_posts} time(s)",
-                        o.rank, o.rank
+                        "rank {} makes {c} fence calls on window {w} but rank 0 makes {base}",
+                        s.rank
                     ),
                 });
             }
         }
     }
 
+    // E011b: every (origin, target, window) start count must equal the
+    // count of posts at the target on that window whose group contains
+    // the origin.
+    for o in &states {
+        for (&w, ws) in &o.wins {
+            for (&t, &n_starts) in &ws.starts_toward {
+                if t >= p.n_ranks {
+                    continue; // reported as E002 at the start site's ops
+                }
+                let n_posts = states[t]
+                    .wins
+                    .get(&w)
+                    .map(|tw| tw.posts.iter().filter(|g| g.contains(&o.rank)).count())
+                    .unwrap_or(0);
+                if n_starts != n_posts {
+                    diags.push(Diagnostic {
+                        code: Code::E011,
+                        rank: o.rank,
+                        step: None,
+                        detail: format!(
+                            "rank {} starts toward rank {t} {n_starts} time(s) on window \
+                             {w} but rank {t} posts toward rank {} {n_posts} time(s)",
+                            o.rank, o.rank
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
     // Resolve each GATS access to its exposure instance at the target: the
-    // origin's `start_seq`-th start containing t matches t's
-    // `start_seq`-th post containing the origin.
+    // origin's `start_seq`-th start containing t (on that window) matches
+    // t's `start_seq`-th post containing the origin.
     let mut accesses: Vec<(Access, Option<usize>)> = Vec::new();
     for s in &states {
         for a in &s.accesses {
             let exposure = match &a.scope {
                 Scope::Gats { start_seq } => {
                     let post = states[a.target]
-                        .posts
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, g)| g.contains(&a.rank))
-                        .nth(*start_seq)
-                        .map(|(i, _)| i);
+                        .wins
+                        .get(&a.win)
+                        .and_then(|tw| {
+                            tw.posts
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, g)| g.contains(&a.rank))
+                                .nth(*start_seq)
+                                .map(|(i, _)| i)
+                        });
                     if post.is_none() {
                         continue; // unmatched start: E011 already reported
                     }
@@ -663,7 +831,7 @@ pub fn analyze(p: &IrProgram) -> Vec<Diagnostic> {
     // the runtime, so only different origins can race here.
     for (i, (a, ea)) in accesses.iter().enumerate() {
         for (b, eb) in &accesses[i + 1..] {
-            if a.rank == b.rank || a.target != b.target {
+            if a.rank == b.rank || a.target != b.target || a.win != b.win {
                 continue;
             }
             let concurrent = match (&a.scope, &b.scope) {
@@ -682,9 +850,10 @@ pub fn analyze(p: &IrProgram) -> Vec<Diagnostic> {
                         rank: a.rank,
                         step: Some(a.step),
                         detail: format!(
-                            "bytes [{lo}, {hi}) of rank {}'s window: {} is unordered \
+                            "bytes [{lo}, {hi}) of rank {}'s window {}: {} is unordered \
                              against {}",
                             a.target,
+                            a.win,
                             describe(a),
                             describe(b)
                         ),
@@ -701,7 +870,11 @@ pub fn analyze(p: &IrProgram) -> Vec<Diagnostic> {
         for s in &states {
             for (i, a) in s.accesses.iter().enumerate() {
                 for b in &s.accesses[i + 1..] {
-                    if a.target != b.target || a.epoch == b.epoch || a.region != b.region {
+                    if a.target != b.target
+                        || a.win != b.win
+                        || a.epoch == b.epoch
+                        || a.region != b.region
+                    {
                         continue;
                     }
                     if let Some((lo, hi)) = overlap(a, b) {
@@ -713,10 +886,11 @@ pub fn analyze(p: &IrProgram) -> Vec<Diagnostic> {
                                 detail: format!(
                                     "reorder flags allow epochs {} and {} to progress \
                                      concurrently, but bytes [{lo}, {hi}) of rank {}'s \
-                                     window conflict: {} vs {}",
+                                     window {} conflict: {} vs {}",
                                     a.epoch,
                                     b.epoch,
                                     a.target,
+                                    a.win,
                                     describe(a),
                                     describe(b)
                                 ),

@@ -1,7 +1,7 @@
 //! Generated-erroneous program corpus.
 //!
-//! Three seeded families of protocol-violating programs — the analyzer
-//! must flag **every** member (0 missed violations is a CI gate):
+//! Seeded families of protocol-violating programs — the analyzer must
+//! flag **every** member (0 missed violations is a CI gate):
 //!
 //! * [`NegFamily::DroppedClose`] — a well-formed prefix whose final epoch
 //!   is opened but never closed (missing complete / wait / unlock /
@@ -14,6 +14,25 @@
 //! * [`NegFamily::CrashedDependency`] — a well-formed program whose epoch
 //!   structure blocks on a peer the fault model crashes (a GATS start
 //!   toward a rank whose exposure may never open) → `E012`.
+//!
+//! Five **deadlock families** ([`NegFamily::DEADLOCKS`]) whose members
+//! are *certain* deadlocks under every schedule — each is both flagged
+//! statically (E013–E017) and executed by `mpisim-check --deadlocks`,
+//! where the PR-4 stall watchdog must cancel the stuck epoch
+//! (`Degradation::EpochStall`), cross-validating the static pass against
+//! the dynamic layer:
+//!
+//! * [`NegFamily::PscwCycle`] — two ranks each `start → complete` toward
+//!   the other *before* posting their own exposure → E013.
+//! * [`NegFamily::LockOrderInversion`] — ABBA exclusive-lock acquisition
+//!   across two ranks, with a flush+barrier proving both first holds are
+//!   established before either second acquisition → E014.
+//! * [`NegFamily::MissingExposure`] — a GATS access epoch whose target
+//!   never posts → E015.
+//! * [`NegFamily::FenceMismatch`] — one rank fences a window one more
+//!   time than the other participants → E016.
+//! * [`NegFamily::OrphanWait`] — a `waitall` consuming an `icomplete`
+//!   request whose grant can never arrive → E017.
 //!
 //! [`catalog_cases`] additionally provides one minimal deterministic
 //! positive program per diagnostic code — the CLI sweeps both.
@@ -41,15 +60,41 @@ pub enum NegFamily {
     ConflictingPuts,
     /// Epoch structure blocks on a crashed peer → `E012`.
     CrashedDependency,
+    /// Mutual start/complete-before-post between two ranks → `E013`.
+    PscwCycle,
+    /// ABBA exclusive-lock acquisition across two ranks → `E014`.
+    LockOrderInversion,
+    /// GATS access epoch whose target never posts → `E015`.
+    MissingExposure,
+    /// One rank makes an extra collective fence call → `E016`.
+    FenceMismatch,
+    /// `waitall` on an `icomplete` that can never be granted → `E017`.
+    OrphanWait,
 }
 
 impl NegFamily {
     /// All families, in sweep order.
-    pub const ALL: [NegFamily; 4] = [
+    pub const ALL: [NegFamily; 9] = [
         NegFamily::DroppedClose,
         NegFamily::OutOfEpochOp,
         NegFamily::ConflictingPuts,
         NegFamily::CrashedDependency,
+        NegFamily::PscwCycle,
+        NegFamily::LockOrderInversion,
+        NegFamily::MissingExposure,
+        NegFamily::FenceMismatch,
+        NegFamily::OrphanWait,
+    ];
+
+    /// The certain-deadlock families: every member stalls under every
+    /// execution schedule, so `mpisim-check` cross-validates them against
+    /// the stall watchdog.
+    pub const DEADLOCKS: [NegFamily; 5] = [
+        NegFamily::PscwCycle,
+        NegFamily::LockOrderInversion,
+        NegFamily::MissingExposure,
+        NegFamily::FenceMismatch,
+        NegFamily::OrphanWait,
     ];
 
     /// Short label for reports.
@@ -59,6 +104,11 @@ impl NegFamily {
             NegFamily::OutOfEpochOp => "out-of-epoch-op",
             NegFamily::ConflictingPuts => "conflicting-puts",
             NegFamily::CrashedDependency => "crashed-dependency",
+            NegFamily::PscwCycle => "pscw-cycle",
+            NegFamily::LockOrderInversion => "lock-inversion",
+            NegFamily::MissingExposure => "missing-exposure",
+            NegFamily::FenceMismatch => "fence-mismatch",
+            NegFamily::OrphanWait => "orphan-wait",
         }
     }
 }
@@ -73,38 +123,39 @@ pub struct NegCase {
     pub expect: Code,
 }
 
-fn ops_for(rng: &mut SmallRng, target: usize) -> Vec<Stmt> {
+fn ops_for(rng: &mut SmallRng, win: usize, target: usize) -> Vec<Stmt> {
     let n = rng.gen_range(1..3usize);
     (0..n)
         .map(|_| {
             let len = rng.gen_range(1..8usize);
             let disp = rng.gen_range(0..NEG_WIN_BYTES - len);
             match rng.gen_range(0..3u32) {
-                0 => Stmt::Put { target, disp, len },
-                1 => Stmt::Get { target, disp, len },
-                _ => Stmt::Acc { target, disp: (disp / 8) * 8, len: 8, op: ReduceOp::Sum },
+                0 => Stmt::Put { win, target, disp, len },
+                1 => Stmt::Get { win, target, disp, len },
+                _ => Stmt::Acc { win, target, disp: (disp / 8) * 8, len: 8, op: ReduceOp::Sum },
             }
         })
         .collect()
 }
 
-/// Append one well-formed epoch (with its close) to rank 0's program and
-/// matching cooperation to the other ranks. `close` controls whether the
-/// epoch-closing statement is emitted.
+/// Append one well-formed epoch (with its close) on window 0 to rank 0's
+/// program and matching cooperation to the other ranks. `close` controls
+/// whether the epoch-closing statement is emitted.
 fn push_epoch(rng: &mut SmallRng, p: &mut IrProgram, close: bool, allow_fence: bool) {
     let n = p.n_ranks;
+    let win = 0;
     let target = rng.gen_range(1..n);
     let kind = if allow_fence { rng.gen_range(0..4u32) } else { rng.gen_range(1..4u32) };
     match kind {
         0 => {
             // Fence phase (collective).
             for r in 0..n {
-                p.ranks[r].push(Stmt::Fence(Close::Blocking));
+                p.ranks[r].push(Stmt::Fence { win, close: Close::Blocking });
             }
-            p.ranks[0].extend(ops_for(rng, target));
+            p.ranks[0].extend(ops_for(rng, win, target));
             if close {
                 for r in 0..n {
-                    p.ranks[r].push(Stmt::Fence(Close::Blocking));
+                    p.ranks[r].push(Stmt::Fence { win, close: Close::Blocking });
                 }
             } else {
                 // Rank 0 drops the closing fence; issuing more ops keeps
@@ -112,35 +163,35 @@ fn push_epoch(rng: &mut SmallRng, p: &mut IrProgram, close: bool, allow_fence: b
                 // (The other ranks still fence, so E011 fires too — the
                 // sweep only requires the expected code to be present.)
                 for r in 1..n {
-                    p.ranks[r].push(Stmt::Fence(Close::Blocking));
+                    p.ranks[r].push(Stmt::Fence { win, close: Close::Blocking });
                 }
-                p.ranks[0].extend(ops_for(rng, target));
+                p.ranks[0].extend(ops_for(rng, win, target));
             }
         }
         1 => {
             let group: Vec<usize> = (1..n).collect();
-            p.ranks[0].push(Stmt::Start(group));
-            p.ranks[0].extend(ops_for(rng, target));
+            p.ranks[0].push(Stmt::Start { win, group });
+            p.ranks[0].extend(ops_for(rng, win, target));
             if close {
-                p.ranks[0].push(Stmt::Complete(Close::Blocking));
+                p.ranks[0].push(Stmt::Complete { win, close: Close::Blocking });
             }
             for r in 1..n {
-                p.ranks[r].push(Stmt::Post(vec![0]));
-                p.ranks[r].push(Stmt::WaitEpoch(Close::Blocking));
+                p.ranks[r].push(Stmt::Post { win, group: vec![0] });
+                p.ranks[r].push(Stmt::WaitEpoch { win, close: Close::Blocking });
             }
         }
         2 => {
-            p.ranks[0].push(Stmt::Lock { target, exclusive: true, nonblocking: false });
-            p.ranks[0].extend(ops_for(rng, target));
+            p.ranks[0].push(Stmt::Lock { win, target, exclusive: true, nonblocking: false });
+            p.ranks[0].extend(ops_for(rng, win, target));
             if close {
-                p.ranks[0].push(Stmt::Unlock { target, close: Close::Blocking });
+                p.ranks[0].push(Stmt::Unlock { win, target, close: Close::Blocking });
             }
         }
         _ => {
-            p.ranks[0].push(Stmt::LockAll);
-            p.ranks[0].extend(ops_for(rng, target));
+            p.ranks[0].push(Stmt::LockAll { win });
+            p.ranks[0].extend(ops_for(rng, win, target));
             if close {
-                p.ranks[0].push(Stmt::UnlockAll(Close::Blocking));
+                p.ranks[0].push(Stmt::UnlockAll { win, close: Close::Blocking });
             }
         }
     }
@@ -166,7 +217,7 @@ pub fn generate_negative(family: NegFamily, index: u64) -> NegCase {
                 let target = rng.gen_range(1..n_ranks);
                 let len = rng.gen_range(1..8usize);
                 let disp = rng.gen_range(0..NEG_WIN_BYTES - len);
-                Stmt::Put { target, disp, len }
+                Stmt::Put { win: 0, target, disp, len }
             };
             let before = rng.gen_bool(0.5);
             if before {
@@ -196,16 +247,16 @@ pub fn generate_negative(family: NegFamily, index: u64) -> NegCase {
             let len_b = rng.gen_range(1..8usize).min(NEG_WIN_BYTES - lo_b);
             let use_get = index % 2 == 1;
             for r in 0..n_ranks {
-                p.ranks[r].push(Stmt::Fence(Close::Blocking));
+                p.ranks[r].push(Stmt::Fence { win: 0, close: Close::Blocking });
             }
-            p.ranks[1].push(Stmt::Put { target: 0, disp: lo, len: len_a });
+            p.ranks[1].push(Stmt::Put { win: 0, target: 0, disp: lo, len: len_a });
             p.ranks[2].push(if use_get {
-                Stmt::Get { target: 0, disp: lo_b, len: len_b }
+                Stmt::Get { win: 0, target: 0, disp: lo_b, len: len_b }
             } else {
-                Stmt::Put { target: 0, disp: lo_b, len: len_b }
+                Stmt::Put { win: 0, target: 0, disp: lo_b, len: len_b }
             });
             for r in 0..n_ranks {
-                p.ranks[r].push(Stmt::Fence(Close::Blocking));
+                p.ranks[r].push(Stmt::Fence { win: 0, close: Close::Blocking });
             }
             NegCase { program: p, expect: if use_get { Code::E007 } else { Code::E006 } }
         }
@@ -220,15 +271,100 @@ pub fn generate_negative(family: NegFamily, index: u64) -> NegCase {
             let victim = rng.gen_range(1..n_ranks);
             p.crashed = vec![victim];
             let group: Vec<usize> = (1..n_ranks).collect();
-            p.ranks[0].push(Stmt::Start(group));
-            p.ranks[0].extend(ops_for(&mut rng, victim));
-            p.ranks[0].push(Stmt::Complete(Close::Blocking));
+            p.ranks[0].push(Stmt::Start { win: 0, group });
+            p.ranks[0].extend(ops_for(&mut rng, 0, victim));
+            p.ranks[0].push(Stmt::Complete { win: 0, close: Close::Blocking });
             for r in 1..n_ranks {
-                p.ranks[r].push(Stmt::Post(vec![0]));
-                p.ranks[r].push(Stmt::WaitEpoch(Close::Blocking));
+                p.ranks[r].push(Stmt::Post { win: 0, group: vec![0] });
+                p.ranks[r].push(Stmt::WaitEpoch { win: 0, close: Close::Blocking });
             }
             NegCase { program: p, expect: Code::E012 }
         }
+        NegFamily::PscwCycle => {
+            let win = deadlock_prefix(&mut rng, &mut p);
+            // Ranks 0 and 1 each close an access epoch toward the other
+            // before posting their own exposure: neither grant can ever
+            // arrive. Start/post counts stay balanced, so this is a pure
+            // cycle (no E011).
+            for (me, peer) in [(0usize, 1usize), (1, 0)] {
+                p.ranks[me].push(Stmt::Start { win, group: vec![peer] });
+                p.ranks[me].extend(ops_for(&mut rng, win, peer));
+                p.ranks[me].push(Stmt::Complete { win, close: Close::Blocking });
+                p.ranks[me].push(Stmt::Post { win, group: vec![peer] });
+                p.ranks[me].push(Stmt::WaitEpoch { win, close: Close::Blocking });
+            }
+            NegCase { program: p, expect: Code::E013 }
+        }
+        NegFamily::LockOrderInversion => {
+            let win = deadlock_prefix(&mut rng, &mut p);
+            // ABBA: rank 0 locks target 1 then 2; rank 1 locks target 2
+            // then 1. The put + blocking flush proves each first hold is
+            // granted before the barrier, so the inversion deadlocks
+            // under every schedule. Every rank joins the barrier.
+            for (me, first, second) in [(0usize, 1usize, 2usize), (1, 2, 1)] {
+                p.ranks[me].extend([
+                    Stmt::Lock { win, target: first, exclusive: true, nonblocking: false },
+                    Stmt::Put { win, target: first, disp: 0, len: 8 },
+                    Stmt::Flush { win, target: Some(first), local_only: false, close: Close::Blocking },
+                    Stmt::Barrier,
+                    Stmt::Lock { win, target: second, exclusive: true, nonblocking: false },
+                    Stmt::Put { win, target: second, disp: 8, len: 8 },
+                    Stmt::Unlock { win, target: second, close: Close::Blocking },
+                    Stmt::Unlock { win, target: first, close: Close::Blocking },
+                ]);
+            }
+            p.ranks[2].push(Stmt::Barrier);
+            NegCase { program: p, expect: Code::E014 }
+        }
+        NegFamily::MissingExposure => {
+            let win = deadlock_prefix(&mut rng, &mut p);
+            // The target never posts, so rank 0's blocking complete can
+            // never be granted.
+            let victim = rng.gen_range(1..n_ranks);
+            p.ranks[0].push(Stmt::Start { win, group: vec![victim] });
+            p.ranks[0].extend(ops_for(&mut rng, win, victim));
+            p.ranks[0].push(Stmt::Complete { win, close: Close::Blocking });
+            NegCase { program: p, expect: Code::E015 }
+        }
+        NegFamily::FenceMismatch => {
+            let win = deadlock_prefix(&mut rng, &mut p);
+            // One collective fence phase everyone joins, then rank 0
+            // alone fences again: its closing announcement set can never
+            // be completed by the missing participants.
+            for r in 0..n_ranks {
+                p.ranks[r].push(Stmt::Fence { win, close: Close::Blocking });
+            }
+            let target = rng.gen_range(1..n_ranks);
+            p.ranks[0].extend(ops_for(&mut rng, win, target));
+            p.ranks[0].push(Stmt::Fence { win, close: Close::Blocking });
+            NegCase { program: p, expect: Code::E016 }
+        }
+        NegFamily::OrphanWait => {
+            let win = deadlock_prefix(&mut rng, &mut p);
+            // The icomplete request's grant can never arrive (no matching
+            // post), so the waitall can never return.
+            let victim = rng.gen_range(1..n_ranks);
+            p.ranks[0].push(Stmt::Start { win, group: vec![victim] });
+            p.ranks[0].extend(ops_for(&mut rng, win, victim));
+            p.ranks[0].push(Stmt::Complete { win, close: Close::Nonblocking });
+            p.ranks[0].push(Stmt::WaitAll);
+            NegCase { program: p, expect: Code::E017 }
+        }
+    }
+}
+
+/// Shared deadlock-family preamble: a few clean epochs on window 0, and
+/// (half the time) a second window for the deadlocking tail — so the
+/// analyzer's multi-window tracking and the IR executor both get
+/// exercised. Returns the window the tail should use.
+fn deadlock_prefix(rng: &mut SmallRng, p: &mut IrProgram) -> usize {
+    for _ in 0..rng.gen_range(0..3usize) {
+        push_epoch(rng, p, true, true);
+    }
+    if rng.gen_bool(0.5) {
+        p.add_window(NEG_WIN_BYTES)
+    } else {
+        0
     }
 }
 
@@ -240,71 +376,82 @@ pub fn catalog_cases() -> Vec<(Code, IrProgram)> {
 
     // E001: put before any epoch opens.
     let mut p = IrProgram::new(2, NEG_WIN_BYTES);
-    p.ranks[0].push(Stmt::Put { target: 1, disp: 0, len: 8 });
+    p.ranks[0].push(Stmt::Put { win: 0, target: 1, disp: 0, len: 8 });
     out.push((Code::E001, p));
 
     // E002: op toward a rank outside the start group.
     let mut p = IrProgram::new(3, NEG_WIN_BYTES);
     p.ranks[0].extend([
-        Stmt::Start(vec![1]),
-        Stmt::Put { target: 2, disp: 0, len: 8 },
-        Stmt::Complete(Close::Blocking),
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::Put { win: 0, target: 2, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
     ]);
-    p.ranks[1].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    p.ranks[1].extend([
+        Stmt::Post { win: 0, group: vec![0] },
+        Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+    ]);
     out.push((Code::E002, p));
 
     // E003: lock never unlocked.
     let mut p = IrProgram::new(2, NEG_WIN_BYTES);
     p.ranks[0].extend([
-        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
-        Stmt::Put { target: 1, disp: 0, len: 8 },
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
     ]);
     out.push((Code::E003, p));
 
     // E004: unlock of a rank that was never locked.
     let mut p = IrProgram::new(2, NEG_WIN_BYTES);
-    p.ranks[0].push(Stmt::Unlock { target: 1, close: Close::Blocking });
+    p.ranks[0].push(Stmt::Unlock { win: 0, target: 1, close: Close::Blocking });
     out.push((Code::E004, p));
 
     // E005: lock_all while a GATS access epoch is open.
     let mut p = IrProgram::new(2, NEG_WIN_BYTES);
     p.ranks[0].extend([
-        Stmt::Start(vec![1]),
-        Stmt::LockAll,
-        Stmt::UnlockAll(Close::Blocking),
-        Stmt::Complete(Close::Blocking),
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::LockAll { win: 0 },
+        Stmt::UnlockAll { win: 0, close: Close::Blocking },
+        Stmt::Complete { win: 0, close: Close::Blocking },
     ]);
-    p.ranks[1].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    p.ranks[1].extend([
+        Stmt::Post { win: 0, group: vec![0] },
+        Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+    ]);
     out.push((Code::E005, p));
 
     // E006: cross-origin overlapping puts in one fence phase.
     let mut p = IrProgram::new(3, NEG_WIN_BYTES);
     for r in 0..3 {
-        p.ranks[r].push(Stmt::Fence(Close::Blocking));
+        p.ranks[r].push(Stmt::Fence { win: 0, close: Close::Blocking });
     }
-    p.ranks[1].push(Stmt::Put { target: 0, disp: 0, len: 8 });
-    p.ranks[2].push(Stmt::Put { target: 0, disp: 4, len: 8 });
+    p.ranks[1].push(Stmt::Put { win: 0, target: 0, disp: 0, len: 8 });
+    p.ranks[2].push(Stmt::Put { win: 0, target: 0, disp: 4, len: 8 });
     for r in 0..3 {
-        p.ranks[r].push(Stmt::Fence(Close::Blocking));
+        p.ranks[r].push(Stmt::Fence { win: 0, close: Close::Blocking });
     }
     out.push((Code::E006, p));
 
     // E007: cross-origin put/get overlap in one fence phase.
     let mut p = IrProgram::new(3, NEG_WIN_BYTES);
     for r in 0..3 {
-        p.ranks[r].push(Stmt::Fence(Close::Blocking));
+        p.ranks[r].push(Stmt::Fence { win: 0, close: Close::Blocking });
     }
-    p.ranks[1].push(Stmt::Put { target: 0, disp: 0, len: 8 });
-    p.ranks[2].push(Stmt::Get { target: 0, disp: 4, len: 8 });
+    p.ranks[1].push(Stmt::Put { win: 0, target: 0, disp: 0, len: 8 });
+    p.ranks[2].push(Stmt::Get { win: 0, target: 0, disp: 4, len: 8 });
     for r in 0..3 {
-        p.ranks[r].push(Stmt::Fence(Close::Blocking));
+        p.ranks[r].push(Stmt::Fence { win: 0, close: Close::Blocking });
     }
     out.push((Code::E007, p));
 
-    // E008: ifence request never waited.
+    // E008: iflush request never waited (and never discharged by a later
+    // covering blocking flush).
     let mut p = IrProgram::new(2, NEG_WIN_BYTES);
-    p.ranks[0].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Nonblocking)]);
-    p.ranks[1].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Blocking)]);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Nonblocking },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+    ]);
     out.push((Code::E008, p));
 
     // E009: reorder flags + unsafe fence reorder + conflicting puts in
@@ -313,47 +460,109 @@ pub fn catalog_cases() -> Vec<(Code, IrProgram)> {
     p.reorder = true;
     p.unsafe_fence_reorder = true;
     p.ranks[0].extend([
-        Stmt::Fence(Close::Blocking),
-        Stmt::Put { target: 1, disp: 0, len: 8 },
-        Stmt::Fence(Close::Nonblocking),
-        Stmt::Put { target: 1, disp: 0, len: 8 },
-        Stmt::Fence(Close::Nonblocking),
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Fence { win: 0, close: Close::Nonblocking },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Fence { win: 0, close: Close::Nonblocking },
         Stmt::WaitAll,
     ]);
     p.ranks[1].extend([
-        Stmt::Fence(Close::Blocking),
-        Stmt::Fence(Close::Blocking),
-        Stmt::Fence(Close::Blocking),
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Fence { win: 0, close: Close::Blocking },
     ]);
     out.push((Code::E009, p));
 
     // E010: put past the end of the window.
     let mut p = IrProgram::new(2, NEG_WIN_BYTES);
     p.ranks[0].extend([
-        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
-        Stmt::Put { target: 1, disp: NEG_WIN_BYTES - 4, len: 8 },
-        Stmt::Unlock { target: 1, close: Close::Blocking },
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: NEG_WIN_BYTES - 4, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
     ]);
     out.push((Code::E010, p));
 
-    // E011: unequal collective fence counts.
+    // E011: unequal job-wide barrier counts (fence-count mismatches now
+    // also classify as E016; the bare barrier keeps E011's catalog entry
+    // minimal and distinct).
     let mut p = IrProgram::new(2, NEG_WIN_BYTES);
-    p.ranks[0].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Blocking)]);
-    p.ranks[1].push(Stmt::Fence(Close::Blocking));
+    p.ranks[0].extend([Stmt::Barrier, Stmt::Barrier]);
+    p.ranks[1].push(Stmt::Barrier);
     out.push((Code::E011, p));
 
     // E012: start toward a peer the fault model crashes.
     let mut p = IrProgram::new(3, NEG_WIN_BYTES);
     p.crashed = vec![2];
     p.ranks[0].extend([
-        Stmt::Start(vec![1, 2]),
-        Stmt::Put { target: 2, disp: 0, len: 8 },
-        Stmt::Complete(Close::Blocking),
+        Stmt::Start { win: 0, group: vec![1, 2] },
+        Stmt::Put { win: 0, target: 2, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
     ]);
     for r in 1..3 {
-        p.ranks[r].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+        p.ranks[r].extend([
+            Stmt::Post { win: 0, group: vec![0] },
+            Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+        ]);
     }
     out.push((Code::E012, p));
+
+    // E013: mutual complete-before-post cycle between two ranks.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    for (me, peer) in [(0usize, 1usize), (1, 0)] {
+        p.ranks[me].extend([
+            Stmt::Start { win: 0, group: vec![peer] },
+            Stmt::Complete { win: 0, close: Close::Blocking },
+            Stmt::Post { win: 0, group: vec![peer] },
+            Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+        ]);
+    }
+    out.push((Code::E013, p));
+
+    // E014: ABBA exclusive-lock inversion across two ranks.
+    let mut p = IrProgram::new(3, NEG_WIN_BYTES);
+    for (me, first, second) in [(0usize, 1usize, 2usize), (1, 2, 1)] {
+        p.ranks[me].extend([
+            Stmt::Lock { win: 0, target: first, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target: first, disp: 0, len: 8 },
+            Stmt::Flush { win: 0, target: Some(first), local_only: false, close: Close::Blocking },
+            Stmt::Barrier,
+            Stmt::Lock { win: 0, target: second, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target: second, disp: 8, len: 8 },
+            Stmt::Unlock { win: 0, target: second, close: Close::Blocking },
+            Stmt::Unlock { win: 0, target: first, close: Close::Blocking },
+        ]);
+    }
+    p.ranks[2].push(Stmt::Barrier);
+    out.push((Code::E014, p));
+
+    // E015: blocking complete toward a rank that never posts.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
+    ]);
+    out.push((Code::E015, p));
+
+    // E016: rank 0 fences once more than rank 1.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Fence { win: 0, close: Close::Blocking },
+    ]);
+    p.ranks[1].push(Stmt::Fence { win: 0, close: Close::Blocking });
+    out.push((Code::E016, p));
+
+    // E017: waitall on an icomplete whose grant never arrives.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::Complete { win: 0, close: Close::Nonblocking },
+        Stmt::WaitAll,
+    ]);
+    out.push((Code::E017, p));
 
     out
 }

@@ -1,0 +1,716 @@
+//! Whole-job deadlock and progress analysis (E013–E017).
+//!
+//! Two passes over the multi-window IR:
+//!
+//! 1. **Fixpoint interpreter.** A symbolic abstract interpretation of the
+//!    whole job: every rank holds a program counter, and a round-based
+//!    monotone fixpoint advances each rank past a statement as soon as the
+//!    statement's *wait condition* is satisfiable given what every other
+//!    rank has already initiated. The abstract domain is the ω-triple
+//!    view of the protocol — which fence phases each rank has announced
+//!    (`FenceDone` availability), which exposure instances are posted
+//!    (grant availability, the `g` counter plane), and which access
+//!    epochs have closed (`GatsDone` availability, the `e`/`a` planes) —
+//!    with statement-initiation as the single monotone fact: a blocked
+//!    rank still *initiates* its current statement (a fence announces the
+//!    previous phase at call time; a closed GATS epoch emits `GatsDone`
+//!    per target as soon as that target's grant lands). Ranks still stuck
+//!    at the fixpoint are provably non-terminating; a wait-for graph over
+//!    them yields E013 (cycle, with a rank-annotated witness) or a
+//!    root-cause code (E015/E016/E017, plus E011 for a bare barrier
+//!    mismatch) when the missing dependency is a peer that terminates
+//!    without ever supplying it. Ranks stuck only because another stuck
+//!    rank is upstream (cascades) are suppressed.
+//!
+//! 2. **Lock-order pass (E014).** The fixpoint deliberately treats the
+//!    passive-target plane as eventually-completing (the lock manager is
+//!    fair, so acquisition order — not lock usage — is the only deadlock
+//!    source there). A separate scan records, per rank, every point where
+//!    the rank *blocks on the completion of one lock epoch while holding
+//!    another* (a blocking unlock or covering blocking flush, or a
+//!    `waitall` consuming the epoch's nonblocking close). Each such point
+//!    contributes a held→wanted edge; a cycle whose consecutive edges come
+//!    from different ranks and conflict in lock mode (requester or holder
+//!    exclusive) is a classic ABBA inversion.
+//!
+//! Both passes model synchronization effects at the call site (epoch
+//! activation deferral is ignored). That is exact for every program the
+//! conformance generator produces and for the deadlock corpus; in general
+//! it over-approximates concurrency, which for deadlock detection means a
+//! flagged program may need a particular activation interleaving to stall
+//! — never that a clean program can stall.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Code, Diagnostic};
+use crate::ir::{IrProgram, Stmt};
+
+/// One GATS access-epoch instance of a rank on one window.
+struct StartInfo {
+    group: Vec<usize>,
+    /// Per-target occurrence index: this is the rank's `occ[t]`-th start
+    /// (0-based) whose group contains `t`.
+    occ: BTreeMap<usize, usize>,
+    /// Statement index of the matching `complete`, if the program has
+    /// one.
+    complete: Option<usize>,
+}
+
+/// One exposure-epoch instance of a rank on one window.
+struct PostInfo {
+    group: Vec<usize>,
+    stmt: usize,
+    /// Per-origin occurrence index among this rank's posts containing
+    /// that origin.
+    occ: BTreeMap<usize, usize>,
+}
+
+/// Syntactic shape of one rank's program, pre-resolved for condition
+/// evaluation.
+#[derive(Default)]
+struct RankShape {
+    /// Per window: fence statement indices, in call order.
+    fences: BTreeMap<usize, Vec<usize>>,
+    /// Per window: GATS access-epoch instances, in open order.
+    starts: BTreeMap<usize, Vec<StartInfo>>,
+    /// Per window: exposure-epoch instances, in open order.
+    posts: BTreeMap<usize, Vec<PostInfo>>,
+    /// Barrier statement indices, in call order.
+    barriers: Vec<usize>,
+    len: usize,
+}
+
+/// A wait condition a statement (or a pending nonblocking request) must
+/// satisfy before the rank can move past it.
+#[derive(Clone)]
+enum Cond {
+    /// Always satisfiable (including calls the fixpoint treats as
+    /// eventually-completing: the whole passive-target plane).
+    None,
+    /// The rank's `idx`-th fence call on `win`: completes once every job
+    /// rank has initiated *its* `idx`-th fence call on `win` (each call
+    /// announces `FenceDone` for the previous phase at call time; call
+    /// #0 never blocks).
+    Fence { win: usize, idx: usize },
+    /// Close of the rank's `start`-th GATS access epoch on `win`:
+    /// completes once every target's matching exposure post is initiated
+    /// (the grant plane).
+    Grants { win: usize, start: usize },
+    /// Close of the rank's `post`-th exposure epoch on `win`: completes
+    /// once every origin's matching access epoch has initiated its close
+    /// (per-target `GatsDone` needs only the origin's close plus this
+    /// very post's grant).
+    Dones { win: usize, post: usize },
+    /// The rank's `idx`-th barrier: completes once every rank has
+    /// initiated its `idx`-th barrier.
+    Barrier { idx: usize },
+    /// `waitall` over the outstanding nonblocking requests collected so
+    /// far, each tagged with its originating statement and name.
+    Many(Vec<(usize, &'static str, Cond)>),
+}
+
+/// Why a condition is unmet: a peer that can still move (`Stuck`) or a
+/// peer whose program provably never supplies the dependency (`Never`).
+enum Blocker {
+    Stuck(usize),
+    Never { rank: usize, why: String },
+}
+
+fn build_shape(rank: usize, p: &IrProgram) -> RankShape {
+    let mut sh = RankShape { len: p.ranks[rank].len(), ..Default::default() };
+    // Per-window open-instance trackers.
+    let mut open_start: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut starts_toward: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    let mut posts_toward: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (step, stmt) in p.ranks[rank].iter().enumerate() {
+        match stmt {
+            Stmt::Fence { win, .. } => sh.fences.entry(*win).or_default().push(step),
+            Stmt::Start { win, group } => {
+                let mut occ = BTreeMap::new();
+                for &t in group {
+                    let c = starts_toward.entry((*win, t)).or_insert(0);
+                    occ.insert(t, *c);
+                    *c += 1;
+                }
+                let list = sh.starts.entry(*win).or_default();
+                open_start.insert(*win, list.len());
+                list.push(StartInfo { group: group.clone(), occ, complete: None });
+            }
+            Stmt::Complete { win, .. } => {
+                if let Some(i) = open_start.remove(win) {
+                    sh.starts.get_mut(win).unwrap()[i].complete = Some(step);
+                }
+            }
+            Stmt::Post { win, group } => {
+                let mut occ = BTreeMap::new();
+                for &o in group {
+                    let c = posts_toward.entry((*win, o)).or_insert(0);
+                    occ.insert(o, *c);
+                    *c += 1;
+                }
+                sh.posts.entry(*win).or_default().push(PostInfo {
+                    group: group.clone(),
+                    stmt: step,
+                    occ,
+                });
+            }
+            Stmt::Barrier => sh.barriers.push(step),
+            _ => {}
+        }
+    }
+    sh
+}
+
+/// Per-statement wait conditions for one rank, mirroring the engine's
+/// completion rules (see the module docs for the abstract domain).
+fn build_conds(rank: usize, p: &IrProgram, sh: &RankShape) -> Vec<Cond> {
+    let mut conds = Vec::with_capacity(sh.len);
+    let mut fence_idx: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut start_idx: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut open_start: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut post_idx: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut open_post: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut barrier_idx = 0usize;
+    let mut pending: Vec<(usize, &'static str, Cond)> = Vec::new();
+    for (step, stmt) in p.ranks[rank].iter().enumerate() {
+        let cond = match stmt {
+            Stmt::Fence { win, close } => {
+                let idx = *fence_idx.entry(*win).or_insert(0);
+                *fence_idx.get_mut(win).unwrap() += 1;
+                let c = Cond::Fence { win: *win, idx };
+                if close.is_blocking() {
+                    c
+                } else {
+                    pending.push((step, "ifence", c));
+                    Cond::None
+                }
+            }
+            Stmt::Start { win, .. } => {
+                let i = *start_idx.entry(*win).or_insert(0);
+                *start_idx.get_mut(win).unwrap() += 1;
+                open_start.insert(*win, i);
+                Cond::None
+            }
+            Stmt::Complete { win, close } => match open_start.remove(win) {
+                Some(i) => {
+                    let c = Cond::Grants { win: *win, start: i };
+                    if close.is_blocking() {
+                        c
+                    } else {
+                        pending.push((step, "icomplete", c));
+                        Cond::None
+                    }
+                }
+                // Close without an open epoch: the per-rank walker already
+                // reported E004; the runtime errors out rather than
+                // blocking.
+                None => Cond::None,
+            },
+            Stmt::Post { win, .. } => {
+                let m = *post_idx.entry(*win).or_insert(0);
+                *post_idx.get_mut(win).unwrap() += 1;
+                open_post.insert(*win, m);
+                Cond::None
+            }
+            Stmt::WaitEpoch { win, close } => match open_post.remove(win) {
+                Some(m) => {
+                    let c = Cond::Dones { win: *win, post: m };
+                    if close.is_blocking() {
+                        c
+                    } else {
+                        pending.push((step, "iwait", c));
+                        Cond::None
+                    }
+                }
+                None => Cond::None,
+            },
+            Stmt::Barrier => {
+                let idx = barrier_idx;
+                barrier_idx += 1;
+                Cond::Barrier { idx }
+            }
+            Stmt::WaitAll => Cond::Many(std::mem::take(&mut pending)),
+            // The passive-target plane (lock/unlock/flush) is treated as
+            // eventually-completing here; acquisition-order deadlocks are
+            // the lock-order pass's job.
+            Stmt::Lock { .. }
+            | Stmt::Unlock { .. }
+            | Stmt::LockAll { .. }
+            | Stmt::UnlockAll { .. }
+            | Stmt::Flush { .. }
+            | Stmt::Put { .. }
+            | Stmt::Get { .. }
+            | Stmt::Acc { .. } => Cond::None,
+        };
+        conds.push(cond);
+    }
+    conds
+}
+
+struct Interp<'a> {
+    p: &'a IrProgram,
+    shapes: Vec<RankShape>,
+    conds: Vec<Vec<Cond>>,
+}
+
+impl Interp<'_> {
+    /// Has rank `r` initiated statement `stmt`? A rank initiates its
+    /// current (possibly blocked) statement: call-site effects — fence
+    /// announcements, posts, epoch closes — happen before the wait.
+    fn initiated(&self, pcs: &[usize], r: usize, stmt: usize) -> bool {
+        pcs[r] >= stmt
+    }
+
+    /// `t`'s exposure post matching origin `o`'s start instance `si` on
+    /// `win`: the `occ`-th post of `t` on `win` whose group contains `o`.
+    fn matching_post(&self, t: usize, win: usize, o: usize, occ: usize) -> Option<&PostInfo> {
+        self.shapes[t]
+            .posts
+            .get(&win)?
+            .iter()
+            .filter(|pi| pi.group.contains(&o))
+            .nth(occ)
+    }
+
+    /// `o`'s access epoch matching target `t`'s post with per-origin
+    /// occurrence `occ` on `win`.
+    fn matching_start(&self, o: usize, win: usize, t: usize, occ: usize) -> Option<&StartInfo> {
+        self.shapes[o]
+            .starts
+            .get(&win)?
+            .iter()
+            .filter(|si| si.group.contains(&t))
+            .nth(occ)
+    }
+
+    /// Is `cond` (of rank `r`) satisfied under `pcs`? When not, pushes
+    /// the reasons into `blockers` (when provided).
+    fn sat(
+        &self,
+        r: usize,
+        cond: &Cond,
+        pcs: &[usize],
+        mut blockers: Option<&mut Vec<Blocker>>,
+    ) -> bool {
+        let n = self.p.n_ranks;
+        let mut ok = true;
+        let mut blame = |b: Blocker, ok: &mut bool| {
+            *ok = false;
+            if let Some(bl) = blockers.as_deref_mut() {
+                bl.push(b);
+            }
+        };
+        match cond {
+            Cond::None => {}
+            Cond::Fence { win, idx } => {
+                if *idx > 0 {
+                    for q in 0..n {
+                        match self.shapes[q].fences.get(win).and_then(|f| f.get(*idx)) {
+                            Some(&s) if self.initiated(pcs, q, s) => {}
+                            Some(_) => blame(Blocker::Stuck(q), &mut ok),
+                            None => blame(
+                                Blocker::Never {
+                                    rank: q,
+                                    why: format!(
+                                        "rank {q} makes only {} fence call(s) on window \
+                                         {win}, so fence phase {} can never complete",
+                                        self.shapes[q]
+                                            .fences
+                                            .get(win)
+                                            .map(|f| f.len())
+                                            .unwrap_or(0),
+                                        idx - 1
+                                    ),
+                                },
+                                &mut ok,
+                            ),
+                        }
+                    }
+                }
+            }
+            Cond::Grants { win, start } => {
+                let si = &self.shapes[r].starts[win][*start];
+                for &t in &si.group {
+                    if t >= n {
+                        continue; // invalid target: E002 already reported
+                    }
+                    match self.matching_post(t, *win, r, si.occ[&t]) {
+                        Some(pi) if self.initiated(pcs, t, pi.stmt) => {}
+                        Some(_) => blame(Blocker::Stuck(t), &mut ok),
+                        None => blame(
+                            Blocker::Never {
+                                rank: t,
+                                why: format!(
+                                    "rank {t} never issues the matching exposure post on \
+                                     window {win} (needs its post #{} containing rank {r})",
+                                    si.occ[&t]
+                                ),
+                            },
+                            &mut ok,
+                        ),
+                    }
+                }
+            }
+            Cond::Dones { win, post } => {
+                let pi = &self.shapes[r].posts[win][*post];
+                for &o in &pi.group {
+                    if o >= n {
+                        continue;
+                    }
+                    match self.matching_start(o, *win, r, pi.occ[&o]) {
+                        Some(si) => match si.complete {
+                            Some(c) if self.initiated(pcs, o, c) => {}
+                            Some(_) => blame(Blocker::Stuck(o), &mut ok),
+                            None => blame(
+                                Blocker::Never {
+                                    rank: o,
+                                    why: format!(
+                                        "rank {o}'s matching access epoch on window {win} \
+                                         is never completed, so its done packet never \
+                                         arrives"
+                                    ),
+                                },
+                                &mut ok,
+                            ),
+                        },
+                        None => blame(
+                            Blocker::Never {
+                                rank: o,
+                                why: format!(
+                                    "rank {o} never starts a matching access epoch on \
+                                     window {win} (needs its start #{} containing rank \
+                                     {r})",
+                                    pi.occ[&o]
+                                ),
+                            },
+                            &mut ok,
+                        ),
+                    }
+                }
+            }
+            Cond::Barrier { idx } => {
+                for q in 0..n {
+                    match self.shapes[q].barriers.get(*idx) {
+                        Some(&s) if self.initiated(pcs, q, s) => {}
+                        Some(_) => blame(Blocker::Stuck(q), &mut ok),
+                        None => blame(
+                            Blocker::Never {
+                                rank: q,
+                                why: format!(
+                                    "rank {q} calls barrier only {} time(s)",
+                                    self.shapes[q].barriers.len()
+                                ),
+                            },
+                            &mut ok,
+                        ),
+                    }
+                }
+            }
+            Cond::Many(reqs) => {
+                for (step, what, c) in reqs {
+                    let mut sub = Vec::new();
+                    if !self.sat(r, c, pcs, Some(&mut sub)) {
+                        ok = false;
+                        if let Some(bl) = blockers.as_deref_mut() {
+                            for b in sub {
+                                bl.push(match b {
+                                    Blocker::Never { rank, why } => Blocker::Never {
+                                        rank,
+                                        why: format!(
+                                            "{what} request from stmt {step} can never \
+                                             complete: {why}"
+                                        ),
+                                    },
+                                    s => s,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ok
+    }
+}
+
+/// The fixpoint interpreter: E013 cycles plus E015/E016/E017/E011 roots.
+fn fixpoint_pass(p: &IrProgram) -> Vec<Diagnostic> {
+    let n = p.n_ranks;
+    let shapes: Vec<RankShape> = (0..n).map(|r| build_shape(r, p)).collect();
+    let conds: Vec<Vec<Cond>> = (0..n).map(|r| build_conds(r, p, &shapes[r])).collect();
+    let interp = Interp { p, shapes, conds };
+
+    let mut pcs = vec![0usize; n];
+    loop {
+        let mut progressed = false;
+        for r in 0..n {
+            while pcs[r] < interp.shapes[r].len
+                && interp.sat(r, &interp.conds[r][pcs[r]], &pcs, None)
+            {
+                pcs[r] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let stuck: Vec<usize> = (0..n).filter(|&r| pcs[r] < interp.shapes[r].len).collect();
+    if stuck.is_empty() {
+        return Vec::new();
+    }
+
+    // Wait-for edges between stuck ranks + terminal (never-satisfiable)
+    // blame per stuck rank.
+    let mut edges: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    let mut nevers: BTreeMap<usize, Vec<(usize, String)>> = BTreeMap::new();
+    for &r in &stuck {
+        let mut blockers = Vec::new();
+        interp.sat(r, &interp.conds[r][pcs[r]], &pcs, Some(&mut blockers));
+        for b in blockers {
+            match b {
+                Blocker::Stuck(q) => {
+                    let e = edges.entry(r).or_default();
+                    if !e.contains(&q) {
+                        e.push(q);
+                    }
+                }
+                Blocker::Never { rank, why } => {
+                    nevers.entry(r).or_default().push((rank, why));
+                }
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+
+    // E013: cycles in the wait-for graph. Walk from each stuck rank,
+    // always following the smallest-ranked outgoing edge, and report each
+    // discovered cycle once, anchored at its smallest member.
+    let mut reported_cycles: Vec<Vec<usize>> = Vec::new();
+    for &r in &stuck {
+        let mut path = vec![r];
+        let mut cur = r;
+        while let Some(next) = edges.get(&cur).and_then(|e| e.iter().min().copied()) {
+            if let Some(pos) = path.iter().position(|&x| x == next) {
+                let mut cycle: Vec<usize> = path[pos..].to_vec();
+                let anchor_pos =
+                    cycle.iter().enumerate().min_by_key(|&(_, &x)| x).map(|(i, _)| i).unwrap();
+                cycle.rotate_left(anchor_pos);
+                if !reported_cycles.contains(&cycle) {
+                    let witness: Vec<String> =
+                        cycle.iter().chain(cycle.first()).map(|q| format!("rank {q}")).collect();
+                    let anchor = cycle[0];
+                    let at = pcs[anchor];
+                    diags.push(Diagnostic {
+                        code: Code::E013,
+                        rank: anchor,
+                        step: Some(at),
+                        detail: format!(
+                            "cyclic cross-rank wait: {} (each rank's blocking \
+                             synchronization waits on the next; no rank can ever advance)",
+                            witness.join(" -> ")
+                        ),
+                    });
+                    reported_cycles.push(cycle);
+                }
+                break;
+            }
+            path.push(next);
+            cur = next;
+        }
+    }
+
+    // Roots: stuck ranks with a terminal (never-satisfiable) dependency.
+    // Ranks stuck only behind other stuck ranks are cascades — the report
+    // on the cause suffices.
+    for &r in &stuck {
+        let Some(reasons) = nevers.get(&r) else { continue };
+        let at = pcs[r];
+        let code = match &p.ranks[r][at] {
+            Stmt::Fence { .. } => Code::E016,
+            Stmt::Complete { .. } | Stmt::WaitEpoch { .. } => Code::E015,
+            Stmt::WaitAll => Code::E017,
+            Stmt::Barrier => Code::E011,
+            _ => Code::E013,
+        };
+        let why: Vec<&str> = reasons.iter().map(|(_, w)| w.as_str()).collect();
+        diags.push(Diagnostic {
+            code,
+            rank: r,
+            step: Some(at),
+            detail: format!("rank {r} blocks forever at stmt {at}: {}", why.join("; ")),
+        });
+    }
+
+    diags
+}
+
+/// One held→wanted lock dependency of one rank.
+struct LockEdge {
+    rank: usize,
+    held: (usize, usize),
+    wanted: (usize, usize),
+    held_excl: bool,
+    want_excl: bool,
+    held_stmt: usize,
+    block_stmt: usize,
+}
+
+/// The lock-order pass: E014 ABBA inversions in the passive-target plane.
+fn lock_order_pass(p: &IrProgram) -> Vec<Diagnostic> {
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for (rank, stmts) in p.ranks.iter().enumerate() {
+        // (win, target) → (exclusive, lock stmt).
+        let mut held: BTreeMap<(usize, usize), (bool, usize)> = BTreeMap::new();
+        // Pending nonblocking unlocks whose completion a later waitall
+        // blocks on: (win, target, exclusive, unlock stmt).
+        let mut pending_iunlock: Vec<(usize, usize, bool, usize)> = Vec::new();
+        let block_on = |held: &BTreeMap<(usize, usize), (bool, usize)>,
+                            wanted: (usize, usize),
+                            want_excl: bool,
+                            block_stmt: usize,
+                            edges: &mut Vec<LockEdge>| {
+            for (&h, &(held_excl, held_stmt)) in held {
+                if h == wanted {
+                    continue;
+                }
+                edges.push(LockEdge {
+                    rank,
+                    held: h,
+                    wanted,
+                    held_excl,
+                    want_excl,
+                    held_stmt,
+                    block_stmt,
+                });
+            }
+        };
+        for (step, stmt) in stmts.iter().enumerate() {
+            match stmt {
+                Stmt::Lock { win, target, exclusive, .. } => {
+                    held.insert((*win, *target), (*exclusive, step));
+                }
+                Stmt::Unlock { win, target, close } => {
+                    if let Some((excl, _)) = held.remove(&(*win, *target)) {
+                        if close.is_blocking() {
+                            // Blocks here until this lock epoch completes
+                            // (grant + release) while still holding every
+                            // other open lock.
+                            block_on(&held, (*win, *target), excl, step, &mut edges);
+                        } else {
+                            pending_iunlock.push((*win, *target, excl, step));
+                        }
+                    }
+                }
+                Stmt::Flush { win, target, close, .. } if close.is_blocking() => {
+                    // A blocking flush waits for the covered epochs' issued
+                    // operations, which need the covered locks granted.
+                    let covered: Vec<((usize, usize), bool)> = held
+                        .iter()
+                        .filter(|((w, t), _)| *w == *win && target.is_none_or(|tt| tt == *t))
+                        .map(|(&k, &(excl, _))| (k, excl))
+                        .collect();
+                    for (k, excl) in covered {
+                        block_on(&held, k, excl, step, &mut edges);
+                    }
+                }
+                Stmt::WaitAll => {
+                    for &(win, target, excl, _) in &pending_iunlock {
+                        block_on(&held, (win, target), excl, step, &mut edges);
+                    }
+                    pending_iunlock.clear();
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Cycle search over (win, target) keys. Consecutive edges must come
+    // from different ranks (a rank never blocks on its own hold) and must
+    // conflict in lock mode (requester or holder exclusive); shared-hold
+    // against shared-want never blocks.
+    let mut adj: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    for (i, e) in edges.iter().enumerate() {
+        adj.entry(e.held).or_default().push(i);
+    }
+    let conflict = |want: &LockEdge, holder: &LockEdge| {
+        want.rank != holder.rank && (want.want_excl || holder.held_excl)
+    };
+    let mut diags = Vec::new();
+    let mut reported: Vec<Vec<(usize, usize)>> = Vec::new();
+    // DFS over edge paths (consecutive conflicts verified at extension
+    // time), bounded by the tiny program sizes. A cycle closes when the
+    // last edge's wanted key is a held key already on the path.
+    fn dfs(
+        edges: &[LockEdge],
+        adj: &BTreeMap<(usize, usize), Vec<usize>>,
+        conflict: &dyn Fn(&LockEdge, &LockEdge) -> bool,
+        path: &mut Vec<usize>,
+        diags: &mut Vec<Diagnostic>,
+        reported: &mut Vec<Vec<(usize, usize)>>,
+    ) {
+        let last = *path.last().unwrap();
+        if let Some(pos) = path.iter().position(|&i| edges[i].held == edges[last].wanted) {
+            // The closing hold must conflict with the final want as well.
+            if conflict(&edges[last], &edges[path[pos]]) {
+                let cycle: Vec<usize> = path[pos..].to_vec();
+                let mut sig: Vec<(usize, usize)> = cycle.iter().map(|&i| edges[i].held).collect();
+                sig.sort_unstable();
+                if !reported.contains(&sig) {
+                    reported.push(sig);
+                    let anchor = cycle.iter().min_by_key(|&&i| edges[i].rank).copied().unwrap();
+                    let e = &edges[anchor];
+                    let witness: Vec<String> = cycle
+                        .iter()
+                        .map(|&i| {
+                            let e = &edges[i];
+                            format!(
+                                "rank {} holds lock(win {}, rank {}) from stmt {} and \
+                                 blocks on lock(win {}, rank {}) at stmt {}",
+                                e.rank,
+                                e.held.0,
+                                e.held.1,
+                                e.held_stmt,
+                                e.wanted.0,
+                                e.wanted.1,
+                                e.block_stmt
+                            )
+                        })
+                        .collect();
+                    diags.push(Diagnostic {
+                        code: Code::E014,
+                        rank: e.rank,
+                        step: Some(e.block_stmt),
+                        detail: format!("lock-order inversion: {}", witness.join("; ")),
+                    });
+                }
+            }
+            return;
+        }
+        for &next in adj.get(&edges[last].wanted).map(Vec::as_slice).unwrap_or(&[]) {
+            if !conflict(&edges[last], &edges[next]) {
+                continue;
+            }
+            if path.iter().any(|&i| edges[i].held == edges[next].held) {
+                continue;
+            }
+            path.push(next);
+            dfs(edges, adj, conflict, path, diags, reported);
+            path.pop();
+        }
+    }
+    for i in 0..edges.len() {
+        let mut path = vec![i];
+        dfs(&edges, &adj, &conflict, &mut path, &mut diags, &mut reported);
+    }
+    diags
+}
+
+/// Run both whole-job deadlock passes.
+pub(crate) fn deadlock_passes(p: &IrProgram) -> Vec<Diagnostic> {
+    let mut diags = fixpoint_pass(p);
+    diags.extend(lock_order_pass(p));
+    diags
+}

@@ -54,11 +54,37 @@ pub enum Code {
     /// dead participant. Without the stall watchdog the program cannot
     /// terminate if the crash lands before the dependency is satisfied.
     E012,
+    /// Cyclic cross-rank wait: the whole-job fixpoint interpreter left
+    /// two or more ranks mutually blocked — each rank's earliest
+    /// non-completable blocking point waits on a peer that (transitively)
+    /// waits back on it. Reported with a rank-annotated cycle witness
+    /// (`"rank 0 -> rank 1 -> rank 0"`).
+    E013,
+    /// Lock-order inversion: two ranks acquire the same pair of
+    /// exclusive-lock targets on one window in opposite orders, and each
+    /// blocks on the second lock's epoch while still holding the first —
+    /// a classic ABBA deadlock in the passive-target plane.
+    E014,
+    /// Missing or mismatched exposure: a GATS access epoch blocks on a
+    /// grant (`complete`/`wait`) whose matching `post`/completion the
+    /// peer's program never issues — the peer terminates without ever
+    /// satisfying the dependency, so the access id is provably never
+    /// granted.
+    E015,
+    /// Fence-participation mismatch: a rank blocks in a collective fence
+    /// phase that some job rank never reaches (it terminates with fewer
+    /// fence calls on that window), so the collective can never complete.
+    E016,
+    /// Wait on a never-completing request: a `wait`/`waitall` consumes a
+    /// nonblocking-epoch request whose completion condition is provably
+    /// unsatisfiable (the peer side of the epoch has terminated), so the
+    /// wait can never return.
+    E017,
 }
 
 impl Code {
     /// Every code, in order.
-    pub const ALL: [Code; 12] = [
+    pub const ALL: [Code; 17] = [
         Code::E001,
         Code::E002,
         Code::E003,
@@ -71,6 +97,11 @@ impl Code {
         Code::E010,
         Code::E011,
         Code::E012,
+        Code::E013,
+        Code::E014,
+        Code::E015,
+        Code::E016,
+        Code::E017,
     ];
 
     /// The stable code string (`"E001"` …).
@@ -88,6 +119,11 @@ impl Code {
             Code::E010 => "E010",
             Code::E011 => "E011",
             Code::E012 => "E012",
+            Code::E013 => "E013",
+            Code::E014 => "E014",
+            Code::E015 => "E015",
+            Code::E016 => "E016",
+            Code::E017 => "E017",
         }
     }
 
@@ -106,6 +142,11 @@ impl Code {
             Code::E010 => "operation exceeds window bounds",
             Code::E011 => "cross-rank synchronization mismatch",
             Code::E012 => "unguarded remote dependency",
+            Code::E013 => "cyclic cross-rank wait",
+            Code::E014 => "lock-order inversion",
+            Code::E015 => "missing or mismatched exposure",
+            Code::E016 => "fence-participation mismatch",
+            Code::E017 => "wait on never-completing request",
         }
     }
 }

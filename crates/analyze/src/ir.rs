@@ -1,11 +1,17 @@
-//! The analyzer's program IR: a per-rank statement list over one window.
+//! The analyzer's program IR: per-rank statement lists over one or more
+//! windows.
 //!
 //! This is deliberately *lower-level* than the check harness's
-//! `Program` type — every epoch-open, epoch-close, and data operation is
-//! its own statement, with the blocking/nonblocking distinction explicit,
-//! so the flow-sensitive state machine sees exactly the call sequence the
+//! `Program` type — every epoch-open, epoch-close, flush, and data
+//! operation is its own statement, with the blocking/nonblocking
+//! distinction explicit and the target window named, so the
+//! flow-sensitive state machine sees exactly the call sequence the
 //! runtime would see. `mpisim-check` lowers its generated programs into
 //! this shape (mirroring its executor) before running the analyzer.
+//!
+//! Every epoch/op statement carries a `win` index into
+//! [`IrProgram::windows`]; single-window programs use window `0`
+//! throughout (the [`IrProgram::new`] constructor allocates it).
 
 use mpisim_core::ReduceOp;
 
@@ -29,23 +35,51 @@ impl Close {
     }
 }
 
-/// One statement of one rank's program. All statements address the single
-/// implicit window of the [`IrProgram`].
+/// One statement of one rank's program. Epoch and data statements name
+/// the window they address via a `win` index into
+/// [`IrProgram::windows`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Stmt {
     /// `MPI_WIN_FENCE` / `MPI_WIN_IFENCE`: closes the current fence epoch
-    /// (if any) and opens the next fence phase.
-    Fence(Close),
-    /// `MPI_WIN_START`: open a GATS access epoch toward `group`.
-    Start(Vec<usize>),
+    /// (if any) and opens the next fence phase on `win`.
+    Fence {
+        /// Window index.
+        win: usize,
+        /// Blocking or nonblocking close.
+        close: Close,
+    },
+    /// `MPI_WIN_START`: open a GATS access epoch toward `group` on `win`.
+    Start {
+        /// Window index.
+        win: usize,
+        /// Target ranks of the access epoch.
+        group: Vec<usize>,
+    },
     /// `MPI_WIN_COMPLETE` / `MPI_WIN_ICOMPLETE`.
-    Complete(Close),
-    /// `MPI_WIN_POST`: open an exposure epoch toward `group`.
-    Post(Vec<usize>),
+    Complete {
+        /// Window index.
+        win: usize,
+        /// Blocking or nonblocking close.
+        close: Close,
+    },
+    /// `MPI_WIN_POST`: open an exposure epoch toward `group` on `win`.
+    Post {
+        /// Window index.
+        win: usize,
+        /// Origin ranks granted access.
+        group: Vec<usize>,
+    },
     /// `MPI_WIN_WAIT` / `MPI_WIN_IWAIT`: close the exposure epoch.
-    WaitEpoch(Close),
+    WaitEpoch {
+        /// Window index.
+        win: usize,
+        /// Blocking or nonblocking close.
+        close: Close,
+    },
     /// `MPI_WIN_LOCK` / `MPI_WIN_ILOCK` on one target.
     Lock {
+        /// Window index.
+        win: usize,
         /// Locked rank.
         target: usize,
         /// Exclusive (vs shared) lock.
@@ -56,17 +90,47 @@ pub enum Stmt {
     },
     /// `MPI_WIN_UNLOCK` / `MPI_WIN_IUNLOCK`.
     Unlock {
+        /// Window index.
+        win: usize,
         /// The rank being unlocked.
         target: usize,
         /// Blocking or nonblocking close.
         close: Close,
     },
     /// `MPI_WIN_LOCK_ALL` (shared lock on every rank).
-    LockAll,
+    LockAll {
+        /// Window index.
+        win: usize,
+    },
     /// `MPI_WIN_UNLOCK_ALL` / `MPI_WIN_IUNLOCK_ALL`.
-    UnlockAll(Close),
+    UnlockAll {
+        /// Window index.
+        win: usize,
+        /// Blocking or nonblocking close.
+        close: Close,
+    },
+    /// `MPI_WIN_FLUSH` family: force completion of operations issued so
+    /// far in the surrounding passive-target epoch, without closing it.
+    /// The engine implements this by age-stamping the epoch's in-flight
+    /// requests and completing the stamped prefix (`FlushState`), so a
+    /// blocking flush discharges every earlier nonblocking request of
+    /// the covered scope — see the E008 discharge rule.
+    Flush {
+        /// Window index.
+        win: usize,
+        /// `Some(rank)` for `flush`/`flush_local`; `None` for the
+        /// `_all` variants covering every locked target.
+        target: Option<usize>,
+        /// `flush_local` family: completes locally only (origin buffers
+        /// reusable), not at the target.
+        local_only: bool,
+        /// Blocking (`flush*`) or nonblocking (`iflush*`) variant.
+        close: Close,
+    },
     /// `MPI_PUT` of `len` bytes at `disp` in `target`'s window.
     Put {
+        /// Window index.
+        win: usize,
         /// Target rank.
         target: usize,
         /// Byte displacement.
@@ -76,6 +140,8 @@ pub enum Stmt {
     },
     /// `MPI_GET` of `len` bytes at `disp` from `target`'s window.
     Get {
+        /// Window index.
+        win: usize,
         /// Target rank.
         target: usize,
         /// Byte displacement.
@@ -85,6 +151,8 @@ pub enum Stmt {
     },
     /// Accumulate-family atomic update of `len` bytes at `disp`.
     Acc {
+        /// Window index.
+        win: usize,
         /// Target rank.
         target: usize,
         /// Byte displacement.
@@ -101,14 +169,38 @@ pub enum Stmt {
     Barrier,
 }
 
-/// A whole-job program over one window: `ranks[r]` is rank `r`'s
-/// statement sequence.
+impl Stmt {
+    /// The window this statement addresses, if any (`WaitAll` and
+    /// `Barrier` are window-less).
+    pub fn win(&self) -> Option<usize> {
+        match *self {
+            Stmt::Fence { win, .. }
+            | Stmt::Start { win, .. }
+            | Stmt::Complete { win, .. }
+            | Stmt::Post { win, .. }
+            | Stmt::WaitEpoch { win, .. }
+            | Stmt::Lock { win, .. }
+            | Stmt::Unlock { win, .. }
+            | Stmt::LockAll { win }
+            | Stmt::UnlockAll { win, .. }
+            | Stmt::Flush { win, .. }
+            | Stmt::Put { win, .. }
+            | Stmt::Get { win, .. }
+            | Stmt::Acc { win, .. } => Some(win),
+            Stmt::WaitAll | Stmt::Barrier => None,
+        }
+    }
+}
+
+/// A whole-job program over one or more windows: `ranks[r]` is rank
+/// `r`'s statement sequence.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IrProgram {
     /// Number of ranks in the job.
     pub n_ranks: usize,
-    /// Window size in bytes (bounds check for [`crate::Code::E010`]).
-    pub win_bytes: usize,
+    /// Size in bytes of each window, indexed by the `win` field of
+    /// statements (bounds check for [`crate::Code::E010`]).
+    pub windows: Vec<usize>,
     /// Window info reorder flags asserted (any of the four `*_REORDER`
     /// flags): concurrently progressed epochs may activate out of order.
     pub reorder: bool,
@@ -125,15 +217,23 @@ pub struct IrProgram {
 }
 
 impl IrProgram {
-    /// An empty program skeleton for `n_ranks` ranks.
+    /// An empty program skeleton for `n_ranks` ranks with a single
+    /// window (index 0) of `win_bytes` bytes.
     pub fn new(n_ranks: usize, win_bytes: usize) -> Self {
         IrProgram {
             n_ranks,
-            win_bytes,
+            windows: vec![win_bytes],
             reorder: false,
             unsafe_fence_reorder: false,
             crashed: Vec::new(),
             ranks: vec![Vec::new(); n_ranks],
         }
+    }
+
+    /// Allocate an additional window of `bytes` bytes; returns its
+    /// index for use in statements.
+    pub fn add_window(&mut self, bytes: usize) -> usize {
+        self.windows.push(bytes);
+        self.windows.len() - 1
     }
 }

@@ -3,17 +3,23 @@
 //! Two cooperating layers over the `mpisim-core` simulator:
 //!
 //! 1. **Static analyzer** ([`analyze`]) — a flow-sensitive per-(rank,
-//!    window) epoch state machine over a small program IR
+//!    window) epoch state machine over a small multi-window program IR
 //!    ([`IrProgram`]). It rejects operations outside an access epoch,
 //!    targets outside the start group, missing `complete`/`wait`/
 //!    `unlock`, illegal synchronization-strategy mixes, conflicting
 //!    overlapping put/put and put/get pairs (byte-range interval
 //!    analysis), nonblocking epoch requests that are never tested or
-//!    waited, and reorder-flag configurations whose legality conditions
-//!    ("never across `lock_all`; across fence only with
-//!    `unsafe_fence_reorder`") the program violates. Each rejection is a
-//!    [`Diagnostic`] with a stable [`Code`] (`E001`…) plus rank and
-//!    statement provenance.
+//!    waited (with the flush-discharge rule for `iflush` requests), and
+//!    reorder-flag configurations whose legality conditions ("never
+//!    across `lock_all`; across fence only with `unsafe_fence_reorder`")
+//!    the program violates. On top of the per-rank walk, the whole-job
+//!    deadlock passes build an inter-rank wait-for graph via a symbolic
+//!    ω-triple fixpoint interpreter plus a lock-acquisition-order scan,
+//!    yielding E013 (cyclic cross-rank wait, with a rank-annotated
+//!    witness), E014 (lock-order inversion), E015 (missing/mismatched
+//!    exposure), E016 (fence-participation mismatch) and E017 (wait on a
+//!    never-completing request). Each rejection is a [`Diagnostic`] with
+//!    a stable [`Code`] (`E001`…) plus rank and statement provenance.
 //!
 //! 2. **Dynamic race detector** ([`detect_races`]) — vector-clock
 //!    happens-before checking over the sync-event trace a simulated run
@@ -32,6 +38,7 @@
 
 pub mod analyzer;
 pub mod corpus;
+mod deadlock;
 pub mod diag;
 pub mod ir;
 pub mod race;

@@ -14,7 +14,7 @@ const WIN: usize = 64;
 
 fn fence_all(p: &mut IrProgram, close: Close) {
     for r in 0..p.n_ranks {
-        p.ranks[r].push(Stmt::Fence(close));
+        p.ranks[r].push(Stmt::Fence { win: 0, close });
     }
 }
 
@@ -28,7 +28,7 @@ fn assert_clean(p: &IrProgram) {
 #[test]
 fn e001_op_outside_epoch() {
     let mut p = IrProgram::new(2, WIN);
-    p.ranks[0].push(Stmt::Put { target: 1, disp: 0, len: 8 });
+    p.ranks[0].push(Stmt::Put { win: 0, target: 1, disp: 0, len: 8 });
     assert!(has_code(&analyze(&p), Code::E001));
 }
 
@@ -36,9 +36,9 @@ fn e001_op_outside_epoch() {
 fn e001_near_miss_op_inside_lock() {
     let mut p = IrProgram::new(2, WIN);
     p.ranks[0].extend([
-        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
-        Stmt::Put { target: 1, disp: 0, len: 8 },
-        Stmt::Unlock { target: 1, close: Close::Blocking },
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
     ]);
     assert_clean(&p);
 }
@@ -49,11 +49,11 @@ fn e001_near_miss_op_inside_lock() {
 fn e002_target_outside_start_group() {
     let mut p = IrProgram::new(3, WIN);
     p.ranks[0].extend([
-        Stmt::Start(vec![1]),
-        Stmt::Put { target: 2, disp: 0, len: 8 },
-        Stmt::Complete(Close::Blocking),
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::Put { win: 0, target: 2, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
     ]);
-    p.ranks[1].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    p.ranks[1].extend([Stmt::Post { win: 0, group: vec![0] }, Stmt::WaitEpoch { win: 0, close: Close::Blocking }]);
     assert!(has_code(&analyze(&p), Code::E002));
 }
 
@@ -61,12 +61,12 @@ fn e002_target_outside_start_group() {
 fn e002_near_miss_target_in_group() {
     let mut p = IrProgram::new(3, WIN);
     p.ranks[0].extend([
-        Stmt::Start(vec![1, 2]),
-        Stmt::Put { target: 2, disp: 0, len: 8 },
-        Stmt::Complete(Close::Blocking),
+        Stmt::Start { win: 0, group: vec![1, 2] },
+        Stmt::Put { win: 0, target: 2, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
     ]);
     for r in 1..3 {
-        p.ranks[r].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+        p.ranks[r].extend([Stmt::Post { win: 0, group: vec![0] }, Stmt::WaitEpoch { win: 0, close: Close::Blocking }]);
     }
     assert_clean(&p);
 }
@@ -77,8 +77,8 @@ fn e002_near_miss_target_in_group() {
 fn e003_lock_never_unlocked() {
     let mut p = IrProgram::new(2, WIN);
     p.ranks[0].extend([
-        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
-        Stmt::Put { target: 1, disp: 0, len: 8 },
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
     ]);
     assert!(has_code(&analyze(&p), Code::E003));
 }
@@ -87,9 +87,9 @@ fn e003_lock_never_unlocked() {
 fn e003_near_miss_lock_unlocked() {
     let mut p = IrProgram::new(2, WIN);
     p.ranks[0].extend([
-        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
-        Stmt::Put { target: 1, disp: 0, len: 8 },
-        Stmt::Unlock { target: 1, close: Close::Blocking },
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
     ]);
     assert_clean(&p);
 }
@@ -99,7 +99,7 @@ fn e003_near_miss_lock_unlocked() {
 #[test]
 fn e004_unlock_without_lock() {
     let mut p = IrProgram::new(2, WIN);
-    p.ranks[0].push(Stmt::Unlock { target: 1, close: Close::Blocking });
+    p.ranks[0].push(Stmt::Unlock { win: 0, target: 1, close: Close::Blocking });
     assert!(has_code(&analyze(&p), Code::E004));
 }
 
@@ -107,8 +107,8 @@ fn e004_unlock_without_lock() {
 fn e004_near_miss_matched_unlock() {
     let mut p = IrProgram::new(2, WIN);
     p.ranks[0].extend([
-        Stmt::Lock { target: 1, exclusive: false, nonblocking: false },
-        Stmt::Unlock { target: 1, close: Close::Blocking },
+        Stmt::Lock { win: 0, target: 1, exclusive: false, nonblocking: false },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
     ]);
     assert_clean(&p);
 }
@@ -119,12 +119,12 @@ fn e004_near_miss_matched_unlock() {
 fn e005_lock_all_inside_start_epoch() {
     let mut p = IrProgram::new(2, WIN);
     p.ranks[0].extend([
-        Stmt::Start(vec![1]),
-        Stmt::LockAll,
-        Stmt::UnlockAll(Close::Blocking),
-        Stmt::Complete(Close::Blocking),
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::LockAll { win: 0 },
+        Stmt::UnlockAll { win: 0, close: Close::Blocking },
+        Stmt::Complete { win: 0, close: Close::Blocking },
     ]);
-    p.ranks[1].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    p.ranks[1].extend([Stmt::Post { win: 0, group: vec![0] }, Stmt::WaitEpoch { win: 0, close: Close::Blocking }]);
     assert!(has_code(&analyze(&p), Code::E005));
 }
 
@@ -136,9 +136,9 @@ fn e005_near_miss_dormant_trailing_fence() {
     fence_all(&mut p, Close::Blocking);
     fence_all(&mut p, Close::Blocking);
     p.ranks[0].extend([
-        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
-        Stmt::Put { target: 1, disp: 0, len: 8 },
-        Stmt::Unlock { target: 1, close: Close::Blocking },
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
     ]);
     assert_clean(&p);
 }
@@ -149,8 +149,8 @@ fn e005_near_miss_dormant_trailing_fence() {
 fn e006_overlapping_cross_origin_puts() {
     let mut p = IrProgram::new(3, WIN);
     fence_all(&mut p, Close::Blocking);
-    p.ranks[1].push(Stmt::Put { target: 0, disp: 0, len: 8 });
-    p.ranks[2].push(Stmt::Put { target: 0, disp: 4, len: 8 });
+    p.ranks[1].push(Stmt::Put { win: 0, target: 0, disp: 0, len: 8 });
+    p.ranks[2].push(Stmt::Put { win: 0, target: 0, disp: 4, len: 8 });
     fence_all(&mut p, Close::Blocking);
     assert!(has_code(&analyze(&p), Code::E006));
 }
@@ -159,8 +159,8 @@ fn e006_overlapping_cross_origin_puts() {
 fn e006_near_miss_disjoint_puts() {
     let mut p = IrProgram::new(3, WIN);
     fence_all(&mut p, Close::Blocking);
-    p.ranks[1].push(Stmt::Put { target: 0, disp: 0, len: 8 });
-    p.ranks[2].push(Stmt::Put { target: 0, disp: 8, len: 8 });
+    p.ranks[1].push(Stmt::Put { win: 0, target: 0, disp: 0, len: 8 });
+    p.ranks[2].push(Stmt::Put { win: 0, target: 0, disp: 8, len: 8 });
     fence_all(&mut p, Close::Blocking);
     assert_clean(&p);
 }
@@ -171,8 +171,8 @@ fn e006_near_miss_disjoint_puts() {
 fn e007_put_get_overlap() {
     let mut p = IrProgram::new(3, WIN);
     fence_all(&mut p, Close::Blocking);
-    p.ranks[1].push(Stmt::Put { target: 0, disp: 0, len: 8 });
-    p.ranks[2].push(Stmt::Get { target: 0, disp: 4, len: 8 });
+    p.ranks[1].push(Stmt::Put { win: 0, target: 0, disp: 0, len: 8 });
+    p.ranks[2].push(Stmt::Get { win: 0, target: 0, disp: 4, len: 8 });
     fence_all(&mut p, Close::Blocking);
     assert!(has_code(&analyze(&p), Code::E007));
 }
@@ -182,8 +182,8 @@ fn e007_near_miss_get_get_overlap() {
     // Two overlapping reads never conflict.
     let mut p = IrProgram::new(3, WIN);
     fence_all(&mut p, Close::Blocking);
-    p.ranks[1].push(Stmt::Get { target: 0, disp: 0, len: 8 });
-    p.ranks[2].push(Stmt::Get { target: 0, disp: 4, len: 8 });
+    p.ranks[1].push(Stmt::Get { win: 0, target: 0, disp: 0, len: 8 });
+    p.ranks[2].push(Stmt::Get { win: 0, target: 0, disp: 4, len: 8 });
     fence_all(&mut p, Close::Blocking);
     assert_clean(&p);
 }
@@ -193,8 +193,8 @@ fn e007_near_miss_get_get_overlap() {
 #[test]
 fn e008_leaked_ifence_request() {
     let mut p = IrProgram::new(2, WIN);
-    p.ranks[0].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Nonblocking)]);
-    p.ranks[1].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Blocking)]);
+    p.ranks[0].extend([Stmt::Fence { win: 0, close: Close::Blocking }, Stmt::Fence { win: 0, close: Close::Nonblocking }]);
+    p.ranks[1].extend([Stmt::Fence { win: 0, close: Close::Blocking }, Stmt::Fence { win: 0, close: Close::Blocking }]);
     assert!(has_code(&analyze(&p), Code::E008));
 }
 
@@ -202,11 +202,11 @@ fn e008_leaked_ifence_request() {
 fn e008_near_miss_request_waited() {
     let mut p = IrProgram::new(2, WIN);
     p.ranks[0].extend([
-        Stmt::Fence(Close::Blocking),
-        Stmt::Fence(Close::Nonblocking),
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Fence { win: 0, close: Close::Nonblocking },
         Stmt::WaitAll,
     ]);
-    p.ranks[1].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Blocking)]);
+    p.ranks[1].extend([Stmt::Fence { win: 0, close: Close::Blocking }, Stmt::Fence { win: 0, close: Close::Blocking }]);
     assert_clean(&p);
 }
 
@@ -217,17 +217,17 @@ fn reordered_fence_phases(second_disp: usize) -> IrProgram {
     p.reorder = true;
     p.unsafe_fence_reorder = true;
     p.ranks[0].extend([
-        Stmt::Fence(Close::Blocking),
-        Stmt::Put { target: 1, disp: 0, len: 8 },
-        Stmt::Fence(Close::Nonblocking),
-        Stmt::Put { target: 1, disp: second_disp, len: 8 },
-        Stmt::Fence(Close::Nonblocking),
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Fence { win: 0, close: Close::Nonblocking },
+        Stmt::Put { win: 0, target: 1, disp: second_disp, len: 8 },
+        Stmt::Fence { win: 0, close: Close::Nonblocking },
         Stmt::WaitAll,
     ]);
     p.ranks[1].extend([
-        Stmt::Fence(Close::Blocking),
-        Stmt::Fence(Close::Blocking),
-        Stmt::Fence(Close::Blocking),
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Fence { win: 0, close: Close::Blocking },
     ]);
     p
 }
@@ -258,9 +258,9 @@ fn e009_near_miss_no_reorder_flags() {
 fn e010_put_past_window_end() {
     let mut p = IrProgram::new(2, WIN);
     p.ranks[0].extend([
-        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
-        Stmt::Put { target: 1, disp: WIN - 4, len: 8 },
-        Stmt::Unlock { target: 1, close: Close::Blocking },
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: WIN - 4, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
     ]);
     assert!(has_code(&analyze(&p), Code::E010));
 }
@@ -269,9 +269,9 @@ fn e010_put_past_window_end() {
 fn e010_near_miss_put_to_window_end() {
     let mut p = IrProgram::new(2, WIN);
     p.ranks[0].extend([
-        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
-        Stmt::Put { target: 1, disp: WIN - 8, len: 8 },
-        Stmt::Unlock { target: 1, close: Close::Blocking },
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: WIN - 8, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
     ]);
     assert_clean(&p);
 }
@@ -281,15 +281,15 @@ fn e010_near_miss_put_to_window_end() {
 #[test]
 fn e011_unequal_fence_counts() {
     let mut p = IrProgram::new(2, WIN);
-    p.ranks[0].extend([Stmt::Fence(Close::Blocking), Stmt::Fence(Close::Blocking)]);
-    p.ranks[1].push(Stmt::Fence(Close::Blocking));
+    p.ranks[0].extend([Stmt::Fence { win: 0, close: Close::Blocking }, Stmt::Fence { win: 0, close: Close::Blocking }]);
+    p.ranks[1].push(Stmt::Fence { win: 0, close: Close::Blocking });
     assert!(has_code(&analyze(&p), Code::E011));
 }
 
 #[test]
 fn e011_start_without_matching_post() {
     let mut p = IrProgram::new(2, WIN);
-    p.ranks[0].extend([Stmt::Start(vec![1]), Stmt::Complete(Close::Blocking)]);
+    p.ranks[0].extend([Stmt::Start { win: 0, group: vec![1] }, Stmt::Complete { win: 0, close: Close::Blocking }]);
     assert!(has_code(&analyze(&p), Code::E011));
 }
 
@@ -298,8 +298,8 @@ fn e011_near_miss_matched_collectives() {
     let mut p = IrProgram::new(2, WIN);
     fence_all(&mut p, Close::Blocking);
     fence_all(&mut p, Close::Blocking);
-    p.ranks[0].extend([Stmt::Start(vec![1]), Stmt::Complete(Close::Blocking)]);
-    p.ranks[1].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+    p.ranks[0].extend([Stmt::Start { win: 0, group: vec![1] }, Stmt::Complete { win: 0, close: Close::Blocking }]);
+    p.ranks[1].extend([Stmt::Post { win: 0, group: vec![0] }, Stmt::WaitEpoch { win: 0, close: Close::Blocking }]);
     assert_clean(&p);
 }
 
@@ -309,8 +309,8 @@ fn e011_near_miss_matched_collectives() {
 fn same_op_accumulates_do_not_conflict() {
     let mut p = IrProgram::new(3, WIN);
     fence_all(&mut p, Close::Blocking);
-    p.ranks[1].push(Stmt::Acc { target: 0, disp: 0, len: 8, op: ReduceOp::Sum });
-    p.ranks[2].push(Stmt::Acc { target: 0, disp: 0, len: 8, op: ReduceOp::Sum });
+    p.ranks[1].push(Stmt::Acc { win: 0, target: 0, disp: 0, len: 8, op: ReduceOp::Sum });
+    p.ranks[2].push(Stmt::Acc { win: 0, target: 0, disp: 0, len: 8, op: ReduceOp::Sum });
     fence_all(&mut p, Close::Blocking);
     assert_clean(&p);
 }
@@ -319,8 +319,8 @@ fn same_op_accumulates_do_not_conflict() {
 fn mixed_op_accumulates_conflict() {
     let mut p = IrProgram::new(3, WIN);
     fence_all(&mut p, Close::Blocking);
-    p.ranks[1].push(Stmt::Acc { target: 0, disp: 0, len: 8, op: ReduceOp::Sum });
-    p.ranks[2].push(Stmt::Acc { target: 0, disp: 0, len: 8, op: ReduceOp::Prod });
+    p.ranks[1].push(Stmt::Acc { win: 0, target: 0, disp: 0, len: 8, op: ReduceOp::Sum });
+    p.ranks[2].push(Stmt::Acc { win: 0, target: 0, disp: 0, len: 8, op: ReduceOp::Prod });
     fence_all(&mut p, Close::Blocking);
     assert!(has_code(&analyze(&p), Code::E006));
 }
@@ -332,12 +332,12 @@ fn e012_start_toward_crashed_peer() {
     let mut p = IrProgram::new(3, WIN);
     p.crashed = vec![2];
     p.ranks[0].extend([
-        Stmt::Start(vec![1, 2]),
-        Stmt::Put { target: 2, disp: 0, len: 8 },
-        Stmt::Complete(Close::Blocking),
+        Stmt::Start { win: 0, group: vec![1, 2] },
+        Stmt::Put { win: 0, target: 2, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
     ]);
     for r in 1..3 {
-        p.ranks[r].extend([Stmt::Post(vec![0]), Stmt::WaitEpoch(Close::Blocking)]);
+        p.ranks[r].extend([Stmt::Post { win: 0, group: vec![0] }, Stmt::WaitEpoch { win: 0, close: Close::Blocking }]);
     }
     assert!(has_code(&analyze(&p), Code::E012));
 }
@@ -347,9 +347,9 @@ fn e012_lock_on_crashed_peer() {
     let mut p = IrProgram::new(3, WIN);
     p.crashed = vec![1];
     p.ranks[0].extend([
-        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
-        Stmt::Put { target: 1, disp: 0, len: 8 },
-        Stmt::Unlock { target: 1, close: Close::Blocking },
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
     ]);
     assert!(has_code(&analyze(&p), Code::E012));
 }
@@ -361,9 +361,9 @@ fn e012_not_reported_when_dependencies_avoid_the_crash() {
     let mut p = IrProgram::new(3, WIN);
     p.crashed = vec![2];
     p.ranks[0].extend([
-        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
-        Stmt::Put { target: 1, disp: 0, len: 8 },
-        Stmt::Unlock { target: 1, close: Close::Blocking },
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
     ]);
     assert!(!has_code(&analyze(&p), Code::E012));
 }
@@ -375,8 +375,8 @@ fn e012_crashed_ranks_own_program_is_not_flagged() {
     let mut p = IrProgram::new(3, WIN);
     p.crashed = vec![0];
     p.ranks[0].extend([
-        Stmt::Lock { target: 1, exclusive: true, nonblocking: false },
-        Stmt::Unlock { target: 1, close: Close::Blocking },
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
     ]);
     assert!(!has_code(&analyze(&p), Code::E012));
 }
@@ -409,6 +409,289 @@ fn catalog_cases_cover_every_code() {
             .any(|(c, p)| *c == code && has_code(&analyze(p), code));
         assert!(covered, "no catalog case triggers {code}");
     }
+}
+
+// ---------------------------------------------------------------- E013
+
+#[test]
+fn e013_pscw_start_cycle() {
+    // Both ranks start toward each other before either posts: each
+    // blocking Complete waits for a grant the peer can only send after
+    // its own Complete — a cross-rank cycle.
+    let mut p = IrProgram::new(2, WIN);
+    for (me, peer) in [(0usize, 1usize), (1, 0)] {
+        p.ranks[me].extend([
+            Stmt::Start { win: 0, group: vec![peer] },
+            Stmt::Put { win: 0, target: peer, disp: 0, len: 8 },
+            Stmt::Complete { win: 0, close: Close::Blocking },
+            Stmt::Post { win: 0, group: vec![peer] },
+            Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+        ]);
+    }
+    let diags = analyze(&p);
+    assert!(has_code(&diags, Code::E013), "{diags:?}");
+    let d = diags.iter().find(|d| d.code == Code::E013).unwrap();
+    assert!(d.detail.contains("rank 0") && d.detail.contains("rank 1"), "{d:?}");
+}
+
+#[test]
+fn e013_near_miss_post_before_start() {
+    // Same statements, but each rank posts before starting: grants are
+    // available up front and every wait can complete.
+    let mut p = IrProgram::new(2, WIN);
+    for (me, peer) in [(0usize, 1usize), (1, 0)] {
+        p.ranks[me].extend([
+            Stmt::Post { win: 0, group: vec![peer] },
+            Stmt::Start { win: 0, group: vec![peer] },
+            Stmt::Put { win: 0, target: peer, disp: 0, len: 8 },
+            Stmt::Complete { win: 0, close: Close::Blocking },
+            Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+        ]);
+    }
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E014
+
+#[test]
+fn e014_lock_order_inversion() {
+    // Rank 0 acquires locks (win 0, rank 1) then (win 0, rank 2);
+    // rank 1 acquires them in the opposite order. A blocking flush
+    // while holding the first lock pins each rank inside its epoch.
+    let mut p = IrProgram::new(3, WIN);
+    for (me, first, second) in [(0usize, 1usize, 2usize), (1, 2, 1)] {
+        p.ranks[me].extend([
+            Stmt::Lock { win: 0, target: first, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target: first, disp: 0, len: 8 },
+            Stmt::Flush { win: 0, target: Some(first), local_only: false, close: Close::Blocking },
+            Stmt::Lock { win: 0, target: second, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target: second, disp: 8, len: 8 },
+            Stmt::Unlock { win: 0, target: second, close: Close::Blocking },
+            Stmt::Unlock { win: 0, target: first, close: Close::Blocking },
+        ]);
+    }
+    assert!(has_code(&analyze(&p), Code::E014));
+}
+
+#[test]
+fn e014_near_miss_consistent_order() {
+    // Both ranks acquire in the same global order: no inversion.
+    let mut p = IrProgram::new(3, WIN);
+    for me in [0usize, 1] {
+        p.ranks[me].extend([
+            Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+            Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Blocking },
+            Stmt::Lock { win: 0, target: 2, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target: 2, disp: 8, len: 8 },
+            Stmt::Unlock { win: 0, target: 2, close: Close::Blocking },
+            Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+        ]);
+    }
+    assert_clean(&p);
+}
+
+#[test]
+fn e014_near_miss_shared_locks_do_not_conflict() {
+    // Opposite acquisition orders, but every lock is shared: grants
+    // never exclude each other, so no deadlock and no report.
+    let mut p = IrProgram::new(3, WIN);
+    for (me, first, second) in [(0usize, 1usize, 2usize), (1, 2, 1)] {
+        p.ranks[me].extend([
+            Stmt::Lock { win: 0, target: first, exclusive: false, nonblocking: false },
+            Stmt::Put { win: 0, target: first, disp: 0, len: 8 },
+            Stmt::Flush { win: 0, target: Some(first), local_only: false, close: Close::Blocking },
+            Stmt::Lock { win: 0, target: second, exclusive: false, nonblocking: false },
+            Stmt::Put { win: 0, target: second, disp: 8, len: 8 },
+            Stmt::Unlock { win: 0, target: second, close: Close::Blocking },
+            Stmt::Unlock { win: 0, target: first, close: Close::Blocking },
+        ]);
+    }
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E015
+
+#[test]
+fn e015_start_without_exposure() {
+    // Rank 0 starts toward rank 1, which never posts: the blocking
+    // Complete waits on a grant that will never arrive.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
+    ]);
+    assert!(has_code(&analyze(&p), Code::E015));
+}
+
+#[test]
+fn e015_near_miss_matching_post() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
+    ]);
+    p.ranks[1].extend([
+        Stmt::Post { win: 0, group: vec![0] },
+        Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+    ]);
+    assert_clean(&p);
+}
+
+#[test]
+fn e015_post_without_completing_origin() {
+    // Rank 1 exposes to rank 0 but rank 0 never starts/completes: the
+    // blocking WaitEpoch waits on a done message that never comes.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[1].extend([
+        Stmt::Post { win: 0, group: vec![0] },
+        Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+    ]);
+    assert!(has_code(&analyze(&p), Code::E015));
+}
+
+// ---------------------------------------------------------------- E016
+
+#[test]
+fn e016_fence_participation_mismatch() {
+    // Rank 0 calls a second fence that rank 1 never matches; the
+    // fence plane is collective per window, so rank 0 blocks forever.
+    let mut p = IrProgram::new(2, WIN);
+    fence_all(&mut p, Close::Blocking);
+    p.ranks[0].push(Stmt::Put { win: 0, target: 1, disp: 0, len: 8 });
+    fence_all(&mut p, Close::Blocking);
+    p.ranks[0].push(Stmt::Fence { win: 0, close: Close::Blocking });
+    let diags = analyze(&p);
+    assert!(has_code(&diags, Code::E016), "{diags:?}");
+}
+
+#[test]
+fn e016_near_miss_equal_fence_counts() {
+    let mut p = IrProgram::new(2, WIN);
+    fence_all(&mut p, Close::Blocking);
+    p.ranks[0].push(Stmt::Put { win: 0, target: 1, disp: 0, len: 8 });
+    fence_all(&mut p, Close::Blocking);
+    assert_clean(&p);
+}
+
+#[test]
+fn e016_per_window_fence_planes_are_independent() {
+    // Equal fence counts on each window individually — even though the
+    // two windows' counts differ from each other — is legal.
+    let mut p = IrProgram::new(2, WIN);
+    let w1 = p.add_window(WIN);
+    fence_all(&mut p, Close::Blocking);
+    p.ranks[0].push(Stmt::Put { win: 0, target: 1, disp: 0, len: 8 });
+    fence_all(&mut p, Close::Blocking);
+    for r in 0..2 {
+        p.ranks[r].push(Stmt::Fence { win: w1, close: Close::Blocking });
+        p.ranks[r].push(Stmt::Fence { win: w1, close: Close::Blocking });
+    }
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E017
+
+#[test]
+fn e017_wait_on_never_completing_request() {
+    // The nonblocking Complete's request can never finish (no
+    // exposure), so the WaitAll blocks forever — and unlike E015's
+    // blocking form, the blame lands on the wait site.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Nonblocking },
+        Stmt::WaitAll,
+    ]);
+    assert!(has_code(&analyze(&p), Code::E017));
+}
+
+#[test]
+fn e017_near_miss_exposure_present() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Nonblocking },
+        Stmt::WaitAll,
+    ]);
+    p.ranks[1].extend([
+        Stmt::Post { win: 0, group: vec![0] },
+        Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+    ]);
+    assert_clean(&p);
+}
+
+// ------------------------------------------------- flush discharge
+
+#[test]
+fn e008_iflush_never_discharged() {
+    // A nonblocking flush leaves a request that nothing waits for and
+    // no later blocking flush covers.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: false, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Nonblocking },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+    ]);
+    assert!(has_code(&analyze(&p), Code::E008));
+}
+
+#[test]
+fn e008_near_miss_blocking_flush_discharges_iflush() {
+    // A later blocking flush on the same window and target subsumes the
+    // outstanding iflush request (age-stamp rule): no E008.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: false, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Nonblocking },
+        Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Blocking },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+    ]);
+    assert_clean(&p);
+}
+
+#[test]
+fn e008_near_miss_flush_all_discharges_targeted_iflush() {
+    // A blocking flush_all covers every target on the window.
+    let mut p = IrProgram::new(3, WIN);
+    p.ranks[0].extend([
+        Stmt::LockAll { win: 0 },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Nonblocking },
+        Stmt::Put { win: 0, target: 2, disp: 8, len: 8 },
+        Stmt::Flush { win: 0, target: Some(2), local_only: false, close: Close::Nonblocking },
+        Stmt::Flush { win: 0, target: None, local_only: false, close: Close::Blocking },
+        Stmt::UnlockAll { win: 0, close: Close::Blocking },
+    ]);
+    assert_clean(&p);
+}
+
+#[test]
+fn local_flush_does_not_discharge_remote_iflush() {
+    // flush_local only guarantees local completion; the remote iflush
+    // request remains outstanding.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: false, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Nonblocking },
+        Stmt::Flush { win: 0, target: Some(1), local_only: true, close: Close::Blocking },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+    ]);
+    assert!(has_code(&analyze(&p), Code::E008));
+}
+
+#[test]
+fn flush_outside_passive_epoch_is_e004() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].push(Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Blocking });
+    assert!(has_code(&analyze(&p), Code::E004));
 }
 
 // ------------------------------------------------- race detector (HB)

@@ -1,16 +1,16 @@
 //! Perf-trajectory runner: executes the macro-benchmarks (fence-heavy
-//! halo, GATS pipeline, lock_all contention, and the internode /
-//! reliability-sublayer halo pair) and writes `BENCH_4.json`.
+//! halo, GATS pipeline, lock_all contention, the internode /
+//! reliability-sublayer halo pair, and the static-analyzer IR sweep) and
+//! writes `BENCH_5.json`.
 //!
 //! Usage: `cargo run --release -p mpisim-bench --bin bench_trajectory --
 //! [--short] [--out PATH]`. `--short` runs CI-smoke scales; `--out`
-//! overrides the output path (default `BENCH_4.json` in the current
+//! overrides the output path (default `BENCH_5.json` in the current
 //! directory — run from the repo root).
 
-/// Trajectory point: PR 4 added the `halo_fence_internode` /
-/// `halo_fence_reliable` pair measuring the reliability sublayer's
-/// fault-free overhead.
-const PR: u32 = 4;
+/// Trajectory point: PR 5 added `analyzer_ir_sweep`, the whole-job
+/// deadlock/progress analyzer's wall-time per generated IR program.
+const PR: u32 = 5;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -202,6 +202,51 @@ pub fn lock_all_contention(n_ranks: usize, rounds: usize, accs: usize) -> BenchR
     })
 }
 
+/// Static-analyzer throughput probe: generate every conformance family's
+/// programs, lower each under both close modes, add the full negative
+/// corpus, and run the whole-job deadlock/progress analyzer over every
+/// IR program. `ops` counts analyzed programs, so `ns_per_op` is the
+/// analyzer's wall-time per generated program; the engine counters stay
+/// zero — nothing is simulated.
+pub fn analyzer_ir_sweep(programs: u64, corpus_seeds: u64) -> BenchResult {
+    use mpisim_analyze::{analyze, generate_negative, NegFamily};
+    use mpisim_check::{generate, lower, Family};
+    let mut irs = Vec::new();
+    for family in Family::ALL {
+        for idx in 0..programs {
+            let p = generate(family, idx);
+            for nonblocking in [false, true] {
+                irs.push(lower(&p, nonblocking));
+            }
+        }
+    }
+    for family in NegFamily::ALL {
+        for seed in 0..corpus_seeds {
+            irs.push(generate_negative(family, seed).program);
+        }
+    }
+    let ops = irs.len() as u64;
+    let t0 = Instant::now();
+    let mut diags = 0u64;
+    for ir in &irs {
+        diags += analyze(ir).len() as u64;
+    }
+    let wall_ns = t0.elapsed().as_nanos();
+    // Every corpus program carries at least one planted defect.
+    assert!(
+        diags >= NegFamily::ALL.len() as u64 * corpus_seeds,
+        "analyzer_ir_sweep: corpus programs went unflagged"
+    );
+    BenchResult {
+        name: "analyzer_ir_sweep",
+        ranks: 0,
+        ops,
+        wall_ns,
+        virt_ns: 0,
+        engine: EngineStats::default(),
+    }
+}
+
 /// Run the full trajectory suite. `short` uses reduced scales for CI
 /// smoke runs; the numbers are still comparable across PRs as long as
 /// the mode matches.
@@ -213,6 +258,7 @@ pub fn run_suite(short: bool) -> Vec<BenchResult> {
             lock_all_contention(4, 8, 4),
             halo_fence_internode(4, 16),
             halo_fence_reliable(4, 16),
+            analyzer_ir_sweep(4, 16),
         ]
     } else {
         vec![
@@ -221,6 +267,7 @@ pub fn run_suite(short: bool) -> Vec<BenchResult> {
             lock_all_contention(8, 48, 8),
             halo_fence_internode(8, 128),
             halo_fence_reliable(8, 128),
+            analyzer_ir_sweep(16, 64),
         ]
     }
 }
@@ -299,10 +346,23 @@ mod tests {
     use super::*;
 
     #[test]
+    fn analyzer_sweep_counts_programs() {
+        let r = analyzer_ir_sweep(1, 2);
+        // 5 conformance families x 1 program x 2 close modes
+        // + 9 corpus families x 2 seeds.
+        assert_eq!(r.ops, 5 * 2 + 9 * 2);
+        assert!(r.wall_ns > 0);
+    }
+
+    #[test]
     fn suite_runs_and_counters_balance() {
         for r in run_suite(true) {
             assert!(r.ops > 0);
             assert!(r.wall_ns > 0);
+            if r.name == "analyzer_ir_sweep" {
+                // Pure static analysis: no simulation, no engine work.
+                continue;
+            }
             assert_eq!(
                 r.engine.fifo_packets, r.engine.fifo_drained,
                 "{}: pushed != drained",

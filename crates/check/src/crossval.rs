@@ -1,0 +1,153 @@
+//! Closed-loop cross-validation of the static deadlock analyzer against
+//! the dynamic stall watchdog.
+//!
+//! The two layers claim opposite halves of the same property:
+//!
+//! * **Flagged side** — every program from the deadlock corpus
+//!   ([`mpisim_analyze::NegFamily::DEADLOCKS`]) must (a) be rejected by
+//!   the analyzer with its family's expected code, and (b) actually
+//!   *stall* when executed: the run terminates only because the watchdog
+//!   cancels at least one epoch, leaving ≥ 1
+//!   [`mpisim_core::StallReport`] on the degradation list. An
+//!   analyzer-flagged program that runs to completion cleanly would be a
+//!   false positive of the whole-job passes.
+//! * **Clean side** — every generated conformance program, lowered to IR,
+//!   must be analyzer-clean and execute under the armed watchdog with
+//!   **zero** stall degradations. An analyzer-clean program that stalls
+//!   would be a false negative.
+//!
+//! Together the sweeps pin the analyzer's deadlock verdict to ground
+//! truth the runtime itself produces, closing the loop the static layer
+//! alone cannot: its wait-for graph is an abstraction, the watchdog's
+//! cancellation is an observation.
+
+use mpisim_analyze::{analyze, generate_negative, has_code, NegFamily};
+use mpisim_core::Degradation;
+
+use crate::lower::lower;
+use crate::program::{generate, Family};
+use crate::run::exec_ir;
+
+/// Outcome of one cross-validation sweep.
+#[derive(Clone, Debug, Default)]
+pub struct CrossValReport {
+    /// Deadlock-corpus programs checked (analyzer + watchdog).
+    pub flagged_runs: u64,
+    /// Clean conformance programs checked (analyzer + watchdog).
+    pub clean_runs: u64,
+    /// Human-readable description of every disagreement found.
+    pub failures: Vec<String>,
+}
+
+fn stall_count(report: &mpisim_core::JobReport) -> usize {
+    report
+        .degradations
+        .iter()
+        .filter(|d| matches!(d, Degradation::EpochStall(_)))
+        .count()
+}
+
+/// Flagged side: `seeds` generated programs per deadlock family must be
+/// analyzer-rejected AND watchdog-cancelled at runtime.
+pub fn crossval_flagged(seeds: u64, failures: &mut Vec<String>) -> u64 {
+    let mut runs = 0;
+    for family in NegFamily::DEADLOCKS {
+        for seed in 0..seeds {
+            runs += 1;
+            let case = generate_negative(family, seed);
+            let diags = analyze(&case.program);
+            if !has_code(&diags, case.expect) {
+                failures.push(format!(
+                    "{family:?} seed {seed}: analyzer missed {} (got {diags:?})",
+                    case.expect
+                ));
+                continue;
+            }
+            match exec_ir(&case.program, true, 7 + seed) {
+                Ok(report) => {
+                    if stall_count(&report) == 0 {
+                        failures.push(format!(
+                            "{family:?} seed {seed}: analyzer flagged {} but the run \
+                             completed with zero stalls (static false positive?)",
+                            case.expect
+                        ));
+                    }
+                }
+                Err(f) => failures.push(format!(
+                    "{family:?} seed {seed}: watchdog failed to terminate the run: {f}"
+                )),
+            }
+        }
+    }
+    runs
+}
+
+/// Clean side: `programs` generated programs per conformance family,
+/// lowered under both close modes, must be analyzer-clean and run under
+/// the armed watchdog without a single stall.
+pub fn crossval_clean(programs: u64, failures: &mut Vec<String>) -> u64 {
+    let mut runs = 0;
+    for family in Family::ALL {
+        for idx in 0..programs {
+            let program = generate(family, idx);
+            for nonblocking in [false, true] {
+                runs += 1;
+                let ir = lower(&program, nonblocking);
+                let diags = analyze(&ir);
+                if !diags.is_empty() {
+                    failures.push(format!(
+                        "{family:?} #{idx} nb={nonblocking}: clean program flagged: {diags:?}"
+                    ));
+                    continue;
+                }
+                match exec_ir(&ir, true, 7 + idx) {
+                    Ok(report) => {
+                        let stalls = stall_count(&report);
+                        if stalls > 0 {
+                            failures.push(format!(
+                                "{family:?} #{idx} nb={nonblocking}: analyzer-clean program \
+                                 stalled {stalls} time(s) (static false negative?)"
+                            ));
+                        }
+                    }
+                    Err(f) => failures.push(format!(
+                        "{family:?} #{idx} nb={nonblocking}: IR run failed: {f}"
+                    )),
+                }
+            }
+        }
+    }
+    runs
+}
+
+/// Run both sides: `seeds` programs per deadlock family on the flagged
+/// side, and `max(1, seeds / 8)` programs per conformance family on the
+/// clean side (the clean programs are bigger and already swept by the
+/// main matrix; here they only feed the watchdog oracle).
+pub fn crossval_deadlocks(seeds: u64) -> CrossValReport {
+    let mut failures = Vec::new();
+    let flagged_runs = crossval_flagged(seeds, &mut failures);
+    let clean_runs = crossval_clean((seeds / 8).max(1), &mut failures);
+    CrossValReport { flagged_runs, clean_runs, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_crossval_sweep_agrees() {
+        let r = crossval_deadlocks(3);
+        assert_eq!(r.flagged_runs, 15, "5 deadlock families x 3 seeds");
+        assert!(r.clean_runs >= 10, "5 families x >=1 program x 2 close modes");
+        assert!(r.failures.is_empty(), "{:#?}", r.failures);
+    }
+
+    #[test]
+    fn flagged_programs_stall_without_exception() {
+        // Directly: a PSCW cycle must leave stall reports when executed.
+        let case = generate_negative(NegFamily::PscwCycle, 0);
+        let report = exec_ir(&case.program, true, 7).expect("watchdog must terminate the run");
+        assert!(stall_count(&report) >= 1, "degradations: {:?}", report.degradations);
+    }
+}

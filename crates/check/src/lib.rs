@@ -28,10 +28,16 @@
 //! applied twice, surfacing as oracle divergence), and `"hb-race"` (a
 //! planted unsynchronized local window read, caught only by the race
 //! detector) — see [`mpisim_core::Fault`].
+//!
+//! The static deadlock analyzer gets the same treatment in
+//! [`crossval`]: the deadlock corpus must be flagged *and* stall under
+//! the armed watchdog ([`run::exec_ir`] executes IR programs directly),
+//! while analyzer-clean generated programs must run stall-free.
 
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod crossval;
 pub mod diff;
 pub mod lower;
 pub mod program;
@@ -39,6 +45,7 @@ pub mod run;
 pub mod shrink;
 
 pub use audit::{audit, Violation};
+pub use crossval::{crossval_clean, crossval_deadlocks, crossval_flagged, CrossValReport};
 pub use diff::{
     spec_for_seed, sweep_family, sweep_family_with, verify, verify_with, Failure, FailureKind,
     FoundFailure, VerifyOpts, MATRIX,
@@ -46,5 +53,5 @@ pub use diff::{
 pub use lower::lower;
 pub use mpisim_core::SyncStrategy;
 pub use program::{generate, oracle, Epoch, Family, Op, Program};
-pub use run::{execute, RunFailure, RunOutcome, RunSpec};
+pub use run::{exec_ir, execute, RunFailure, RunOutcome, RunSpec};
 pub use shrink::{reproducer, shrink};

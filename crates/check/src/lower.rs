@@ -15,15 +15,69 @@ use mpisim_core::ReduceOp;
 
 use crate::program::{Epoch, Op, Program, MULTI_WIN_BYTES, WIN_BYTES};
 
-fn lower_op(op: &Op) -> Stmt {
+fn lower_op(win: usize, op: &Op) -> Stmt {
     match op {
         Op::Put { target, disp, len, .. } => {
-            Stmt::Put { target: *target, disp: *disp, len: *len }
+            Stmt::Put { win, target: *target, disp: *disp, len: *len }
         }
-        Op::Get { target, disp, len } => Stmt::Get { target: *target, disp: *disp, len: *len },
+        Op::Get { target, disp, len } => {
+            Stmt::Get { win, target: *target, disp: *disp, len: *len }
+        }
         Op::AccSum { target, slot, .. } => {
-            Stmt::Acc { target: *target, disp: slot * 8, len: 8, op: ReduceOp::Sum }
+            Stmt::Acc { win, target: *target, disp: slot * 8, len: 8, op: ReduceOp::Sum }
         }
+    }
+}
+
+/// Lower one driven epoch on `win` into rank 0's statement stream,
+/// mirroring the executor (blocking open, `close`-mode close, and — in
+/// the multi-window family — a blocking flush before a lock epoch's
+/// close).
+fn lower_driver(stmts: &mut Vec<Stmt>, win: usize, e: &Epoch, n_ranks: usize, close: Close, flush_locks: bool) {
+    match e {
+        Epoch::Fence(ops) => {
+            stmts.push(Stmt::Fence { win, close: Close::Blocking });
+            stmts.extend(ops.iter().map(|op| lower_op(win, op)));
+            stmts.push(Stmt::Fence { win, close });
+        }
+        Epoch::Gats(ops) => {
+            stmts.push(Stmt::Start { win, group: (1..n_ranks).collect() });
+            stmts.extend(ops.iter().map(|op| lower_op(win, op)));
+            stmts.push(Stmt::Complete { win, close });
+        }
+        Epoch::Lock { target, ops } => {
+            stmts.push(Stmt::Lock { win, target: *target, exclusive: true, nonblocking: false });
+            stmts.extend(ops.iter().map(|op| lower_op(win, op)));
+            if flush_locks {
+                stmts.push(Stmt::Flush {
+                    win,
+                    target: Some(*target),
+                    local_only: false,
+                    close: Close::Blocking,
+                });
+            }
+            stmts.push(Stmt::Unlock { win, target: *target, close });
+        }
+        Epoch::LockAll(ops) => {
+            stmts.push(Stmt::LockAll { win });
+            stmts.extend(ops.iter().map(|op| lower_op(win, op)));
+            stmts.push(Stmt::UnlockAll { win, close });
+        }
+    }
+}
+
+/// Lower one cooperating epoch on `win` into a target rank's stream.
+fn lower_target(stmts: &mut Vec<Stmt>, win: usize, e: &Epoch) {
+    match e {
+        Epoch::Fence(_) => {
+            stmts.push(Stmt::Fence { win, close: Close::Blocking });
+            stmts.push(Stmt::Fence { win, close: Close::Blocking });
+        }
+        Epoch::Gats(_) => {
+            stmts.push(Stmt::Post { win, group: vec![0] });
+            stmts.push(Stmt::WaitEpoch { win, close: Close::Blocking });
+        }
+        _ => {}
     }
 }
 
@@ -38,32 +92,7 @@ pub fn lower(program: &Program, nonblocking: bool) -> IrProgram {
             p.reorder = *reorder;
             // Rank 0 drives every epoch.
             for e in epochs {
-                match e {
-                    Epoch::Fence(ops) => {
-                        p.ranks[0].push(Stmt::Fence(Close::Blocking));
-                        p.ranks[0].extend(ops.iter().map(lower_op));
-                        p.ranks[0].push(Stmt::Fence(close));
-                    }
-                    Epoch::Gats(ops) => {
-                        p.ranks[0].push(Stmt::Start((1..*n_ranks).collect()));
-                        p.ranks[0].extend(ops.iter().map(lower_op));
-                        p.ranks[0].push(Stmt::Complete(close));
-                    }
-                    Epoch::Lock { target, ops } => {
-                        p.ranks[0].push(Stmt::Lock {
-                            target: *target,
-                            exclusive: true,
-                            nonblocking: false,
-                        });
-                        p.ranks[0].extend(ops.iter().map(lower_op));
-                        p.ranks[0].push(Stmt::Unlock { target: *target, close });
-                    }
-                    Epoch::LockAll(ops) => {
-                        p.ranks[0].push(Stmt::LockAll);
-                        p.ranks[0].extend(ops.iter().map(lower_op));
-                        p.ranks[0].push(Stmt::UnlockAll(close));
-                    }
-                }
+                lower_driver(&mut p.ranks[0], 0, e, *n_ranks, close, false);
             }
             p.ranks[0].push(Stmt::WaitAll);
             p.ranks[0].push(Stmt::Barrier);
@@ -71,17 +100,7 @@ pub fn lower(program: &Program, nonblocking: bool) -> IrProgram {
             // epoch (blocking closes on their side, as in the executor).
             for r in 1..*n_ranks {
                 for e in epochs {
-                    match e {
-                        Epoch::Fence(_) => {
-                            p.ranks[r].push(Stmt::Fence(Close::Blocking));
-                            p.ranks[r].push(Stmt::Fence(Close::Blocking));
-                        }
-                        Epoch::Gats(_) => {
-                            p.ranks[r].push(Stmt::Post(vec![0]));
-                            p.ranks[r].push(Stmt::WaitEpoch(Close::Blocking));
-                        }
-                        _ => {}
-                    }
+                    lower_target(&mut p.ranks[r], 0, e);
                 }
                 p.ranks[r].push(Stmt::Barrier);
             }
@@ -94,17 +113,19 @@ pub fn lower(program: &Program, nonblocking: bool) -> IrProgram {
             for (r, txs) in plan.iter().enumerate() {
                 for (target, slot, _) in txs {
                     p.ranks[r].push(Stmt::Lock {
+                        win: 0,
                         target: *target,
                         exclusive: true,
                         nonblocking,
                     });
                     p.ranks[r].push(Stmt::Acc {
+                        win: 0,
                         target: *target,
                         disp: slot * 8,
                         len: 8,
                         op: ReduceOp::Sum,
                     });
-                    p.ranks[r].push(Stmt::Unlock { target: *target, close });
+                    p.ranks[r].push(Stmt::Unlock { win: 0, target: *target, close });
                 }
                 p.ranks[r].push(Stmt::WaitAll);
                 p.ranks[r].push(Stmt::Barrier);
@@ -118,18 +139,38 @@ pub fn lower(program: &Program, nonblocking: bool) -> IrProgram {
             p.reorder = false;
             for (r, eps) in rounds.iter().enumerate() {
                 for accs in eps {
-                    p.ranks[r].push(Stmt::LockAll);
+                    p.ranks[r].push(Stmt::LockAll { win: 0 });
                     for (target, slot, _) in accs {
                         p.ranks[r].push(Stmt::Acc {
+                            win: 0,
                             target: *target,
                             disp: slot * 8,
                             len: 8,
                             op: ReduceOp::Sum,
                         });
                     }
-                    p.ranks[r].push(Stmt::UnlockAll(close));
+                    p.ranks[r].push(Stmt::UnlockAll { win: 0, close });
                 }
                 p.ranks[r].push(Stmt::WaitAll);
+                p.ranks[r].push(Stmt::Barrier);
+            }
+            p
+        }
+        Program::MultiWindow { n_ranks, n_wins, epochs } => {
+            let mut p = IrProgram::new(*n_ranks, WIN_BYTES);
+            for _ in 1..*n_wins {
+                p.add_window(WIN_BYTES);
+            }
+            p.reorder = false;
+            for (w, e) in epochs {
+                lower_driver(&mut p.ranks[0], *w, e, *n_ranks, close, true);
+            }
+            p.ranks[0].push(Stmt::WaitAll);
+            p.ranks[0].push(Stmt::Barrier);
+            for r in 1..*n_ranks {
+                for (w, e) in epochs {
+                    lower_target(&mut p.ranks[r], *w, e);
+                }
                 p.ranks[r].push(Stmt::Barrier);
             }
             p
@@ -165,7 +206,23 @@ mod tests {
         let program = generate(Family::MixedSerial, 0);
         let b = lower(&program, false);
         let nb = lower(&program, true);
-        assert!(!b.ranks[0].contains(&Stmt::Fence(Close::Nonblocking)));
+        assert!(!b.ranks[0].contains(&Stmt::Fence { win: 0, close: Close::Nonblocking }));
         assert_ne!(b, nb);
+    }
+
+    #[test]
+    fn multi_window_lowering_spans_windows_and_flushes_locks() {
+        let program = generate(Family::MultiWindow, 0);
+        let crate::program::Program::MultiWindow { n_wins, epochs, .. } = &program else {
+            panic!("wrong variant")
+        };
+        let ir = lower(&program, false);
+        assert_eq!(ir.windows.len(), *n_wins);
+        let flushes = ir.ranks[0]
+            .iter()
+            .filter(|s| matches!(s, Stmt::Flush { .. }))
+            .count();
+        let locks = epochs.iter().filter(|(_, e)| matches!(e, Epoch::Lock { .. })).count();
+        assert_eq!(flushes, locks);
     }
 }

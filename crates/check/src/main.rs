@@ -1,13 +1,20 @@
 //! `mpisim-check` CLI: sweep the conformance matrix and report.
 //!
 //! ```text
-//! mpisim-check [--seeds N] [--programs N] [--inject FAULT] [--faults PLAN]
-//!              [--no-race-detect]
+//! mpisim-check [--seeds N] [--programs N] [--deadlocks N] [--inject FAULT]
+//!              [--faults PLAN] [--no-race-detect]
 //! ```
 //!
 //! * `--seeds N` — perturbed schedules per (program, matrix point);
 //!   default 16.
 //! * `--programs N` — generated programs per family; default 4.
+//! * `--deadlocks N` — deadlock cross-validation sweep width: N programs
+//!   per deadlock-corpus family are checked both ways (analyzer must flag
+//!   them AND the stall watchdog must cancel at least one epoch at
+//!   runtime), and a slice of the clean families is executed under the
+//!   armed watchdog and must produce zero stalls; default 13. `--inject
+//!   deadlock` runs only the flagged side as an exit-inverted self-test:
+//!   status 0 iff every corpus deadlock was caught by both layers.
 //! * `--inject FAULT` — self-test mode: inject the named fault into every
 //!   run, *require* the sweep to catch it, and print the shrunk
 //!   reproducer. Exit status inverts: 0 if the bug was caught, 1 if it
@@ -37,6 +44,7 @@ use mpisim_check::{reproducer, shrink, sweep_family_with, Family, VerifyOpts};
 struct Args {
     seeds: u64,
     programs: u64,
+    deadlocks: u64,
     inject: Option<String>,
     faults: Option<String>,
     race_detect: bool,
@@ -59,8 +67,14 @@ fn parse_args() -> Result<Args, String> {
     // Four programs per family is the smallest count whose generated set
     // exercises every epoch kind at least twice per family — enough for
     // both injected-fault self-tests to trip.
-    let mut args =
-        Args { seeds: 16, programs: 4, inject: None, faults: None, race_detect: true };
+    let mut args = Args {
+        seeds: 16,
+        programs: 4,
+        deadlocks: 13,
+        inject: None,
+        faults: None,
+        race_detect: true,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -75,12 +89,16 @@ fn parse_args() -> Result<Args, String> {
                 args.programs =
                     value("--programs")?.parse().map_err(|e| format!("--programs: {e}"))?;
             }
+            "--deadlocks" => {
+                args.deadlocks =
+                    value("--deadlocks")?.parse().map_err(|e| format!("--deadlocks: {e}"))?;
+            }
             "--inject" => args.inject = Some(value("--inject")?),
             "--faults" => args.faults = Some(value("--faults")?),
             "--no-race-detect" => args.race_detect = false,
             "--help" | "-h" => {
-                return Err("usage: mpisim-check [--seeds N] [--programs N] [--inject FAULT] \
-                            [--faults PLAN] [--no-race-detect]"
+                return Err("usage: mpisim-check [--seeds N] [--programs N] [--deadlocks N] \
+                            [--inject FAULT] [--faults PLAN] [--no-race-detect]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),
@@ -111,6 +129,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // `--inject deadlock` is the analyzer ↔ watchdog self-test: every
+    // deadlock-corpus program must be flagged statically AND stall
+    // dynamically. Exit status inverts like the other injects: 0 iff the
+    // planted deadlocks were all caught.
+    if args.inject.as_deref() == Some("deadlock") {
+        let mut failures = Vec::new();
+        let runs = mpisim_check::crossval_flagged(args.deadlocks, &mut failures);
+        println!(
+            "mpisim-check: deadlock self-test, {runs} corpus programs ({} per family)",
+            args.deadlocks
+        );
+        return if failures.is_empty() {
+            println!(
+                "self-test passed: every corpus deadlock was flagged statically and \
+                 stalled dynamically"
+            );
+            ExitCode::SUCCESS
+        } else {
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            eprintln!("self-test failed: {} deadlock(s) escaped detection", failures.len());
+            ExitCode::FAILURE
+        };
+    }
 
     println!(
         "mpisim-check: {} programs/family x {} schedules x {} matrix points{}{}",
@@ -165,7 +209,33 @@ fn main() -> ExitCode {
         total_runs += report.runs;
         all_failures.extend(report.failures);
     }
-    println!("total: {total_runs} runs, {} failure(s)", all_failures.len());
+    // Deadlock cross-validation rides along with every clean sweep (it is
+    // meaningless under injected faults or lossy plans, which perturb the
+    // dynamics the watchdog oracle observes).
+    let mut crossval_failures = Vec::new();
+    if args.inject.is_none() && args.faults.is_none() && args.deadlocks > 0 {
+        let r = mpisim_check::crossval_deadlocks(args.deadlocks);
+        println!(
+            "  {:<18} {:>4} flagged + {} clean watchdog runs: {}",
+            "deadlock-crossval",
+            r.flagged_runs,
+            r.clean_runs,
+            if r.failures.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} DISAGREEMENT(S)", r.failures.len())
+            }
+        );
+        total_runs += r.flagged_runs + r.clean_runs;
+        crossval_failures = r.failures;
+    }
+    println!(
+        "total: {total_runs} runs, {} failure(s)",
+        all_failures.len() + crossval_failures.len()
+    );
+    for f in &crossval_failures {
+        println!("crossval: {f}");
+    }
 
     if let Some(first) = all_failures.first() {
         println!("\nfirst failure ({}):\n{}", first.spec.to_rust(), first.failure);
@@ -175,7 +245,7 @@ fn main() -> ExitCode {
         println!("{}", reproducer(&p, &s));
     }
 
-    match (&args.inject, all_failures.is_empty()) {
+    match (&args.inject, all_failures.is_empty() && crossval_failures.is_empty()) {
         // Clean sweep requested, clean result.
         (None, true) => ExitCode::SUCCESS,
         (None, false) => ExitCode::FAILURE,

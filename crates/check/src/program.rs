@@ -21,6 +21,13 @@
 //!   back-to-back `lock_all` epochs exercise the deferral/activation
 //!   machinery (§VII.A); commutativity of `Sum` keeps the sequential
 //!   replay a valid oracle for every schedule.
+//! * [`Family::MultiWindow`] — one origin drives mixed epochs spread over
+//!   several windows (reorder flags off), with a blocking flush inside
+//!   every lock epoch. Epochs on the *same* window serialize (flags off);
+//!   epochs on *different* windows may overlap but touch disjoint memory,
+//!   so the sequential replay stays a valid oracle. Every rank joins each
+//!   window's fence phases equally, keeping the per-window fence planes
+//!   collective.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -123,15 +130,19 @@ pub enum Family {
     MultiOriginSum,
     /// Every rank accumulates sums through back-to-back `lock_all` epochs.
     LockAllStorm,
+    /// Single origin driving mixed epochs over several windows, with
+    /// blocking flushes inside lock epochs.
+    MultiWindow,
 }
 
 impl Family {
     /// All families, in sweep order.
-    pub const ALL: [Family; 4] = [
+    pub const ALL: [Family; 5] = [
         Family::MixedSerial,
         Family::DisjointReorder,
         Family::MultiOriginSum,
         Family::LockAllStorm,
+        Family::MultiWindow,
     ];
 
     /// Short label for reports.
@@ -141,6 +152,7 @@ impl Family {
             Family::DisjointReorder => "disjoint-reorder",
             Family::MultiOriginSum => "multi-origin-sum",
             Family::LockAllStorm => "lock-all-storm",
+            Family::MultiWindow => "multi-window",
         }
     }
 }
@@ -174,6 +186,16 @@ pub enum Program {
         /// Per-rank, per-epoch accumulate batches.
         rounds: StormRounds,
     },
+    /// Rank 0 drives `(window, epoch)` pairs over `n_wins` windows of
+    /// `WIN_BYTES` each; other ranks cooperate per window (fence / post).
+    MultiWindow {
+        /// Total ranks in the job.
+        n_ranks: usize,
+        /// Number of windows (each `WIN_BYTES`).
+        n_wins: usize,
+        /// The epoch sequence with its window index.
+        epochs: Vec<(usize, Epoch)>,
+    },
 }
 
 /// `LockAllStorm` schedule: per rank → per `lock_all` epoch → batch of
@@ -186,7 +208,8 @@ impl Program {
         match self {
             Program::SingleOrigin { n_ranks, .. }
             | Program::MultiOrigin { n_ranks, .. }
-            | Program::LockAllStorm { n_ranks, .. } => *n_ranks,
+            | Program::LockAllStorm { n_ranks, .. }
+            | Program::MultiWindow { n_ranks, .. } => *n_ranks,
         }
     }
 
@@ -202,6 +225,9 @@ impl Program {
                 .iter()
                 .map(|eps| eps.len() + eps.iter().map(Vec::len).sum::<usize>())
                 .sum(),
+            Program::MultiWindow { epochs, .. } => {
+                epochs.len() + epochs.iter().map(|(_, e)| e.ops().len()).sum::<usize>()
+            }
         }
     }
 
@@ -282,6 +308,27 @@ impl Program {
                     rows.join(",\n            ")
                 )
             }
+            Program::MultiWindow { n_ranks, n_wins, epochs } => {
+                let eps: Vec<String> = epochs
+                    .iter()
+                    .map(|(w, e)| {
+                        let body = match e {
+                            Epoch::Fence(o) => format!("Epoch::Fence({})", ops(o)),
+                            Epoch::Gats(o) => format!("Epoch::Gats({})", ops(o)),
+                            Epoch::Lock { target, ops: o } => {
+                                format!("Epoch::Lock {{ target: {target}, ops: {} }}", ops(o))
+                            }
+                            Epoch::LockAll(o) => format!("Epoch::LockAll({})", ops(o)),
+                        };
+                        format!("({w}, {body})")
+                    })
+                    .collect();
+                format!(
+                    "Program::MultiWindow {{\n        n_ranks: {n_ranks},\n        n_wins: \
+                     {n_wins},\n        epochs: vec![\n            {}\n        ],\n    }}",
+                    eps.join(",\n            ")
+                )
+            }
         }
     }
 }
@@ -345,6 +392,34 @@ pub fn oracle(program: &Program) -> Expected {
                 }
             }
             Expected { mems: mem, gets: Vec::new() }
+        }
+        Program::MultiWindow { n_ranks, n_wins, epochs } => {
+            // Per-rank memory is the concatenation of that rank's windows
+            // in allocation order — the executor reads them back the same
+            // way.
+            let mut mem = vec![vec![0u8; WIN_BYTES * n_wins]; *n_ranks];
+            let mut gets = Vec::new();
+            for (w, e) in epochs {
+                let base = w * WIN_BYTES;
+                for op in e.ops() {
+                    match op {
+                        Op::Put { target, disp, val, len } => {
+                            mem[*target][base + disp..base + disp + len].fill(*val);
+                        }
+                        Op::AccSum { target, slot, operand } => {
+                            let d = base + slot * 8;
+                            let cur =
+                                u64::from_le_bytes(mem[*target][d..d + 8].try_into().unwrap());
+                            mem[*target][d..d + 8]
+                                .copy_from_slice(&cur.wrapping_add(*operand).to_le_bytes());
+                        }
+                        Op::Get { target, disp, len } => {
+                            gets.push(mem[*target][base + disp..base + disp + len].to_vec());
+                        }
+                    }
+                }
+            }
+            Expected { mems: mem, gets }
         }
     }
 }
@@ -454,6 +529,15 @@ pub fn generate(family: Family, index: u64) -> Program {
                 })
                 .collect();
             Program::LockAllStorm { n_ranks, rounds }
+        }
+        Family::MultiWindow => {
+            let n_ranks = 3;
+            let n_wins = rng.gen_range(2..4usize);
+            let n_epochs = rng.gen_range(2..7usize);
+            let epochs = (0..n_epochs)
+                .map(|_| (rng.gen_range(0..n_wins), gen_epoch(&mut rng, n_ranks, None)))
+                .collect();
+            Program::MultiWindow { n_ranks, n_wins, epochs }
         }
     }
 }

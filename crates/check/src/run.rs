@@ -346,6 +346,109 @@ fn execute_lock_all_storm(
     Ok(RunOutcome { mems, gets: Vec::new(), report })
 }
 
+fn execute_multi_window(
+    n_ranks: usize,
+    n_wins: usize,
+    epochs: Arc<Vec<(usize, Epoch)>>,
+    spec: &RunSpec,
+) -> Result<RunOutcome, RunFailure> {
+    let nonblocking = spec.nonblocking;
+    let mems = Arc::new(Mutex::new(vec![Vec::new(); n_ranks]));
+    let gets = Arc::new(Mutex::new(Vec::new()));
+    let (m2, g2) = (mems.clone(), gets.clone());
+
+    let report = run_guarded(job_config(n_ranks, spec), move |env| {
+        let me = env.rank().idx();
+        // `win_allocate_with` is collective, so sequential allocation
+        // yields the same window ids on every rank.
+        let wins: Vec<_> = (0..n_wins)
+            .map(|_| env.win_allocate_with(WIN_BYTES, WinInfo::default()).unwrap())
+            .collect();
+        env.barrier().unwrap();
+        if me == 0 {
+            let mut pending = Vec::new();
+            let mut get_reqs = Vec::new();
+            for (w, e) in epochs.iter() {
+                let win = wins[*w];
+                match e {
+                    Epoch::Fence(ops) => {
+                        env.fence(win).unwrap();
+                        issue(env, win, ops, &mut get_reqs).unwrap();
+                        if nonblocking {
+                            pending.push(env.ifence(win).unwrap());
+                        } else {
+                            env.fence(win).unwrap();
+                        }
+                    }
+                    Epoch::Gats(ops) => {
+                        env.start(win, Group::new(1..n_ranks)).unwrap();
+                        issue(env, win, ops, &mut get_reqs).unwrap();
+                        if nonblocking {
+                            pending.push(env.icomplete(win).unwrap());
+                        } else {
+                            env.complete(win).unwrap();
+                        }
+                    }
+                    Epoch::Lock { target, ops } => {
+                        env.lock(win, Rank(*target), LockKind::Exclusive).unwrap();
+                        issue(env, win, ops, &mut get_reqs).unwrap();
+                        // The family's distinguishing feature: remote
+                        // completion forced mid-epoch.
+                        env.flush(win, Rank(*target)).unwrap();
+                        if nonblocking {
+                            pending.push(env.iunlock(win, Rank(*target)).unwrap());
+                        } else {
+                            env.unlock(win, Rank(*target)).unwrap();
+                        }
+                    }
+                    Epoch::LockAll(ops) => {
+                        env.lock_all(win).unwrap();
+                        issue(env, win, ops, &mut get_reqs).unwrap();
+                        if nonblocking {
+                            pending.push(env.iunlock_all(win).unwrap());
+                        } else {
+                            env.unlock_all(win).unwrap();
+                        }
+                    }
+                }
+            }
+            env.wait_all(pending).unwrap();
+            let mut out = Vec::new();
+            for r in get_reqs {
+                out.push(env.wait_data(r).unwrap().to_vec());
+            }
+            *g2.lock().unwrap() = out;
+        } else {
+            for (w, e) in epochs.iter() {
+                let win = wins[*w];
+                match e {
+                    Epoch::Fence(_) => {
+                        env.fence(win).unwrap();
+                        env.fence(win).unwrap();
+                    }
+                    Epoch::Gats(_) => {
+                        env.post(win, Group::single(Rank(0))).unwrap();
+                        env.wait_epoch(win).unwrap();
+                    }
+                    _ => {}
+                }
+            }
+        }
+        env.barrier().unwrap();
+        let mut all = Vec::new();
+        for w in &wins {
+            all.extend(env.read_local(*w, 0, WIN_BYTES).unwrap());
+        }
+        m2.lock().unwrap()[me] = all;
+        for w in wins {
+            env.win_free(w).unwrap();
+        }
+    })?;
+    let mems = mems.lock().unwrap().clone();
+    let gets = gets.lock().unwrap().clone();
+    Ok(RunOutcome { mems, gets, report })
+}
+
 /// `run_job` with both failure modes mapped into [`RunFailure`]: a
 /// simulated deadlock surfaces as `Err(SimError)`, an engine/rank panic
 /// unwinds through `sim.run()`.
@@ -379,7 +482,155 @@ pub fn execute(program: &Program, spec: &RunSpec) -> Result<RunOutcome, RunFailu
         Program::LockAllStorm { n_ranks, rounds } => {
             execute_lock_all_storm(*n_ranks, Arc::new(rounds.clone()), spec)
         }
+        Program::MultiWindow { n_ranks, n_wins, epochs } => {
+            execute_multi_window(*n_ranks, *n_wins, Arc::new(epochs.clone()), spec)
+        }
     }
+}
+
+/// Execute an analyzer [`IrProgram`] directly against the runtime: every
+/// rank walks its statement list, allocating the program's windows up
+/// front and collecting nonblocking-close requests until the next
+/// `WaitAll`. With `watchdog` set the stall watchdog is armed, so even a
+/// deadlocking program terminates — degraded, with one
+/// [`mpisim_core::StallReport`] per cancelled epoch — which is exactly
+/// the property the deadlock cross-validation measures. Call results are
+/// deliberately not unwrapped: statements after a cancelled epoch may
+/// return protocol errors, and the interpreter's job is to keep walking.
+pub fn exec_ir(
+    p: &mpisim_analyze::IrProgram,
+    watchdog: bool,
+    sim_seed: u64,
+) -> Result<mpisim_core::JobReport, RunFailure> {
+    let n_ranks = p.n_ranks;
+    let mut cfg = JobConfig::new(n_ranks).with_seed(sim_seed);
+    cfg.trace = true;
+    cfg.fault = Some(String::new());
+    if watchdog {
+        cfg = cfg.with_watchdog(SimTime::from_millis(20));
+    }
+    let prog = Arc::new(p.clone());
+    run_guarded(cfg, move |env| {
+        use mpisim_analyze::{Close, Stmt};
+        let me = env.rank().idx();
+        let info = if prog.reorder { WinInfo::all_reorder() } else { WinInfo::default() };
+        let wins: Vec<_> = prog
+            .windows
+            .iter()
+            .map(|bytes| env.win_allocate_with(*bytes, info).unwrap())
+            .collect();
+        let mut pending: Vec<mpisim_core::Req> = Vec::new();
+        let nb = |res: RmaResult<mpisim_core::Req>, pending: &mut Vec<mpisim_core::Req>| {
+            if let Ok(r) = res {
+                pending.push(r);
+            }
+        };
+        for stmt in &prog.ranks[me] {
+            match stmt {
+                Stmt::Fence { win, close } => match close {
+                    Close::Blocking => {
+                        let _ = env.fence(wins[*win]);
+                    }
+                    Close::Nonblocking => nb(env.ifence(wins[*win]), &mut pending),
+                },
+                Stmt::Start { win, group } => {
+                    let _ = env.start(wins[*win], Group::new(group.iter().copied()));
+                }
+                Stmt::Complete { win, close } => match close {
+                    Close::Blocking => {
+                        let _ = env.complete(wins[*win]);
+                    }
+                    Close::Nonblocking => nb(env.icomplete(wins[*win]), &mut pending),
+                },
+                Stmt::Post { win, group } => {
+                    let _ = env.post(wins[*win], Group::new(group.iter().copied()));
+                }
+                Stmt::WaitEpoch { win, close } => match close {
+                    Close::Blocking => {
+                        let _ = env.wait_epoch(wins[*win]);
+                    }
+                    Close::Nonblocking => nb(env.iwait(wins[*win]), &mut pending),
+                },
+                Stmt::Lock { win, target, exclusive, nonblocking } => {
+                    let kind = if *exclusive { LockKind::Exclusive } else { LockKind::Shared };
+                    if *nonblocking {
+                        nb(env.ilock(wins[*win], Rank(*target), kind), &mut pending);
+                    } else {
+                        let _ = env.lock(wins[*win], Rank(*target), kind);
+                    }
+                }
+                Stmt::Unlock { win, target, close } => match close {
+                    Close::Blocking => {
+                        let _ = env.unlock(wins[*win], Rank(*target));
+                    }
+                    Close::Nonblocking => nb(env.iunlock(wins[*win], Rank(*target)), &mut pending),
+                },
+                Stmt::LockAll { win } => {
+                    let _ = env.lock_all(wins[*win]);
+                }
+                Stmt::UnlockAll { win, close } => match close {
+                    Close::Blocking => {
+                        let _ = env.unlock_all(wins[*win]);
+                    }
+                    Close::Nonblocking => nb(env.iunlock_all(wins[*win]), &mut pending),
+                },
+                Stmt::Flush { win, target, local_only, close } => {
+                    let w = wins[*win];
+                    match (close, target, local_only) {
+                        (Close::Blocking, Some(t), false) => {
+                            let _ = env.flush(w, Rank(*t));
+                        }
+                        (Close::Blocking, Some(t), true) => {
+                            let _ = env.flush_local(w, Rank(*t));
+                        }
+                        (Close::Blocking, None, false) => {
+                            let _ = env.flush_all(w);
+                        }
+                        (Close::Blocking, None, true) => {
+                            let _ = env.flush_local_all(w);
+                        }
+                        (Close::Nonblocking, Some(t), false) => {
+                            nb(env.iflush(w, Rank(*t)), &mut pending);
+                        }
+                        (Close::Nonblocking, Some(t), true) => {
+                            nb(env.iflush_local(w, Rank(*t)), &mut pending);
+                        }
+                        (Close::Nonblocking, None, false) => {
+                            nb(env.iflush_all(w), &mut pending);
+                        }
+                        (Close::Nonblocking, None, true) => {
+                            nb(env.iflush_local_all(w), &mut pending);
+                        }
+                    }
+                }
+                Stmt::Put { win, target, disp, len } => {
+                    let _ = env.put(wins[*win], Rank(*target), *disp, &vec![0xabu8; *len]);
+                }
+                Stmt::Get { win, target, disp, len } => {
+                    // The data request is intentionally dropped: the IR
+                    // interpreter checks liveness, not values.
+                    let _ = env.get(wins[*win], Rank(*target), *disp, *len);
+                }
+                Stmt::Acc { win, target, disp, len: _, op } => {
+                    let _ = env.accumulate(
+                        wins[*win],
+                        Rank(*target),
+                        *disp,
+                        Datatype::U64,
+                        *op,
+                        &1u64.to_le_bytes(),
+                    );
+                }
+                Stmt::WaitAll => {
+                    let _ = env.wait_all(pending.drain(..));
+                }
+                Stmt::Barrier => {
+                    let _ = env.barrier();
+                }
+            }
+        }
+        let _ = env.wait_all(pending.drain(..));
+    })
 }
 
 #[cfg(test)]

@@ -70,6 +70,14 @@ fn drop_epoch(p: &Program, idx: usize) -> Option<Program> {
             }
             None
         }
+        Program::MultiWindow { n_ranks, n_wins, epochs } => {
+            if epochs.len() <= 1 || idx >= epochs.len() {
+                return None;
+            }
+            let mut e = epochs.clone();
+            e.remove(idx);
+            Some(Program::MultiWindow { n_ranks: *n_ranks, n_wins: *n_wins, epochs: e })
+        }
     }
 }
 
@@ -78,6 +86,7 @@ fn epoch_slots(p: &Program) -> usize {
         Program::SingleOrigin { epochs, .. } => epochs.len(),
         Program::MultiOrigin { plan, .. } => plan.iter().map(Vec::len).sum(),
         Program::LockAllStorm { rounds, .. } => rounds.iter().map(Vec::len).sum(),
+        Program::MultiWindow { epochs, .. } => epochs.len(),
     }
 }
 
@@ -93,6 +102,15 @@ fn drop_op(p: &Program, epoch: usize, op: usize) -> Option<Program> {
             Some(Program::SingleOrigin { n_ranks: *n_ranks, reorder: *reorder, epochs: e })
         }
         Program::MultiOrigin { .. } => None, // transactions are single-op
+        Program::MultiWindow { n_ranks, n_wins, epochs } => {
+            let ops = epochs.get(epoch).map(|(_, e)| e.ops())?;
+            if op >= ops.len() {
+                return None;
+            }
+            let mut e = epochs.clone();
+            e[epoch].1.ops_mut().remove(op);
+            Some(Program::MultiWindow { n_ranks: *n_ranks, n_wins: *n_wins, epochs: e })
+        }
         Program::LockAllStorm { n_ranks, rounds } => {
             // `epoch` is the same flat (rank, epoch) index as drop_epoch's.
             let mut i = epoch;
@@ -143,7 +161,10 @@ pub fn shrink(program: &Program, spec: &RunSpec) -> (Program, RunSpec) {
     }
 
     // 2. Remove individual operations inside surviving epochs.
-    if matches!(p, Program::SingleOrigin { .. } | Program::LockAllStorm { .. }) {
+    if matches!(
+        p,
+        Program::SingleOrigin { .. } | Program::LockAllStorm { .. } | Program::MultiWindow { .. }
+    ) {
         loop {
             let mut changed = false;
             let n_epochs = epoch_slots(&p);

@@ -82,6 +82,30 @@ impl Engine {
                     }
                 }
             }
+            // Lazy baseline: the epoch is normally deferred whole until
+            // `unlock`, but a flush demands remote completion *now*, which
+            // requires the lock — so the flush forces acquisition (as in
+            // MVAPICH, where flush triggers the lazy lock request).
+            let mut forced = false;
+            {
+                let w = st.win_mut(win, rank);
+                for id in &epochs {
+                    let e = w.epoch_mut(*id);
+                    if e.lazy_hold {
+                        e.lazy_hold = false;
+                        forced = true;
+                    }
+                    if !e.closed {
+                        e.flush_forced = true;
+                    }
+                }
+            }
+            if forced {
+                st.mark_act_dirty(rank, win);
+            }
+            for id in &epochs {
+                st.mark_ops_dirty(rank, win, *id);
+            }
             if remaining == 0 {
                 st.reqs.alloc_done(ReqKind::Flush)
             } else {

@@ -314,12 +314,27 @@ impl Engine {
                 // not even opened) yet — "the granted access notification
                 // must persist for the origin to see it when it catches
                 // up" (§VII.B). Lock grants cannot pre-arrive because lock
-                // requests are only sent at activation.
-                assert_eq!(
-                    kind,
-                    GrantKind::Exposure,
-                    "lock grant arrived with no matching activated lock epoch"
-                );
+                // requests are only sent at activation — but they CAN
+                // post-arrive, for an epoch the stall watchdog cancelled
+                // while its lock request was still queued at the target.
+                // Answer those with an immediate unlock so the granter's
+                // lock queue keeps moving; anything else is a protocol bug.
+                if kind == GrantKind::Lock {
+                    let w = st.win_mut(win, me);
+                    let pos = w
+                        .cancelled_lock_grants
+                        .iter()
+                        .position(|&(g, aid)| g == granter && aid == id)
+                        .expect("lock grant arrived with no matching activated lock epoch");
+                    w.cancelled_lock_grants.swap_remove(pos);
+                    self.send_sync(
+                        st,
+                        me,
+                        granter,
+                        win,
+                        crate::msg::SyncPacket::Unlock { win, origin: me, access_id: id },
+                    );
+                }
             }
         }
     }

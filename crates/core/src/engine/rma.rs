@@ -134,11 +134,13 @@ impl Engine {
                 return false;
             }
             // Lazy baseline (§VIII.B): nothing is issued before the
-            // epoch-closing routine; all internode targets must be granted
-            // before any internode issue; all targets must be granted
-            // before intranode issue.
+            // epoch-closing routine — unless a flush forced the epoch out
+            // of deferral, in which case recorded ops must drain now so
+            // the flush can complete. All internode targets must be
+            // granted before any internode issue; all targets must be
+            // granted before intranode issue.
             if lazy {
-                if !e.closed {
+                if !e.closed && !e.flush_forced {
                     return false;
                 }
                 let all_ok = |internode_only: bool| {

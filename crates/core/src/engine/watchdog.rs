@@ -21,6 +21,7 @@ use std::sync::Arc;
 use mpisim_sim::SimTime;
 
 use crate::engine::rel::Degradation;
+use crate::epoch::EpochKind;
 use crate::engine::{EngState, Engine};
 use crate::types::{EpochId, Rank, Req, WinId};
 
@@ -193,6 +194,38 @@ impl Engine {
             if st.reqs.is_done(r).is_ok() {
                 st.reqs.complete(r, None);
             }
+        }
+        // A cancelled passive epoch may still owe the protocol lock
+        // traffic: grants it already holds must be released now, and
+        // grants still in flight must be answered when they land (the
+        // target's lock manager serialises on them either way).
+        let mut release_now: Vec<(Rank, u64)> = Vec::new();
+        {
+            let w = st.win_mut(win, rank);
+            let e = w.epoch(id);
+            if matches!(e.kind, EpochKind::Lock { .. } | EpochKind::LockAll) {
+                let mut owed: Vec<(Rank, u64)> = Vec::new();
+                for (t, ts) in e.targets.iter() {
+                    if ts.access_id == 0 {
+                        continue;
+                    }
+                    if ts.granted && !ts.unlock_sent {
+                        release_now.push((*t, ts.access_id));
+                    } else if !ts.granted {
+                        owed.push((*t, ts.access_id));
+                    }
+                }
+                w.cancelled_lock_grants.extend(owed);
+            }
+        }
+        for (t, aid) in release_now {
+            self.send_sync(
+                st,
+                rank,
+                t,
+                win,
+                crate::msg::SyncPacket::Unlock { win, origin: rank, access_id: aid },
+            );
         }
         st.eng_stats.epochs_cancelled += 1;
         self.trace_event(st, rank, win, id, crate::trace::EpochEvent::Completed);

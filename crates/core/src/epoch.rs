@@ -237,6 +237,10 @@ pub struct EpochObj {
     pub live_ops: HashMap<u64, LiveOp>,
     /// Baseline (lazy) behaviour: hold activation until the closing call.
     pub lazy_hold: bool,
+    /// A flush forced this lazy epoch out of deferral mid-epoch: the lock
+    /// was requested early and recorded ops may issue before the closing
+    /// call (MVAPICH behaviour — flush triggers the lazy lock request).
+    pub flush_forced: bool,
 }
 
 impl EpochObj {
@@ -267,6 +271,7 @@ impl EpochObj {
             exposure_origins: BTreeMap::new(),
             live_ops: HashMap::new(),
             lazy_hold: false,
+            flush_forced: false,
         }
     }
 

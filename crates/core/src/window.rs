@@ -119,6 +119,12 @@ pub struct WinRank {
     /// Outstanding nonblocking flushes.
     pub flushes: Vec<FlushState>,
 
+    /// Lock grants still owed to epochs the watchdog cancelled, as
+    /// `(granter, access_id)`. When such a grant arrives late there is no
+    /// epoch left to unblock; it is answered with an immediate unlock so
+    /// the granter's queue keeps moving.
+    pub cancelled_lock_grants: Vec<(Rank, u64)>,
+
     /// Inbound intranode notification FIFOs, one per same-node peer.
     /// Sweep step 5 never scans this map: the engine's pending-FIFO index
     /// records exactly which (window, peer) rings hold packets, so only
@@ -155,6 +161,7 @@ impl WinRank {
             next_fence_seq: 0,
             next_age: 1,
             flushes: Vec::new(),
+            cancelled_lock_grants: Vec::new(),
             fifos_in: BTreeMap::new(),
         }
     }
