@@ -1,0 +1,78 @@
+//! CI perf gate: diff the current trajectory file against the previous
+//! PR's and fail on a >10% ns/op regression at equal engine counters
+//! (see `mpisim_bench::gate`).
+//!
+//! Usage: `bench_gate --baseline BENCH_5.json --current BENCH_6.json
+//! [--threshold 0.10]`
+//!
+//! Exit codes: 0 = pass (including a missing baseline, tolerated so the
+//! first gated PR bootstraps cleanly), 1 = regression at equal counters,
+//! 2 = unreadable/garbled input.
+
+use mpisim_bench::gate::{gate, parse_trajectory, Trajectory};
+
+fn arg(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn load(path: &str) -> Result<Trajectory, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse_trajectory(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(cur_path) = arg(&args, "--current") else {
+        eprintln!("bench_gate: --current PATH is required");
+        std::process::exit(2);
+    };
+    let base_path = arg(&args, "--baseline");
+    let threshold: f64 = match arg(&args, "--threshold") {
+        Some(t) => match t.parse() {
+            Ok(v) => v,
+            Err(_) => {
+                eprintln!("bench_gate: bad --threshold {t:?}");
+                std::process::exit(2);
+            }
+        },
+        None => 0.10,
+    };
+
+    let current = match load(&cur_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    // A missing baseline file is tolerated (vacuous pass); a *present but
+    // garbled* baseline is an error — silently skipping it would disarm
+    // the gate exactly when the schema drifts.
+    let baseline = match &base_path {
+        Some(p) if std::path::Path::new(p).exists() => match load(p) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                std::process::exit(2);
+            }
+        },
+        Some(p) => {
+            println!("bench_gate: baseline {p} not found, gate passes vacuously");
+            None
+        }
+        None => None,
+    };
+
+    let rep = gate(baseline.as_ref(), &current, threshold);
+    for line in &rep.lines {
+        println!("{line}");
+    }
+    if !rep.ok() {
+        for f in &rep.failures {
+            eprintln!("bench_gate FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("bench_gate: pass");
+}

@@ -1,16 +1,18 @@
 //! Perf-trajectory runner: executes the macro-benchmarks (fence-heavy
 //! halo, GATS pipeline, lock_all contention, the internode /
 //! reliability-sublayer halo pair, and the static-analyzer IR sweep) and
-//! writes `BENCH_5.json`.
+//! writes `BENCH_6.json`.
 //!
 //! Usage: `cargo run --release -p mpisim-bench --bin bench_trajectory --
 //! [--short] [--out PATH]`. `--short` runs CI-smoke scales; `--out`
-//! overrides the output path (default `BENCH_5.json` in the current
+//! overrides the output path (default `BENCH_6.json` in the current
 //! directory — run from the repo root).
 
-/// Trajectory point: PR 5 added `analyzer_ir_sweep`, the whole-job
-/// deadlock/progress analyzer's wall-time per generated IR program.
-const PR: u32 = 5;
+/// Trajectory point: PR 6 batched the intranode notification FIFO
+/// pushes, coalesced reliability acks (delayed-ack), pooled epoch
+/// objects, and outlined the trace slow paths — the host-path rework
+/// whose regression gate lives in `bench_gate`.
+const PR: u32 = 6;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

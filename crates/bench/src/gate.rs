@@ -1,0 +1,356 @@
+//! The perf-trajectory regression gate (`bench_gate` binary).
+//!
+//! Diffs the current `BENCH_<pr>.json` against the previous PR's file
+//! and fails on a >threshold ns/op regression **at equal engine
+//! counters**. Equal counters mean the engine did byte-identical work,
+//! so a wall-clock regression is pure host overhead — exactly the class
+//! of regression PR 5 shipped and PR 6 clawed back. When the counters
+//! differ (the engine's work changed, or the two files were produced at
+//! different scales/modes) a slowdown is reported informationally but
+//! does not fail the gate: wall-clock is not comparable across different
+//! work.
+//!
+//! The workspace is offline and carries no serde, so this module brings
+//! its own minimal JSON reader — sufficient for the trajectory schema
+//! `trajectory_json` writes (objects, arrays, strings, numbers, bools,
+//! null; no escapes beyond `\"` and `\\` are needed or supported).
+
+use std::collections::BTreeSet;
+
+/// A parsed JSON value. Numbers keep their raw token so counter
+/// comparison is exact (the trajectory writer always emits integers the
+/// same way); `as_f64` interprets them when magnitude matters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Number, raw token preserved.
+    Num(String),
+    /// String (unescaped).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.i)
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let tok = std::str::from_utf8(&self.b[start..self.i]).unwrap().to_string();
+        tok.parse::<f64>().map_err(|_| self.err("bad number"))?;
+        Ok(Json::Num(tok))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    match self.b.get(self.i + 1) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                    self.i += 2;
+                }
+                Some(&c) => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document.
+pub fn parse(s: &str) -> Result<Json, String> {
+    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// One benchmark row of a trajectory file.
+#[derive(Debug, Clone)]
+pub struct GateBench {
+    /// Workload name.
+    pub name: String,
+    /// Host nanoseconds per RMA op.
+    pub ns_per_op: f64,
+    /// Engine work counters, by key (scalars and the `step_runs` array
+    /// alike, compared structurally).
+    pub counters: Vec<(String, Json)>,
+}
+
+impl GateBench {
+    fn counter(&self, key: &str) -> Option<&Json> {
+        self.counters.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A parsed `BENCH_<pr>.json`.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// PR number the file was produced by.
+    pub pr: u64,
+    /// `"full"` or `"short"` suite scale.
+    pub mode: String,
+    /// The benchmark rows.
+    pub benchmarks: Vec<GateBench>,
+}
+
+/// Parse a trajectory file into the comparator's model.
+pub fn parse_trajectory(s: &str) -> Result<Trajectory, String> {
+    let doc = parse(s)?;
+    let schema = doc.get("schema").and_then(|v| match v {
+        Json::Str(s) => Some(s.as_str()),
+        _ => None,
+    });
+    if schema != Some("mpisim-bench-trajectory-v1") {
+        return Err(format!("unknown trajectory schema {schema:?}"));
+    }
+    let pr = doc
+        .get("pr")
+        .and_then(|v| v.as_f64())
+        .ok_or("missing 'pr'")? as u64;
+    let mode = match doc.get("mode") {
+        Some(Json::Str(m)) => m.clone(),
+        _ => return Err("missing 'mode'".into()),
+    };
+    let Some(Json::Arr(rows)) = doc.get("benchmarks") else {
+        return Err("missing 'benchmarks' array".into());
+    };
+    let mut benchmarks = Vec::new();
+    for row in rows {
+        let name = match row.get("name") {
+            Some(Json::Str(n)) => n.clone(),
+            _ => return Err("benchmark without 'name'".into()),
+        };
+        let ns_per_op = row
+            .get("ns_per_op")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{name}: missing 'ns_per_op'"))?;
+        let counters = match row.get("engine") {
+            Some(Json::Obj(fields)) => fields.clone(),
+            _ => return Err(format!("{name}: missing 'engine' object")),
+        };
+        benchmarks.push(GateBench { name, ns_per_op, counters });
+    }
+    Ok(Trajectory { pr, mode, benchmarks })
+}
+
+/// The gate's verdict: human-readable per-benchmark lines plus the
+/// subset that constitutes hard failures.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// One line per compared benchmark (and per structural note).
+    pub lines: Vec<String>,
+    /// Hard failures: >threshold regression at equal counters.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compare `current` against `baseline`.
+///
+/// * No baseline (first PR, or the file genuinely absent) → vacuous pass.
+/// * Counters equal (every key present in **both** files has an equal
+///   value; keys on one side only — schema growth — are noted, not
+///   compared) and ns/op worse by more than `threshold` (a fraction,
+///   e.g. 0.10) → hard failure.
+/// * Counters unequal → informational line only: the engine did
+///   different work, wall-clock is not comparable.
+pub fn gate(baseline: Option<&Trajectory>, current: &Trajectory, threshold: f64) -> GateReport {
+    let mut rep = GateReport::default();
+    let Some(base) = baseline else {
+        rep.lines.push("no baseline trajectory: gate passes vacuously".into());
+        return rep;
+    };
+    if base.mode != current.mode {
+        rep.lines.push(format!(
+            "mode mismatch (baseline '{}' vs current '{}'): scales differ, counters will disagree",
+            base.mode, current.mode
+        ));
+    }
+    for cur in &current.benchmarks {
+        let Some(prev) = base.benchmarks.iter().find(|b| b.name == cur.name) else {
+            rep.lines.push(format!("{}: new benchmark (no baseline row)", cur.name));
+            continue;
+        };
+        let base_keys: BTreeSet<&str> = prev.counters.iter().map(|(k, _)| k.as_str()).collect();
+        let cur_keys: BTreeSet<&str> = cur.counters.iter().map(|(k, _)| k.as_str()).collect();
+        let shared: Vec<&str> = base_keys.intersection(&cur_keys).copied().collect();
+        let one_sided: Vec<&str> = base_keys.symmetric_difference(&cur_keys).copied().collect();
+        let equal = shared.iter().all(|k| prev.counter(k) == cur.counter(k));
+        let ratio = cur.ns_per_op / prev.ns_per_op;
+        let pct = (ratio - 1.0) * 100.0;
+        let mut line = format!(
+            "{}: {:.1} -> {:.1} ns/op ({:+.1}%), counters {}",
+            cur.name,
+            prev.ns_per_op,
+            cur.ns_per_op,
+            pct,
+            if equal { "equal" } else { "UNEQUAL" },
+        );
+        if !one_sided.is_empty() {
+            line.push_str(&format!(" (ignored one-sided: {})", one_sided.join(", ")));
+        }
+        if equal && ratio > 1.0 + threshold {
+            rep.failures.push(format!(
+                "{}: {:+.1}% ns/op regression at equal engine counters (limit {:+.1}%)",
+                cur.name,
+                pct,
+                threshold * 100.0
+            ));
+            line.push_str("  ** FAIL **");
+        } else if !equal {
+            line.push_str("  (informational only)");
+        }
+        rep.lines.push(line);
+    }
+    for prev in &base.benchmarks {
+        if !current.benchmarks.iter().any(|b| b.name == prev.name) {
+            rep.lines.push(format!("{}: dropped from current run", prev.name));
+        }
+    }
+    rep
+}

@@ -33,6 +33,7 @@
 pub mod fig12;
 pub mod fig13;
 pub mod flags;
+pub mod gate;
 pub mod macrobench;
 pub mod micro;
 pub mod series;

@@ -284,6 +284,7 @@ fn json_stats(e: &EngineStats, indent: &str) -> String {
          {i}\"notices_drained\": {}, \"issue_scans\": {}, \"ops_issued\": {},\n\
          {i}\"completion_checks\": {}, \"activation_scans\": {},\n\
          {i}\"fifo_packets\": {}, \"fifo_drained\": {}, \"fifo_decode_errors\": {},\n\
+         {i}\"notices_batched\": {}, \"acks_coalesced\": {},\n\
          {i}\"unlocks_applied\": {}, \"grant_pumps\": {},\n\
          {i}\"epochs_opened\": {}, \"epochs_deferred\": {}, \"epochs_completed\": {},\n\
          {i}\"rel_frames_sent\": {}, \"rel_delivered\": {}, \"rel_acks_sent\": {},\n\
@@ -297,6 +298,8 @@ fn json_stats(e: &EngineStats, indent: &str) -> String {
         e.fifo_packets,
         e.fifo_drained,
         e.fifo_decode_errors,
+        e.notices_batched,
+        e.acks_coalesced,
         e.unlocks_applied,
         e.grant_pumps,
         e.epochs_opened,

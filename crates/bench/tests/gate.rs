@@ -1,0 +1,129 @@
+//! Unit tests for the `bench-gate` comparator: schema round-trip,
+//! regression detection at >10%, the equal-counters requirement, and
+//! missing-baseline tolerance — with checked-in fixture JSONs under
+//! `tests/fixtures/` and the actual `bench_gate` binary driven for exit
+//! codes.
+
+use mpisim_bench::gate::{gate, parse_trajectory, Json};
+use mpisim_bench::macrobench::{trajectory_json, BenchResult};
+use mpisim_core::EngineStats;
+
+const BASE: &str = include_str!("fixtures/base.json");
+const REGRESSED: &str = include_str!("fixtures/regressed_equal_counters.json");
+const DIFFERENT: &str = include_str!("fixtures/slower_different_counters.json");
+
+/// A synthetic result with a distinctive counter pattern.
+fn synthetic(name: &'static str, wall_ns: u128) -> BenchResult {
+    let e = EngineStats {
+        sweeps: 1234,
+        step_runs: [1, 2, 3, 4, 5, 6, 7],
+        ops_issued: 512,
+        fifo_packets: 99,
+        fifo_drained: 99,
+        notices_batched: 42,
+        acks_coalesced: 17,
+        epochs_opened: 8,
+        epochs_completed: 8,
+        ..EngineStats::default()
+    };
+    BenchResult { name, ranks: 8, ops: 512, wall_ns, virt_ns: 1_000_000, engine: e }
+}
+
+#[test]
+fn schema_round_trips_through_writer_and_parser() {
+    let results = vec![synthetic("alpha", 10_240_000), synthetic("beta", 20_480_000)];
+    let text = trajectory_json(6, false, &results);
+    let t = parse_trajectory(&text).expect("writer output must parse");
+    assert_eq!(t.pr, 6);
+    assert_eq!(t.mode, "full");
+    assert_eq!(t.benchmarks.len(), 2);
+    let a = &t.benchmarks[0];
+    assert_eq!(a.name, "alpha");
+    assert!((a.ns_per_op - 20_000.0).abs() < 0.1);
+    // Counters survive exactly, including the PR-6 batching counters and
+    // the step_runs array.
+    let get = |k: &str| a.counters.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone());
+    assert_eq!(get("sweeps"), Some(Json::Num("1234".into())));
+    assert_eq!(get("notices_batched"), Some(Json::Num("42".into())));
+    assert_eq!(get("acks_coalesced"), Some(Json::Num("17".into())));
+    let Some(Json::Arr(steps)) = get("step_runs") else {
+        panic!("step_runs must parse as an array")
+    };
+    assert_eq!(steps.len(), 7);
+    assert_eq!(steps[6], Json::Num("7".into()));
+}
+
+#[test]
+fn regression_over_threshold_at_equal_counters_fails() {
+    let base = parse_trajectory(BASE).unwrap();
+    let cur = parse_trajectory(REGRESSED).unwrap();
+    let rep = gate(Some(&base), &cur, 0.10);
+    assert!(!rep.ok(), "{:?}", rep.lines);
+    // halo_fence is +25% at byte-identical counters: hard failure. The
+    // new one-sided counters (notices_batched, acks_coalesced) must not
+    // break the equality.
+    assert_eq!(rep.failures.len(), 1, "{:?}", rep.failures);
+    assert!(rep.failures[0].contains("halo_fence"), "{:?}", rep.failures);
+    // gats_pipeline is only +5%: under the threshold, not a failure.
+    assert!(rep.lines.iter().any(|l| l.contains("gats_pipeline")));
+}
+
+#[test]
+fn regression_with_unequal_counters_is_informational_only() {
+    let base = parse_trajectory(BASE).unwrap();
+    let cur = parse_trajectory(DIFFERENT).unwrap();
+    let rep = gate(Some(&base), &cur, 0.10);
+    assert!(rep.ok(), "{:?}", rep.failures);
+    assert!(
+        rep.lines.iter().any(|l| l.contains("UNEQUAL") && l.contains("informational")),
+        "{:?}",
+        rep.lines
+    );
+}
+
+#[test]
+fn improvement_at_equal_counters_passes() {
+    // Swap the roles: the regressed file as baseline makes the base file
+    // a 20% improvement at equal counters.
+    let base = parse_trajectory(REGRESSED).unwrap();
+    let cur = parse_trajectory(BASE).unwrap();
+    let rep = gate(Some(&base), &cur, 0.10);
+    assert!(rep.ok(), "{:?}", rep.failures);
+}
+
+#[test]
+fn missing_baseline_is_tolerated() {
+    let cur = parse_trajectory(BASE).unwrap();
+    let rep = gate(None, &cur, 0.10);
+    assert!(rep.ok());
+    assert!(rep.lines.iter().any(|l| l.contains("vacuously")), "{:?}", rep.lines);
+}
+
+#[test]
+fn garbled_input_is_an_error_not_a_pass() {
+    assert!(parse_trajectory("{").is_err());
+    assert!(parse_trajectory("{\"schema\": \"something-else\"}").is_err());
+    assert!(parse_trajectory("{\"schema\": \"mpisim-bench-trajectory-v1\"}").is_err());
+}
+
+/// Drive the actual binary for its exit-code contract (0 pass / 1 fail /
+/// 0 on missing baseline), the same way CI calls it.
+#[test]
+fn binary_exit_codes_match_the_contract() {
+    let bin = env!("CARGO_BIN_EXE_bench_gate");
+    let fix = |n: &str| format!("{}/tests/fixtures/{n}", env!("CARGO_MANIFEST_DIR"));
+    let run = |args: &[&str]| {
+        std::process::Command::new(bin).args(args).output().expect("spawn bench_gate")
+    };
+
+    let pass = run(&["--baseline", &fix("base.json"), "--current", &fix("slower_different_counters.json")]);
+    assert!(pass.status.success(), "{}", String::from_utf8_lossy(&pass.stderr));
+
+    let fail = run(&["--baseline", &fix("base.json"), "--current", &fix("regressed_equal_counters.json")]);
+    assert_eq!(fail.status.code(), Some(1), "{}", String::from_utf8_lossy(&fail.stdout));
+    assert!(String::from_utf8_lossy(&fail.stderr).contains("halo_fence"));
+
+    let vacuous = run(&["--baseline", &fix("no_such_file.json"), "--current", &fix("base.json")]);
+    assert!(vacuous.status.success());
+    assert!(String::from_utf8_lossy(&vacuous.stdout).contains("vacuously"));
+}

@@ -110,11 +110,11 @@ impl std::fmt::Display for RunFailure {
     }
 }
 
-fn job_config(n_ranks: usize, spec: &RunSpec) -> JobConfig {
+fn job_config(n_ranks: usize, spec: &RunSpec, trace: bool) -> JobConfig {
     let mut cfg = JobConfig::new(n_ranks).with_seed(spec.sim_seed).with_strategy(spec.strategy);
     cfg.net = NetParams::perturbation_profile(spec.net_profile);
     cfg.tiebreak_seed = spec.tiebreak_seed;
-    cfg.trace = true;
+    cfg.trace = trace;
     // `Some("")` disables the env-var fallback: harness runs are hermetic.
     cfg.fault = Some(spec.fault.clone().unwrap_or_default());
     if let Some(plan) = &spec.fault_plan {
@@ -167,6 +167,7 @@ fn execute_single_origin(
     reorder: bool,
     epochs: Arc<Vec<Epoch>>,
     spec: &RunSpec,
+    trace: bool,
 ) -> Result<RunOutcome, RunFailure> {
     let nonblocking = spec.nonblocking;
     let mems = Arc::new(Mutex::new(vec![Vec::new(); n_ranks]));
@@ -174,7 +175,7 @@ fn execute_single_origin(
     let (m2, g2) = (mems.clone(), gets.clone());
     let info = if reorder { WinInfo::all_reorder() } else { WinInfo::default() };
 
-    let report = run_guarded(job_config(n_ranks, spec), move |env| {
+    let report = run_guarded(job_config(n_ranks, spec, trace), move |env| {
         let me = env.rank().idx();
         let win = env.win_allocate_with(WIN_BYTES, info).unwrap();
         env.barrier().unwrap();
@@ -256,12 +257,13 @@ fn execute_multi_origin(
     n_ranks: usize,
     plan: Arc<Vec<Vec<(usize, usize, u64)>>>,
     spec: &RunSpec,
+    trace: bool,
 ) -> Result<RunOutcome, RunFailure> {
     let nonblocking = spec.nonblocking;
     let mems = Arc::new(Mutex::new(vec![Vec::new(); n_ranks]));
     let m2 = mems.clone();
 
-    let report = run_guarded(job_config(n_ranks, spec), move |env| {
+    let report = run_guarded(job_config(n_ranks, spec, trace), move |env| {
         let me = env.rank().idx();
         let win = env.win_allocate_with(MULTI_WIN_BYTES, WinInfo::aaar()).unwrap();
         env.barrier().unwrap();
@@ -303,12 +305,13 @@ fn execute_lock_all_storm(
     n_ranks: usize,
     rounds: Arc<StormRounds>,
     spec: &RunSpec,
+    trace: bool,
 ) -> Result<RunOutcome, RunFailure> {
     let nonblocking = spec.nonblocking;
     let mems = Arc::new(Mutex::new(vec![Vec::new(); n_ranks]));
     let m2 = mems.clone();
 
-    let report = run_guarded(job_config(n_ranks, spec), move |env| {
+    let report = run_guarded(job_config(n_ranks, spec, trace), move |env| {
         let me = env.rank().idx();
         let win = env.win_allocate_with(MULTI_WIN_BYTES, WinInfo::default()).unwrap();
         env.barrier().unwrap();
@@ -351,13 +354,14 @@ fn execute_multi_window(
     n_wins: usize,
     epochs: Arc<Vec<(usize, Epoch)>>,
     spec: &RunSpec,
+    trace: bool,
 ) -> Result<RunOutcome, RunFailure> {
     let nonblocking = spec.nonblocking;
     let mems = Arc::new(Mutex::new(vec![Vec::new(); n_ranks]));
     let gets = Arc::new(Mutex::new(Vec::new()));
     let (m2, g2) = (mems.clone(), gets.clone());
 
-    let report = run_guarded(job_config(n_ranks, spec), move |env| {
+    let report = run_guarded(job_config(n_ranks, spec, trace), move |env| {
         let me = env.rank().idx();
         // `win_allocate_with` is collective, so sequential allocation
         // yields the same window ids on every rank.
@@ -470,20 +474,33 @@ where
     }
 }
 
-/// Execute `program` under `spec`.
+/// Execute `program` under `spec` with the trace recorder attached.
 pub fn execute(program: &Program, spec: &RunSpec) -> Result<RunOutcome, RunFailure> {
+    execute_with_trace(program, spec, true)
+}
+
+/// Execute `program` under `spec`, choosing whether the trace recorder
+/// is attached. `trace: false` is the lean production-shaped path: the
+/// engine's tracing hooks must stay behind their branch-free guard and
+/// the run must be observably identical (verdict, memories, counters)
+/// to the full-trace run — see `tests/lean_trace.rs`.
+pub fn execute_with_trace(
+    program: &Program,
+    spec: &RunSpec,
+    trace: bool,
+) -> Result<RunOutcome, RunFailure> {
     match program {
         Program::SingleOrigin { n_ranks, reorder, epochs } => {
-            execute_single_origin(*n_ranks, *reorder, Arc::new(epochs.clone()), spec)
+            execute_single_origin(*n_ranks, *reorder, Arc::new(epochs.clone()), spec, trace)
         }
         Program::MultiOrigin { n_ranks, plan } => {
-            execute_multi_origin(*n_ranks, Arc::new(plan.clone()), spec)
+            execute_multi_origin(*n_ranks, Arc::new(plan.clone()), spec, trace)
         }
         Program::LockAllStorm { n_ranks, rounds } => {
-            execute_lock_all_storm(*n_ranks, Arc::new(rounds.clone()), spec)
+            execute_lock_all_storm(*n_ranks, Arc::new(rounds.clone()), spec, trace)
         }
         Program::MultiWindow { n_ranks, n_wins, epochs } => {
-            execute_multi_window(*n_ranks, *n_wins, Arc::new(epochs.clone()), spec)
+            execute_multi_window(*n_ranks, *n_wins, Arc::new(epochs.clone()), spec, trace)
         }
     }
 }

@@ -114,6 +114,13 @@ pub struct Reliability {
     /// Retransmit attempts before the frame is abandoned and surfaced as
     /// a `RetriesExhausted` (or `PeerCrash`) degradation.
     pub max_retries: u32,
+    /// Delayed-ack window (TCP-style): after the first unacknowledged
+    /// delivery the receiver holds its cumulative ack this long, so a
+    /// burst of frames is covered by a single ack instead of one per
+    /// frame. Zero = ack on the next sweep (the pre-coalescing
+    /// behaviour). Must stay well below `rto`, or every frame would
+    /// spuriously retransmit before its ack leaves.
+    pub ack_delay: SimTime,
 }
 
 impl Default for Reliability {
@@ -125,6 +132,9 @@ impl Default for Reliability {
             rto: SimTime::from_micros(20),
             max_backoff: SimTime::from_millis(2),
             max_retries: 12,
+            // 1/20 of the RTO: bursts coalesce, retransmit timers don't
+            // notice.
+            ack_delay: SimTime::from_micros(1),
         }
     }
 }

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use crate::engine::{EngState, Engine};
-use crate::epoch::{EpochKind, EpochObj, Side};
+use crate::epoch::{EpochKind, Side};
 use crate::error::{RmaError, RmaResult};
 use crate::msg::SyncPacket;
 use crate::request::ReqKind;
@@ -29,7 +29,8 @@ impl Engine {
                 return Err(RmaError::AlreadyInEpoch { called: "start" });
             }
             let id = w.alloc_epoch_id();
-            w.push_epoch(EpochObj::new(id, EpochKind::GatsAccess { group }));
+            let e = w.new_epoch(id, EpochKind::GatsAccess { group });
+            w.push_epoch(e);
             w.cur_gats_access = Some(id);
             st.eng_stats.epochs_opened += 1;
             self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Opened);
@@ -49,7 +50,8 @@ impl Engine {
                 return Err(RmaError::AlreadyInEpoch { called: "post" });
             }
             let id = w.alloc_epoch_id();
-            w.push_epoch(EpochObj::new(id, EpochKind::GatsExposure { group }));
+            let e = w.new_epoch(id, EpochKind::GatsExposure { group });
+            w.push_epoch(e);
             w.cur_exposure = Some(id);
             st.eng_stats.epochs_opened += 1;
             self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Opened);
@@ -82,7 +84,7 @@ impl Engine {
                 return Err(RmaError::AlreadyInEpoch { called: "lock" });
             }
             let id = w.alloc_epoch_id();
-            let mut e = EpochObj::new(id, EpochKind::Lock { target, lock });
+            let mut e = w.new_epoch(id, EpochKind::Lock { target, lock });
             // Lazy baseline: the whole epoch is deferred until `unlock`
             // (MVAPICH's lazy lock acquisition, §VIII.A).
             e.lazy_hold = lazy;
@@ -110,7 +112,7 @@ impl Engine {
                 return Err(RmaError::AlreadyInEpoch { called: "lock_all" });
             }
             let id = w.alloc_epoch_id();
-            let mut e = EpochObj::new(id, EpochKind::LockAll);
+            let mut e = w.new_epoch(id, EpochKind::LockAll);
             e.lazy_hold = lazy;
             w.push_epoch(e);
             w.cur_lock_all = Some(id);

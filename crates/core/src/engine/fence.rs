@@ -12,7 +12,7 @@ use std::sync::Arc;
 use mpisim_net::Packet;
 
 use crate::engine::{EngState, Engine};
-use crate::epoch::{EpochKind, EpochObj};
+use crate::epoch::EpochKind;
 use crate::error::{RmaError, RmaResult};
 use crate::msg::Body;
 use crate::request::ReqKind;
@@ -56,7 +56,8 @@ impl Engine {
             let seq = w.next_fence_seq;
             w.next_fence_seq += 1;
             let id = w.alloc_epoch_id();
-            w.push_epoch(EpochObj::new(id, EpochKind::Fence { seq }));
+            let e = w.new_epoch(id, EpochKind::Fence { seq });
+            w.push_epoch(e);
             w.cur_fence = Some(id);
             st.eng_stats.epochs_opened += 1;
             self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Opened);

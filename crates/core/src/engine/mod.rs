@@ -100,7 +100,7 @@ pub(crate) enum TokenInfo {
 
 /// Aggregate progress-engine counters (whole job), exposed by
 /// [`Engine::engine_stats`] for introspection, tests, and ablations.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Epoch objects created.
     pub epochs_opened: u64,
@@ -142,6 +142,11 @@ pub struct EngineStats {
     /// Corrupt 64-bit packets dropped by step 5 (each leaves a
     /// [`ProtocolError`] record instead of aborting the job).
     pub fifo_decode_errors: u64,
+    /// Sync words that left the origin inside a multi-word
+    /// [`Body::Fifo64Batch`] push (every word of such a batch is counted;
+    /// singleton pushes are not). Proves the per-sweep per-channel
+    /// notification batching actually fires.
+    pub notices_batched: u64,
     /// Deferred lock releases applied by step 6.
     pub unlocks_applied: u64,
     /// Backlogged windows pumped for grant emission by step 6.
@@ -161,6 +166,10 @@ pub struct EngineStats {
     pub rel_retransmits: u64,
     /// Cumulative acks flushed by sweep step 2.
     pub rel_acks_sent: u64,
+    /// Ack sends elided by delayed-ack coalescing: every frame a flushed
+    /// cumulative ack covered beyond the first. Proves the TCP-style
+    /// delayed ack collapses per-frame ack traffic.
+    pub acks_coalesced: u64,
     /// Duplicate frames suppressed at delivery (retransmit races and
     /// fabric-level duplication faults).
     pub rel_dups_dropped: u64,
@@ -268,6 +277,11 @@ pub(crate) struct RankSweepState {
     /// every *successful* push (a full ring is already indexed by the
     /// pushes that filled it).
     pub fifo_pending: Vec<(WinId, Rank)>,
+    /// Outgoing intranode sync words buffered during the current sweep
+    /// pass: (destination, window, encoded word) in send order. Flushed
+    /// by `flush_sync_batches` at the bottom of each sweep-loop
+    /// iteration as one push per (destination, window) channel.
+    pub sync_out: Vec<(Rank, WinId, u64)>,
     /// Ping-pong buffer for `dirty_ops` (issue steps 2/4).
     pub ops_scratch: Vec<(WinId, EpochId)>,
     /// Ping-pong buffer for `dirty_complete` (steps 3/7).
@@ -289,6 +303,10 @@ pub(crate) struct RankSweepState {
     pub rank_scratch: Vec<Rank>,
     /// Scratch for completed flush requests.
     pub req_scratch: Vec<Req>,
+    /// Ping-pong buffer for `sync_out` (batch flush).
+    pub sync_scratch: Vec<(Rank, WinId, u64)>,
+    /// Scratch for one channel's worth of words during the batch flush.
+    pub sync_word_scratch: Vec<u64>,
 }
 
 impl RankSweepState {
@@ -311,6 +329,9 @@ impl RankSweepState {
             grant_scratch: Vec::new(),
             rank_scratch: Vec::new(),
             req_scratch: Vec::new(),
+            sync_out: Vec::new(),
+            sync_scratch: Vec::new(),
+            sync_word_scratch: Vec::new(),
         }
     }
 
@@ -322,6 +343,7 @@ impl RankSweepState {
             || !self.lock_backlog.is_empty()
             || !self.pending_unlocks.is_empty()
             || !self.fifo_pending.is_empty()
+            || !self.sync_out.is_empty()
     }
 }
 
@@ -525,6 +547,13 @@ impl Engine {
     }
 
     /// Record one synchronization-plane event (no-op unless tracing).
+    ///
+    /// Pay-for-use: with no trace sink attached (`cfg.trace == false`,
+    /// the default outside the conformance harness) this is a single
+    /// predictable branch on an immutable config bool; the record
+    /// construction — clock read included — is outlined into a cold
+    /// function so the hot sweep path carries no trace-plumbing weight.
+    #[inline(always)]
     pub(crate) fn sync_event(
         &self,
         st: &mut EngState,
@@ -537,6 +566,20 @@ impl Engine {
         if !self.cfg.trace {
             return;
         }
+        self.sync_event_slow(st, rank, peer, win, plane, event);
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn sync_event_slow(
+        &self,
+        st: &mut EngState,
+        rank: Rank,
+        peer: Rank,
+        win: WinId,
+        plane: crate::trace::Plane,
+        event: crate::trace::SyncEvent,
+    ) {
         let time = self.sim.now();
         st.sync_trace.push(crate::trace::SyncRecord {
             time,
@@ -549,6 +592,8 @@ impl Engine {
     }
 
     /// Record one epoch lifecycle transition (no-op unless tracing).
+    /// Same pay-for-use shape as [`Engine::sync_event`].
+    #[inline(always)]
     pub(crate) fn trace_event(
         &self,
         st: &mut EngState,
@@ -560,6 +605,19 @@ impl Engine {
         if !self.cfg.trace {
             return;
         }
+        self.trace_event_slow(st, rank, win, id, event);
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn trace_event_slow(
+        &self,
+        st: &mut EngState,
+        rank: Rank,
+        win: WinId,
+        id: EpochId,
+        event: crate::trace::EpochEvent,
+    ) {
         let kind = st.win(win, rank).epoch(id).kind.name();
         let time = self.sim.now();
         st.trace.push(crate::trace::TraceRecord {
@@ -802,6 +860,33 @@ impl Engine {
                     });
                 }
             }
+            Body::Fifo64Batch { win, packets } => {
+                // Same ring discipline as `Fifo64`, word by word. If the
+                // ring fills mid-batch the *remaining* words retry as a
+                // smaller batch after the 1 µs pause, preserving FIFO
+                // order; words already pushed are not re-sent.
+                for (i, &packet) in packets.iter().enumerate() {
+                    let w = st.win_mut(win, dst);
+                    if w.fifo_from(src).push(packet) {
+                        st.eng_stats.fifo_packets += 1;
+                        let idx = &mut st.sweep[dst.idx()].fifo_pending;
+                        if !idx.contains(&(win, src)) {
+                            idx.push((win, src));
+                        }
+                    } else {
+                        let rest = packets[i..].to_vec();
+                        let me = self.clone();
+                        self.sim.schedule(SimTime::from_micros(1), move || {
+                            me.on_message(Packet {
+                                src,
+                                dst,
+                                body: Body::Fifo64Batch { win, packets: rest },
+                            });
+                        });
+                        break;
+                    }
+                }
+            }
 
             // ---- two-sided ----
             Body::P2pEager { tag, payload } => {
@@ -900,6 +985,13 @@ impl Engine {
             if Self::completion_work(&st, rank) {
                 st.eng_stats.step_runs[6] += 1;
                 self.complete_and_activate(&mut st, rank);
+            }
+            // Flush the intranode sync words the steps above buffered:
+            // one FIFO push per (peer, window) channel per pass instead
+            // of one per notice. Runs inside the loop so `has_work`
+            // (which includes the buffer) still terminates.
+            if !st.sweep[rank.idx()].sync_out.is_empty() {
+                self.flush_sync_batches(&mut st, rank);
             }
         }
     }
@@ -1043,6 +1135,15 @@ impl Engine {
     /// Send a synchronization-plane packet; intranode it travels as a
     /// 64-bit word through the notification FIFO (§VII.D), internode it
     /// rides the reliability sublayer when configured.
+    ///
+    /// Intranode words are not pushed immediately: they are buffered in
+    /// the sender's sweep state and flushed by [`Engine::flush_sync_batches`]
+    /// at the bottom of the sweep-loop iteration that produced them, so
+    /// everything one pass emits toward the same (peer, window) channel
+    /// leaves as a single push. Every `send_sync` caller runs either
+    /// inside a sweep step or in a dispatch/watchdog path that is
+    /// followed by a `sweep()` of the sending rank, so the buffer never
+    /// outlives the event that filled it.
     pub(crate) fn send_sync(
         self: &Arc<Self>,
         st: &mut EngState,
@@ -1051,12 +1152,11 @@ impl Engine {
         win: WinId,
         sp: SyncPacket,
     ) {
-        let body = if self.net.topology().same_node(src, dst) {
-            Body::Fifo64 {
-                win,
-                packet: sp.encode(),
-            }
-        } else {
+        if self.net.topology().same_node(src, dst) {
+            st.sweep[src.idx()].sync_out.push((dst, win, sp.encode()));
+            return;
+        }
+        let body = {
             match sp {
                 SyncPacket::LockReqExcl { access_id, .. } => Body::LockReq {
                     win,
@@ -1084,6 +1184,46 @@ impl Engine {
         };
         self.send_framed(st, Packet { src, dst, body }, None, None);
     }
+
+    /// Flush the intranode sync words buffered by [`Engine::send_sync`]:
+    /// group the buffer by (destination, window) channel — order within a
+    /// channel preserved — and emit one `Fifo64` (singleton) or
+    /// `Fifo64Batch` (multi-word) push per channel. The buffers ping-pong
+    /// with scratch so a steady-state flush allocates only the batch
+    /// vectors that actually go on the wire.
+    fn flush_sync_batches(self: &Arc<Self>, st: &mut EngState, rank: Rank) {
+        let sw = &mut st.sweep[rank.idx()];
+        let mut out = std::mem::replace(&mut sw.sync_out, std::mem::take(&mut sw.sync_scratch));
+        let mut words = std::mem::take(&mut sw.sync_word_scratch);
+        while !out.is_empty() {
+            let (dst, win, _) = out[0];
+            words.clear();
+            out.retain(|&(d, w, word)| {
+                if (d, w) == (dst, win) {
+                    words.push(word);
+                    false
+                } else {
+                    true
+                }
+            });
+            let body = if words.len() == 1 {
+                Body::Fifo64 {
+                    win,
+                    packet: words[0],
+                }
+            } else {
+                st.eng_stats.notices_batched += words.len() as u64;
+                Body::Fifo64Batch {
+                    win,
+                    packets: words.clone(),
+                }
+            };
+            self.send_framed(st, Packet { src: rank, dst, body }, None, None);
+        }
+        let sw = &mut st.sweep[rank.idx()];
+        sw.sync_scratch = out;
+        sw.sync_word_scratch = words;
+    }
 }
 
 #[cfg(test)]
@@ -1094,7 +1234,9 @@ mod tests {
 
     /// Build an engine with one 2-rank window whose peer FIFO is
     /// registered (but empty) — the state a drained rank is left in.
-    fn engine_with_window() -> Arc<Engine> {
+    /// The `Sim` is returned alongside so tests that need delivery
+    /// events (e.g. FIFO batching) can drain it.
+    fn engine_with_window() -> (Sim, Arc<Engine>) {
         let sim = Sim::new(1);
         let eng = Engine::new(sim.handle(), JobConfig::new(2));
         {
@@ -1104,12 +1246,12 @@ mod tests {
             });
             st.win_mut(WinId(0), Rank(0)).fifo_from(Rank(1));
         }
-        eng
+        (sim, eng)
     }
 
     #[test]
     fn quiescent_sweep_does_no_step_work() {
-        let eng = engine_with_window();
+        let (_sim, eng) = engine_with_window();
         eng.sweep(Rank(0));
         let s = eng.engine_stats();
         assert_eq!(s.sweeps, 1);
@@ -1126,7 +1268,7 @@ mod tests {
 
     #[test]
     fn corrupt_fifo_packet_is_surfaced_not_fatal() {
-        let eng = engine_with_window();
+        let (_sim, eng) = engine_with_window();
         {
             let mut st = eng.st.lock();
             // 0xF type nibble: SyncPacket::decode returns None.
@@ -1148,5 +1290,52 @@ mod tests {
         assert!(msg.contains("corrupt") && msg.contains("0xf000000000000000"), "{msg}");
         assert_eq!(errs[0].kind(), "fifo-decode");
         assert!(eng.take_degradations().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn same_channel_sync_words_batch_into_one_push() {
+        let (sim, eng) = engine_with_window();
+        let w1 = SyncPacket::GatsDone { win: WinId(0), origin: Rank(1), access_id: 7 };
+        let w2 = SyncPacket::GatsDone { win: WinId(0), origin: Rank(1), access_id: 9 };
+        {
+            let mut st = eng.st.lock();
+            eng.send_sync(&mut st, Rank(1), Rank(0), WinId(0), w1);
+            eng.send_sync(&mut st, Rank(1), Rank(0), WinId(0), w2);
+            // Buffered, not yet on the wire.
+            assert_eq!(st.sweep[1].sync_out.len(), 2);
+            assert_eq!(st.eng_stats.fifo_packets, 0);
+        }
+        // The sweep-loop bottom flushes the buffer as a single
+        // Fifo64Batch push; draining the sim delivers it, and the
+        // receiver's dispatch-triggered sweep decodes both words.
+        eng.sweep(Rank(1));
+        sim.run().unwrap();
+        let s = eng.engine_stats();
+        assert_eq!(s.notices_batched, 2, "both words travelled in one batch");
+        assert_eq!(s.fifo_packets, 2);
+        assert_eq!(s.fifo_drained, 2);
+        assert_eq!(s.fifo_decode_errors, 0);
+        // Words were applied in FIFO order: the done high-water mark
+        // landed on the later access id.
+        let mut st = eng.st.lock();
+        assert_eq!(st.win_mut(WinId(0), Rank(0)).gats_done_recv[1], 9);
+        assert!(st.sweep[0].fifo_pending.is_empty(), "drain consumed the pending entry");
+    }
+
+    #[test]
+    fn distinct_channels_flush_as_singletons() {
+        let (sim, eng) = engine_with_window();
+        {
+            let mut st = eng.st.lock();
+            st.win_mut(WinId(0), Rank(0)).fifo_from(Rank(1));
+            let sp = SyncPacket::GatsDone { win: WinId(0), origin: Rank(1), access_id: 1 };
+            eng.send_sync(&mut st, Rank(1), Rank(0), WinId(0), sp);
+        }
+        eng.sweep(Rank(1));
+        sim.run().unwrap();
+        let s = eng.engine_stats();
+        // A lone word stays a plain Fifo64: no batch, no counter.
+        assert_eq!(s.notices_batched, 0);
+        assert_eq!(s.fifo_packets, 1);
     }
 }

@@ -68,11 +68,15 @@ pub(crate) struct RelIn {
     pub next_expected: u64,
     /// Reordered frames received ahead of the in-order point.
     pub ooo: BTreeMap<u64, Body>,
+    /// Highest cumulative ack this side has flushed toward the peer,
+    /// tracked to measure how many frames each flushed ack covers
+    /// (`acks_coalesced`).
+    pub last_cum_acked: u64,
 }
 
 impl Default for RelIn {
     fn default() -> Self {
-        RelIn { next_expected: 1, ooo: BTreeMap::new() }
+        RelIn { next_expected: 1, ooo: BTreeMap::new(), last_cum_acked: 0 }
     }
 }
 
@@ -85,6 +89,16 @@ pub(crate) struct RelRank {
     pub inn: HashMap<Rank, RelIn>,
     /// Peers owed a cumulative ack (deduplicated; flushed by step 2).
     pub ack_due: Vec<Rank>,
+    /// Peers whose ack is being *held* inside the delayed-ack window;
+    /// moved to `ack_due` when the ack timer fires. Deliberately not
+    /// sweep work: the hold ends on the timer, not on progress.
+    pub ack_pending: Vec<Rank>,
+    /// Ping-pong buffer for `ack_due` (step 2 flush).
+    pub ack_scratch: Vec<Rank>,
+    /// When the pending delayed ack fires, if armed.
+    pub ack_timer_at: Option<SimTime>,
+    /// Generation counter invalidating superseded delayed-ack events.
+    pub ack_timer_gen: u64,
     /// In-order messages awaiting dispatch (drained by step 5).
     pub deliver: VecDeque<(Rank, Body)>,
     /// The retransmit timer fired: step 1 must scan `out` for expired
@@ -102,6 +116,10 @@ impl RelRank {
             out: HashMap::new(),
             inn: HashMap::new(),
             ack_due: Vec::new(),
+            ack_pending: Vec::new(),
+            ack_scratch: Vec::new(),
+            ack_timer_at: None,
+            ack_timer_gen: 0,
             deliver: VecDeque::new(),
             timer_due: false,
             timer_at: None,
@@ -371,17 +389,35 @@ impl Engine {
     }
 
     /// Sweep step 2 growth: flush one cumulative ack to every peer owed
-    /// one.
+    /// one. Under delayed acks one flush typically covers several frames;
+    /// every frame beyond the first is counted as a coalesced ack.
     pub(crate) fn rel_flush_acks(self: &Arc<Self>, st: &mut EngState, rank: Rank) {
-        let due = std::mem::take(&mut st.rel[rank.idx()].ack_due);
-        for dst in due {
-            let cum = st.rel[rank.idx()].inn.get(&dst).map_or(0, |i| i.next_expected - 1);
+        let ch = &mut st.rel[rank.idx()];
+        let mut due = std::mem::replace(&mut ch.ack_due, std::mem::take(&mut ch.ack_scratch));
+        for &dst in &due {
+            let ch = &mut st.rel[rank.idx()];
+            let (cum, covered) = match ch.inn.get_mut(&dst) {
+                Some(i) => {
+                    let cum = i.next_expected - 1;
+                    let covered = cum.saturating_sub(i.last_cum_acked);
+                    i.last_cum_acked = cum;
+                    (cum, covered)
+                }
+                None => (0, 0),
+            };
+            if covered > 1 {
+                st.eng_stats.acks_coalesced += covered - 1;
+            }
             st.eng_stats.rel_acks_sent += 1;
             // Acks ride the fabric raw: a lost ack is repaired by the
             // retransmit it provokes (which re-queues the ack), so framing
-            // them would only add a second unbounded channel.
+            // them would only add a second unbounded channel. A zero-new-
+            // coverage ack is still sent — it re-acks a duplicate so the
+            // sender's window advances past a lost ack.
             self.net.send(Packet { src: rank, dst, body: Body::RelAck { cum } });
         }
+        due.clear();
+        st.rel[rank.idx()].ack_scratch = due;
     }
 
     /// Receive one reliability frame: checksum validation, duplicate
@@ -429,10 +465,48 @@ impl Engine {
         } else {
             st.eng_stats.rel_ooo_buffered += 1;
         }
-        let due = &mut st.rel[dst.idx()].ack_due;
-        if !due.contains(&src) {
-            due.push(src);
+        let delay = self.cfg.reliability.as_ref().map_or(SimTime::from_nanos(0), |r| r.ack_delay);
+        if delay.as_nanos() == 0 {
+            // Immediate mode: owe the ack to the very next sweep's step 2.
+            let due = &mut st.rel[dst.idx()].ack_due;
+            if !due.contains(&src) {
+                due.push(src);
+            }
+        } else {
+            // Delayed-ack mode: hold the ack for the coalescing window so
+            // the rest of the burst lands under the same cumulative ack.
+            let ch = &mut st.rel[dst.idx()];
+            if !ch.ack_pending.contains(&src) {
+                ch.ack_pending.push(src);
+            }
+            if ch.ack_timer_at.is_none() {
+                ch.ack_timer_gen += 1;
+                let gen = ch.ack_timer_gen;
+                ch.ack_timer_at = Some(self.sim.now() + delay);
+                let me = self.clone();
+                self.sim.schedule(delay, move || me.rel_ack_timer_fire(dst, gen));
+            }
         }
+    }
+
+    /// Delayed-ack timer: promote held acks to due and run a sweep so
+    /// step 2 flushes them. A stale generation means the state was torn
+    /// down and rebuilt under this event.
+    fn rel_ack_timer_fire(self: &Arc<Self>, rank: Rank, gen: u64) {
+        {
+            let mut st = self.st.lock();
+            let ch = &mut st.rel[rank.idx()];
+            if ch.ack_timer_gen != gen {
+                return;
+            }
+            ch.ack_timer_at = None;
+            while let Some(src) = ch.ack_pending.pop() {
+                if !ch.ack_due.contains(&src) {
+                    ch.ack_due.push(src);
+                }
+            }
+        }
+        self.sweep(rank);
     }
 
     /// Sweep step 5 growth: dispatch queued in-order deliveries.

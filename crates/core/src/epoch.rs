@@ -246,19 +246,7 @@ pub struct EpochObj {
 impl EpochObj {
     /// Create a fresh (inactive, deferred) epoch object.
     pub fn new(id: EpochId, kind: EpochKind) -> Self {
-        let mut targets = BTreeMap::new();
-        match &kind {
-            EpochKind::GatsAccess { group } => {
-                for r in group.ranks() {
-                    targets.insert(*r, TargetState::default());
-                }
-            }
-            EpochKind::Lock { target, .. } => {
-                targets.insert(*target, TargetState::default());
-            }
-            _ => {}
-        }
-        EpochObj {
+        let mut e = EpochObj {
             id,
             kind,
             activated: false,
@@ -267,11 +255,49 @@ impl EpochObj {
             close_req: None,
             closed_at: None,
             pending_ops: VecDeque::new(),
-            targets,
+            targets: BTreeMap::new(),
             exposure_origins: BTreeMap::new(),
             live_ops: HashMap::new(),
             lazy_hold: false,
             flush_forced: false,
+        };
+        e.prefill_targets();
+        e
+    }
+
+    /// Reinitialize a recycled epoch object in place (arena reuse, see
+    /// [`crate::window::WinRank::new_epoch`]): every field ends up exactly
+    /// as [`EpochObj::new`] would leave it, but `pending_ops` and
+    /// `live_ops` keep their allocated capacity.
+    pub fn reset(&mut self, id: EpochId, kind: EpochKind) {
+        self.id = id;
+        self.kind = kind;
+        self.activated = false;
+        self.closed = false;
+        self.complete = false;
+        self.close_req = None;
+        self.closed_at = None;
+        self.pending_ops.clear();
+        self.targets.clear();
+        self.exposure_origins.clear();
+        self.live_ops.clear();
+        self.lazy_hold = false;
+        self.flush_forced = false;
+        self.prefill_targets();
+    }
+
+    /// Seed the per-target progress map from the kind's target set.
+    fn prefill_targets(&mut self) {
+        match &self.kind {
+            EpochKind::GatsAccess { group } => {
+                for r in group.ranks() {
+                    self.targets.insert(*r, TargetState::default());
+                }
+            }
+            EpochKind::Lock { target, .. } => {
+                self.targets.insert(*target, TargetState::default());
+            }
+            _ => {}
         }
     }
 

@@ -260,6 +260,17 @@ pub enum Body {
         /// The encoded packet.
         packet: u64,
     },
+    /// Several 64-bit sync words for the *same* per-window-pair FIFO,
+    /// coalesced into a single push: the progress engine batches the words
+    /// one sweep pass produces per channel instead of issuing one
+    /// syscall-shaped push per notice. FIFO order of the words is
+    /// preserved; the receiver pushes them into the ring one by one.
+    Fifo64Batch {
+        /// Window (also encoded inside each word, kept here for routing).
+        win: WinId,
+        /// The encoded packets, in send order.
+        packets: Vec<u64>,
+    },
 
     // ---------------- two-sided plane ----------------
     /// Eager two-sided message.
@@ -372,6 +383,15 @@ impl Body {
                 (13, u64::from(win.0) ^ (*seq << 8), *ops_sent)
             }
             Body::Fifo64 { win, packet } => (14, u64::from(win.0), *packet),
+            Body::Fifo64Batch { win, packets } => {
+                // Fold every word so any reordering or bit flip inside the
+                // batch changes the digest.
+                let mut acc = 0u64;
+                for p in packets {
+                    acc = acc.rotate_left(7) ^ p;
+                }
+                (22, u64::from(win.0) ^ (packets.len() as u64), acc)
+            }
             Body::P2pEager { tag, .. } => (15, *tag, 0),
             Body::P2pRts { tag, size, token } => (16, *tag ^ (*size as u64), *token),
             Body::P2pCts { token, data_token } => (17, *token, *data_token),
@@ -407,8 +427,10 @@ impl Wire for Body {
                     }
             }
             // Control packets are priced by the fixed header alone; the
-            // intranode 64-bit packet adds its word.
+            // intranode 64-bit packet adds its word, a batched push the
+            // sum of its words.
             Body::Fifo64 { .. } => 8,
+            Body::Fifo64Batch { packets, .. } => 8 * packets.len(),
             // A reliability frame carries its inner message plus the
             // 16-byte sequence/checksum trailer; acks are pure control.
             Body::Rel { inner, .. } => inner.payload_len() + 16,
@@ -664,6 +686,18 @@ mod tests {
             packet: 0,
         };
         assert_eq!(fifo.payload_len(), 8);
+        let batch = Body::Fifo64Batch {
+            win: WinId(0),
+            packets: vec![1, 2, 3],
+        };
+        assert_eq!(batch.payload_len(), 24);
+        // Word order matters on the wire: a reordered batch must not
+        // digest identically.
+        let swapped = Body::Fifo64Batch {
+            win: WinId(0),
+            packets: vec![2, 1, 3],
+        };
+        assert_ne!(batch.digest(), swapped.digest());
         let cas = Body::FetchReq {
             win: WinId(0),
             tag: EpochTag::Lock { access_id: 1 },

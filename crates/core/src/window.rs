@@ -7,12 +7,18 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use mpisim_net::U64Fifo;
 
 use crate::config::WinInfo;
-use crate::epoch::EpochObj;
+use crate::epoch::{EpochKind, EpochObj};
 use crate::lock::LockMgr;
 use crate::types::{EpochId, Rank, Req};
 
 /// Capacity of each intranode notification FIFO, packets.
 pub const FIFO_CAPACITY: usize = 1024;
+
+/// Retired epoch objects kept around for reuse, per (window, rank) side.
+/// Steady-state workloads rarely hold more than a handful of epochs open,
+/// so a small cap bounds the arena without ever forcing a fresh
+/// allocation in practice.
+pub const EPOCH_POOL_CAP: usize = 32;
 
 /// Target-side grant sequencing toward one origin (§VII.B).
 ///
@@ -130,6 +136,12 @@ pub struct WinRank {
     /// records exactly which (window, peer) rings hold packets, so only
     /// those are drained.
     pub fifos_in: BTreeMap<Rank, U64Fifo>,
+
+    /// Arena of retired epoch objects awaiting reuse (capped at
+    /// [`EPOCH_POOL_CAP`]). Epochs churn once per fence phase per rank;
+    /// recycling them keeps the op-record containers' capacity across
+    /// epochs instead of reallocating per phase.
+    pub epoch_pool: Vec<EpochObj>,
 }
 
 impl WinRank {
@@ -163,6 +175,7 @@ impl WinRank {
             flushes: Vec::new(),
             cancelled_lock_grants: Vec::new(),
             fifos_in: BTreeMap::new(),
+            epoch_pool: Vec::new(),
         }
     }
 
@@ -180,6 +193,19 @@ impl WinRank {
         self.order.push_back(id);
     }
 
+    /// Build an epoch object for `(id, kind)`, reusing a retired one from
+    /// the arena when available (the PR-3 `Payload`/`Bytes` pattern:
+    /// recycle the allocation, reinitialize the state).
+    pub fn new_epoch(&mut self, id: EpochId, kind: EpochKind) -> EpochObj {
+        match self.epoch_pool.pop() {
+            Some(mut e) => {
+                e.reset(id, kind);
+                e
+            }
+            None => EpochObj::new(id, kind),
+        }
+    }
+
     /// Immutable epoch lookup.
     pub fn epoch(&self, id: EpochId) -> &EpochObj {
         &self.epochs[&id.0]
@@ -190,11 +216,15 @@ impl WinRank {
         self.epochs.get_mut(&id.0).expect("unknown epoch id")
     }
 
-    /// Retire an internally complete epoch: remove it from the order (it is
-    /// dropped from the map lazily by the engine once requests drained).
+    /// Retire an internally complete epoch: remove it from the order and
+    /// recycle the object into the arena for the next `new_epoch`.
     pub fn retire(&mut self, id: EpochId) {
         self.order.retain(|e| *e != id);
-        self.epochs.remove(&id.0);
+        if let Some(e) = self.epochs.remove(&id.0) {
+            if self.epoch_pool.len() < EPOCH_POOL_CAP {
+                self.epoch_pool.push(e);
+            }
+        }
     }
 
     /// The epoch immediately preceding `id` in open order, if any.

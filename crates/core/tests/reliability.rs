@@ -121,6 +121,9 @@ fn retransmit_racing_ack_is_deduplicated_and_acked() {
         rto: SimTime::from_nanos(800),
         max_backoff: SimTime::from_micros(100),
         max_retries: 30,
+        // Immediate acks: the test wants the retransmit to race the ack
+        // itself, not the delayed-ack hold.
+        ack_delay: SimTime::from_nanos(0),
     });
     let report = mixed_job(cfg).unwrap();
     assert!(report.is_clean(), "{:?}", report.degradations);
@@ -152,6 +155,7 @@ fn unhealed_partition_exhausts_backoff_and_trips_watchdog() {
         rto: SimTime::from_micros(20),
         max_backoff: SimTime::from_micros(80),
         max_retries: 4,
+        ..Reliability::default()
     });
     let budget = SimTime::from_millis(1);
     cfg = cfg.with_watchdog(budget);
@@ -218,6 +222,7 @@ fn crashed_peer_during_lock_all_is_cancelled_not_hung() {
         rto: SimTime::from_micros(20),
         max_backoff: SimTime::from_micros(80),
         max_retries: 4,
+        ..Reliability::default()
     });
     cfg = cfg.with_watchdog(SimTime::from_millis(1));
     let report = run_job(cfg, |env| {
