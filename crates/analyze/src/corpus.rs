@@ -566,3 +566,80 @@ pub fn catalog_cases() -> Vec<(Code, IrProgram)> {
 
     out
 }
+
+/// One minimal deterministic E-clean program per *advisory* code: the
+/// slack pass ([`crate::analyze_slack`]) must report that code. Used by
+/// the CLI `--catalog` sweep and the W-series diagnostics tests.
+pub fn slack_catalog_cases() -> Vec<(Code, IrProgram)> {
+    let mut out = Vec::new();
+
+    // W001: blocking flush whose guarantee nothing consumes before the
+    // epoch's own unlock.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Blocking },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+    ]);
+    out.push((Code::W001, p));
+
+    // W002: fence phase close with no dependent use before end of
+    // program (the trailing barrier is conflict-free: only rank 0
+    // writes).
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Barrier,
+    ]);
+    p.ranks[1].extend([
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Barrier,
+    ]);
+    out.push((Code::W002, p));
+
+    // W003: unlock whose completion no later statement depends on.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+        Stmt::Barrier,
+    ]);
+    p.ranks[1].push(Stmt::Barrier);
+    out.push((Code::W003, p));
+
+    // W004: start group names rank 2 but the epoch only operates toward
+    // rank 1.
+    let mut p = IrProgram::new(3, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1, 2] },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
+    ]);
+    for r in 1..3 {
+        p.ranks[r].extend([
+            Stmt::Post { win: 0, group: vec![0] },
+            Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+        ]);
+    }
+    out.push((Code::W004, p));
+
+    // W005: exposure epoch whose matched access epoch never operates
+    // toward the exposing rank.
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::Complete { win: 0, close: Close::Blocking },
+    ]);
+    p.ranks[1].extend([
+        Stmt::Post { win: 0, group: vec![0] },
+        Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+    ]);
+    out.push((Code::W005, p));
+
+    out
+}

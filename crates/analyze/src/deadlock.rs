@@ -27,18 +27,30 @@
 //!    fair, so acquisition order — not lock usage — is the only deadlock
 //!    source there). A separate scan records, per rank, every point where
 //!    the rank *blocks on the completion of one lock epoch while holding
-//!    another* (a blocking unlock or covering blocking flush, or a
+//!    another* (a blocking unlock or covering blocking full flush, or a
 //!    `waitall` consuming the epoch's nonblocking close). Each such point
 //!    contributes a held→wanted edge; a cycle whose consecutive edges come
 //!    from different ranks and conflict in lock mode (requester or holder
 //!    exclusive) is a classic ABBA inversion.
 //!
-//! Both passes model synchronization effects at the call site (epoch
-//! activation deferral is ignored). That is exact for every program the
-//! conformance generator produces and for the deadlock corpus; in general
-//! it over-approximates concurrency, which for deadlock detection means a
-//! flagged program may need a particular activation interleaving to stall
-//! — never that a clean program can stall.
+//! The lock-order pass models **epoch-activation deferral at call-site
+//! granularity**: lock acquisition is lazily deferred to the first
+//! forcing call (§VII.B), so a held lock contributes a held→wanted edge
+//! only once it is *established* — a full flush (blocking or
+//! nonblocking) covering it has forced the acquisition. An unestablished
+//! lock epoch holds nothing a peer can block on, and `flush_local` is
+//! not a forcing call in the modeled MPI-spec semantics (it completes
+//! locally only), so it neither establishes a hold nor discharges a
+//! held→wanted edge. (The simulator's engine conservatively forces
+//! acquisition on *every* flush, `flush_local` included — a legal
+//! strengthening, mirroring MVAPICH; the analyzer models the weaker
+//! spec semantics so its verdicts hold for any compliant runtime.) The
+//! fixpoint pass models the remaining synchronization effects at the
+//! call site, which is exact for every program the conformance generator
+//! produces and for the deadlock corpus; in general it over-approximates
+//! concurrency, which for deadlock detection means a flagged program may
+//! need a particular activation interleaving to stall — never that a
+//! clean program can stall.
 
 use std::collections::BTreeMap;
 
@@ -562,18 +574,26 @@ struct LockEdge {
 fn lock_order_pass(p: &IrProgram) -> Vec<Diagnostic> {
     let mut edges: Vec<LockEdge> = Vec::new();
     for (rank, stmts) in p.ranks.iter().enumerate() {
-        // (win, target) → (exclusive, lock stmt).
-        let mut held: BTreeMap<(usize, usize), (bool, usize)> = BTreeMap::new();
+        // (win, target) → (exclusive, lock stmt, established). A hold
+        // only contributes a held→wanted edge once it is *established*:
+        // lock acquisition is lazily deferred to the first forcing call
+        // (§VII.B), so a lock epoch that has seen no full flush since its
+        // `lock` holds nothing yet — the grant request has not even been
+        // sent, and a peer wanting the same lock cannot be blocked by it.
+        // `flush_local` completes locally only and is *not* a forcing
+        // call in the modeled (MPI-spec) semantics, so it neither
+        // establishes a hold nor discharges one.
+        let mut held: BTreeMap<(usize, usize), (bool, usize, bool)> = BTreeMap::new();
         // Pending nonblocking unlocks whose completion a later waitall
         // blocks on: (win, target, exclusive, unlock stmt).
         let mut pending_iunlock: Vec<(usize, usize, bool, usize)> = Vec::new();
-        let block_on = |held: &BTreeMap<(usize, usize), (bool, usize)>,
+        let block_on = |held: &BTreeMap<(usize, usize), (bool, usize, bool)>,
                             wanted: (usize, usize),
                             want_excl: bool,
                             block_stmt: usize,
                             edges: &mut Vec<LockEdge>| {
-            for (&h, &(held_excl, held_stmt)) in held {
-                if h == wanted {
+            for (&h, &(held_excl, held_stmt, established)) in held {
+                if h == wanted || !established {
                     continue;
                 }
                 edges.push(LockEdge {
@@ -590,30 +610,46 @@ fn lock_order_pass(p: &IrProgram) -> Vec<Diagnostic> {
         for (step, stmt) in stmts.iter().enumerate() {
             match stmt {
                 Stmt::Lock { win, target, exclusive, .. } => {
-                    held.insert((*win, *target), (*exclusive, step));
+                    held.insert((*win, *target), (*exclusive, step, false));
                 }
                 Stmt::Unlock { win, target, close } => {
-                    if let Some((excl, _)) = held.remove(&(*win, *target)) {
+                    if let Some((excl, ..)) = held.remove(&(*win, *target)) {
                         if close.is_blocking() {
                             // Blocks here until this lock epoch completes
                             // (grant + release) while still holding every
-                            // other open lock.
+                            // other established lock.
                             block_on(&held, (*win, *target), excl, step, &mut edges);
                         } else {
                             pending_iunlock.push((*win, *target, excl, step));
                         }
                     }
                 }
-                Stmt::Flush { win, target, close, .. } if close.is_blocking() => {
-                    // A blocking flush waits for the covered epochs' issued
-                    // operations, which need the covered locks granted.
+                Stmt::Flush { win, target, local_only, close } => {
+                    if *local_only {
+                        // flush_local: local completion only — forces no
+                        // acquisition and discharges no held→wanted edge.
+                        continue;
+                    }
+                    // A full flush (blocking or not) forces acquisition of
+                    // the covered lazily-held locks: they are established
+                    // from here on.
                     let covered: Vec<((usize, usize), bool)> = held
                         .iter()
                         .filter(|((w, t), _)| *w == *win && target.is_none_or(|tt| tt == *t))
-                        .map(|(&k, &(excl, _))| (k, excl))
+                        .map(|(&k, &(excl, _, _))| (k, excl))
                         .collect();
-                    for (k, excl) in covered {
-                        block_on(&held, k, excl, step, &mut edges);
+                    for (k, _) in &covered {
+                        if let Some(e) = held.get_mut(k) {
+                            e.2 = true;
+                        }
+                    }
+                    if close.is_blocking() {
+                        // And a *blocking* full flush additionally waits
+                        // for the covered epochs' issued operations, which
+                        // need the covered locks granted.
+                        for (k, excl) in covered {
+                            block_on(&held, k, excl, step, &mut edges);
+                        }
                     }
                 }
                 Stmt::WaitAll => {

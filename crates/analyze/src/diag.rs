@@ -80,10 +80,42 @@ pub enum Code {
     /// unsatisfiable (the peer side of the epoch has terminated), so the
     /// wait can never return.
     E017,
+    /// Advisory: redundant blocking flush. The flush's completion
+    /// guarantee is never consumed — no later statement depends on the
+    /// covered operations before their epoch closes and it discharges no
+    /// earlier full `iflush` request — so it can be elided, or weakened
+    /// to `flush_local` when only local-only `iflush` requests ride on
+    /// it. Emitted by the slack pass ([`crate::analyze_slack`]), never by
+    /// [`crate::analyze`].
+    W001,
+    /// Advisory: active-target epoch close (fence phase close,
+    /// `complete`, `wait`) relaxable to its nonblocking form — the
+    /// dataflow finds no dependent use of the covered operations before
+    /// the computed deferred-wait point, so the blocking call only
+    /// serializes the host (the paper's §V motivation).
+    W002,
+    /// Advisory: passive-target epoch close (`unlock`, `unlock_all`)
+    /// relaxable to its deferred nonblocking form (`iunlock` +
+    /// later wait), for the same no-dependent-use reason as
+    /// [`Code::W002`].
+    W003,
+    /// Advisory: over-wide access epoch — a GATS `start` group names
+    /// targets the epoch never issues an operation toward, forcing the
+    /// runtime to collect grants (and the targets to expose) for
+    /// nothing. Advisory only: narrowing the group changes the
+    /// cross-rank `start`/`post` matching, so no rewrite is applied.
+    W004,
+    /// Advisory: dead exposure epoch — a `post`/`wait` pair whose
+    /// granted origins never issue an operation toward this rank inside
+    /// the matched access epochs; the exposure synchronizes nothing.
+    /// Advisory only (removal changes collective matching).
+    W005,
 }
 
 impl Code {
-    /// Every code, in order.
+    /// Every *error* code, in order. These are the codes [`crate::analyze`]
+    /// enforces; the advisory W-series ([`Code::ADVISORY`]) is emitted
+    /// only by the synchronization-slack pass ([`crate::analyze_slack`]).
     pub const ALL: [Code; 17] = [
         Code::E001,
         Code::E002,
@@ -103,6 +135,10 @@ impl Code {
         Code::E016,
         Code::E017,
     ];
+
+    /// Every advisory (over-synchronization) code, in order.
+    pub const ADVISORY: [Code; 5] =
+        [Code::W001, Code::W002, Code::W003, Code::W004, Code::W005];
 
     /// The stable code string (`"E001"` …).
     pub fn as_str(self) -> &'static str {
@@ -124,6 +160,11 @@ impl Code {
             Code::E015 => "E015",
             Code::E016 => "E016",
             Code::E017 => "E017",
+            Code::W001 => "W001",
+            Code::W002 => "W002",
+            Code::W003 => "W003",
+            Code::W004 => "W004",
+            Code::W005 => "W005",
         }
     }
 
@@ -147,6 +188,11 @@ impl Code {
             Code::E015 => "missing or mismatched exposure",
             Code::E016 => "fence-participation mismatch",
             Code::E017 => "wait on never-completing request",
+            Code::W001 => "redundant blocking flush",
+            Code::W002 => "fence/GATS close relaxable to nonblocking",
+            Code::W003 => "lock epoch close relaxable to deferred",
+            Code::W004 => "over-wide access epoch",
+            Code::W005 => "dead exposure epoch",
         }
     }
 }

@@ -33,6 +33,15 @@
 //! the dynamic layer under-approximates (it sees one schedule); together
 //! they bracket the protocol semantics, and `mpisim-check` runs both on
 //! every generated program.
+//!
+//! On top of the correctness layers sits the **synchronization-slack
+//! pass** ([`analyze_slack`]) with its mechanical rewriter
+//! ([`rewrite`]): it classifies every blocking synchronization point as
+//! elidable / relaxable / required via a per-(rank, window)
+//! byte-interval dataflow (advisory codes `W001`–`W005`), and rewrites
+//! the relaxable ones to their nonblocking forms — the optimization the
+//! source paper argues for, proved safe differentially by
+//! `mpisim-check`'s rewrite-equivalence sweep.
 
 #![warn(missing_docs)]
 
@@ -42,9 +51,15 @@ mod deadlock;
 pub mod diag;
 pub mod ir;
 pub mod race;
+pub mod rewrite;
+pub mod slack;
 
 pub use analyzer::analyze;
-pub use corpus::{catalog_cases, generate_negative, NegCase, NegFamily, NEG_WIN_BYTES};
+pub use corpus::{
+    catalog_cases, generate_negative, slack_catalog_cases, NegCase, NegFamily, NEG_WIN_BYTES,
+};
 pub use diag::{has_code, Code, Diagnostic};
 pub use ir::{Close, IrProgram, Stmt};
 pub use race::{detect_races, detect_races_in, Race, RaceAccess};
+pub use rewrite::{rewrite, rewrite_with, RewriteMode, RewriteReport};
+pub use slack::{analyze_slack, SlackClass, SlackFinding, SlackReport, SyncKind};

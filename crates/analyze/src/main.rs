@@ -10,7 +10,10 @@
 //! cargo run -p mpisim-analyze -- --seeds 64 --catalog
 //! ```
 
-use mpisim_analyze::{analyze, catalog_cases, generate_negative, has_code, NegFamily};
+use mpisim_analyze::{
+    analyze, analyze_slack, catalog_cases, generate_negative, has_code, slack_catalog_cases,
+    NegFamily,
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -83,6 +86,29 @@ fn main() {
                 eprintln!(
                     "MISS: catalog case for {code} not flagged (got: {:?})",
                     diags.iter().map(|d| d.code).collect::<Vec<_>>()
+                );
+            }
+        }
+        for (code, program) in slack_catalog_cases() {
+            let errors = analyze(&program);
+            let slack = analyze_slack(&program);
+            checked += 1;
+            if verbose {
+                for d in &slack.diags {
+                    println!("  catalog {code}: {d}");
+                }
+            }
+            if !errors.is_empty() {
+                missed += 1;
+                eprintln!(
+                    "MISS: slack catalog case for {code} is not E-clean (got: {:?})",
+                    errors.iter().map(|d| d.code).collect::<Vec<_>>()
+                );
+            } else if !has_code(&slack.diags, code) {
+                missed += 1;
+                eprintln!(
+                    "MISS: slack catalog case for {code} not flagged (got: {:?})",
+                    slack.diags.iter().map(|d| d.code).collect::<Vec<_>>()
                 );
             }
         }

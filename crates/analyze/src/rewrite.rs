@@ -1,0 +1,194 @@
+//! Mechanical application of the slack pass: rewrite an [`IrProgram`]
+//! so every relaxable synchronization becomes its nonblocking form.
+//!
+//! The rewriter consumes [`crate::analyze_slack`] findings and applies,
+//! per rank:
+//!
+//! * **relax** — a `Relaxable` epoch close flips `Close::Blocking` to
+//!   `Close::Nonblocking` (fence→ifence, complete→icomplete,
+//!   wait→iwait, unlock→iunlock, unlock_all→iunlock_all);
+//! * **defer** — the relaxed close's completion request is consumed at
+//!   the finding's wait point: an existing `WaitAll`, a fresh `WaitAll`
+//!   inserted immediately before the earliest dependent use, or a
+//!   trailing `WaitAll` appended at end of program;
+//! * **localize** — a `Relaxable` blocking flush becomes `flush_local`
+//!   (per the E008 age-stamp rule the later local stamp still completes
+//!   every local-only `iflush` request it discharged);
+//! * **elide** — an `Elidable` blocking flush is deleted.
+//!
+//! Rewriting runs the classify→apply cycle to a **fixpoint**: an
+//! inserted `WaitAll` is a new free deferred-wait landing point that can
+//! turn a previously `Required` sync `Relaxable` on the next pass, and
+//! each pass that changes anything strictly decreases the number of
+//! blocking synchronization points (relax and elide remove one each; a
+//! localized flush re-classifies `Required` next pass), so the loop
+//! terminates and [`rewrite`] is idempotent by construction —
+//! `rewrite(rewrite(p)) == rewrite(p)`.
+//!
+//! [`RewriteMode::PlantUnsound`] exists for the closed-loop validator's
+//! exit-inverted self-test: after the sound rewrite it deletes one
+//! synchronization statement outright (a fence call, else a barrier,
+//! else a blocking unlock), which is exactly the kind of over-eager
+//! "optimization" the differential check must catch — via a runtime
+//! stall/deadlock, a memory divergence, or a watchdog degradation.
+
+use crate::ir::{Close, IrProgram, Stmt};
+use crate::slack::{analyze_slack, SlackClass, SyncKind};
+
+/// Whether to apply only provably-safe relaxations or to additionally
+/// plant one unsound deletion (for the validator's self-test).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RewriteMode {
+    /// Apply exactly the slack pass's `Relaxable`/`Elidable` verdicts.
+    Sound,
+    /// Sound rewrite **plus** one deliberately unsound deletion on rank
+    /// 0 (first fence call, else first barrier, else first blocking
+    /// unlock). The differential validator must flag the result.
+    PlantUnsound,
+}
+
+/// What the rewriter did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RewriteReport {
+    /// Blocking epoch closes flipped to their nonblocking form.
+    pub relaxed: usize,
+    /// Blocking flushes deleted outright.
+    pub elided: usize,
+    /// Blocking flushes weakened to `flush_local`.
+    pub localized: usize,
+    /// `WaitAll` statements inserted (deferred-wait landing points).
+    pub waits_inserted: usize,
+    /// Classify→apply passes until the fixpoint (≥ 1).
+    pub passes: usize,
+    /// `PlantUnsound` only: `(rank, original step)` of the deleted
+    /// statement.
+    pub planted: Option<(usize, usize)>,
+}
+
+impl RewriteReport {
+    /// Whether any rewrite fired (the validator only scores programs
+    /// where it did).
+    pub fn changed(&self) -> bool {
+        self.relaxed + self.elided + self.localized + self.waits_inserted > 0
+            || self.planted.is_some()
+    }
+}
+
+/// Apply every safe relaxation to a fixpoint. Returns the rewritten
+/// program and a report; `report.changed()` is `false` when the program
+/// had no slack (the result then equals the input).
+pub fn rewrite(p: &IrProgram) -> (IrProgram, RewriteReport) {
+    rewrite_with(p, RewriteMode::Sound)
+}
+
+/// [`rewrite`] with an explicit [`RewriteMode`].
+pub fn rewrite_with(p: &IrProgram, mode: RewriteMode) -> (IrProgram, RewriteReport) {
+    let mut cur = p.clone();
+    let mut report = RewriteReport::default();
+    // Each changing pass strictly decreases the count of blocking sync
+    // points, so this terminates; the bound is belt and braces.
+    let max_passes = 2 + cur.ranks.iter().map(Vec::len).sum::<usize>();
+    loop {
+        report.passes += 1;
+        let (next, changed) = apply_once(&cur, &mut report);
+        cur = next;
+        if !changed || report.passes >= max_passes {
+            break;
+        }
+    }
+    if mode == RewriteMode::PlantUnsound {
+        report.planted = plant_unsound(&mut cur);
+    }
+    (cur, report)
+}
+
+/// One classify→apply pass. Returns the rewritten program and whether
+/// anything fired.
+fn apply_once(p: &IrProgram, report: &mut RewriteReport) -> (IrProgram, bool) {
+    let slack = analyze_slack(p);
+    let mut out = p.clone();
+    let mut changed = false;
+    for rank in 0..p.n_ranks {
+        let mut relax: Vec<usize> = Vec::new();
+        let mut elide: Vec<usize> = Vec::new();
+        let mut localize: Vec<usize> = Vec::new();
+        let mut insert_before: Vec<usize> = Vec::new();
+        let mut trailing_wait = false;
+        for f in slack.findings.iter().filter(|f| f.rank == rank) {
+            match (f.class, f.kind) {
+                (SlackClass::Relaxable, SyncKind::Flush) => localize.push(f.step),
+                (SlackClass::Relaxable, _) => {
+                    relax.push(f.step);
+                    match f.wait_before {
+                        Some(d) if f.insert_wait => insert_before.push(d),
+                        Some(_) => {} // existing WaitAll consumes it
+                        None => trailing_wait = true,
+                    }
+                }
+                (SlackClass::Elidable, SyncKind::Flush) => elide.push(f.step),
+                _ => {}
+            }
+        }
+        insert_before.sort_unstable();
+        insert_before.dedup();
+        if relax.is_empty() && elide.is_empty() && localize.is_empty() {
+            continue;
+        }
+        changed = true;
+        report.relaxed += relax.len();
+        report.elided += elide.len();
+        report.localized += localize.len();
+        report.waits_inserted += insert_before.len() + usize::from(trailing_wait);
+        let mut stmts = Vec::with_capacity(p.ranks[rank].len() + insert_before.len() + 1);
+        for (i, stmt) in p.ranks[rank].iter().enumerate() {
+            if insert_before.binary_search(&i).is_ok() {
+                stmts.push(Stmt::WaitAll);
+            }
+            if elide.contains(&i) {
+                continue;
+            }
+            let mut s = stmt.clone();
+            if relax.contains(&i) {
+                match &mut s {
+                    Stmt::Fence { close, .. }
+                    | Stmt::Complete { close, .. }
+                    | Stmt::WaitEpoch { close, .. }
+                    | Stmt::Unlock { close, .. }
+                    | Stmt::UnlockAll { close, .. } => *close = Close::Nonblocking,
+                    _ => unreachable!("relax set only holds epoch closes"),
+                }
+            }
+            if localize.contains(&i) {
+                if let Stmt::Flush { local_only, .. } = &mut s {
+                    *local_only = true;
+                }
+            }
+            stmts.push(s);
+        }
+        if trailing_wait {
+            stmts.push(Stmt::WaitAll);
+        }
+        out.ranks[rank] = stmts;
+    }
+    (out, changed)
+}
+
+/// Delete one synchronization statement of rank 0: the first fence call
+/// if any, else the first barrier, else the first blocking unlock.
+/// Returns the `(rank, step)` it removed, or `None` when rank 0 has no
+/// such statement (the program is left unchanged and the validator
+/// skips it).
+fn plant_unsound(p: &mut IrProgram) -> Option<(usize, usize)> {
+    let stmts = p.ranks.get_mut(0)?;
+    let victim = stmts
+        .iter()
+        .position(|s| matches!(s, Stmt::Fence { .. }))
+        .or_else(|| stmts.iter().position(|s| matches!(s, Stmt::Barrier)))
+        .or_else(|| {
+            stmts.iter().position(|s| {
+                matches!(s, Stmt::Unlock { close, .. } if close.is_blocking())
+            })
+        })?;
+    stmts.remove(victim);
+    Some((0, victim))
+}

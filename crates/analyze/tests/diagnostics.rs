@@ -6,7 +6,9 @@
 //! smallest edit that makes it legal — the analyzer must report nothing
 //! at all for it.
 
-use mpisim_analyze::{analyze, detect_races_in, has_code, Close, Code, IrProgram, Stmt};
+use mpisim_analyze::{
+    analyze, analyze_slack, detect_races_in, has_code, Close, Code, IrProgram, SlackClass, Stmt,
+};
 use mpisim_core::trace::{AccessKind, Plane, SyncEvent, SyncRecord};
 use mpisim_core::{Rank, ReduceOp, WinId};
 
@@ -510,6 +512,73 @@ fn e014_near_miss_shared_locks_do_not_conflict() {
     assert_clean(&p);
 }
 
+#[test]
+fn e014_near_miss_flush_local_does_not_establish() {
+    // The ABBA shape, but the in-epoch flush is `flush_local`: it
+    // completes locally only, forces no lock acquisition (the epoch stays
+    // lazily deferred, §VII.B), and so never pins the first hold — no
+    // held→wanted edge, no inversion.
+    let mut p = IrProgram::new(3, WIN);
+    for (me, first, second) in [(0usize, 1usize, 2usize), (1, 2, 1)] {
+        p.ranks[me].extend([
+            Stmt::Lock { win: 0, target: first, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target: first, disp: 0, len: 8 },
+            Stmt::Flush { win: 0, target: Some(first), local_only: true, close: Close::Blocking },
+            Stmt::Lock { win: 0, target: second, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target: second, disp: 8, len: 8 },
+            Stmt::Unlock { win: 0, target: second, close: Close::Blocking },
+            Stmt::Unlock { win: 0, target: first, close: Close::Blocking },
+        ]);
+    }
+    assert_clean(&p);
+}
+
+#[test]
+fn e014_near_miss_unestablished_lazy_hold() {
+    // Opposite acquisition orders with *no* flush at all: both first
+    // locks are lazily held (acquisition deferred to the epoch's own
+    // unlock), so while a rank blocks in its second epoch the first lock
+    // is not actually granted anywhere — no ABBA.
+    let mut p = IrProgram::new(3, WIN);
+    for (me, first, second) in [(0usize, 1usize, 2usize), (1, 2, 1)] {
+        p.ranks[me].extend([
+            Stmt::Lock { win: 0, target: first, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target: first, disp: 0, len: 8 },
+            Stmt::Lock { win: 0, target: second, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target: second, disp: 8, len: 8 },
+            Stmt::Unlock { win: 0, target: second, close: Close::Blocking },
+            Stmt::Unlock { win: 0, target: first, close: Close::Blocking },
+        ]);
+    }
+    assert_clean(&p);
+}
+
+#[test]
+fn e014_nonblocking_full_iflush_establishes_the_hold() {
+    // A *nonblocking* full flush still forces acquisition of the covered
+    // lazily-held lock (it initiates the grant request), so the ABBA
+    // shape with iflush + a later blocking unlock is still an inversion.
+    let mut p = IrProgram::new(3, WIN);
+    for (me, first, second) in [(0usize, 1usize, 2usize), (1, 2, 1)] {
+        p.ranks[me].extend([
+            Stmt::Lock { win: 0, target: first, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target: first, disp: 0, len: 8 },
+            Stmt::Flush {
+                win: 0,
+                target: Some(first),
+                local_only: false,
+                close: Close::Nonblocking,
+            },
+            Stmt::Lock { win: 0, target: second, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target: second, disp: 8, len: 8 },
+            Stmt::Unlock { win: 0, target: second, close: Close::Blocking },
+            Stmt::Unlock { win: 0, target: first, close: Close::Blocking },
+            Stmt::WaitAll,
+        ]);
+    }
+    assert!(has_code(&analyze(&p), Code::E014));
+}
+
 // ---------------------------------------------------------------- E015
 
 #[test]
@@ -794,4 +863,286 @@ fn grant_edge_orders_lock_epochs() {
         }),
     ];
     assert!(detect_races_in(&trace, 3).is_empty());
+}
+
+// ------------------------------------------------- W-series (slack pass)
+//
+// The advisory codes are emitted only by `analyze_slack`; every positive
+// program here must additionally be E-clean, because the rewriter's
+// whole contract is "relax programs that are already correct".
+
+fn slack_diags(p: &IrProgram) -> Vec<mpisim_analyze::Diagnostic> {
+    assert_clean(p);
+    analyze_slack(p).diags
+}
+
+#[test]
+fn w001_redundant_blocking_flush() {
+    // Nothing consumes the flush's guarantee before the epoch's own
+    // unlock completes everything anyway.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Blocking },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+    ]);
+    let diags = slack_diags(&p);
+    assert!(has_code(&diags, Code::W001), "{diags:?}");
+}
+
+#[test]
+fn w001_near_miss_flush_discharges_full_iflush() {
+    // The blocking flush discharges an earlier full iflush request (the
+    // E008 age-stamp rule): its completion IS consumed — Required, no
+    // W001.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Nonblocking },
+        Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Blocking },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+    ]);
+    let diags = slack_diags(&p);
+    assert!(!has_code(&diags, Code::W001), "{diags:?}");
+}
+
+#[test]
+fn w001_localize_when_only_local_requests_ride() {
+    // Only a local-only iflush rides on the blocking flush: it cannot be
+    // elided (the request must be discharged) but can weaken to
+    // flush_local. Still W001, with a localize finding.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Flush { win: 0, target: Some(1), local_only: true, close: Close::Nonblocking },
+        Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Blocking },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+    ]);
+    assert_clean(&p);
+    let report = analyze_slack(&p);
+    assert!(has_code(&report.diags, Code::W001), "{:?}", report.diags);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rank == 0 && f.step == 3)
+        .expect("the blocking flush must be classified");
+    assert_eq!(f.class, SlackClass::Relaxable);
+    assert!(f.localize, "must be weakened to flush_local, not elided: {f:?}");
+}
+
+#[test]
+fn w002_fence_close_relaxable() {
+    // No dependent use of the covered put before end of program: the
+    // closing fence only serializes the host.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Barrier,
+    ]);
+    p.ranks[1].extend([
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Barrier,
+    ]);
+    let diags = slack_diags(&p);
+    assert!(
+        diags.iter().any(|d| d.code == Code::W002 && d.rank == 0 && d.step == Some(2)),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn w002_near_miss_conflicting_barrier_pins_the_fence() {
+    // Same shape, but rank 1 reads the published bytes under a lock
+    // after the barrier: the barrier is the publication point, and it
+    // follows the fence with zero slack — Required, no W002 for rank 0.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Barrier,
+    ]);
+    p.ranks[1].extend([
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Fence { win: 0, close: Close::Blocking },
+        Stmt::Barrier,
+        Stmt::Lock { win: 0, target: 1, exclusive: false, nonblocking: false },
+        Stmt::Get { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+    ]);
+    let diags = slack_diags(&p);
+    assert!(
+        !diags.iter().any(|d| d.code == Code::W002 && d.rank == 0),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn w003_unlock_relaxable() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+        Stmt::Barrier,
+    ]);
+    p.ranks[1].push(Stmt::Barrier);
+    let diags = slack_diags(&p);
+    assert!(
+        diags.iter().any(|d| d.code == Code::W003 && d.rank == 0 && d.step == Some(2)),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn w003_near_miss_barrier_publishes_with_zero_slack() {
+    // The barrier immediately after the unlock publishes the put to a
+    // conflicting reader on rank 1: the dependent use is adjacent, so
+    // there is no room to overlap anything — the unlock stays Required.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+        Stmt::Barrier,
+    ]);
+    p.ranks[1].extend([
+        Stmt::Barrier,
+        Stmt::Lock { win: 0, target: 1, exclusive: false, nonblocking: false },
+        Stmt::Get { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+    ]);
+    assert_clean(&p);
+    let report = analyze_slack(&p);
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.rank == 0 && f.step == 2)
+        .expect("the unlock must be classified");
+    assert_eq!(f.class, SlackClass::Required, "{f:?}");
+    assert!(
+        !report.diags.iter().any(|d| d.code == Code::W003 && d.rank == 0),
+        "{:?}",
+        report.diags
+    );
+}
+
+#[test]
+fn w004_over_wide_start_group() {
+    let mut p = IrProgram::new(3, WIN);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1, 2] },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
+    ]);
+    for r in 1..3 {
+        p.ranks[r].extend([
+            Stmt::Post { win: 0, group: vec![0] },
+            Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+        ]);
+    }
+    let diags = slack_diags(&p);
+    assert!(
+        diags.iter().any(|d| d.code == Code::W004 && d.rank == 0 && d.step == Some(0)),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn w004_near_miss_every_target_used() {
+    let mut p = IrProgram::new(3, WIN);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1, 2] },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Put { win: 0, target: 2, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
+    ]);
+    for r in 1..3 {
+        p.ranks[r].extend([
+            Stmt::Post { win: 0, group: vec![0] },
+            Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+        ]);
+    }
+    let diags = slack_diags(&p);
+    assert!(!has_code(&diags, Code::W004), "{diags:?}");
+}
+
+#[test]
+fn w005_dead_exposure_epoch() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::Complete { win: 0, close: Close::Blocking },
+    ]);
+    p.ranks[1].extend([
+        Stmt::Post { win: 0, group: vec![0] },
+        Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+    ]);
+    let diags = slack_diags(&p);
+    assert!(
+        diags.iter().any(|d| d.code == Code::W005 && d.rank == 1 && d.step == Some(0)),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn w005_near_miss_origin_operates_toward_exposer() {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1] },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
+    ]);
+    p.ranks[1].extend([
+        Stmt::Post { win: 0, group: vec![0] },
+        Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+    ]);
+    let diags = slack_diags(&p);
+    assert!(!has_code(&diags, Code::W005), "{diags:?}");
+}
+
+#[test]
+fn reorder_pin_blocks_every_relaxation() {
+    // With reorder flags asserted, a rank whose epochs issue conflicting
+    // overlapping accesses depends on its blocking syncs to keep reorder
+    // regions apart: everything stays Required, nothing is advisory.
+    let mut p = IrProgram::new(2, WIN);
+    p.reorder = true;
+    for me in 0..2 {
+        let peer = 1 - me;
+        p.ranks[me].extend([
+            Stmt::Fence { win: 0, close: Close::Blocking },
+            Stmt::Put { win: 0, target: peer, disp: 0, len: 8 },
+            Stmt::Fence { win: 0, close: Close::Blocking },
+            Stmt::Put { win: 0, target: peer, disp: 0, len: 8 },
+            Stmt::Fence { win: 0, close: Close::Blocking },
+            Stmt::Barrier,
+        ]);
+    }
+    assert_clean(&p);
+    let report = analyze_slack(&p);
+    assert!(report.diags.is_empty(), "{:?}", report.diags);
+    assert!(
+        report.findings.iter().all(|f| f.class == SlackClass::Required),
+        "{:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn slack_catalog_covers_every_advisory_code() {
+    use mpisim_analyze::slack_catalog_cases;
+    let cases = slack_catalog_cases();
+    for code in Code::ADVISORY {
+        let covered = cases.iter().any(|(c, p)| {
+            *c == code && analyze(p).is_empty() && has_code(&analyze_slack(p).diags, code)
+        });
+        assert!(covered, "no E-clean slack catalog case triggers {code}");
+    }
 }

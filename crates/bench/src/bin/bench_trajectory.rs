@@ -1,18 +1,19 @@
 //! Perf-trajectory runner: executes the macro-benchmarks (fence-heavy
 //! halo, GATS pipeline, lock_all contention, the internode /
-//! reliability-sublayer halo pair, and the static-analyzer IR sweep) and
-//! writes `BENCH_6.json`.
+//! reliability-sublayer halo pair, the static-analyzer IR sweep, the
+//! slack classify+rewrite sweep, and the blocking/relaxed IR halo pair)
+//! and writes `BENCH_7.json`.
 //!
 //! Usage: `cargo run --release -p mpisim-bench --bin bench_trajectory --
 //! [--short] [--out PATH]`. `--short` runs CI-smoke scales; `--out`
-//! overrides the output path (default `BENCH_6.json` in the current
+//! overrides the output path (default `BENCH_7.json` in the current
 //! directory — run from the repo root).
 
-/// Trajectory point: PR 6 batched the intranode notification FIFO
-/// pushes, coalesced reliability acks (delayed-ack), pooled epoch
-/// objects, and outlined the trace slow paths — the host-path rework
-/// whose regression gate lives in `bench_gate`.
-const PR: u32 = 6;
+/// Trajectory point: PR 7 added the synchronization-slack dataflow pass
+/// and the slack-guided IR rewriter; the `halo_fence_ir` /
+/// `halo_fence_ir_relaxed` pair measures its engine-visible payoff via
+/// the new `sync_blocked_steps` counter.
+const PR: u32 = 7;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -21,12 +21,14 @@
 //! alone cannot: its wait-for graph is an abstraction, the watchdog's
 //! cancellation is an observation.
 
-use mpisim_analyze::{analyze, generate_negative, has_code, NegFamily};
-use mpisim_core::Degradation;
+use mpisim_analyze::{
+    analyze, generate_negative, has_code, rewrite_with, NegFamily, RewriteMode,
+};
+use mpisim_core::{Degradation, SyncStrategy};
 
 use crate::lower::lower;
 use crate::program::{generate, Family};
-use crate::run::exec_ir;
+use crate::run::{exec_ir, exec_ir_with};
 
 /// Outcome of one cross-validation sweep.
 #[derive(Clone, Debug, Default)]
@@ -131,6 +133,195 @@ pub fn crossval_deadlocks(seeds: u64) -> CrossValReport {
     CrossValReport { flagged_runs, clean_runs, failures }
 }
 
+/// Outcome of one rewrite-equivalence sweep ([`crossval_rewrites`]).
+#[derive(Clone, Debug, Default)]
+pub struct RewriteValReport {
+    /// Conformance programs examined (blocking-mode lowering).
+    pub programs: u64,
+    /// Programs where the rewriter fired (changed at least one call).
+    pub fired: u64,
+    /// Differential (strategy × seed) points compared.
+    pub points: u64,
+    /// Total `sync_blocked_steps` removed by the rewrites, over all
+    /// compared points.
+    pub blocked_steps_saved: u64,
+    /// Total `sync_blocked_ns` removed, over all compared points.
+    pub blocked_ns_saved: u64,
+    /// `PlantUnsound` mode: planted rewrites the differential check
+    /// caught (must equal the number planted).
+    pub planted_detected: u64,
+    /// `PlantUnsound` mode: rewrites planted.
+    pub planted: u64,
+    /// Human-readable description of every violation found.
+    pub failures: Vec<String>,
+}
+
+/// The differential points every rewritten program is compared at.
+const REWRITE_STRATEGIES: [SyncStrategy; 2] =
+    [SyncStrategy::LazyBaseline, SyncStrategy::Redesigned];
+const REWRITE_SEEDS: [u64; 2] = [7, 23];
+
+/// The closed loop for the slack pass: for `programs` generated
+/// conformance programs per family (lowered with blocking closes — the
+/// shape that has slack), run the rewriter and require, on every program
+/// where it fired:
+///
+/// * the rewritten program stays **analyzer-clean** (E001–E017);
+/// * it is **differentially equivalent**: same final window bytes as the
+///   original at every strategy × seed point, with zero watchdog stalls;
+/// * it does **strictly less host-blocking work**: per point
+///   `sync_blocked_steps` never increases, and summed over the points the
+///   rewrite strictly reduces blocked steps (or, on a tie, strictly
+///   reduces blocked virtual nanoseconds).
+///
+/// With [`RewriteMode::PlantUnsound`] the rewriter additionally deletes
+/// one synchronization statement after the sound rewrite; the sweep then
+/// *requires* the differential check to catch every planted program (via
+/// run failure, watchdog stall, or memory divergence) and reports the
+/// catch rate — the exit-inverted self-test that proves the validator has
+/// teeth. Static E-checks are deliberately skipped for planted programs:
+/// detection must come from the differential side alone.
+pub fn crossval_rewrites(programs: u64, mode: RewriteMode) -> RewriteValReport {
+    let mut r = RewriteValReport::default();
+    for family in Family::ALL {
+        for idx in 0..programs {
+            let program = generate(family, idx);
+            let ir = lower(&program, false);
+            if !analyze(&ir).is_empty() {
+                r.failures.push(format!(
+                    "{family:?} #{idx}: lowered conformance program is not analyzer-clean"
+                ));
+                continue;
+            }
+            r.programs += 1;
+            let (rw, rep) = rewrite_with(&ir, mode);
+            if !rep.changed() {
+                continue;
+            }
+            r.fired += 1;
+            let planted = rep.planted.is_some();
+            if planted {
+                r.planted += 1;
+            }
+            if !planted {
+                let diags = analyze(&rw);
+                if !diags.is_empty() {
+                    r.failures.push(format!(
+                        "{family:?} #{idx}: rewritten program lost E-cleanliness: {diags:?}"
+                    ));
+                    continue;
+                }
+            }
+            let mut steps_orig = 0u64;
+            let mut steps_rw = 0u64;
+            let mut ns_orig = 0u64;
+            let mut ns_rw = 0u64;
+            let mut caught = false;
+            let mut point_failure = false;
+            for strategy in REWRITE_STRATEGIES {
+                for seed in REWRITE_SEEDS {
+                    r.points += 1;
+                    let (m0, r0) = match exec_ir_with(&ir, true, seed, strategy) {
+                        Ok(v) => v,
+                        Err(f) => {
+                            r.failures.push(format!(
+                                "{family:?} #{idx} {strategy:?} seed {seed}: original program \
+                                 failed to run: {f}"
+                            ));
+                            point_failure = true;
+                            continue;
+                        }
+                    };
+                    if stall_count(&r0) > 0 {
+                        r.failures.push(format!(
+                            "{family:?} #{idx} {strategy:?} seed {seed}: original program \
+                             stalled"
+                        ));
+                        point_failure = true;
+                        continue;
+                    }
+                    let (m1, r1) = match exec_ir_with(&rw, true, seed, strategy) {
+                        Ok(v) => v,
+                        Err(f) => {
+                            if planted {
+                                caught = true;
+                                continue;
+                            }
+                            r.failures.push(format!(
+                                "{family:?} #{idx} {strategy:?} seed {seed}: rewritten \
+                                 program failed to run: {f}"
+                            ));
+                            point_failure = true;
+                            continue;
+                        }
+                    };
+                    if stall_count(&r1) > 0 || m0 != m1 {
+                        if planted {
+                            caught = true;
+                            continue;
+                        }
+                        r.failures.push(format!(
+                            "{family:?} #{idx} {strategy:?} seed {seed}: rewritten program \
+                             diverged (stalls={}, mems_equal={})",
+                            stall_count(&r1),
+                            m0 == m1
+                        ));
+                        point_failure = true;
+                        continue;
+                    }
+                    if planted {
+                        continue;
+                    }
+                    let (s0, s1) =
+                        (r0.engine.sync_blocked_steps, r1.engine.sync_blocked_steps);
+                    let (n0, n1) = (r0.engine.sync_blocked_ns, r1.engine.sync_blocked_ns);
+                    if s1 > s0 {
+                        r.failures.push(format!(
+                            "{family:?} #{idx} {strategy:?} seed {seed}: rewrite INCREASED \
+                             sync_blocked_steps ({s0} -> {s1})"
+                        ));
+                        point_failure = true;
+                        continue;
+                    }
+                    steps_orig += s0;
+                    steps_rw += s1;
+                    ns_orig += n0;
+                    ns_rw += n1;
+                }
+            }
+            if planted {
+                if caught {
+                    r.planted_detected += 1;
+                } else {
+                    r.failures.push(format!(
+                        "{family:?} #{idx}: planted unsound rewrite at {:?} was NOT caught \
+                         by the differential check",
+                        rep.planted
+                    ));
+                }
+                continue;
+            }
+            if point_failure {
+                continue;
+            }
+            let strictly_less =
+                steps_rw < steps_orig || (steps_rw == steps_orig && ns_rw < ns_orig);
+            if !strictly_less {
+                r.failures.push(format!(
+                    "{family:?} #{idx}: rewrite fired ({} relaxed, {} elided, {} localized) \
+                     but saved no blocked work (steps {steps_orig} -> {steps_rw}, \
+                     ns {ns_orig} -> {ns_rw})",
+                    rep.relaxed, rep.elided, rep.localized
+                ));
+                continue;
+            }
+            r.blocked_steps_saved += steps_orig - steps_rw;
+            r.blocked_ns_saved += ns_orig.saturating_sub(ns_rw);
+        }
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +340,29 @@ mod tests {
         let case = generate_negative(NegFamily::PscwCycle, 0);
         let report = exec_ir(&case.program, true, 7).expect("watchdog must terminate the run");
         assert!(stall_count(&report) >= 1, "degradations: {:?}", report.degradations);
+    }
+
+    #[test]
+    fn rewrite_sweep_is_equivalent_and_cheaper() {
+        let r = crossval_rewrites(2, RewriteMode::Sound);
+        assert!(r.failures.is_empty(), "{:#?}", r.failures);
+        assert!(r.fired >= 1, "rewriter never fired on {} programs", r.programs);
+        assert!(
+            r.blocked_steps_saved > 0,
+            "equivalent rewrites must remove blocked parks (saved {} over {} points)",
+            r.blocked_steps_saved,
+            r.points
+        );
+    }
+
+    #[test]
+    fn planted_bad_rewrite_is_caught() {
+        let r = crossval_rewrites(1, RewriteMode::PlantUnsound);
+        assert!(r.failures.is_empty(), "{:#?}", r.failures);
+        assert!(r.planted >= 1, "no program accepted a plant");
+        assert_eq!(
+            r.planted_detected, r.planted,
+            "every planted unsound rewrite must be caught differentially"
+        );
     }
 }

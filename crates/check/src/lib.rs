@@ -33,6 +33,15 @@
 //! [`crossval`]: the deadlock corpus must be flagged *and* stall under
 //! the armed watchdog ([`run::exec_ir`] executes IR programs directly),
 //! while analyzer-clean generated programs must run stall-free.
+//!
+//! The synchronization-slack rewriter closes its own loop in
+//! [`crossval::crossval_rewrites`]: every conformance program the
+//! rewriter relaxes must stay analyzer-clean, reproduce the original's
+//! final memory at every strategy × seed point
+//! ([`run::exec_ir_with`]), and strictly reduce the engine's
+//! `sync_blocked_steps` — while `--inject bad-rewrite` plants an
+//! unsound relaxation that the differential comparison alone must
+//! catch.
 
 #![warn(missing_docs)]
 
@@ -45,7 +54,10 @@ pub mod run;
 pub mod shrink;
 
 pub use audit::{audit, Violation};
-pub use crossval::{crossval_clean, crossval_deadlocks, crossval_flagged, CrossValReport};
+pub use crossval::{
+    crossval_clean, crossval_deadlocks, crossval_flagged, crossval_rewrites, CrossValReport,
+    RewriteValReport,
+};
 pub use diff::{
     spec_for_seed, sweep_family, sweep_family_with, verify, verify_with, Failure, FailureKind,
     FoundFailure, VerifyOpts, MATRIX,
@@ -53,5 +65,5 @@ pub use diff::{
 pub use lower::lower;
 pub use mpisim_core::SyncStrategy;
 pub use program::{generate, oracle, Epoch, Family, Op, Program};
-pub use run::{exec_ir, execute, RunFailure, RunOutcome, RunSpec};
+pub use run::{exec_ir, exec_ir_with, execute, RunFailure, RunOutcome, RunSpec};
 pub use shrink::{reproducer, shrink};

@@ -1,8 +1,8 @@
 //! `mpisim-check` CLI: sweep the conformance matrix and report.
 //!
 //! ```text
-//! mpisim-check [--seeds N] [--programs N] [--deadlocks N] [--inject FAULT]
-//!              [--faults PLAN] [--no-race-detect]
+//! mpisim-check [--seeds N] [--programs N] [--deadlocks N] [--rewrites N]
+//!              [--inject FAULT] [--faults PLAN] [--no-race-detect]
 //! ```
 //!
 //! * `--seeds N` — perturbed schedules per (program, matrix point);
@@ -15,6 +15,15 @@
 //!   armed watchdog and must produce zero stalls; default 13. `--inject
 //!   deadlock` runs only the flagged side as an exit-inverted self-test:
 //!   status 0 iff every corpus deadlock was caught by both layers.
+//! * `--rewrites N` — rewrite-equivalence sweep width: N conformance
+//!   programs per family are lowered with blocking closes, run through
+//!   the synchronization-slack rewriter, and every program where it
+//!   fires must stay analyzer-clean, reproduce the original's final
+//!   memory at every strategy × seed point with zero stalls, and
+//!   strictly reduce `sync_blocked_steps`; default 6. `--inject
+//!   bad-rewrite` plants one unsound deletion per program instead and
+//!   exit-inverts: status 0 iff the differential check caught every
+//!   plant.
 //! * `--inject FAULT` — self-test mode: inject the named fault into every
 //!   run, *require* the sweep to catch it, and print the shrunk
 //!   reproducer. Exit status inverts: 0 if the bug was caught, 1 if it
@@ -45,6 +54,7 @@ struct Args {
     seeds: u64,
     programs: u64,
     deadlocks: u64,
+    rewrites: u64,
     inject: Option<String>,
     faults: Option<String>,
     race_detect: bool,
@@ -71,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         seeds: 16,
         programs: 4,
         deadlocks: 13,
+        rewrites: 6,
         inject: None,
         faults: None,
         race_detect: true,
@@ -93,12 +104,16 @@ fn parse_args() -> Result<Args, String> {
                 args.deadlocks =
                     value("--deadlocks")?.parse().map_err(|e| format!("--deadlocks: {e}"))?;
             }
+            "--rewrites" => {
+                args.rewrites =
+                    value("--rewrites")?.parse().map_err(|e| format!("--rewrites: {e}"))?;
+            }
             "--inject" => args.inject = Some(value("--inject")?),
             "--faults" => args.faults = Some(value("--faults")?),
             "--no-race-detect" => args.race_detect = false,
             "--help" | "-h" => {
                 return Err("usage: mpisim-check [--seeds N] [--programs N] [--deadlocks N] \
-                            [--inject FAULT] [--faults PLAN] [--no-race-detect]"
+                            [--rewrites N] [--inject FAULT] [--faults PLAN] [--no-race-detect]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),
@@ -152,6 +167,44 @@ fn main() -> ExitCode {
                 eprintln!("  {f}");
             }
             eprintln!("self-test failed: {} deadlock(s) escaped detection", failures.len());
+            ExitCode::FAILURE
+        };
+    }
+
+    // `--inject bad-rewrite` is the slack-rewriter self-test: the sound
+    // rewrite is applied, then one synchronization statement is deleted
+    // outright; the differential comparison (runs, stalls, final memory)
+    // must catch every planted program. Exit status inverts: 0 iff every
+    // planted unsound rewrite was detected.
+    if args.inject.as_deref() == Some("bad-rewrite") {
+        let r = mpisim_check::crossval_rewrites(
+            args.rewrites.max(1),
+            mpisim_analyze::RewriteMode::PlantUnsound,
+        );
+        println!(
+            "mpisim-check: bad-rewrite self-test, {} programs ({} per family), {} planted, \
+             {} caught",
+            r.programs,
+            args.rewrites.max(1),
+            r.planted,
+            r.planted_detected
+        );
+        return if r.failures.is_empty() && r.planted > 0 && r.planted_detected == r.planted {
+            println!(
+                "self-test passed: every planted unsound relaxation was caught by the \
+                 differential check"
+            );
+            ExitCode::SUCCESS
+        } else {
+            for f in &r.failures {
+                eprintln!("  {f}");
+            }
+            eprintln!(
+                "self-test failed: {}/{} planted rewrites caught, {} other failure(s)",
+                r.planted_detected,
+                r.planted,
+                r.failures.len()
+            );
             ExitCode::FAILURE
         };
     }
@@ -228,6 +281,30 @@ fn main() -> ExitCode {
         );
         total_runs += r.flagged_runs + r.clean_runs;
         crossval_failures = r.failures;
+    }
+    // The rewrite-equivalence sweep also rides along with clean sweeps:
+    // every program the slack rewriter fires on must stay equivalent,
+    // E-clean, and strictly cheaper in blocked host work.
+    if args.inject.is_none() && args.faults.is_none() && args.rewrites > 0 {
+        let r = mpisim_check::crossval_rewrites(
+            args.rewrites,
+            mpisim_analyze::RewriteMode::Sound,
+        );
+        println!(
+            "  {:<18} {:>4} programs, {} rewritten, {} points, {} blocked steps saved: {}",
+            "slack-rewrite",
+            r.programs,
+            r.fired,
+            r.points,
+            r.blocked_steps_saved,
+            if r.failures.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} VIOLATION(S)", r.failures.len())
+            }
+        );
+        total_runs += r.points * 2;
+        crossval_failures.extend(r.failures);
     }
     println!(
         "total: {total_runs} runs, {} failure(s)",

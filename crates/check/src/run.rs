@@ -519,10 +519,41 @@ pub fn exec_ir(
     watchdog: bool,
     sim_seed: u64,
 ) -> Result<mpisim_core::JobReport, RunFailure> {
+    exec_ir_inner(p, watchdog, sim_seed, None, None)
+}
+
+/// [`exec_ir`] for the rewrite-equivalence validator: runs under an
+/// explicit engine `strategy` and additionally captures every rank's
+/// final window bytes (via a trailing barrier + local read, so all
+/// in-flight operations have landed). The memory capture is what makes
+/// the original-vs-rewritten differential comparison possible for IR
+/// programs.
+pub fn exec_ir_with(
+    p: &mpisim_analyze::IrProgram,
+    watchdog: bool,
+    sim_seed: u64,
+    strategy: SyncStrategy,
+) -> Result<(Vec<Vec<u8>>, mpisim_core::JobReport), RunFailure> {
+    let mems = Arc::new(Mutex::new(vec![Vec::new(); p.n_ranks]));
+    let report = exec_ir_inner(p, watchdog, sim_seed, Some(strategy), Some(mems.clone()))?;
+    let mems = mems.lock().unwrap().clone();
+    Ok((mems, report))
+}
+
+fn exec_ir_inner(
+    p: &mpisim_analyze::IrProgram,
+    watchdog: bool,
+    sim_seed: u64,
+    strategy: Option<SyncStrategy>,
+    capture: Option<Arc<Mutex<Vec<Vec<u8>>>>>,
+) -> Result<mpisim_core::JobReport, RunFailure> {
     let n_ranks = p.n_ranks;
     let mut cfg = JobConfig::new(n_ranks).with_seed(sim_seed);
     cfg.trace = true;
     cfg.fault = Some(String::new());
+    if let Some(s) = strategy {
+        cfg = cfg.with_strategy(s);
+    }
     if watchdog {
         cfg = cfg.with_watchdog(SimTime::from_millis(20));
     }
@@ -647,6 +678,14 @@ pub fn exec_ir(
             }
         }
         let _ = env.wait_all(pending.drain(..));
+        if let Some(mems) = &capture {
+            let _ = env.barrier();
+            let mut all = Vec::new();
+            for (i, w) in wins.iter().enumerate() {
+                all.extend(env.read_local(*w, 0, prog.windows[i]).unwrap_or_default());
+            }
+            mems.lock().unwrap()[me] = all;
+        }
     })
 }
 

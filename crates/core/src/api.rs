@@ -117,10 +117,23 @@ impl<'a> RankEnv<'a> {
                 }
                 let s = Signal::new();
                 st.reqs.add_waiter(req, s.clone())?;
+                st.eng_stats.sync_blocked_steps += 1;
                 s
             };
-            self.ctx.wait(&sig);
+            self.blocked_park(&sig);
         }
+    }
+
+    /// Suspend on `sig`, charging the park to the host-blocking counters
+    /// ([`crate::EngineStats::sync_blocked_ns`]). Every blocking wait in
+    /// the API funnels through here, so the pair
+    /// (`sync_blocked_steps`, `sync_blocked_ns`) is exactly the host
+    /// time the wait family spent suspended.
+    fn blocked_park(&self, sig: &Signal) {
+        let t0 = self.ctx.now();
+        self.ctx.wait(sig);
+        let dt = self.ctx.now() - t0;
+        self.eng.st.lock().eng_stats.sync_blocked_ns += dt.as_nanos();
     }
 
     /// Nonblocking completion check; consumes the request when complete.
@@ -166,9 +179,10 @@ impl<'a> RankEnv<'a> {
                 for r in reqs {
                     st.reqs.add_waiter(*r, s.clone())?;
                 }
+                st.eng_stats.sync_blocked_steps += 1;
                 s
             };
-            self.ctx.wait(&sig);
+            self.blocked_park(&sig);
         })
     }
 

@@ -189,6 +189,22 @@ pub struct EngineStats {
     /// or late duplicate), tolerated instead of asserted in resilient
     /// configurations.
     pub orphan_responses: u64,
+    /// Host-blocking parks: how many times an application thread actually
+    /// suspended inside the wait family (`wait`/`wait_all`/`wait_any` and
+    /// every blocking epoch close or flush built on them) because the
+    /// awaited request was not yet complete. A request that is already
+    /// done at the wait call costs zero parks, so this counter measures
+    /// the host-blocking work the paper's nonblocking epochs exist to
+    /// remove — the slack rewriter's closed-loop validator requires it
+    /// to never increase under a sound relaxation.
+    pub sync_blocked_steps: u64,
+    /// Virtual nanoseconds application threads spent suspended in those
+    /// parks (wake time minus park time, summed over all ranks). The
+    /// companion magnitude to [`EngineStats::sync_blocked_steps`]: a
+    /// deferred wait may still park once, but strictly later, so the
+    /// blocked time shrinks whenever the reclaimed slack overlaps
+    /// communication with host progress.
+    pub sync_blocked_ns: u64,
 }
 
 /// A malformed packet the engine recorded and survived instead of
