@@ -1,23 +1,26 @@
 //! Perf-trajectory runner: executes the macro-benchmarks (fence-heavy
 //! halo, GATS pipeline, lock_all contention, the internode /
 //! reliability-sublayer halo pair, the static-analyzer IR sweep, the
-//! slack classify+rewrite sweep, and the blocking/relaxed IR halo pair)
-//! and writes `BENCH_7.json`.
+//! slack classify+rewrite sweep, the blocking/relaxed IR halo pair, and
+//! the 8/64/512/4096 ranks sweep with peak-RSS tracking) and writes
+//! `BENCH_8.json`.
 //!
 //! Usage: `cargo run --release -p mpisim-bench --bin bench_trajectory --
-//! [--short] [--out PATH]`. `--short` runs CI-smoke scales; `--out`
-//! overrides the output path (default `BENCH_7.json` in the current
-//! directory — run from the repo root).
+//! [--short] [--ranks-only] [--out PATH]`. `--short` runs CI-smoke
+//! scales; `--ranks-only` runs just the ranks sweep (the CI scale-smoke
+//! job's budgeted subset); `--out` overrides the output path (default
+//! `BENCH_8.json` in the current directory — run from the repo root).
 
-/// Trajectory point: PR 7 added the synchronization-slack dataflow pass
-/// and the slack-guided IR rewriter; the `halo_fence_ir` /
-/// `halo_fence_ir_relaxed` pair measures its engine-visible payoff via
-/// the new `sync_blocked_steps` counter.
-const PR: u32 = 7;
+/// Trajectory point: PR 8 moved rank execution onto pooled fibers (one
+/// thread-per-rank OS thread each before) and added the `ranks_sweep_*`
+/// scaling workloads, whose `peak_rss_kb` column tracks the footprint
+/// up to 4096 ranks.
+const PR: u32 = 8;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let short = args.iter().any(|a| a == "--short");
+    let ranks_only = args.iter().any(|a| a == "--ranks-only");
     let out = args
         .iter()
         .position(|a| a == "--out")
@@ -25,14 +28,19 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| format!("BENCH_{PR}.json"));
 
-    let results = mpisim_bench::macrobench::run_suite(short);
+    let results = if ranks_only {
+        mpisim_bench::macrobench::ranks_sweep_suite(short)
+    } else {
+        mpisim_bench::macrobench::run_suite(short)
+    };
     for r in &results {
         println!(
-            "{:>22}  ranks={} ops={:>6}  {:>10.1} ns/op  (sweeps={}, ops_issued={}, fifo={}={}) ",
+            "{:>22}  ranks={} ops={:>6}  {:>10.1} ns/op  rss={} KiB  (sweeps={}, ops_issued={}, fifo={}={}) ",
             r.name,
             r.ranks,
             r.ops,
             r.ns_per_op(),
+            r.peak_rss_kb,
             r.engine.sweeps,
             r.engine.ops_issued,
             r.engine.fifo_packets,

@@ -1,11 +1,20 @@
 //! Regenerates Fig 12 (massive unstructured atomic transactions).
-//! `--quick` runs a reduced scale; default runs the paper's job sizes.
+//! `--quick` runs a reduced scale; `--sizes N[,N...]` restricts the job
+//! sizes (e.g. `--sizes 512` for the CI scale smoke's single full-scale
+//! point); default runs the paper's job sizes 64–512.
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let opts = if quick {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut opts = if quick {
         mpisim_bench::fig12::Fig12Opts::quick()
     } else {
         mpisim_bench::fig12::Fig12Opts::default()
     };
+    if let Some(list) = args.iter().position(|a| a == "--sizes").and_then(|i| args.get(i + 1)) {
+        opts.job_sizes = list
+            .split(',')
+            .map(|s| s.trim().parse().unwrap_or_else(|e| panic!("--sizes {s:?}: {e}")))
+            .collect();
+    }
     mpisim_bench::emit(&mpisim_bench::fig12::run(&opts), "fig12");
 }

@@ -22,7 +22,7 @@
 use std::time::Instant;
 
 use mpisim_core::{
-    run_job, Datatype, EngineStats, Group, JobConfig, Rank, ReduceOp,
+    run_job, Datatype, EngineStats, Group, JobConfig, LockKind, Rank, ReduceOp,
 };
 use mpisim_sim::SimTime;
 
@@ -39,8 +39,28 @@ pub struct BenchResult {
     pub wall_ns: u128,
     /// Final virtual time of the job, nanoseconds.
     pub virt_ns: u64,
+    /// Process peak resident set (`VmHWM`) right after the run, KiB;
+    /// 0 where `/proc/self/status` is unavailable. The kernel's
+    /// high-water mark is monotonic over the process, so within a suite
+    /// it is meaningful for the *ascending* ranks sweep (each point's
+    /// reading bounds that scale's footprint) and merely an upper bound
+    /// elsewhere.
+    pub peak_rss_kb: u64,
     /// Engine work counters accumulated over the run.
     pub engine: EngineStats,
+}
+
+/// Process peak resident set (`VmHWM`) in KiB from `/proc/self/status`,
+/// or 0 when the file or field is unavailable (non-Linux hosts).
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
 }
 
 impl BenchResult {
@@ -78,6 +98,7 @@ where
         ops,
         wall_ns,
         virt_ns: report.final_time.as_nanos(),
+        peak_rss_kb: peak_rss_kb(),
         engine: report.engine,
     }
 }
@@ -202,6 +223,60 @@ pub fn lock_all_contention(n_ranks: usize, rounds: usize, accs: usize) -> BenchR
     })
 }
 
+/// Scaling throughput probe: a neighbour lock-epoch workload run at one
+/// point of the 8/64/512/4096 ranks sweep. Every rank drives `rounds`
+/// fully nonblocking exclusive-lock epochs at its right ring neighbour
+/// (ilock → put → iunlock), collecting completion only at the end, so
+/// per-rank work is constant and wall-clock measures how the kernel's
+/// rank-execution machinery scales with job size. The sweep is what the
+/// pooled-fiber executor exists for: at 4096 ranks a thread-per-rank
+/// kernel would burn thousands of OS threads and stacks, while pooled
+/// execution keeps the footprint in the `peak_rss_kb` column.
+pub fn ranks_sweep(n_ranks: usize, rounds: usize) -> BenchResult {
+    let name = match n_ranks {
+        8 => "ranks_sweep_8",
+        64 => "ranks_sweep_64",
+        512 => "ranks_sweep_512",
+        4096 => "ranks_sweep_4096",
+        _ => "ranks_sweep",
+    };
+    let ops = (n_ranks * rounds) as u64;
+    measure_cfg(name, JobConfig::new(n_ranks), n_ranks, ops, move |env| {
+        let win = env.win_allocate(64).unwrap();
+        env.barrier().unwrap();
+        let me = env.rank().idx();
+        let n = env.n_ranks();
+        let right = Rank((me + 1) % n);
+        let mut pending = Vec::new();
+        for r in 0..rounds {
+            pending.push(env.ilock(win, right, LockKind::Exclusive).unwrap());
+            env.put(win, right, 8 * (r % 8), &(r as u64).to_le_bytes()).unwrap();
+            pending.push(env.iunlock(win, right).unwrap());
+            env.compute(SimTime::from_nanos(120));
+        }
+        env.wait_all(pending).unwrap();
+        env.barrier().unwrap();
+        env.win_free(win).unwrap();
+    })
+}
+
+/// The full ranks sweep, ascending so each point's `VmHWM` reading
+/// bounds that scale's footprint. `short` keeps the small end cheap but
+/// still touches the 4096-rank point — the CI scale smoke must prove
+/// thousands of ranks fit the budget, not just that 8 do.
+pub fn ranks_sweep_suite(short: bool) -> Vec<BenchResult> {
+    if short {
+        vec![ranks_sweep(8, 8), ranks_sweep(64, 4), ranks_sweep(4096, 2)]
+    } else {
+        vec![
+            ranks_sweep(8, 64),
+            ranks_sweep(64, 32),
+            ranks_sweep(512, 8),
+            ranks_sweep(4096, 2),
+        ]
+    }
+}
+
 /// Static-analyzer throughput probe: generate every conformance family's
 /// programs, lower each under both close modes, add the full negative
 /// corpus, and run the whole-job deadlock/progress analyzer over every
@@ -243,6 +318,7 @@ pub fn analyzer_ir_sweep(programs: u64, corpus_seeds: u64) -> BenchResult {
         ops,
         wall_ns,
         virt_ns: 0,
+        peak_rss_kb: peak_rss_kb(),
         engine: EngineStats::default(),
     }
 }
@@ -285,6 +361,7 @@ pub fn slack_sweep(programs: u64) -> BenchResult {
         ops,
         wall_ns,
         virt_ns: 0,
+        peak_rss_kb: peak_rss_kb(),
         engine: EngineStats::default(),
     }
 }
@@ -324,6 +401,7 @@ fn measure_ir(name: &'static str, p: &mpisim_analyze::IrProgram, ops: u64) -> Be
         ops,
         wall_ns,
         virt_ns: report.final_time.as_nanos(),
+        peak_rss_kb: peak_rss_kb(),
         engine: report.engine,
     }
 }
@@ -353,6 +431,19 @@ pub fn halo_fence_ir_relaxed(n_ranks: usize, iters: usize) -> BenchResult {
 /// smoke runs; the numbers are still comparable across PRs as long as
 /// the mode matches.
 pub fn run_suite(short: bool) -> Vec<BenchResult> {
+    let mut results = core_suite(short);
+    // Ranks sweep last and ascending: the VmHWM high-water mark is
+    // process-monotonic, so the big points must come after everything
+    // whose footprint they should dominate.
+    results.extend(ranks_sweep_suite(short));
+    results
+}
+
+/// Every workload except the ranks sweep. Split out so the debug-mode
+/// unit tests can exercise the suite without paying for the 4096-rank
+/// point (which first-touches the engine's O(ranks²) counter state and
+/// belongs to the release-mode CI scale smoke).
+fn core_suite(short: bool) -> Vec<BenchResult> {
     if short {
         vec![
             halo_fence(4, 16),
@@ -446,6 +537,7 @@ pub fn trajectory_json(pr: u32, short: bool, results: &[BenchResult]) -> String 
         out.push_str(&format!("      \"wall_ns\": {},\n", r.wall_ns));
         out.push_str(&format!("      \"ns_per_op\": {:.1},\n", r.ns_per_op()));
         out.push_str(&format!("      \"virtual_ns\": {},\n", r.virt_ns));
+        out.push_str(&format!("      \"peak_rss_kb\": {},\n", r.peak_rss_kb));
         out.push_str("      \"engine\": {\n");
         out.push_str(&json_stats(&r.engine, "        "));
         out.push_str("\n      }\n");
@@ -470,7 +562,9 @@ mod tests {
 
     #[test]
     fn suite_runs_and_counters_balance() {
-        let results = run_suite(true);
+        // `core_suite`, not `run_suite`: the 4096-rank sweep point is a
+        // release-mode CI job, not a debug unit test (see `core_suite`).
+        let results = core_suite(true);
         // The rewriter's payoff must be visible in the engine's own
         // counter: the relaxed IR halo blocks the host strictly less.
         let blocked = |name: &str| {
@@ -532,5 +626,16 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.contains("\"schema\": \"mpisim-bench-trajectory-v1\""));
         assert!(j.contains("\"step_runs\": ["));
+        assert_eq!(j.matches("\"peak_rss_kb\"").count(), 2);
+    }
+
+    #[test]
+    fn ranks_sweep_reports_footprint_and_balances() {
+        let r = ranks_sweep(8, 4);
+        assert_eq!(r.ranks, 8);
+        assert_eq!(r.ops, 32);
+        assert!(r.peak_rss_kb > 0, "VmHWM must be readable on the CI host");
+        assert_eq!(r.engine.fifo_packets, r.engine.fifo_drained);
+        assert!(r.engine.ops_issued >= r.ops);
     }
 }

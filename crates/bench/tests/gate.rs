@@ -11,6 +11,7 @@ use mpisim_core::EngineStats;
 const BASE: &str = include_str!("fixtures/base.json");
 const REGRESSED: &str = include_str!("fixtures/regressed_equal_counters.json");
 const DIFFERENT: &str = include_str!("fixtures/slower_different_counters.json");
+const WITH_NEW: &str = include_str!("fixtures/current_with_new_benchmark.json");
 
 /// A synthetic result with a distinctive counter pattern.
 fn synthetic(name: &'static str, wall_ns: u128) -> BenchResult {
@@ -26,7 +27,15 @@ fn synthetic(name: &'static str, wall_ns: u128) -> BenchResult {
         epochs_completed: 8,
         ..EngineStats::default()
     };
-    BenchResult { name, ranks: 8, ops: 512, wall_ns, virt_ns: 1_000_000, engine: e }
+    BenchResult {
+        name,
+        ranks: 8,
+        ops: 512,
+        wall_ns,
+        virt_ns: 1_000_000,
+        peak_rss_kb: 2048,
+        engine: e,
+    }
 }
 
 #[test]
@@ -92,6 +101,34 @@ fn improvement_at_equal_counters_passes() {
 }
 
 #[test]
+fn new_benchmark_without_baseline_row_is_noted_not_failed() {
+    // Workloads land over time (PR 8 added the ranks sweep), so a row
+    // present only in the current file must never fail the gate — it has
+    // nothing to regress against. It gets a structural note instead, and
+    // rows the current file *does* share with the baseline are still
+    // compared normally. Row-level schema growth (`peak_rss_kb`) must
+    // also pass through the parser untouched.
+    let base = parse_trajectory(BASE).unwrap();
+    let cur = parse_trajectory(WITH_NEW).unwrap();
+    assert_eq!(cur.benchmarks.len(), 2);
+    let rep = gate(Some(&base), &cur, 0.10);
+    assert!(rep.ok(), "{:?}", rep.failures);
+    assert!(
+        rep.lines
+            .iter()
+            .any(|l| l.contains("ranks_sweep_4096") && l.contains("new benchmark")),
+        "{:?}",
+        rep.lines
+    );
+    // The shared row still produced a real comparison line.
+    assert!(
+        rep.lines.iter().any(|l| l.contains("halo_fence") && l.contains("counters")),
+        "{:?}",
+        rep.lines
+    );
+}
+
+#[test]
 fn missing_baseline_is_tolerated() {
     let cur = parse_trajectory(BASE).unwrap();
     let rep = gate(None, &cur, 0.10);
@@ -126,4 +163,13 @@ fn binary_exit_codes_match_the_contract() {
     let vacuous = run(&["--baseline", &fix("no_such_file.json"), "--current", &fix("base.json")]);
     assert!(vacuous.status.success());
     assert!(String::from_utf8_lossy(&vacuous.stdout).contains("vacuously"));
+
+    let grown = run(&[
+        "--baseline",
+        &fix("base.json"),
+        "--current",
+        &fix("current_with_new_benchmark.json"),
+    ]);
+    assert!(grown.status.success(), "{}", String::from_utf8_lossy(&grown.stderr));
+    assert!(String::from_utf8_lossy(&grown.stdout).contains("new benchmark"));
 }

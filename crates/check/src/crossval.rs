@@ -24,11 +24,11 @@
 use mpisim_analyze::{
     analyze, generate_negative, has_code, rewrite_with, NegFamily, RewriteMode,
 };
-use mpisim_core::{Degradation, SyncStrategy};
+use mpisim_core::{Degradation, ExecMode, SyncStrategy};
 
 use crate::lower::lower;
 use crate::program::{generate, Family};
-use crate::run::{exec_ir, exec_ir_with};
+use crate::run::{exec_ir, exec_ir_with, execute_exec, ExecOpts, RunFailure, RunOutcome, RunSpec};
 
 /// Outcome of one cross-validation sweep.
 #[derive(Clone, Debug, Default)]
@@ -322,6 +322,142 @@ pub fn crossval_rewrites(programs: u64, mode: RewriteMode) -> RewriteValReport {
     r
 }
 
+/// Outcome of one execution-mode determinism sweep ([`crossval_exec`]).
+#[derive(Clone, Debug, Default)]
+pub struct ExecValReport {
+    /// (program, close-mode) points swept.
+    pub programs: u64,
+    /// Total executions (every point runs once per execution mode).
+    pub runs: u64,
+    /// Mode comparisons that diverged from the thread-per-rank baseline
+    /// in any observable (verdict, memories, gets, stats, traces).
+    pub diverged: u64,
+    /// Points with at least one divergence. In plant mode this is the
+    /// detection count the exit-inverted self-test keys on; in clean mode
+    /// it must be zero.
+    pub detected: u64,
+    /// Human-readable description of every clean-mode divergence or
+    /// run-level error.
+    pub failures: Vec<String>,
+}
+
+/// The pooled variants compared against the thread-per-rank baseline:
+/// inline fiber resume on the driver thread, and a 2-worker pool (the
+/// smallest pool where fiber-to-worker assignment could matter).
+const EXEC_VARIANTS: [ExecMode; 2] =
+    [ExecMode::Pooled { workers: 0 }, ExecMode::Pooled { workers: 2 }];
+
+/// Everything two same-seed runs may legally differ in: nothing. Returns
+/// the names of the observables that diverged. Stats structs compare via
+/// `Eq`; traces and per-rank timings compare via their `Debug` rendering,
+/// which covers every field byte for byte.
+fn exec_divergences(a: &RunOutcome, b: &RunOutcome) -> Vec<&'static str> {
+    let mut d = Vec::new();
+    if a.mems != b.mems {
+        d.push("mems");
+    }
+    if a.gets != b.gets {
+        d.push("gets");
+    }
+    if a.report.final_time != b.report.final_time {
+        d.push("final-time");
+    }
+    if a.report.sim != b.report.sim {
+        d.push("sim-stats");
+    }
+    if a.report.engine != b.report.engine {
+        d.push("engine-stats");
+    }
+    if a.report.live_requests != b.report.live_requests {
+        d.push("live-requests");
+    }
+    if format!("{:?}", a.report.ranks) != format!("{:?}", b.report.ranks) {
+        d.push("rank-stats");
+    }
+    if format!("{:?}", a.report.trace) != format!("{:?}", b.report.trace) {
+        d.push("trace");
+    }
+    if format!("{:?}", a.report.sync_trace) != format!("{:?}", b.report.sync_trace) {
+        d.push("sync-trace");
+    }
+    if format!("{:?}", a.report.req_events) != format!("{:?}", b.report.req_events) {
+        d.push("req-events");
+    }
+    d
+}
+
+/// Execution-mode determinism cross-check: `programs` conformance
+/// programs per family, under both close modes, are executed under
+/// thread-per-rank and both pooled variants ([`EXEC_VARIANTS`]), and the
+/// three runs must be indistinguishable — same verdict, final memories,
+/// get results, `SimStats`, `EngineStats`, per-rank timings, and all
+/// three trace streams, byte for byte.
+///
+/// With `plant` set, every run additionally enables the kernel's
+/// deliberately nondeterministic tie-break
+/// (`Sim::set_nondet_tiebreak`), so same-seed runs genuinely diverge;
+/// the sweep then *must* observe divergences (`detected > 0`) — the
+/// exit-inverted self-test proving the cross-check would catch a
+/// nondeterministic kernel rather than vacuously passing.
+pub fn crossval_exec(programs: u64, plant: bool) -> ExecValReport {
+    let mut r = ExecValReport::default();
+    let fail = |res: &Result<RunOutcome, RunFailure>| match res {
+        Ok(_) => None,
+        Err(f) => Some(f.to_string()),
+    };
+    for family in Family::ALL {
+        for idx in 0..programs {
+            let program = generate(family, idx);
+            for nonblocking in [false, true] {
+                r.programs += 1;
+                let spec = RunSpec {
+                    sim_seed: 7 + idx,
+                    ..RunSpec::baseline(SyncStrategy::Redesigned, nonblocking)
+                };
+                let base_eo =
+                    ExecOpts { exec: ExecMode::ThreadPerRank, nondet_tiebreak: plant };
+                r.runs += 1;
+                let base = execute_exec(&program, &spec, true, base_eo);
+                if let (Some(msg), false) = (fail(&base), plant) {
+                    r.failures.push(format!(
+                        "{family:?} #{idx} nb={nonblocking}: thread-per-rank run failed: {msg}"
+                    ));
+                    continue;
+                }
+                let mut point_diverged = false;
+                for exec in EXEC_VARIANTS {
+                    r.runs += 1;
+                    let out = execute_exec(&program, &spec, true, ExecOpts {
+                        exec,
+                        nondet_tiebreak: plant,
+                    });
+                    let diverged: Vec<&str> = match (&base, &out) {
+                        (Ok(a), Ok(b)) => exec_divergences(a, b),
+                        (Err(a), Err(b)) if a.to_string() == b.to_string() => Vec::new(),
+                        _ => vec!["verdict"],
+                    };
+                    if diverged.is_empty() {
+                        continue;
+                    }
+                    r.diverged += 1;
+                    point_diverged = true;
+                    if !plant {
+                        r.failures.push(format!(
+                            "{family:?} #{idx} nb={nonblocking}: {exec:?} diverged from \
+                             thread-per-rank in [{}]",
+                            diverged.join(", ")
+                        ));
+                    }
+                }
+                if point_diverged {
+                    r.detected += 1;
+                }
+            }
+        }
+    }
+    r
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +489,29 @@ mod tests {
             r.blocked_steps_saved,
             r.points
         );
+    }
+
+    #[test]
+    fn exec_modes_are_indistinguishable_on_a_conformance_slice() {
+        let r = crossval_exec(1, false);
+        assert_eq!(r.programs, 10, "5 families x 1 program x 2 close modes");
+        assert_eq!(r.runs, 30, "each point runs under 3 execution modes");
+        assert!(r.failures.is_empty(), "{:#?}", r.failures);
+        assert_eq!(r.diverged, 0);
+    }
+
+    #[test]
+    fn planted_nondeterminism_is_caught_across_exec_modes() {
+        // With the nondet tie-break planted, same-seed runs genuinely
+        // diverge, and the cross-check must see it — otherwise a clean
+        // sweep proves nothing.
+        let r = crossval_exec(2, true);
+        assert!(
+            r.detected > 0,
+            "nondet plant produced no observable divergence over {} points",
+            r.programs
+        );
+        assert!(r.failures.is_empty(), "plant mode records no failures: {:#?}", r.failures);
     }
 
     #[test]

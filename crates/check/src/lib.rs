@@ -34,6 +34,13 @@
 //! the armed watchdog ([`run::exec_ir`] executes IR programs directly),
 //! while analyzer-clean generated programs must run stall-free.
 //!
+//! The pooled execution kernel is pinned to its thread-per-rank baseline
+//! in [`crossval::crossval_exec`]: a slice of the conformance corpus is
+//! replayed under every execution mode and must be byte-identical in
+//! verdicts, memories, stats, and traces — while `--inject nondet-exec`
+//! plants a genuinely nondeterministic kernel tie-break that the same
+//! comparison must catch.
+//!
 //! The synchronization-slack rewriter closes its own loop in
 //! [`crossval::crossval_rewrites`]: every conformance program the
 //! rewriter relaxes must stay analyzer-clean, reproduce the original's
@@ -55,8 +62,8 @@ pub mod shrink;
 
 pub use audit::{audit, Violation};
 pub use crossval::{
-    crossval_clean, crossval_deadlocks, crossval_flagged, crossval_rewrites, CrossValReport,
-    RewriteValReport,
+    crossval_clean, crossval_deadlocks, crossval_exec, crossval_flagged, crossval_rewrites,
+    CrossValReport, ExecValReport, RewriteValReport,
 };
 pub use diff::{
     spec_for_seed, sweep_family, sweep_family_with, verify, verify_with, Failure, FailureKind,
@@ -65,5 +72,7 @@ pub use diff::{
 pub use lower::lower;
 pub use mpisim_core::SyncStrategy;
 pub use program::{generate, oracle, Epoch, Family, Op, Program};
-pub use run::{exec_ir, exec_ir_with, execute, RunFailure, RunOutcome, RunSpec};
+pub use run::{
+    exec_ir, exec_ir_with, execute, execute_exec, ExecOpts, RunFailure, RunOutcome, RunSpec,
+};
 pub use shrink::{reproducer, shrink};

@@ -15,6 +15,13 @@
 //!   armed watchdog and must produce zero stalls; default 13. `--inject
 //!   deadlock` runs only the flagged side as an exit-inverted self-test:
 //!   status 0 iff every corpus deadlock was caught by both layers.
+//! * `--execs N` — execution-mode determinism sweep width: N conformance
+//!   programs per family (both close modes) are replayed under
+//!   thread-per-rank and both pooled fiber modes, and the runs must be
+//!   byte-identical in verdicts, memories, stats, and traces; default 2.
+//!   `--inject nondet-exec` plants the kernel's deliberately
+//!   nondeterministic tie-break instead and exit-inverts: status 0 iff
+//!   the comparison observed the divergence.
 //! * `--rewrites N` — rewrite-equivalence sweep width: N conformance
 //!   programs per family are lowered with blocking closes, run through
 //!   the synchronization-slack rewriter, and every program where it
@@ -55,6 +62,7 @@ struct Args {
     programs: u64,
     deadlocks: u64,
     rewrites: u64,
+    execs: u64,
     inject: Option<String>,
     faults: Option<String>,
     race_detect: bool,
@@ -82,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
         programs: 4,
         deadlocks: 13,
         rewrites: 6,
+        execs: 2,
         inject: None,
         faults: None,
         race_detect: true,
@@ -108,12 +117,16 @@ fn parse_args() -> Result<Args, String> {
                 args.rewrites =
                     value("--rewrites")?.parse().map_err(|e| format!("--rewrites: {e}"))?;
             }
+            "--execs" => {
+                args.execs = value("--execs")?.parse().map_err(|e| format!("--execs: {e}"))?;
+            }
             "--inject" => args.inject = Some(value("--inject")?),
             "--faults" => args.faults = Some(value("--faults")?),
             "--no-race-detect" => args.race_detect = false,
             "--help" | "-h" => {
                 return Err("usage: mpisim-check [--seeds N] [--programs N] [--deadlocks N] \
-                            [--rewrites N] [--inject FAULT] [--faults PLAN] [--no-race-detect]"
+                            [--rewrites N] [--execs N] [--inject FAULT] [--faults PLAN] \
+                            [--no-race-detect]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),
@@ -167,6 +180,37 @@ fn main() -> ExitCode {
                 eprintln!("  {f}");
             }
             eprintln!("self-test failed: {} deadlock(s) escaped detection", failures.len());
+            ExitCode::FAILURE
+        };
+    }
+
+    // `--inject nondet-exec` is the pooled-execution determinism
+    // self-test: every run enables the kernel's deliberately
+    // nondeterministic tie-break, so the thread-vs-pooled comparison MUST
+    // observe divergence. Exit status inverts: 0 iff the planted
+    // nondeterminism was detected.
+    if args.inject.as_deref() == Some("nondet-exec") {
+        let r = mpisim_check::crossval_exec(args.execs.max(1), true);
+        println!(
+            "mpisim-check: nondet-exec self-test, {} points ({} per family), {} runs, \
+             {} divergence(s) over {} point(s)",
+            r.programs,
+            args.execs.max(1),
+            r.runs,
+            r.diverged,
+            r.detected
+        );
+        return if r.detected > 0 {
+            println!(
+                "self-test passed: the planted nondeterministic tie-break was caught by \
+                 the execution-mode comparison"
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "self-test failed: planted kernel nondeterminism produced no observable \
+                 divergence — the determinism cross-check is blind"
+            );
             ExitCode::FAILURE
         };
     }
@@ -281,6 +325,25 @@ fn main() -> ExitCode {
         );
         total_runs += r.flagged_runs + r.clean_runs;
         crossval_failures = r.failures;
+    }
+    // The execution-mode determinism sweep rides along with clean sweeps:
+    // pooled fiber execution must be indistinguishable from the
+    // thread-per-rank baseline on every replayed point.
+    if args.inject.is_none() && args.faults.is_none() && args.execs > 0 {
+        let r = mpisim_check::crossval_exec(args.execs, false);
+        println!(
+            "  {:<18} {:>4} points x 3 exec modes ({} runs): {}",
+            "exec-crossval",
+            r.programs,
+            r.runs,
+            if r.failures.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} DIVERGENCE(S)", r.failures.len())
+            }
+        );
+        total_runs += r.runs;
+        crossval_failures.extend(r.failures);
     }
     // The rewrite-equivalence sweep also rides along with clean sweeps:
     // every program the slack rewriter fires on must stay equivalent,

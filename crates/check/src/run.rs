@@ -6,8 +6,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 
 use mpisim_core::{
-    run_job, Datatype, Group, JobConfig, JobReport, LockKind, Rank, ReduceOp, RmaResult,
-    SyncStrategy, WinInfo,
+    run_job, Datatype, ExecMode, Group, JobConfig, JobReport, LockKind, Rank, ReduceOp,
+    RmaResult, SyncStrategy, WinInfo,
 };
 use mpisim_net::NetParams;
 use mpisim_sim::SimTime;
@@ -110,11 +110,25 @@ impl std::fmt::Display for RunFailure {
     }
 }
 
-fn job_config(n_ranks: usize, spec: &RunSpec, trace: bool) -> JobConfig {
+/// Kernel execution-mode overrides for the determinism cross-check.
+/// Orthogonal to [`RunSpec`]: every matrix point can be replayed under any
+/// exec mode, and the results must be indistinguishable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecOpts {
+    /// How rank processes execute (thread-per-rank vs pooled fibers).
+    pub exec: ExecMode,
+    /// Plant the kernel's deliberately nondeterministic tie-break
+    /// (validation backdoor) — the cross-check must then *fail*.
+    pub nondet_tiebreak: bool,
+}
+
+fn job_config(n_ranks: usize, spec: &RunSpec, trace: bool, eo: ExecOpts) -> JobConfig {
     let mut cfg = JobConfig::new(n_ranks).with_seed(spec.sim_seed).with_strategy(spec.strategy);
     cfg.net = NetParams::perturbation_profile(spec.net_profile);
     cfg.tiebreak_seed = spec.tiebreak_seed;
     cfg.trace = trace;
+    cfg.exec = eo.exec;
+    cfg.nondet_tiebreak = eo.nondet_tiebreak;
     // `Some("")` disables the env-var fallback: harness runs are hermetic.
     cfg.fault = Some(spec.fault.clone().unwrap_or_default());
     if let Some(plan) = &spec.fault_plan {
@@ -168,6 +182,7 @@ fn execute_single_origin(
     epochs: Arc<Vec<Epoch>>,
     spec: &RunSpec,
     trace: bool,
+    eo: ExecOpts,
 ) -> Result<RunOutcome, RunFailure> {
     let nonblocking = spec.nonblocking;
     let mems = Arc::new(Mutex::new(vec![Vec::new(); n_ranks]));
@@ -175,7 +190,7 @@ fn execute_single_origin(
     let (m2, g2) = (mems.clone(), gets.clone());
     let info = if reorder { WinInfo::all_reorder() } else { WinInfo::default() };
 
-    let report = run_guarded(job_config(n_ranks, spec, trace), move |env| {
+    let report = run_guarded(job_config(n_ranks, spec, trace, eo), move |env| {
         let me = env.rank().idx();
         let win = env.win_allocate_with(WIN_BYTES, info).unwrap();
         env.barrier().unwrap();
@@ -258,12 +273,13 @@ fn execute_multi_origin(
     plan: Arc<Vec<Vec<(usize, usize, u64)>>>,
     spec: &RunSpec,
     trace: bool,
+    eo: ExecOpts,
 ) -> Result<RunOutcome, RunFailure> {
     let nonblocking = spec.nonblocking;
     let mems = Arc::new(Mutex::new(vec![Vec::new(); n_ranks]));
     let m2 = mems.clone();
 
-    let report = run_guarded(job_config(n_ranks, spec, trace), move |env| {
+    let report = run_guarded(job_config(n_ranks, spec, trace, eo), move |env| {
         let me = env.rank().idx();
         let win = env.win_allocate_with(MULTI_WIN_BYTES, WinInfo::aaar()).unwrap();
         env.barrier().unwrap();
@@ -306,12 +322,13 @@ fn execute_lock_all_storm(
     rounds: Arc<StormRounds>,
     spec: &RunSpec,
     trace: bool,
+    eo: ExecOpts,
 ) -> Result<RunOutcome, RunFailure> {
     let nonblocking = spec.nonblocking;
     let mems = Arc::new(Mutex::new(vec![Vec::new(); n_ranks]));
     let m2 = mems.clone();
 
-    let report = run_guarded(job_config(n_ranks, spec, trace), move |env| {
+    let report = run_guarded(job_config(n_ranks, spec, trace, eo), move |env| {
         let me = env.rank().idx();
         let win = env.win_allocate_with(MULTI_WIN_BYTES, WinInfo::default()).unwrap();
         env.barrier().unwrap();
@@ -355,13 +372,14 @@ fn execute_multi_window(
     epochs: Arc<Vec<(usize, Epoch)>>,
     spec: &RunSpec,
     trace: bool,
+    eo: ExecOpts,
 ) -> Result<RunOutcome, RunFailure> {
     let nonblocking = spec.nonblocking;
     let mems = Arc::new(Mutex::new(vec![Vec::new(); n_ranks]));
     let gets = Arc::new(Mutex::new(Vec::new()));
     let (m2, g2) = (mems.clone(), gets.clone());
 
-    let report = run_guarded(job_config(n_ranks, spec, trace), move |env| {
+    let report = run_guarded(job_config(n_ranks, spec, trace, eo), move |env| {
         let me = env.rank().idx();
         // `win_allocate_with` is collective, so sequential allocation
         // yields the same window ids on every rank.
@@ -489,18 +507,31 @@ pub fn execute_with_trace(
     spec: &RunSpec,
     trace: bool,
 ) -> Result<RunOutcome, RunFailure> {
+    execute_exec(program, spec, trace, ExecOpts::default())
+}
+
+/// Execute `program` under `spec` with an explicit kernel execution mode.
+/// The determinism cross-check replays the same (program, spec) point
+/// under thread-per-rank and both pooled variants and requires the runs
+/// to be byte-identical in everything observable.
+pub fn execute_exec(
+    program: &Program,
+    spec: &RunSpec,
+    trace: bool,
+    eo: ExecOpts,
+) -> Result<RunOutcome, RunFailure> {
     match program {
         Program::SingleOrigin { n_ranks, reorder, epochs } => {
-            execute_single_origin(*n_ranks, *reorder, Arc::new(epochs.clone()), spec, trace)
+            execute_single_origin(*n_ranks, *reorder, Arc::new(epochs.clone()), spec, trace, eo)
         }
         Program::MultiOrigin { n_ranks, plan } => {
-            execute_multi_origin(*n_ranks, Arc::new(plan.clone()), spec, trace)
+            execute_multi_origin(*n_ranks, Arc::new(plan.clone()), spec, trace, eo)
         }
         Program::LockAllStorm { n_ranks, rounds } => {
-            execute_lock_all_storm(*n_ranks, Arc::new(rounds.clone()), spec, trace)
+            execute_lock_all_storm(*n_ranks, Arc::new(rounds.clone()), spec, trace, eo)
         }
         Program::MultiWindow { n_ranks, n_wins, epochs } => {
-            execute_multi_window(*n_ranks, *n_wins, Arc::new(epochs.clone()), spec, trace)
+            execute_multi_window(*n_ranks, *n_wins, Arc::new(epochs.clone()), spec, trace, eo)
         }
     }
 }

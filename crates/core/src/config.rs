@@ -2,7 +2,7 @@
 //! modeled software overheads.
 
 use mpisim_net::NetParams;
-use mpisim_sim::SimTime;
+use mpisim_sim::{ExecMode, SimTime};
 
 /// Which RMA engine behaviour the job runs with.
 ///
@@ -186,6 +186,20 @@ pub struct JobConfig {
     /// surfaced as a structured `StallReport` (`None` = no watchdog; a
     /// genuinely stuck schedule then surfaces as a simulator deadlock).
     pub watchdog: Option<SimTime>,
+    /// How rank processes execute (see `mpisim_sim::ExecMode`). The
+    /// default is pooled fiber execution where supported; thread-per-rank
+    /// remains available as the differential baseline for the determinism
+    /// cross-check.
+    pub exec: ExecMode,
+    /// Validation backdoor: deliberately nondeterministic event tie-breaks
+    /// (see `Sim::set_nondet_tiebreak`). Exists solely so the determinism
+    /// cross-check can prove it would catch a nondeterministic kernel.
+    pub nondet_tiebreak: bool,
+    /// Bounded spin before a baton handoff parks on its condvar (`None` =
+    /// auto-detect from machine parallelism; `Some(0)` disables spinning).
+    /// Only thread-per-rank and pooled-with-workers modes hand off batons;
+    /// inline pooled execution never parks.
+    pub handoff_spin: Option<u32>,
 }
 
 impl JobConfig {
@@ -207,6 +221,9 @@ impl JobConfig {
             fault: None,
             reliability: None,
             watchdog: None,
+            exec: ExecMode::default(),
+            nondet_tiebreak: false,
+            handoff_spin: None,
         }
     }
 
@@ -240,6 +257,12 @@ impl JobConfig {
     /// Arm the epoch stall watchdog with the given progress budget.
     pub fn with_watchdog(mut self, budget: SimTime) -> Self {
         self.watchdog = Some(budget);
+        self
+    }
+
+    /// Select the rank execution mode.
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
         self
     }
 }

@@ -147,7 +147,7 @@ impl Engine {
             self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
             st.mark_ops_dirty(rank, win, id);
             st.mark_complete_dirty(rank, win, id);
-            self.arm_watchdog(&mut st);
+            self.watch_epoch(&mut st, rank, win, id);
             req
         };
         self.sweep(rank);
@@ -171,7 +171,7 @@ impl Engine {
             e.close_req = Some(req);
             self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
             st.mark_complete_dirty(rank, win, id);
-            self.arm_watchdog(&mut st);
+            self.watch_epoch(&mut st, rank, win, id);
             req
         };
         self.sweep(rank);
@@ -221,7 +221,7 @@ impl Engine {
             st.mark_ops_dirty(rank, win, id);
             st.mark_complete_dirty(rank, win, id);
             st.mark_act_dirty(rank, win);
-            self.arm_watchdog(&mut st);
+            self.watch_epoch(&mut st, rank, win, id);
             req
         };
         self.sweep(rank);
@@ -248,7 +248,7 @@ impl Engine {
             st.mark_ops_dirty(rank, win, id);
             st.mark_complete_dirty(rank, win, id);
             st.mark_act_dirty(rank, win);
-            self.arm_watchdog(&mut st);
+            self.watch_epoch(&mut st, rank, win, id);
             req
         };
         self.sweep(rank);

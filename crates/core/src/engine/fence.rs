@@ -45,7 +45,7 @@ impl Engine {
                     self.trace_event(&mut st, rank, win, id, crate::trace::EpochEvent::Closed);
                     st.mark_ops_dirty(rank, win, id);
                     st.mark_complete_dirty(rank, win, id);
-                    self.arm_watchdog(&mut st);
+                    self.watch_epoch(&mut st, rank, win, id);
                     req
                 }
                 // An opening-only fence completes immediately (§VII.C).

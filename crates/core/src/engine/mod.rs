@@ -395,6 +395,14 @@ pub(crate) struct EngState {
     pub rel: Vec<RelRank>,
     /// Whether a stall-watchdog tick is currently scheduled.
     pub watchdog_armed: bool,
+    /// Closed-but-incomplete epochs the stall watchdog must inspect,
+    /// appended at every epoch close (only while a watchdog budget is
+    /// configured). A tick scans this list instead of every
+    /// window × rank × epoch in the job, so watchdog cost follows the
+    /// number of in-flight closes, not the rank count; entries for
+    /// epochs that completed or retired in the meantime are dropped
+    /// lazily during the scan.
+    pub stall_watch: Vec<(WinId, Rank, crate::types::EpochId)>,
 }
 
 impl EngState {
@@ -504,6 +512,7 @@ impl Engine {
                 degradations: Vec::new(),
                 rel: (0..n).map(|_| RelRank::new()).collect(),
                 watchdog_armed: false,
+                stall_watch: Vec::new(),
             }),
             net: net.clone(),
             sim,

@@ -78,8 +78,9 @@ impl std::fmt::Display for StallReport {
 
 impl Engine {
     /// Arm the stall watchdog (no-op when no budget is configured or a
-    /// tick is already pending). Called at every epoch close and whenever
-    /// the reliability sublayer abandons a frame.
+    /// tick is already pending). Called at every epoch close (via
+    /// [`Engine::watch_epoch`]) and whenever the reliability sublayer
+    /// abandons a frame.
     pub(crate) fn arm_watchdog(self: &Arc<Self>, st: &mut EngState) {
         let Some(budget) = self.cfg.watchdog else {
             return;
@@ -92,8 +93,27 @@ impl Engine {
         self.sim.schedule(budget, move || me.watchdog_tick());
     }
 
-    /// One watchdog tick: cancel every closed epoch past its budget,
-    /// re-arm while closed-but-incomplete epochs remain.
+    /// Register a just-closed epoch with the watchdog's watch list and arm
+    /// a tick. Ticks scan only this list — never all windows × ranks — so
+    /// a 4096-rank job pays for the epochs actually awaiting completion,
+    /// not for its size. No-op without a configured budget.
+    pub(crate) fn watch_epoch(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        rank: Rank,
+        win: WinId,
+        id: EpochId,
+    ) {
+        if self.cfg.watchdog.is_none() {
+            return;
+        }
+        st.stall_watch.push((win, rank, id));
+        self.arm_watchdog(st);
+    }
+
+    /// One watchdog tick: cancel every watched epoch past its budget,
+    /// prune entries that completed or retired on their own, and re-arm
+    /// while closed-but-incomplete epochs remain.
     fn watchdog_tick(self: &Arc<Self>) {
         let budget = self.cfg.watchdog.expect("tick armed without a budget");
         let now = self.sim.now();
@@ -103,24 +123,32 @@ impl Engine {
             st.watchdog_armed = false;
             st.eng_stats.watchdog_ticks += 1;
             let mut to_cancel: Vec<(Rank, WinId, EpochId)> = Vec::new();
-            let mut still_waiting = false;
-            for (wi, wg) in st.wins.iter().enumerate() {
-                for (ri, wr) in wg.per_rank.iter().enumerate() {
-                    let Some(wr) = wr else { continue };
-                    for id in wr.order.iter() {
-                        let e = wr.epoch(*id);
-                        if !e.closed || e.complete {
-                            continue;
-                        }
-                        match e.closed_at {
-                            Some(t) if now >= t + budget => {
-                                to_cancel.push((Rank(ri), WinId(wi as u32), *id));
-                            }
-                            _ => still_waiting = true,
-                        }
+            {
+                let EngState { stall_watch, wins, .. } = &mut *st;
+                stall_watch.retain(|&(win, rank, id)| {
+                    // A watched epoch may have completed and retired (its
+                    // id vanishes from the map — ids are never reused) or
+                    // completed in place; both drop off the list here.
+                    let Some(wr) = wins[win.0 as usize].per_rank[rank.idx()].as_ref() else {
+                        return false;
+                    };
+                    let Some(e) = wr.epochs.get(&id.0) else {
+                        return false;
+                    };
+                    if e.complete {
+                        return false;
                     }
-                }
+                    debug_assert!(e.closed, "unclosed epoch on the stall watch list");
+                    match e.closed_at {
+                        Some(t) if now >= t + budget => {
+                            to_cancel.push((rank, win, id));
+                            false
+                        }
+                        _ => true,
+                    }
+                });
             }
+            let still_waiting = !st.stall_watch.is_empty();
             for (rank, win, id) in to_cancel {
                 self.cancel_epoch(&mut st, rank, win, id);
                 if !touched.contains(&rank) {

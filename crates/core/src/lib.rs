@@ -73,5 +73,6 @@ pub use config::{JobConfig, Overheads, Reliability, SyncStrategy, WinInfo};
 pub use datatype::{Datatype, ReduceOp};
 pub use engine::{Degradation, Engine, EngineStats, Fault, ProtocolError, RankStats, StallReport};
 pub use error::{RmaError, RmaResult};
+pub use mpisim_sim::ExecMode;
 pub use runtime::{run_job, JobReport};
 pub use types::{Group, LockKind, Rank, Req, WinId};

@@ -87,9 +87,14 @@ where
     F: Fn(&mut RankEnv) + Send + Sync + 'static,
 {
     let mut sim = Sim::new(cfg.seed);
+    sim.set_exec_mode(cfg.exec);
     sim.set_stack_size(cfg.stack_size);
     sim.set_event_cap(cfg.event_cap);
     sim.set_tiebreak_seed(cfg.tiebreak_seed);
+    sim.set_nondet_tiebreak(cfg.nondet_tiebreak);
+    if let Some(iters) = cfg.handoff_spin {
+        sim.set_handoff_spin(iters);
+    }
     let eng = Engine::new(sim.handle(), cfg.clone());
     let f = Arc::new(f);
     for r in 0..cfg.n_ranks {

@@ -1,0 +1,390 @@
+//! Stackful fibers: per-rank continuations parked as *state*, not threads.
+//!
+//! The pooled execution mode ([`crate::kernel::ExecMode::Pooled`]) runs each
+//! simulated process on its own heap-allocated stack and switches between
+//! that stack and the resumer (driver or pool worker) with a ~20-instruction
+//! context switch — no syscalls, no condvars, no OS threads per rank. A
+//! suspended rank costs one mmap'd stack whose untouched pages stay
+//! non-resident, which is what makes 4096+ ranks per process feasible.
+//!
+//! # Context-switch contract (x86_64 SysV)
+//!
+//! [`switch_ctx`] saves the callee-saved registers (`rbp`, `rbx`,
+//! `r12`–`r15`) plus the return address on the current stack, stores the
+//! resulting `rsp` through its first argument, loads a new `rsp` from its
+//! second, and returns on the restored stack. Caller-saved registers are
+//! dead across any call boundary, so nothing else needs saving. The x87/SSE
+//! control words are *not* switched: simulation code never changes rounding
+//! modes, matching the default-environment assumption Rust code is compiled
+//! under.
+//!
+//! A fresh fiber's stack is seeded with a fake saved context whose return
+//! address is [`fiber_entry_trampoline`] and whose `r12` slot carries the
+//! `FiberInner` pointer; the first resume therefore "returns" into the
+//! trampoline, which normalizes the frame chain and calls [`fiber_entry`].
+//! The entry runs the closure under `catch_unwind` (unwinding off the top
+//! of a fiber stack would be undefined behaviour), marks the fiber
+//! finished, and switches back to the resumer for the last time.
+//!
+//! # Safety model
+//!
+//! A fiber is resumed by exactly one thread at a time — the kernel's baton
+//! discipline (one runnable entity per instant) guarantees it — and yields
+//! are routed through a thread-local set by the resumer, so a fiber may
+//! migrate between pool workers across suspensions but never while running.
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Raw mmap FFI. `std` already links libc on every Linux target, so the
+/// three symbols are declared directly instead of adding a crate the
+/// offline build could not fetch.
+mod sys {
+    use std::ffi::c_void;
+
+    unsafe extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+        pub fn mprotect(addr: *mut c_void, len: usize, prot: i32) -> i32;
+    }
+
+    pub const PROT_NONE: i32 = 0;
+    pub const PROT_READ: i32 = 1;
+    pub const PROT_WRITE: i32 = 2;
+    pub const MAP_PRIVATE: i32 = 0x02;
+    pub const MAP_ANONYMOUS: i32 = 0x20;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+}
+
+const PAGE: usize = 4096;
+
+/// An mmap'd fiber stack with a `PROT_NONE` guard page at the low end.
+///
+/// `Vec<u8>` would be simpler but zero-fills the whole allocation, committing
+/// every page up front; anonymous mmap keeps untouched pages non-resident so
+/// thousands of mostly-idle ranks fit in a few MB of RSS.
+struct Stack {
+    base: *mut u8,
+    len: usize,
+}
+
+impl Stack {
+    fn new(usable: usize) -> Stack {
+        // Round the usable region up to whole pages and add the guard page.
+        let usable = usable.max(4 * PAGE).div_ceil(PAGE) * PAGE;
+        let len = usable + PAGE;
+        unsafe {
+            let base = sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_PRIVATE | sys::MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert!(base != sys::MAP_FAILED, "fiber stack mmap failed");
+            let rc = sys::mprotect(base, PAGE, sys::PROT_NONE);
+            assert_eq!(rc, 0, "fiber guard-page mprotect failed");
+            Stack { base: base.cast(), len }
+        }
+    }
+
+    /// One past the highest usable byte; page-aligned, hence 16-aligned.
+    fn top(&self) -> *mut u8 {
+        unsafe { self.base.add(self.len) }
+    }
+}
+
+impl Drop for Stack {
+    fn drop(&mut self) {
+        unsafe {
+            sys::munmap(self.base.cast(), self.len);
+        }
+    }
+}
+
+/// Heap-pinned fiber state. `r12` in the seeded context points here, so the
+/// allocation must never move — hence the `Box` in [`Fiber`].
+struct FiberInner {
+    /// Saved `rsp` of the fiber while it is suspended.
+    fiber_rsp: usize,
+    /// Saved `rsp` of the resumer while the fiber runs.
+    resumer_rsp: usize,
+    /// Set by [`fiber_entry`] when the closure has returned or unwound.
+    finished: bool,
+    /// The process body; taken on first entry.
+    entry: Option<Box<dyn FnOnce() + Send + 'static>>,
+    stack: Stack,
+}
+
+thread_local! {
+    /// The fiber currently running on this thread, if any. Set by
+    /// [`Fiber::resume`] for the duration of the slice; read by
+    /// [`yield_current`] / [`on_fiber`] from inside the fiber.
+    static CURRENT: Cell<*mut FiberInner> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+/// Whether pooled (fiber) execution is available on this target.
+pub(crate) const SUPPORTED: bool = true;
+
+/// A suspended-or-running simulated process. See the module docs for the
+/// execution and safety model.
+pub(crate) struct Fiber {
+    inner: Box<FiberInner>,
+}
+
+// SAFETY: a fiber is only ever touched by one thread at a time — the kernel
+// hands execution around with a baton, and `resume` is the only entry point.
+// The raw stack/rsp fields are plain data while suspended.
+unsafe impl Send for Fiber {}
+
+impl Fiber {
+    /// Create a suspended fiber that will run `f` when first resumed.
+    pub(crate) fn new(stack_size: usize, f: Box<dyn FnOnce() + Send + 'static>) -> Fiber {
+        let stack = Stack::new(stack_size);
+        let mut inner = Box::new(FiberInner {
+            fiber_rsp: 0,
+            resumer_rsp: 0,
+            finished: false,
+            entry: Some(f),
+            stack,
+        });
+        let inner_ptr: *mut FiberInner = &mut *inner;
+        unsafe {
+            // Seed a fake saved context at the top of the stack, laid out
+            // exactly as switch_ctx's pops expect (from rsp upward:
+            // r15, r14, r13, r12, rbx, rbp, return address). After the pops
+            // and the `ret`, execution starts in the trampoline with
+            // rsp == top, i.e. 16-aligned — the SysV state at a call site.
+            let top = inner.stack.top() as *mut usize;
+            top.sub(1).write(fiber_entry_trampoline as *const () as usize); // ret target
+            top.sub(2).write(0); // rbp
+            top.sub(3).write(0); // rbx
+            top.sub(4).write(inner_ptr as usize); // r12: FiberInner pointer
+            top.sub(5).write(0); // r13
+            top.sub(6).write(0); // r14
+            top.sub(7).write(0); // r15
+            inner.fiber_rsp = top.sub(7) as usize;
+        }
+        Fiber { inner }
+    }
+
+    /// Run the fiber until its next yield or until it finishes. Returns
+    /// whether it finished. Must not be called on a finished fiber.
+    pub(crate) fn resume(&mut self) -> bool {
+        debug_assert!(!self.inner.finished, "resumed a finished fiber");
+        let inner_ptr: *mut FiberInner = &mut *self.inner;
+        let prev = CURRENT.replace(inner_ptr);
+        unsafe {
+            // SAFETY: fiber_rsp points into this fiber's live stack (seeded
+            // at creation or saved at its last yield); exclusive access is
+            // guaranteed by the kernel's baton discipline.
+            switch_ctx(&mut self.inner.resumer_rsp, &self.inner.fiber_rsp);
+        }
+        CURRENT.set(prev);
+        self.inner.finished
+    }
+
+    /// Whether the fiber's closure has returned or unwound.
+    pub(crate) fn is_finished(&self) -> bool {
+        self.inner.finished
+    }
+}
+
+/// Whether the calling code is running inside a fiber slice.
+pub(crate) fn on_fiber() -> bool {
+    !CURRENT.get().is_null()
+}
+
+/// Suspend the current fiber, returning control to whoever resumed it.
+/// Panics if called outside a fiber.
+pub(crate) fn yield_current() {
+    let cur = CURRENT.get();
+    assert!(!cur.is_null(), "yield_current called outside a fiber");
+    unsafe {
+        // SAFETY: `cur` is the fiber running on this very thread; switching
+        // to resumer_rsp returns into its `resume` call.
+        switch_ctx(&mut (*cur).fiber_rsp, &(*cur).resumer_rsp);
+    }
+}
+
+/// Save the current execution context through `save`, restore the one at
+/// `restore`, and return on the restored stack.
+///
+/// # Safety
+///
+/// `restore` must hold an `rsp` produced by this function (or by the stack
+/// seeding in [`Fiber::new`]) for a live stack no other thread is using.
+#[unsafe(naked)]
+unsafe extern "C" fn switch_ctx(_save: *mut usize, _restore: *const usize) {
+    std::arch::naked_asm!(
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov [rdi], rsp",
+        "mov rsp, [rsi]",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+    )
+}
+
+/// First frame of every fiber: terminates the frame-pointer chain, moves the
+/// `FiberInner` pointer from its callee-saved smuggling slot into the first
+/// argument register, and calls [`fiber_entry`] (which never returns).
+#[unsafe(naked)]
+unsafe extern "C" fn fiber_entry_trampoline() {
+    std::arch::naked_asm!(
+        "xor ebp, ebp",
+        "mov rdi, r12",
+        "call {entry}",
+        "ud2",
+        entry = sym fiber_entry,
+    )
+}
+
+/// Rust-level fiber body: runs the closure, records completion, and makes
+/// the final switch back to the resumer. Never returns; unwinding is
+/// contained by `catch_unwind` because there is no frame above this one.
+unsafe extern "C" fn fiber_entry(inner: *mut FiberInner) -> ! {
+    // SAFETY: `inner` is the Box-pinned FiberInner seeded into r12 at
+    // creation; the fiber owns it exclusively while running.
+    let inner = unsafe { &mut *inner };
+    let f = inner.entry.take().expect("fiber entered twice");
+    // The kernel's wrapper inside `f` already catches panics and records
+    // payloads; this outer catch is the hard safety net that keeps any
+    // unwind (including one raised by the wrapper itself) off the seeded
+    // frame below, where there is nothing to unwind into.
+    let _ = panic::catch_unwind(AssertUnwindSafe(f));
+    inner.finished = true;
+    let mut scratch = 0usize;
+    unsafe {
+        // SAFETY: resumer_rsp was saved by the `resume` that ran this slice;
+        // the fiber's own context is dead from here on (scratch discard).
+        switch_ctx(&mut scratch, &inner.resumer_rsp);
+    }
+    unreachable!("finished fiber was resumed");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn fiber_runs_to_completion() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let mut f = Fiber::new(64 * 1024, Box::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(!f.is_finished());
+        assert!(f.resume());
+        assert!(f.is_finished());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fiber_yields_and_resumes() {
+        let steps = Arc::new(AtomicUsize::new(0));
+        let s = steps.clone();
+        let mut f = Fiber::new(64 * 1024, Box::new(move || {
+            s.fetch_add(1, Ordering::SeqCst);
+            yield_current();
+            s.fetch_add(1, Ordering::SeqCst);
+            yield_current();
+            s.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(!f.resume());
+        assert_eq!(steps.load(Ordering::SeqCst), 1);
+        assert!(!f.resume());
+        assert_eq!(steps.load(Ordering::SeqCst), 2);
+        assert!(f.resume());
+        assert_eq!(steps.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn fiber_panic_is_contained() {
+        let mut f = Fiber::new(64 * 1024, Box::new(|| panic!("inside fiber")));
+        // A previous test may have left the default hook; silence this one.
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        let finished = f.resume();
+        panic::set_hook(prev);
+        assert!(finished, "panicking fiber must finish");
+    }
+
+    #[test]
+    fn fiber_can_migrate_between_threads() {
+        let log = Arc::new(AtomicUsize::new(0));
+        let l = log.clone();
+        let mut f = Fiber::new(64 * 1024, Box::new(move || {
+            l.fetch_add(1, Ordering::SeqCst);
+            yield_current();
+            l.fetch_add(10, Ordering::SeqCst);
+        }));
+        assert!(!f.resume()); // first slice on this thread
+        let f = std::thread::spawn(move || {
+            assert!(f.resume()); // second slice on another thread
+            f
+        })
+        .join()
+        .unwrap();
+        assert!(f.is_finished());
+        assert_eq!(log.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn on_fiber_is_scoped_to_the_slice() {
+        assert!(!on_fiber());
+        let mut f = Fiber::new(64 * 1024, Box::new(|| {
+            assert!(on_fiber());
+            yield_current();
+            assert!(on_fiber());
+        }));
+        f.resume();
+        assert!(!on_fiber());
+        f.resume();
+        assert!(!on_fiber());
+    }
+
+    #[test]
+    fn many_cheap_fibers() {
+        // 4096 fibers, round-robin resumed twice each: the RSS-friendly
+        // stack story at the target rank count.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut fibers: Vec<Fiber> = (0..4096)
+            .map(|_| {
+                let c = counter.clone();
+                Fiber::new(32 * 1024, Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    yield_current();
+                    c.fetch_add(1, Ordering::SeqCst);
+                }))
+            })
+            .collect();
+        for f in fibers.iter_mut() {
+            assert!(!f.resume());
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 4096);
+        for f in fibers.iter_mut() {
+            assert!(f.resume());
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 8192);
+    }
+}

@@ -1,29 +1,45 @@
 //! The discrete-event kernel: virtual clock, event queue, and the
-//! cooperative scheduler that interleaves process threads deterministically.
+//! cooperative scheduler that interleaves simulated processes
+//! deterministically.
 //!
 //! # Execution model
 //!
 //! Exactly one entity runs at any instant: either the scheduler (executing
-//! an event callback) or one process thread. Execution is handed around with
-//! per-entity [`Parker`](crate::parker::Parker)s, so a context switch is O(1).
-//! Determinism follows from three rules:
+//! an event callback) or one process. Determinism follows from three rules:
 //!
 //! 1. events are ordered by `(time, sequence-number)`;
 //! 2. ready processes run in FIFO order, and all ready processes run before
 //!    the next event is popped;
 //! 3. process code itself only observes virtual time through the kernel.
 //!
-//! Process threads park while blocked, so arbitrary numbers of simulated
-//! ranks cost nothing while idle.
+//! *How* a process slice executes is an [`ExecMode`] detail invisible to
+//! the rules above, so every mode produces byte-identical schedules:
+//!
+//! - [`ExecMode::Pooled`] (default where supported): each process is a
+//!   stackful [fiber](crate::fiber) — a parked *continuation*, not a parked
+//!   thread. With `workers: 0` the driver resumes fibers inline (a context
+//!   switch is ~20 instructions, no syscalls); with `workers: n` slices are
+//!   dispatched to a small pool of worker threads, deterministically
+//!   assigned by process id.
+//! - [`ExecMode::ThreadPerRank`]: one OS thread per process, handed a baton
+//!   through per-entity [`Parker`](crate::parker::Parker)s. Kept as the
+//!   differential baseline the determinism cross-check compares against.
+//!
+//! The scheduler is work-aware by construction: only processes somebody
+//! made ready (a fired signal, an event callback) ever enter the ready
+//! queue, so a step never sweeps idle ranks — cost scales with runnable
+//! work, not with the rank count.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
+use crate::fiber::{self, Fiber};
 use crate::parker::Parker;
 use crate::process::ProcCtx;
 use crate::time::SimTime;
@@ -35,6 +51,36 @@ pub struct ProcId(pub usize);
 /// Identifier of a scheduled event, usable with [`SimHandle::cancel`].
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct EventId(u64);
+
+/// How simulated processes execute. Purely a mechanism choice: every mode
+/// yields byte-identical schedules, statistics, and traces for a given
+/// seed (see the module docs).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// One OS thread per process. O(ranks) OS threads and two condvar
+    /// handoffs per slice; kept as the differential baseline for the
+    /// determinism cross-check.
+    ThreadPerRank,
+    /// Stackful fibers multiplexed onto a pool of `workers` OS threads.
+    /// `workers: 0` resumes fibers inline on the driver thread — the
+    /// fastest mode and the default. Falls back to [`ExecMode::ThreadPerRank`]
+    /// on targets without fiber support (non-x86_64 / non-Linux).
+    Pooled {
+        /// Number of extra pool worker threads (0 = run slices inline on
+        /// the driver thread).
+        workers: usize,
+    },
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        if fiber::SUPPORTED {
+            ExecMode::Pooled { workers: 0 }
+        } else {
+            ExecMode::ThreadPerRank
+        }
+    }
+}
 
 /// Why a simulation run ended unsuccessfully.
 #[derive(Debug)]
@@ -77,7 +123,7 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Summary statistics returned by a successful [`Sim::run`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimStats {
     /// Number of event callbacks executed.
     pub events_executed: u64,
@@ -114,6 +160,7 @@ pub(crate) struct Inner {
     heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
     actions: HashMap<u64, EventFn>,
     tiebreak_seed: Option<u64>,
+    nondet_tiebreak: bool,
     pub(crate) ready: VecDeque<ProcId>,
     pub(crate) procs: Vec<ProcRec>,
     pub(crate) aborting: bool,
@@ -125,6 +172,13 @@ pub(crate) struct Inner {
 impl Inner {
     /// Tie-break key for a freshly assigned sequence number.
     fn tiebreak_key(&self, seq: u64) -> u64 {
+        if self.nondet_tiebreak {
+            // Validation backdoor (see [`Sim::set_nondet_tiebreak`]): mix a
+            // process-global counter that never resets, so two runs of the
+            // same seeded program order their same-time events differently.
+            static CLOCK: AtomicU64 = AtomicU64::new(0);
+            return crate::rng::mix64(CLOCK.fetch_add(1, Ordering::Relaxed), seq);
+        }
         match self.tiebreak_seed {
             None => seq,
             Some(seed) => crate::rng::mix64(seed, seq),
@@ -212,6 +266,21 @@ impl SimHandle {
     }
 }
 
+/// A work slot handed to a pool worker: a fiber to resume (as a raw
+/// address — exclusive access is guaranteed because the driver parks until
+/// the slice ends) or the shutdown order.
+enum WorkerJob {
+    Idle,
+    Run(usize),
+    Shutdown,
+}
+
+struct PoolWorker {
+    parker: Arc<Parker>,
+    job: Arc<Mutex<WorkerJob>>,
+    handle: Option<JoinHandle<()>>,
+}
+
 /// The simulation builder and driver.
 ///
 /// ```
@@ -228,11 +297,16 @@ impl SimHandle {
 pub struct Sim {
     core: Arc<SimCore>,
     threads: Vec<JoinHandle<()>>,
+    fibers: Vec<Fiber>,
+    pool: Vec<PoolWorker>,
+    mode: ExecMode,
     stack_size: usize,
+    handoff_spin: Option<u32>,
 }
 
 /// Default per-process stack size. Simulated ranks mostly park, so a small
-/// stack lets thousands of ranks coexist.
+/// stack lets thousands of ranks coexist (in pooled mode untouched stack
+/// pages are never even committed).
 pub const DEFAULT_STACK_SIZE: usize = 512 * 1024;
 
 /// Default runaway-simulation backstop.
@@ -252,6 +326,7 @@ impl Sim {
                     procs: Vec::new(),
                     aborting: false,
                     tiebreak_seed: None,
+                    nondet_tiebreak: false,
                     events_executed: 0,
                     context_switches: 0,
                     event_cap: DEFAULT_EVENT_CAP,
@@ -260,8 +335,28 @@ impl Sim {
                 seed,
             }),
             threads: Vec::new(),
+            fibers: Vec::new(),
+            pool: Vec::new(),
+            mode: ExecMode::default(),
             stack_size: DEFAULT_STACK_SIZE,
+            handoff_spin: None,
         }
+    }
+
+    /// Select how processes execute. Must be called before the first
+    /// [`Sim::spawn`]. On targets without fiber support a pooled request
+    /// silently downgrades to [`ExecMode::ThreadPerRank`].
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        assert!(
+            self.core.inner.lock().procs.is_empty(),
+            "exec mode must be selected before any process is spawned"
+        );
+        self.mode = if fiber::SUPPORTED { mode } else { ExecMode::ThreadPerRank };
+    }
+
+    /// The execution mode in effect (after any platform downgrade).
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Override the per-process stack size (bytes) for subsequently spawned
@@ -273,6 +368,20 @@ impl Sim {
     /// Override the event cap.
     pub fn set_event_cap(&mut self, cap: u64) {
         self.core.inner.lock().event_cap = cap;
+    }
+
+    /// Override the bounded spin performed before a baton handoff parks on
+    /// its condvar (see [`Parker`]). Applies to the scheduler baton, every
+    /// already-spawned process, and everything spawned afterwards. `0`
+    /// disables spinning; the default is auto-detected from the machine's
+    /// parallelism.
+    pub fn set_handoff_spin(&mut self, iters: u32) {
+        self.handoff_spin = Some(iters);
+        self.core.sched.set_spin(iters);
+        let inner = self.core.inner.lock();
+        for p in inner.procs.iter() {
+            p.parker.set_spin(iters);
+        }
     }
 
     /// Install a seeded tie-break perturbation for same-time events.
@@ -297,6 +406,17 @@ impl Sim {
         inner.tiebreak_seed = seed;
     }
 
+    /// Deliberately break tie-break determinism (validation backdoor).
+    ///
+    /// With this set, same-time events are ordered by a process-global
+    /// counter that never resets, so two runs of the very same seeded
+    /// program produce different schedules. Exists solely so the
+    /// determinism cross-check harness can prove it would catch a
+    /// nondeterministic kernel; never set it in real simulations.
+    pub fn set_nondet_tiebreak(&mut self, on: bool) {
+        self.core.inner.lock().nondet_tiebreak = on;
+    }
+
     /// A handle for scheduling events and reading the clock.
     pub fn handle(&self) -> SimHandle {
         SimHandle {
@@ -304,15 +424,18 @@ impl Sim {
         }
     }
 
-    /// Spawn a simulated process. The closure runs on its own OS thread but
-    /// is cooperatively scheduled: it starts at virtual time zero, in spawn
-    /// order.
+    /// Spawn a simulated process. The closure starts at virtual time zero,
+    /// in spawn order, and is cooperatively scheduled — as a stackful fiber
+    /// in pooled mode, or on a dedicated OS thread in thread-per-rank mode.
     pub fn spawn<F>(&mut self, label: impl Into<String>, f: F) -> ProcId
     where
         F: FnOnce(&ProcCtx) + Send + 'static,
     {
         let label = label.into();
         let parker = Arc::new(Parker::new());
+        if let Some(iters) = self.handoff_spin {
+            parker.set_spin(iters);
+        }
         let pid = {
             let mut inner = self.core.inner.lock();
             let pid = ProcId(inner.procs.len());
@@ -327,28 +450,46 @@ impl Sim {
         };
         let core = self.core.clone();
         let ctx = ProcCtx::new(core.clone(), pid, parker.clone(), label.clone());
-        let builder = std::thread::Builder::new()
-            .name(format!("sim-{label}"))
-            .stack_size(self.stack_size);
-        let jh = builder
-            .spawn(move || {
-                // Wait for the first baton before touching anything.
-                parker.park();
-                let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
-                {
-                    let mut inner = core.inner.lock();
-                    let rec = &mut inner.procs[pid.0];
-                    rec.state = ProcState::Finished;
-                    if let Err(payload) = result {
-                        if !payload.is::<crate::process::AbortToken>() {
-                            rec.panic_payload = Some(payload);
-                        }
-                    }
+        // Shared process body: run `f`, then record completion and any real
+        // panic payload (the AbortToken unwind is pure control flow).
+        let record_exit = move |result: Result<(), Box<dyn std::any::Any + Send>>| {
+            let mut inner = core.inner.lock();
+            let rec = &mut inner.procs[pid.0];
+            rec.state = ProcState::Finished;
+            if let Err(payload) = result {
+                if !payload.is::<crate::process::AbortToken>() {
+                    rec.panic_payload = Some(payload);
                 }
-                core.sched.unpark();
-            })
-            .expect("failed to spawn simulation process thread");
-        self.threads.push(jh);
+            }
+        };
+        match self.mode {
+            ExecMode::Pooled { .. } => {
+                let body = move || {
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                    record_exit(result);
+                    // Control returns to the resumer via the fiber's final
+                    // switch; no baton to hand back.
+                };
+                self.fibers.push(Fiber::new(self.stack_size, Box::new(body)));
+                debug_assert_eq!(self.fibers.len(), pid.0 + 1);
+            }
+            ExecMode::ThreadPerRank => {
+                let core = self.core.clone();
+                let builder = std::thread::Builder::new()
+                    .name(format!("sim-{label}"))
+                    .stack_size(self.stack_size);
+                let jh = builder
+                    .spawn(move || {
+                        // Wait for the first baton before touching anything.
+                        parker.park();
+                        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+                        record_exit(result);
+                        core.sched.unpark();
+                    })
+                    .expect("failed to spawn simulation process thread");
+                self.threads.push(jh);
+            }
+        }
         pid
     }
 
@@ -376,9 +517,43 @@ impl Sim {
         }
     }
 
+    /// Run one slice of process `pid` — until it blocks, finishes, or
+    /// yields — using the configured execution mechanism. The caller must
+    /// have moved `pid` to `Running`.
+    fn run_slice(&mut self, pid: ProcId) {
+        match self.mode {
+            ExecMode::ThreadPerRank => {
+                let proc_parker = {
+                    let inner = self.core.inner.lock();
+                    inner.procs[pid.0].parker.clone()
+                };
+                proc_parker.unpark();
+                self.core.sched.park();
+            }
+            ExecMode::Pooled { workers: 0 } => {
+                // Inline: the driver becomes the process for one slice. No
+                // parking, no syscalls — just a stack switch each way.
+                self.fibers[pid.0].resume();
+            }
+            ExecMode::Pooled { workers } => {
+                // Deterministic worker assignment by pid. Which OS thread
+                // runs the slice cannot affect results (execution is still
+                // serialized); the pool exists to bound thread count, not
+                // to parallelize.
+                self.ensure_pool(workers);
+                let fiber_ptr: *mut Fiber = &mut self.fibers[pid.0];
+                let w = &self.pool[pid.0 % workers];
+                *w.job.lock() = WorkerJob::Run(fiber_ptr as usize);
+                w.parker.unpark();
+                self.core.sched.park();
+            }
+        }
+    }
+
     fn drive(&mut self) -> Drive {
         loop {
-            // Phase 1: drain ready processes (FIFO).
+            // Phase 1: drain ready processes (FIFO). Only processes with
+            // pending work ever appear here, so idle ranks cost nothing.
             loop {
                 let pid = {
                     let mut inner = self.core.inner.lock();
@@ -391,12 +566,7 @@ impl Sim {
                         None => break,
                     }
                 };
-                let proc_parker = {
-                    let inner = self.core.inner.lock();
-                    inner.procs[pid.0].parker.clone()
-                };
-                proc_parker.unpark();
-                self.core.sched.park();
+                self.run_slice(pid);
                 // The process yielded back: it is now Blocked, Ready again,
                 // or Finished (possibly with a panic to propagate).
                 let payload = {
@@ -459,11 +629,49 @@ impl Sim {
         }
     }
 
-    /// Wake every blocked process so its thread can observe `aborting` and
-    /// unwind; used on deadlock or propagated panic.
+    /// Lazily start the worker pool for `Pooled { workers: n > 0 }`.
+    fn ensure_pool(&mut self, workers: usize) {
+        if !self.pool.is_empty() {
+            return;
+        }
+        for i in 0..workers {
+            let parker = Arc::new(Parker::new());
+            if let Some(iters) = self.handoff_spin {
+                parker.set_spin(iters);
+            }
+            let job = Arc::new(Mutex::new(WorkerJob::Idle));
+            let core = self.core.clone();
+            let (wp, wj) = (parker.clone(), job.clone());
+            let handle = std::thread::Builder::new()
+                .name(format!("sim-worker-{i}"))
+                .spawn(move || loop {
+                    wp.park();
+                    let job = std::mem::replace(&mut *wj.lock(), WorkerJob::Idle);
+                    match job {
+                        WorkerJob::Run(addr) => {
+                            // SAFETY: the driver parked right after posting
+                            // this job and stays parked until we hand the
+                            // baton back, so the fiber (and the Vec holding
+                            // it) is untouched elsewhere for the whole
+                            // slice.
+                            let fiber = unsafe { &mut *(addr as *mut Fiber) };
+                            fiber.resume();
+                            core.sched.unpark();
+                        }
+                        WorkerJob::Shutdown => break,
+                        WorkerJob::Idle => {}
+                    }
+                })
+                .expect("failed to spawn simulation pool worker");
+            self.pool.push(PoolWorker { parker, job, handle: Some(handle) });
+        }
+    }
+
+    /// Unwind every unfinished process so the run can terminate; used on
+    /// deadlock or propagated panic.
     fn abort_all(&mut self) {
         // The unwind is driven by `panic_any(AbortToken)` in each blocked
-        // thread — pure control flow, not an error. Silence the default
+        // process — pure control flow, not an error. Silence the default
         // panic hook for that payload type (once, process-wide) so a
         // deadlocked simulation doesn't spray one backtrace per rank.
         static HOOK: std::sync::Once = std::sync::Once::new();
@@ -475,18 +683,39 @@ impl Sim {
                 }
             }));
         });
-        let parkers: Vec<Arc<Parker>> = {
-            let mut inner = self.core.inner.lock();
-            inner.aborting = true;
-            inner
-                .procs
-                .iter()
-                .filter(|p| p.state != ProcState::Finished)
-                .map(|p| p.parker.clone())
-                .collect()
-        };
-        for p in parkers {
-            p.unpark();
+        self.core.inner.lock().aborting = true;
+        match self.mode {
+            ExecMode::ThreadPerRank => {
+                // Wake every unfinished thread; its next (or current) park
+                // returns, the aborting flag is observed, and the thread
+                // unwinds.
+                let parkers: Vec<Arc<Parker>> = {
+                    let inner = self.core.inner.lock();
+                    inner
+                        .procs
+                        .iter()
+                        .filter(|p| p.state != ProcState::Finished)
+                        .map(|p| p.parker.clone())
+                        .collect()
+                };
+                for p in parkers {
+                    p.unpark();
+                }
+            }
+            ExecMode::Pooled { .. } => {
+                // Resume every unfinished fiber on the driver thread until
+                // it unwinds: a suspended fiber aborts at the yield it
+                // returns into, a never-started one aborts at its first
+                // blocking call (both checks live in yield_to_scheduler).
+                // The loop guards against slices that block again without
+                // observing the flag; each resume strictly advances the
+                // fiber toward its AbortToken unwind.
+                for f in self.fibers.iter_mut() {
+                    while !f.is_finished() {
+                        f.resume();
+                    }
+                }
+            }
         }
     }
 
@@ -494,6 +723,16 @@ impl Sim {
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        for w in self.pool.iter() {
+            *w.job.lock() = WorkerJob::Shutdown;
+            w.parker.unpark();
+        }
+        for w in self.pool.iter_mut() {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+        self.pool.clear();
     }
 }
 
@@ -570,6 +809,31 @@ mod tests {
     }
 
     #[test]
+    fn nondet_tiebreak_diverges_across_runs() {
+        // The validation backdoor must actually produce different schedules
+        // for identical runs (this is what the determinism cross-check's
+        // exit-inverted self-test relies on).
+        fn nondet_order() -> Vec<usize> {
+            let mut sim = Sim::new(0);
+            sim.set_nondet_tiebreak(true);
+            let h = sim.handle();
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..16 {
+                let log = log.clone();
+                h.schedule(SimTime::from_nanos(10), move || log.lock().push(i));
+            }
+            sim.run().unwrap();
+            let v = log.lock().clone();
+            v
+        }
+        let runs: Vec<Vec<usize>> = (0..4).map(|_| nondet_order()).collect();
+        assert!(
+            runs.windows(2).any(|w| w[0] != w[1]),
+            "nondet tie-break produced identical schedules across 4 runs"
+        );
+    }
+
+    #[test]
     fn cancelled_events_do_not_run() {
         let sim = Sim::new(0);
         let h = sim.handle();
@@ -599,27 +863,89 @@ mod tests {
         }
     }
 
-    #[test]
-    fn process_panic_propagates() {
-        let mut sim = Sim::new(0);
-        sim.spawn("bad", |_| panic!("boom-xyz"));
-        let err = std::panic::catch_unwind(AssertUnwindSafe(|| sim.run())).unwrap_err();
-        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
-        assert!(msg.contains("boom-xyz"));
+    fn all_modes() -> Vec<ExecMode> {
+        let mut m = vec![ExecMode::ThreadPerRank];
+        if fiber::SUPPORTED {
+            m.push(ExecMode::Pooled { workers: 0 });
+            m.push(ExecMode::Pooled { workers: 2 });
+        }
+        m
     }
 
     #[test]
-    fn deadlock_reports_blocked_labels() {
-        let mut sim = Sim::new(0);
-        sim.spawn("stuck-rank", |ctx| {
-            let sig = crate::process::Signal::new();
-            ctx.wait(&sig); // never fired
-        });
-        match sim.run() {
-            Err(SimError::Deadlock { blocked, .. }) => {
-                assert_eq!(blocked, vec!["stuck-rank".to_string()]);
+    fn process_panic_propagates_in_every_mode() {
+        for mode in all_modes() {
+            let mut sim = Sim::new(0);
+            sim.set_exec_mode(mode);
+            sim.spawn("bad", |_| panic!("boom-xyz"));
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| sim.run())).unwrap_err();
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+            assert!(msg.contains("boom-xyz"), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn deadlock_reports_blocked_labels_in_every_mode() {
+        for mode in all_modes() {
+            let mut sim = Sim::new(0);
+            sim.set_exec_mode(mode);
+            sim.spawn("stuck-rank", |ctx| {
+                let sig = crate::process::Signal::new();
+                ctx.wait(&sig); // never fired
+            });
+            match sim.run() {
+                Err(SimError::Deadlock { blocked, .. }) => {
+                    assert_eq!(blocked, vec!["stuck-rank".to_string()], "mode {mode:?}");
+                }
+                other => panic!("expected deadlock in {mode:?}, got {other:?}"),
             }
-            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn modes_produce_identical_stats_and_schedules() {
+        fn run_in(mode: ExecMode) -> (SimStats, Vec<(u64, usize)>) {
+            let mut sim = Sim::new(11);
+            sim.set_exec_mode(mode);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..12usize {
+                let log = log.clone();
+                sim.spawn(format!("p{i}"), move |ctx| {
+                    for step in 0..6u64 {
+                        ctx.advance(SimTime::from_nanos((i as u64 * 7 + step * 3) % 13 + 1));
+                        log.lock().push((ctx.now().as_nanos(), i));
+                    }
+                });
+            }
+            let stats = sim.run().unwrap();
+            let v = log.lock().clone();
+            (stats, v)
+        }
+        let (base_stats, base_log) = run_in(ExecMode::ThreadPerRank);
+        for mode in all_modes() {
+            let (stats, log) = run_in(mode);
+            assert_eq!(stats, base_stats, "stats diverged in {mode:?}");
+            assert_eq!(log, base_log, "schedule diverged in {mode:?}");
+        }
+    }
+
+    #[test]
+    fn immediate_panic_with_unstarted_peer_terminates() {
+        // Regression: a process panicking during the very first ready-drain
+        // used to strand peers that had never started — abort_all woke
+        // them, they ran to their first wait, and join_all hung. The
+        // pre-park aborting check in yield_to_scheduler unwinds them now.
+        for mode in all_modes() {
+            let mut sim = Sim::new(0);
+            sim.set_exec_mode(mode);
+            sim.spawn("bomb", |_| panic!("early-boom"));
+            sim.spawn("late-starter", |ctx| {
+                let sig = crate::process::Signal::new();
+                ctx.wait(&sig); // would block forever
+            });
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| sim.run())).unwrap_err();
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+            assert!(msg.contains("early-boom"), "mode {mode:?}");
         }
     }
 }

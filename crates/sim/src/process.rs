@@ -119,8 +119,22 @@ impl ProcCtx {
     }
 
     fn yield_to_scheduler(&self) {
-        self.core.sched.unpark();
-        self.parker.park();
+        // Checked *before* giving up execution as well as after: a process
+        // that was never started when the run began aborting (it runs its
+        // body for the first time during abort_all) must unwind at its
+        // first blocking call instead of parking forever.
+        if self.core.is_aborting() {
+            std::panic::panic_any(AbortToken);
+        }
+        if crate::fiber::on_fiber() {
+            // Pooled mode: suspend this continuation; control returns to
+            // the driver (or pool worker) that resumed it.
+            crate::fiber::yield_current();
+        } else {
+            // Thread mode: hand the baton back and park this OS thread.
+            self.core.sched.unpark();
+            self.parker.park();
+        }
         if self.core.is_aborting() {
             std::panic::panic_any(AbortToken);
         }

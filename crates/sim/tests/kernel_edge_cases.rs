@@ -2,7 +2,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use mpisim_sim::{seeded_rng, Sim, SimError, SimTime, Signal};
+use mpisim_sim::{seeded_rng, ExecMode, Sim, SimError, SimTime, Signal};
 use rand::Rng;
 
 #[test]
@@ -146,4 +146,184 @@ fn wait_any_mixes_fired_and_pending() {
         assert_eq!(ctx.wait_any(&sv), 2);
     });
     sim.run().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Pooled-execution edge cases at scale.
+// ---------------------------------------------------------------------------
+
+/// Counts drops so tests can assert that aborted continuations were
+/// actually unwound (destructors on fiber/thread stacks ran).
+struct DropProbe(Arc<Mutex<usize>>);
+
+impl Drop for DropProbe {
+    fn drop(&mut self) {
+        *self.0.lock().unwrap() += 1;
+    }
+}
+
+fn modes_under_test() -> Vec<ExecMode> {
+    // ThreadPerRank everywhere; the pooled variants only where supported
+    // (set_exec_mode would silently downgrade them to ThreadPerRank, which
+    // would just re-test the baseline).
+    let mut m = vec![ExecMode::ThreadPerRank];
+    if ExecMode::default() != ExecMode::ThreadPerRank {
+        m.push(ExecMode::Pooled { workers: 0 });
+        m.push(ExecMode::Pooled { workers: 3 });
+    }
+    m
+}
+
+#[test]
+fn worker_pool_shuts_down_with_parked_continuations() {
+    // A deadlocked run leaves continuations suspended mid-wait and pool
+    // workers parked. `run` must still return (no hung worker threads), the
+    // deadlock must name every stuck process, and the suspended
+    // continuations must be unwound (their stack-held values dropped).
+    for mode in modes_under_test() {
+        let drops = Arc::new(Mutex::new(0usize));
+        let mut sim = Sim::new(0);
+        sim.set_exec_mode(mode);
+        for i in 0..16 {
+            let probe = DropProbe(drops.clone());
+            sim.spawn(format!("stuck{i}"), move |ctx| {
+                let _held = probe; // lives on this continuation's stack
+                let s = Signal::new();
+                ctx.wait(&s); // never fired
+            });
+        }
+        match sim.run() {
+            Err(SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 16, "mode {mode:?}")
+            }
+            other => panic!("expected deadlock in {mode:?}, got {other:?}"),
+        }
+        assert_eq!(*drops.lock().unwrap(), 16, "mode {mode:?}: continuations not unwound");
+    }
+}
+
+#[test]
+fn abort_unwinds_a_pooled_rank_mid_epoch() {
+    // One rank panics mid-run; another is suspended deep in a wait with
+    // live stack state (modeling an open epoch). The panic must propagate
+    // and the suspended rank's stack must be unwound, not leaked.
+    for mode in modes_under_test() {
+        let drops = Arc::new(Mutex::new(0usize));
+        let probe = DropProbe(drops.clone());
+        let mut sim = Sim::new(0);
+        sim.set_exec_mode(mode);
+        sim.spawn("mid-epoch", move |ctx| {
+            let _epoch_state = probe; // held across the blocking call
+            ctx.advance(SimTime::from_micros(1));
+            let s = Signal::new();
+            ctx.wait(&s); // suspended here when the abort lands
+        });
+        sim.spawn("bomb", |ctx| {
+            ctx.advance(SimTime::from_micros(2));
+            panic!("mid-run-boom");
+        });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()))
+            .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("mid-run-boom"), "mode {mode:?}");
+        assert_eq!(*drops.lock().unwrap(), 1, "mode {mode:?}: epoch state not dropped");
+    }
+}
+
+#[test]
+fn zero_runnable_rank_steps_advance_on_events_alone() {
+    // Ranks finish at t=0; from then on every step has zero runnable ranks
+    // and the wheel advances on events alone. The scheduler must not touch
+    // (or count switches for) the finished ranks again.
+    for mode in modes_under_test() {
+        let mut sim = Sim::new(0);
+        sim.set_exec_mode(mode);
+        for i in 0..8 {
+            sim.spawn(format!("instant{i}"), |_| {});
+        }
+        let h = sim.handle();
+        let ticks = Arc::new(Mutex::new(0u64));
+        fn tick(h: mpisim_sim::SimHandle, ticks: Arc<Mutex<u64>>, left: u32) {
+            if left == 0 {
+                return;
+            }
+            let h2 = h.clone();
+            h.schedule(SimTime::from_micros(1), move || {
+                *ticks.lock().unwrap() += 1;
+                tick(h2, ticks, left - 1);
+            });
+        }
+        tick(h, ticks.clone(), 100);
+        let stats = sim.run().unwrap();
+        assert_eq!(*ticks.lock().unwrap(), 100, "mode {mode:?}");
+        assert_eq!(stats.events_executed, 100, "mode {mode:?}");
+        // Exactly one switch per rank (its only slice); idle steps add none.
+        assert_eq!(stats.context_switches, 8, "mode {mode:?}");
+        assert_eq!(stats.final_time, SimTime::from_micros(100), "mode {mode:?}");
+    }
+}
+
+#[test]
+fn four_thousand_ranks_run_pooled() {
+    // The headline scale point: 4096 ranks in one process. Thread-per-rank
+    // is deliberately excluded — that mode would need 4096 OS threads,
+    // which is exactly what pooled execution exists to avoid.
+    if ExecMode::default() == ExecMode::ThreadPerRank {
+        return; // fibers unsupported on this target
+    }
+    let mut sim = Sim::new(9);
+    sim.set_exec_mode(ExecMode::Pooled { workers: 0 });
+    sim.set_stack_size(64 * 1024);
+    let done = Arc::new(Mutex::new(0usize));
+    let gate = Signal::new();
+    for i in 0..4096usize {
+        let d = done.clone();
+        let g = gate.clone();
+        sim.spawn(format!("r{i}"), move |ctx| {
+            ctx.advance(SimTime::from_nanos(i as u64 % 97 + 1));
+            if i == 0 {
+                // Rank 0 makes every other rank block once, then releases.
+                ctx.advance(SimTime::from_micros(10));
+                g.fire();
+            } else {
+                ctx.wait(&g);
+            }
+            *d.lock().unwrap() += 1;
+        });
+    }
+    let stats = sim.run().unwrap();
+    assert_eq!(*done.lock().unwrap(), 4096);
+    assert!(stats.context_switches >= 2 * 4096, "every rank needs at least two slices");
+}
+
+#[test]
+fn cross_mode_stats_identity_with_blocking_traffic() {
+    // Byte-identical SimStats across execution modes on a workload that
+    // mixes signals, events, and re-blocking — the kernel-level half of the
+    // determinism cross-check in crates/check.
+    fn run_in(mode: ExecMode) -> (u64, u64, u64) {
+        let mut sim = Sim::new(5);
+        sim.set_exec_mode(mode);
+        let sigs: Vec<Signal> = (0..32).map(|_| Signal::new()).collect();
+        for i in 0..32usize {
+            let mine = sigs[i].clone();
+            let next = sigs[(i + 1) % 32].clone();
+            sim.spawn(format!("ring{i}"), move |ctx| {
+                if i == 0 {
+                    ctx.advance(SimTime::from_nanos(3));
+                    next.fire();
+                } else {
+                    ctx.wait(&mine);
+                    ctx.advance(SimTime::from_nanos((i as u64 * 5) % 17 + 1));
+                    next.fire();
+                }
+            });
+        }
+        let stats = sim.run().unwrap();
+        (stats.events_executed, stats.context_switches, stats.final_time.as_nanos())
+    }
+    let base = run_in(ExecMode::ThreadPerRank);
+    for mode in modes_under_test() {
+        assert_eq!(run_in(mode), base, "SimStats diverged in {mode:?}");
+    }
 }
