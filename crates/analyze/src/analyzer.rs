@@ -634,12 +634,23 @@ fn walk_rank(rank: usize, p: &IrProgram) -> RankState {
 /// completion requires a crashed peer's cooperation. Crashed ranks' own
 /// programs are skipped — they stop executing at the crash point, so their
 /// dangling dependencies are the fault model's doing, not the program's.
+///
+/// **Recovery-aware relaxation:** a crashed rank the fault model also
+/// restarts ([`IrProgram::recovered`]) is not a dependency hazard. Its NIC
+/// returns after the bounded outage, the reliability sublayer retransmits
+/// across it, and the epoch-aligned checkpoint restores the window and ω
+/// state the peers' blocked grants and notifications depend on — every
+/// dependency is eventually satisfied, so no E012 is reported for it, and
+/// its own program is walked like any surviving rank's. Only ranks that
+/// crash *without* recovery leave dependencies permanently unsatisfiable.
 fn crashed_dependencies(p: &IrProgram) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    if p.crashed.is_empty() {
+    let fatal: Vec<usize> =
+        p.crashed.iter().copied().filter(|r| !p.recovered.contains(r)).collect();
+    if fatal.is_empty() {
         return diags;
     }
-    let dead = |r: &usize| p.crashed.contains(r);
+    let dead = |r: &usize| fatal.contains(r);
     for (rank, stmts) in p.ranks.iter().enumerate() {
         if dead(&rank) {
             continue;
@@ -686,8 +697,7 @@ fn crashed_dependencies(p: &IrProgram) -> Vec<Diagnostic> {
                         step,
                         format!(
                             "lock_all needs a grant from every rank, but the fault model \
-                             crashes {:?}",
-                            p.crashed
+                             crashes {fatal:?} without recovery"
                         ),
                     );
                 }
@@ -697,9 +707,8 @@ fn crashed_dependencies(p: &IrProgram) -> Vec<Diagnostic> {
                     diag(
                         step,
                         format!(
-                            "{name} with crashed participant(s) {:?}: the collective \
-                             cannot complete",
-                            p.crashed
+                            "{name} with unrecovered crashed participant(s) {fatal:?}: the \
+                             collective cannot complete"
                         ),
                     );
                 }

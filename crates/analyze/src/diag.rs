@@ -53,6 +53,10 @@ pub enum Code {
     /// post waiting on a dead origin's completion, or a collective with a
     /// dead participant. Without the stall watchdog the program cannot
     /// terminate if the crash lands before the dependency is satisfied.
+    /// Relaxed for crashed-then-restarted ranks: a peer the recovery
+    /// subsystem restarts from an epoch-aligned checkpoint
+    /// (`IrProgram::recovered`) satisfies its dependencies after the
+    /// bounded outage, so no E012 is reported for it.
     E012,
     /// Cyclic cross-rank wait: the whole-job fixpoint interpreter left
     /// two or more ranks mutually blocked — each rank's earliest

@@ -212,6 +212,15 @@ pub struct IrProgram {
     /// one of these peers can never terminate without the watchdog
     /// cancelling the epoch — diagnostic [`crate::Code::E012`].
     pub crashed: Vec<usize>,
+    /// Ranks in [`IrProgram::crashed`] that the recovery subsystem
+    /// restarts from an epoch-aligned checkpoint after a bounded outage.
+    /// Their NIC comes back, the reliability sublayer retransmits across
+    /// the outage, and the restored window + ω state let every blocked
+    /// grant and completion notification eventually arrive — so the
+    /// [`crate::Code::E012`] rule is relaxed for dependencies on them.
+    /// Listing a rank here without also listing it in `crashed` has no
+    /// effect.
+    pub recovered: Vec<usize>,
     /// Per-rank statement lists.
     pub ranks: Vec<Vec<Stmt>>,
 }
@@ -226,6 +235,7 @@ impl IrProgram {
             reorder: false,
             unsafe_fence_reorder: false,
             crashed: Vec::new(),
+            recovered: Vec::new(),
             ranks: vec![Vec::new(); n_ranks],
         }
     }

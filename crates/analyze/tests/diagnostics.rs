@@ -371,6 +371,56 @@ fn e012_not_reported_when_dependencies_avoid_the_crash() {
 }
 
 #[test]
+fn e012_relaxed_for_recovered_peer() {
+    // Same dependency as `e012_lock_on_crashed_peer`, but the fault model
+    // also restarts the victim from its checkpoint: the grant arrives
+    // after the bounded outage, so the rule is relaxed.
+    let mut p = IrProgram::new(3, WIN);
+    p.crashed = vec![1];
+    p.recovered = vec![1];
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+    ]);
+    assert!(!has_code(&analyze(&p), Code::E012));
+}
+
+#[test]
+fn e012_relaxation_is_per_rank() {
+    // Two crashed peers, one recovered: only the dependency on the
+    // unrecovered one is a hazard.
+    let mut p = IrProgram::new(4, WIN);
+    p.crashed = vec![1, 2];
+    p.recovered = vec![2];
+    for target in [1usize, 2] {
+        p.ranks[0].extend([
+            Stmt::Lock { win: 0, target, exclusive: true, nonblocking: false },
+            Stmt::Put { win: 0, target, disp: 0, len: 8 },
+            Stmt::Unlock { win: 0, target, close: Close::Blocking },
+        ]);
+    }
+    let diags = analyze(&p);
+    let e012: Vec<_> = diags.iter().filter(|d| d.code == Code::E012).collect();
+    assert!(!e012.is_empty(), "the unrecovered crash must still be flagged");
+    assert!(e012.iter().all(|d| d.detail.contains("rank 1")), "{e012:?}");
+}
+
+#[test]
+fn e012_relaxed_collective_with_recovered_participant() {
+    // A barrier/fence with a crashed participant is fatal — unless that
+    // participant restarts and rejoins the collective.
+    let mut p = IrProgram::new(3, WIN);
+    p.crashed = vec![2];
+    for r in 0..3 {
+        p.ranks[r].push(Stmt::Barrier);
+    }
+    assert!(has_code(&analyze(&p), Code::E012));
+    p.recovered = vec![2];
+    assert!(!has_code(&analyze(&p), Code::E012));
+}
+
+#[test]
 fn e012_crashed_ranks_own_program_is_not_flagged() {
     // The crashed rank's own dangling dependencies are the fault model's
     // doing, not the program's.

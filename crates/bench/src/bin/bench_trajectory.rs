@@ -3,19 +3,19 @@
 //! reliability-sublayer halo pair, the static-analyzer IR sweep, the
 //! slack classify+rewrite sweep, the blocking/relaxed IR halo pair, and
 //! the 8/64/512/4096 ranks sweep with peak-RSS tracking) and writes
-//! `BENCH_8.json`.
+//! `BENCH_9.json`.
 //!
 //! Usage: `cargo run --release -p mpisim-bench --bin bench_trajectory --
 //! [--short] [--ranks-only] [--out PATH]`. `--short` runs CI-smoke
 //! scales; `--ranks-only` runs just the ranks sweep (the CI scale-smoke
 //! job's budgeted subset); `--out` overrides the output path (default
-//! `BENCH_8.json` in the current directory — run from the repo root).
+//! `BENCH_9.json` in the current directory — run from the repo root).
 
-/// Trajectory point: PR 8 moved rank execution onto pooled fibers (one
-/// thread-per-rank OS thread each before) and added the `ranks_sweep_*`
-/// scaling workloads, whose `peak_rss_kb` column tracks the footprint
-/// up to 4096 ranks.
-const PR: u32 = 8;
+/// Trajectory point: PR 9 added the epoch-aligned crash-recovery store.
+/// The `halo_fence_checkpointed` workload prices checkpointing against
+/// the plain halo, and every row now carries the `ckpt_commits` /
+/// `ckpt_bytes` / `recoveries` counters.
+const PR: u32 = 9;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -2,6 +2,12 @@
 //! `--quick` runs a reduced scale; `--sizes N[,N...]` restricts the job
 //! sizes (e.g. `--sizes 512` for the CI scale smoke's single full-scale
 //! point); default runs the paper's job sizes 64–512.
+//!
+//! `--faults PLAN` (e.g. `--faults light-loss`) replays the figure on the
+//! named faulty network with the reliability sublayer armed, then runs
+//! the fault-free sweep too and requires both checksum-validation CSVs to
+//! be **byte-identical**: retransmits may move the throughput numbers,
+//! but not one committed update. Exits non-zero on any divergence.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -15,6 +21,29 @@ fn main() {
             .split(',')
             .map(|s| s.trim().parse().unwrap_or_else(|e| panic!("--sizes {s:?}: {e}")))
             .collect();
+    }
+    let faults = args
+        .iter()
+        .position(|a| a == "--faults")
+        .map(|i| args.get(i + 1).expect("--faults needs a plan name").as_str());
+    if let Some(plan) = faults {
+        let (faulted_table, faulted_csv) = mpisim_bench::fig12::run_with(&opts, Some(plan));
+        let clean_csv = mpisim_bench::fig12::validation_csv(&opts, None);
+        mpisim_bench::emit(&faulted_table, "fig12_faulted");
+        if faulted_csv == clean_csv {
+            println!(
+                "fig12: checksum-validation CSV is byte-identical under fault plan \
+                 {plan} ({} rows)",
+                faulted_csv.lines().count() - 1
+            );
+        } else {
+            eprintln!(
+                "fig12: checksum-validation CSV DIVERGES under fault plan {plan}\n\
+                 --- fault-free ---\n{clean_csv}--- {plan} ---\n{faulted_csv}"
+            );
+            std::process::exit(1);
+        }
+        return;
     }
     mpisim_bench::emit(&mpisim_bench::fig12::run(&opts), "fig12");
 }

@@ -1,9 +1,17 @@
 //! Fig 12 — dynamic unstructured massive transactions: throughput vs job
 //! size for the four series (MVAPICH, New, New nonblocking, New
 //! nonblocking + A_A_A_R).
+//!
+//! The harness can replay the whole figure on a faulty network
+//! ([`run_with`] with a named [`mpisim_net::FaultPlan`], reliability
+//! sublayer armed). Throughput then shifts — retransmits cost virtual
+//! time — but the **checksum-validation CSV** ([`validation_csv`]) must
+//! stay byte-identical to the fault-free run's: loss and duplication may
+//! never change a single committed update.
 
 use mpisim_apps::{expected_checksum, run_transactions, TxConfig, TxMode};
 use mpisim_core::{JobConfig, SyncStrategy};
+use mpisim_net::FaultPlan;
 
 use crate::table::Table;
 
@@ -67,15 +75,31 @@ fn series() -> Vec<(&'static str, SyncStrategy, TxMode, bool)> {
 /// virtual time) per job size and series. Every run's checksum is
 /// validated — an out-of-order engine must not lose a single update.
 pub fn run(opts: &Fig12Opts) -> Table {
+    run_with(opts, None).0
+}
+
+/// Run the figure, optionally on a named faulty network (reliability
+/// sublayer armed). Returns the throughput table plus the
+/// checksum-validation CSV — the latter is fault-invariant by
+/// construction and the `--faults` CLI mode compares it byte-for-byte
+/// against the fault-free run's.
+pub fn run_with(opts: &Fig12Opts, faults: Option<&str>) -> (Table, String) {
+    let title = match faults {
+        Some(plan) => format!(
+            "Fig 12 — massive unstructured atomic transactions (fault plan {plan})"
+        ),
+        None => "Fig 12 — massive unstructured atomic transactions".to_string(),
+    };
     let mut t = Table::new(
-        "Fig 12 — massive unstructured atomic transactions",
+        title,
         "job size",
         series().iter().map(|s| s.0.to_string()).collect(),
         "thousands of transactions / s",
     );
+    let mut csv = String::from("job_size,series,checksum\n");
     for &n in &opts.job_sizes {
         let mut row = Vec::new();
-        for (_, strategy, mode, aaar) in series() {
+        for (name, strategy, mode, aaar) in series() {
             let mode = match mode {
                 TxMode::Nonblocking { .. } => TxMode::Nonblocking {
                     max_inflight: opts.max_inflight,
@@ -93,15 +117,32 @@ pub fn run(opts: &Fig12Opts) -> Table {
             };
             let mut job = JobConfig::new(n).with_strategy(strategy);
             job.cores_per_node = opts.cores_per_node;
+            if let Some(plan) = faults {
+                // Same plan seed for every series at one job size, so a
+                // checksum difference can only come from the engine
+                // mishandling the faults, never from plan sampling.
+                job = job.with_reliability();
+                job.net.faults = Some(
+                    FaultPlan::by_name(plan, 0xF1612 + n as u64)
+                        .unwrap_or_else(|| panic!("unknown fault plan {plan:?}")),
+                );
+            }
             let res = run_transactions(job, cfg.clone()).expect("transaction run failed");
             assert_eq!(
                 res.checksum,
                 expected_checksum(n, &cfg),
                 "lost updates in series with strategy {strategy:?} aaar={aaar}"
             );
+            csv.push_str(&format!("{n},{name},{}\n", res.checksum));
             row.push(res.tx_per_sec / 1e3);
         }
         t.push(format!("{n}"), row);
     }
-    t
+    (t, csv)
+}
+
+/// The checksum-validation CSV of one sweep: one row per (job size,
+/// series) with the exact committed-update checksum.
+pub fn validation_csv(opts: &Fig12Opts, faults: Option<&str>) -> String {
+    run_with(opts, faults).1
 }

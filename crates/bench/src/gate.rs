@@ -211,6 +211,10 @@ pub struct GateBench {
     pub name: String,
     /// Host nanoseconds per RMA op.
     pub ns_per_op: f64,
+    /// RMA ops the workload performed (part of workload identity: a
+    /// workload whose engine counters are all zero — e.g. a pure
+    /// host-side sweep — still changes scale when its op count does).
+    pub ops: Option<f64>,
     /// Engine work counters, by key (scalars and the `step_runs` array
     /// alike, compared structurally).
     pub counters: Vec<(String, Json)>,
@@ -264,11 +268,12 @@ pub fn parse_trajectory(s: &str) -> Result<Trajectory, String> {
             .get("ns_per_op")
             .and_then(|v| v.as_f64())
             .ok_or_else(|| format!("{name}: missing 'ns_per_op'"))?;
+        let ops = row.get("ops").and_then(|v| v.as_f64());
         let counters = match row.get("engine") {
             Some(Json::Obj(fields)) => fields.clone(),
             _ => return Err(format!("{name}: missing 'engine' object")),
         };
-        benchmarks.push(GateBench { name, ns_per_op, counters });
+        benchmarks.push(GateBench { name, ns_per_op, ops, counters });
     }
     Ok(Trajectory { pr, mode, benchmarks })
 }
@@ -295,10 +300,13 @@ impl GateReport {
 /// * No baseline (first PR, or the file genuinely absent) → vacuous pass.
 /// * Counters equal (every key present in **both** files has an equal
 ///   value; keys on one side only — schema growth — are noted, not
-///   compared) and ns/op worse by more than `threshold` (a fraction,
-///   e.g. 0.10) → hard failure.
-/// * Counters unequal → informational line only: the engine did
-///   different work, wall-clock is not comparable.
+///   compared), op counts equal, and ns/op worse by more than
+///   `threshold` (a fraction, e.g. 0.10) → hard failure.
+/// * Counters or op counts unequal → informational line only: the
+///   workload did different work, wall-clock is not comparable. The op
+///   count matters for workloads whose engine counters are all zero
+///   (pure host-side sweeps): a full-mode baseline row would otherwise
+///   gate a short-mode current row of the same name.
 pub fn gate(baseline: Option<&Trajectory>, current: &Trajectory, threshold: f64) -> GateReport {
     let mut rep = GateReport::default();
     let Some(base) = baseline else {
@@ -320,7 +328,11 @@ pub fn gate(baseline: Option<&Trajectory>, current: &Trajectory, threshold: f64)
         let cur_keys: BTreeSet<&str> = cur.counters.iter().map(|(k, _)| k.as_str()).collect();
         let shared: Vec<&str> = base_keys.intersection(&cur_keys).copied().collect();
         let one_sided: Vec<&str> = base_keys.symmetric_difference(&cur_keys).copied().collect();
-        let equal = shared.iter().all(|k| prev.counter(k) == cur.counter(k));
+        let ops_equal = match (prev.ops, cur.ops) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        };
+        let equal = ops_equal && shared.iter().all(|k| prev.counter(k) == cur.counter(k));
         let ratio = cur.ns_per_op / prev.ns_per_op;
         let pct = (ratio - 1.0) * 100.0;
         let mut line = format!(
@@ -331,6 +343,9 @@ pub fn gate(baseline: Option<&Trajectory>, current: &Trajectory, threshold: f64)
             pct,
             if equal { "equal" } else { "UNEQUAL" },
         );
+        if !ops_equal {
+            line.push_str(" (ops differ)");
+        }
         if !one_sided.is_empty() {
             line.push_str(&format!(" (ignored one-sided: {})", one_sided.join(", ")));
         }

@@ -157,6 +157,24 @@ pub fn halo_fence_reliable(n_ranks: usize, iters: usize) -> BenchResult {
     )
 }
 
+/// Checkpointing-overhead probe: the halo exchange with the epoch-aligned
+/// crash-recovery store armed at every commit (`ckpt_every = 1`) on a
+/// crash-free run. The delta against [`halo_fence`] is the pure cost of
+/// cutting window+ω snapshots and journaling every remote write into the
+/// redo log — the price a job pays for restartability it never uses. No
+/// crash is planned, so the run stays degradation-clean and the
+/// `ckpt_commits`/`ckpt_bytes` counters land in the trajectory file.
+pub fn halo_fence_checkpointed(n_ranks: usize, iters: usize) -> BenchResult {
+    let ops = (n_ranks * iters * 2) as u64;
+    measure_cfg(
+        "halo_fence_checkpointed",
+        JobConfig::new(n_ranks).with_recovery(),
+        n_ranks,
+        ops,
+        halo_body(iters),
+    )
+}
+
 /// Pipelined GATS ring: every epoch opens, puts, and closes with the
 /// nonblocking variants; completion is only collected at the end, so the
 /// engine carries a deep deferred-epoch queue (§VII.A).
@@ -451,6 +469,7 @@ fn core_suite(short: bool) -> Vec<BenchResult> {
             lock_all_contention(4, 8, 4),
             halo_fence_internode(4, 16),
             halo_fence_reliable(4, 16),
+            halo_fence_checkpointed(4, 16),
             analyzer_ir_sweep(4, 16),
             slack_sweep(4),
             halo_fence_ir(4, 8),
@@ -463,6 +482,7 @@ fn core_suite(short: bool) -> Vec<BenchResult> {
             lock_all_contention(8, 48, 8),
             halo_fence_internode(8, 128),
             halo_fence_reliable(8, 128),
+            halo_fence_checkpointed(8, 128),
             analyzer_ir_sweep(16, 64),
             slack_sweep(16),
             halo_fence_ir(8, 32),
@@ -488,6 +508,7 @@ fn json_stats(e: &EngineStats, indent: &str) -> String {
          {i}\"epochs_opened\": {}, \"epochs_deferred\": {}, \"epochs_completed\": {},\n\
          {i}\"rel_frames_sent\": {}, \"rel_delivered\": {}, \"rel_acks_sent\": {},\n\
          {i}\"rel_retransmits\": {}, \"rel_dups_dropped\": {}, \"epochs_cancelled\": {},\n\
+         {i}\"ckpt_commits\": {}, \"ckpt_bytes\": {}, \"recoveries\": {},\n\
          {i}\"sync_blocked_steps\": {}, \"sync_blocked_ns\": {}",
         e.sweeps,
         e.notices_drained,
@@ -511,6 +532,9 @@ fn json_stats(e: &EngineStats, indent: &str) -> String {
         e.rel_retransmits,
         e.rel_dups_dropped,
         e.epochs_cancelled,
+        e.ckpt_commits,
+        e.ckpt_bytes,
+        e.recoveries,
         e.sync_blocked_steps,
         e.sync_blocked_ns,
         i = indent,
@@ -602,6 +626,14 @@ mod tests {
             assert_eq!(r.engine.fifo_decode_errors, 0, "{}", r.name);
             // Every workload issues its ops through the engine.
             assert!(r.engine.ops_issued >= r.ops, "{}", r.name);
+            if r.name == "halo_fence_checkpointed" {
+                // The stable store must actually cut checkpoints at every
+                // commit and journal the halo's remote writes — and a
+                // crash-free run must never restart anything.
+                assert!(r.engine.ckpt_commits > 0, "{}", r.name);
+                assert!(r.engine.ckpt_bytes > 0, "{}", r.name);
+                assert_eq!(r.engine.recoveries, 0, "{}: spurious restart", r.name);
+            }
             if r.name == "halo_fence_reliable" {
                 // The sublayer must actually frame the internode traffic
                 // and reach channel quiescence on the fault-free network.
@@ -626,6 +658,8 @@ mod tests {
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert!(j.contains("\"schema\": \"mpisim-bench-trajectory-v1\""));
         assert!(j.contains("\"step_runs\": ["));
+        assert!(j.contains("\"ckpt_commits\""));
+        assert!(j.contains("\"recoveries\""));
         assert_eq!(j.matches("\"peak_rss_kb\"").count(), 2);
     }
 

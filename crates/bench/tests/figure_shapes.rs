@@ -135,6 +135,24 @@ fn fig12_shape_quick() {
 }
 
 #[test]
+fn fig12_checksum_csv_is_fault_invariant() {
+    // The `--faults` mode's core claim at unit scale: replaying the sweep
+    // on a lossy network (reliability armed) moves throughput but may not
+    // change one byte of the checksum-validation CSV.
+    let opts = fig12::Fig12Opts {
+        job_sizes: vec![8],
+        txs_per_rank: 20,
+        max_inflight: 4,
+        cores_per_node: 4,
+    };
+    let clean = fig12::validation_csv(&opts, None);
+    let faulted = fig12::validation_csv(&opts, Some("light-loss"));
+    assert!(clean.starts_with("job_size,series,checksum\n"));
+    assert_eq!(clean.lines().count(), 1 + 4, "one row per series");
+    assert_eq!(clean, faulted, "retransmits altered committed updates");
+}
+
+#[test]
 fn fig13_shape_quick() {
     let (times, comm) = fig13::run_matrix(&fig13::Fig13Opts::quick(), 256);
     // Headline: nonblocking ≈ 50% faster at the smallest job size.

@@ -221,6 +221,8 @@ pub fn spec_for_seed(
         fault: fault.clone(),
         fault_plan: None,
         reliable: false,
+        crash_at: None,
+        bad_recovery: false,
     }
 }
 

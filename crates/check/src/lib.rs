@@ -49,6 +49,14 @@
 //! `sync_blocked_steps` — while `--inject bad-rewrite` plants an
 //! unsound relaxation that the differential comparison alone must
 //! catch.
+//!
+//! The crash-recovery subsystem gets the same treatment in [`recovery`]:
+//! crash points enumerated from a fault-free probe are replayed with one
+//! rank crashed mid-job (alone and stacked on a lossy fault plan), and
+//! every run must still converge byte-identically to the oracle with
+//! nothing but healthy `recovered` degradations — while `--inject
+//! bad-recovery` plants a stale checkpoint restore that the differential
+//! comparison must observe on every planted run.
 
 #![warn(missing_docs)]
 
@@ -57,6 +65,7 @@ pub mod crossval;
 pub mod diff;
 pub mod lower;
 pub mod program;
+pub mod recovery;
 pub mod run;
 pub mod shrink;
 
@@ -72,6 +81,7 @@ pub use diff::{
 pub use lower::lower;
 pub use mpisim_core::SyncStrategy;
 pub use program::{generate, oracle, Epoch, Family, Op, Program};
+pub use recovery::{crossval_recovery, crossval_recovery_bad, RecoveryValReport};
 pub use run::{
     exec_ir, exec_ir_with, execute, execute_exec, ExecOpts, RunFailure, RunOutcome, RunSpec,
 };

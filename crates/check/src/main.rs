@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! mpisim-check [--seeds N] [--programs N] [--deadlocks N] [--rewrites N]
-//!              [--inject FAULT] [--faults PLAN] [--no-race-detect]
+//!              [--recoveries N] [--inject FAULT] [--faults PLAN]
+//!              [--no-race-detect]
 //! ```
 //!
 //! * `--seeds N` — perturbed schedules per (program, matrix point);
@@ -31,6 +32,15 @@
 //!   bad-rewrite` plants one unsound deletion per program instead and
 //!   exit-inverts: status 0 iff the differential check caught every
 //!   plant.
+//! * `--recoveries N` — crash-recovery sweep width: N conformance
+//!   programs per family are probed for their per-rank epoch-commit
+//!   counts, then crashed at sampled (rank, commit) points — alone and
+//!   stacked on the `light-loss` plan — and every run must converge
+//!   byte-identically to the oracle with nothing but healthy `recovered`
+//!   degradations; default 1. `--inject bad-recovery` plants a stale
+//!   checkpoint restore (redo-log replay skipped) instead and
+//!   exit-inverts: status 0 iff every planted stale restore was observed
+//!   to diverge.
 //! * `--inject FAULT` — self-test mode: inject the named fault into every
 //!   run, *require* the sweep to catch it, and print the shrunk
 //!   reproducer. Exit status inverts: 0 if the bug was caught, 1 if it
@@ -63,6 +73,7 @@ struct Args {
     deadlocks: u64,
     rewrites: u64,
     execs: u64,
+    recoveries: u64,
     inject: Option<String>,
     faults: Option<String>,
     race_detect: bool,
@@ -91,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         deadlocks: 13,
         rewrites: 6,
         execs: 2,
+        recoveries: 1,
         inject: None,
         faults: None,
         race_detect: true,
@@ -120,13 +132,17 @@ fn parse_args() -> Result<Args, String> {
             "--execs" => {
                 args.execs = value("--execs")?.parse().map_err(|e| format!("--execs: {e}"))?;
             }
+            "--recoveries" => {
+                args.recoveries =
+                    value("--recoveries")?.parse().map_err(|e| format!("--recoveries: {e}"))?;
+            }
             "--inject" => args.inject = Some(value("--inject")?),
             "--faults" => args.faults = Some(value("--faults")?),
             "--no-race-detect" => args.race_detect = false,
             "--help" | "-h" => {
                 return Err("usage: mpisim-check [--seeds N] [--programs N] [--deadlocks N] \
-                            [--rewrites N] [--execs N] [--inject FAULT] [--faults PLAN] \
-                            [--no-race-detect]"
+                            [--rewrites N] [--execs N] [--recoveries N] [--inject FAULT] \
+                            [--faults PLAN] [--no-race-detect]"
                     .to_string());
             }
             other => return Err(format!("unknown flag {other}")),
@@ -253,6 +269,43 @@ fn main() -> ExitCode {
         };
     }
 
+    // `--inject bad-recovery` is the crash-recovery self-test: every crash
+    // run restores the crashed rank from a deliberately stale checkpoint
+    // (redo-log replay skipped), and the differential comparison against
+    // the oracle must observe the divergence. Exit status inverts: 0 iff
+    // every planted stale restore was detected.
+    if args.inject.as_deref() == Some("bad-recovery") {
+        let r = mpisim_check::crossval_recovery_bad(args.recoveries.max(1));
+        println!(
+            "mpisim-check: bad-recovery self-test, {} programs ({} per family), {} runs, \
+             {} planted stale restore(s) ({} vacuous skipped), {} caught",
+            r.programs,
+            args.recoveries.max(1),
+            r.runs,
+            r.planted,
+            r.vacuous,
+            r.planted_detected
+        );
+        return if r.failures.is_empty() && r.planted > 0 && r.planted_detected == r.planted {
+            println!(
+                "self-test passed: every planted stale restore diverged from the oracle \
+                 and was caught by the differential check"
+            );
+            ExitCode::SUCCESS
+        } else {
+            for f in &r.failures {
+                eprintln!("  {f}");
+            }
+            eprintln!(
+                "self-test failed: {}/{} planted stale restores caught, {} other failure(s)",
+                r.planted_detected,
+                r.planted,
+                r.failures.len()
+            );
+            ExitCode::FAILURE
+        };
+    }
+
     println!(
         "mpisim-check: {} programs/family x {} schedules x {} matrix points{}{}",
         args.programs,
@@ -367,6 +420,29 @@ fn main() -> ExitCode {
             }
         );
         total_runs += r.points * 2;
+        crossval_failures.extend(r.failures);
+    }
+    // The crash-recovery sweep rides along with clean sweeps too: sampled
+    // (rank, commit) crash points, with and without a lossy plan stacked
+    // on top, must all converge to the oracle with healthy recoveries.
+    if args.inject.is_none() && args.faults.is_none() && args.recoveries > 0 {
+        let r = mpisim_check::crossval_recovery(args.recoveries);
+        println!(
+            "  {:<18} {:>4} crash points over {} programs ({} runs, {} recovered, \
+             {} E012-relaxation checks): {}",
+            "crash-recovery",
+            r.crash_points,
+            r.programs,
+            r.runs,
+            r.recovered,
+            r.e012_checks,
+            if r.failures.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} FAILURE(S)", r.failures.len())
+            }
+        );
+        total_runs += r.runs;
         crossval_failures.extend(r.failures);
     }
     println!(

@@ -6,8 +6,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 
 use mpisim_core::{
-    run_job, Datatype, ExecMode, Group, JobConfig, JobReport, LockKind, Rank, ReduceOp,
-    RmaResult, SyncStrategy, WinInfo,
+    run_job, Datatype, ExecMode, Group, JobConfig, JobReport, LockKind, Rank, RecoveryCfg,
+    ReduceOp, RmaResult, SyncStrategy, WinInfo,
 };
 use mpisim_net::NetParams;
 use mpisim_sim::SimTime;
@@ -41,6 +41,18 @@ pub struct RunSpec {
     /// `fault_plan`; left off in storm self-tests to prove the harness
     /// detects unprotected fault damage.
     pub reliable: bool,
+    /// Crash one rank at one epoch-commit point: `(rank, commit)` crashes
+    /// the rank's NIC the moment it completes its `commit`-th epoch commit
+    /// (1-based, rank-wide ordinal). Setting this arms the full recovery
+    /// stack: checkpointing, the reliability sublayer, the watchdog, and
+    /// one-rank-per-node placement (a crash must cut real internode
+    /// traffic).
+    pub crash_at: Option<(usize, u64)>,
+    /// Validation backdoor for the `--inject bad-recovery` self-test:
+    /// checkpoint only at window allocation and restore the crashed rank
+    /// *without* redo-log replay, so the restored window is deliberately
+    /// stale and the differential check must observe the divergence.
+    pub bad_recovery: bool,
 }
 
 impl RunSpec {
@@ -55,6 +67,8 @@ impl RunSpec {
             fault: None,
             fault_plan: None,
             reliable: false,
+            crash_at: None,
+            bad_recovery: false,
         }
     }
 
@@ -75,8 +89,15 @@ impl RunSpec {
         format!(
             "RunSpec {{\n        strategy: {strategy},\n        nonblocking: {},\n        \
              net_profile: {},\n        tiebreak_seed: {:?},\n        sim_seed: {},\n        \
-             fault: {fault},\n        fault_plan: {fault_plan},\n        reliable: {},\n    }}",
-            self.nonblocking, self.net_profile, self.tiebreak_seed, self.sim_seed, self.reliable
+             fault: {fault},\n        fault_plan: {fault_plan},\n        reliable: {},\n        \
+             crash_at: {:?},\n        bad_recovery: {},\n    }}",
+            self.nonblocking,
+            self.net_profile,
+            self.tiebreak_seed,
+            self.sim_seed,
+            self.reliable,
+            self.crash_at,
+            self.bad_recovery
         )
     }
 }
@@ -143,6 +164,29 @@ fn job_config(n_ranks: usize, spec: &RunSpec, trace: bool, eo: ExecOpts) -> JobC
     }
     if spec.reliable {
         cfg = cfg.with_reliability().with_watchdog(SimTime::from_millis(20));
+    }
+    if let Some((rank, commit)) = spec.crash_at {
+        // A crash must sever real internode traffic, so placement follows
+        // the fault-plan rule: one rank per node.
+        cfg.cores_per_node = 1;
+        // The recovery stack rides on the reliability sublayer (the
+        // outage is bridged by retransmission) and needs a watchdog
+        // budget comfortably above the restart outage.
+        cfg = cfg.with_reliability().with_watchdog(SimTime::from_millis(50));
+        cfg.recovery = Some(RecoveryCfg {
+            // Healthy mode checkpoints at every commit. The bad-recovery
+            // self-test keeps only the win_allocate baseline, so the redo
+            // log at crash time is maximal and skipping its replay
+            // guarantees a stale window.
+            ckpt_every: if spec.bad_recovery { u64::MAX } else { 1 },
+            plant_stale: spec.bad_recovery,
+            ..RecoveryCfg::default()
+        });
+        cfg.net
+            .faults
+            .get_or_insert_with(|| mpisim_net::FaultPlan::none(spec.sim_seed))
+            .crash_at_commit
+            .push((mpisim_net::Rank(rank), commit));
     }
     cfg
 }
@@ -758,6 +802,8 @@ mod tests {
             fault: Some("skip-grant".into()),
             fault_plan: Some("light-loss".into()),
             reliable: true,
+            crash_at: Some((2, 4)),
+            bad_recovery: true,
         };
         let src = s.to_rust();
         for needle in [
@@ -768,6 +814,8 @@ mod tests {
             "skip-grant",
             "light-loss",
             "reliable: true",
+            "crash_at: Some((2, 4))",
+            "bad_recovery: true",
         ] {
             assert!(src.contains(needle), "missing {needle} in {src}");
         }

@@ -139,6 +139,44 @@ impl Default for Reliability {
     }
 }
 
+/// Tuning of the epoch-aligned crash-recovery subsystem (DESIGN.md §16).
+///
+/// Present (`Some`) = every rank checkpoints its window contents and
+/// ω-triples into an in-simulation stable store at epoch-commit points
+/// and journals later window writes into a redo log; a rank crashed by
+/// the fault plan's `crash_at_commit` list is restarted from its last
+/// checkpoint after a bounded outage. Requires the reliability sublayer
+/// (the outage is bridged by retransmission, like a transient partition).
+#[derive(Clone, Debug)]
+pub struct RecoveryCfg {
+    /// Checkpoint cadence: cut a fresh snapshot every this-many epoch
+    /// commits (1 = every commit). The initial `win_allocate` baseline is
+    /// always kept, so sparse cadences still have a restore point.
+    pub ckpt_every: u64,
+    /// Outage duration: virtual time between the crash and the restart.
+    /// Must stay well inside the reliability retry budget so retransmits
+    /// bridge the outage.
+    pub restart_after: SimTime,
+    /// Validation backdoor: restore the raw checkpoint *without* redo-log
+    /// replay — a deliberately stale restore the conformance harness's
+    /// `--inject bad-recovery` self-test requires the differential check
+    /// to catch. Never set outside the harness.
+    pub plant_stale: bool,
+}
+
+impl Default for RecoveryCfg {
+    fn default() -> Self {
+        // 1 ms outage: ~7 doublings of the default 20 µs RTO land a
+        // retransmit just after the NIC is back, well inside the 12-retry
+        // budget.
+        RecoveryCfg {
+            ckpt_every: 1,
+            restart_after: SimTime::from_millis(1),
+            plant_stale: false,
+        }
+    }
+}
+
 /// Everything needed to run one simulated MPI job.
 #[derive(Clone, Debug)]
 pub struct JobConfig {
@@ -181,6 +219,9 @@ pub struct JobConfig {
     /// runs whenever `net.faults` injects loss, duplication, reordering,
     /// or corruption.
     pub reliability: Option<Reliability>,
+    /// Epoch-aligned checkpointing and crash recovery (`None` = off). See
+    /// [`RecoveryCfg`].
+    pub recovery: Option<RecoveryCfg>,
     /// Epoch stall watchdog: the sim-time budget an open epoch or pending
     /// request may go without progress before it is cancelled and
     /// surfaced as a structured `StallReport` (`None` = no watchdog; a
@@ -220,6 +261,7 @@ impl JobConfig {
             tiebreak_seed: None,
             fault: None,
             reliability: None,
+            recovery: None,
             watchdog: None,
             exec: ExecMode::default(),
             nondet_tiebreak: false,
@@ -251,6 +293,13 @@ impl JobConfig {
     /// Enable the reliability sublayer with default tuning.
     pub fn with_reliability(mut self) -> Self {
         self.reliability = Some(Reliability::default());
+        self
+    }
+
+    /// Arm epoch-aligned checkpointing and crash recovery with default
+    /// tuning (checkpoint every commit, 1 ms restart outage).
+    pub fn with_recovery(mut self) -> Self {
+        self.recovery = Some(RecoveryCfg::default());
         self
     }
 

@@ -720,6 +720,13 @@ impl Engine {
         self.trace_event(st, rank, win, id, crate::trace::EpochEvent::Completed);
         st.win_mut(win, rank).retire(id);
         st.mark_act_dirty(rank, win);
+        // Epoch commit is the only globally coherent snapshot instant:
+        // the crash-recovery subsystem both checkpoints and fires planned
+        // crashes here.
+        st.stats[rank.idx()].epochs_committed += 1;
+        if self.recovery_armed() {
+            self.recovery_on_commit(st, rank);
+        }
     }
 
     /// Whether `e` is a dormant trailing fence: open, never closed, and

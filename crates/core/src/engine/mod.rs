@@ -23,6 +23,7 @@ mod fence;
 mod flush;
 mod locks;
 mod p2p;
+pub(crate) mod recover;
 pub(crate) mod rel;
 mod rma;
 mod watchdog;
@@ -41,6 +42,7 @@ use crate::types::{EpochId, Rank, Req, WinId};
 use crate::window::WinRank;
 
 pub(crate) use p2p::{BarrierRank, P2pRank};
+pub use recover::{OmegaSnapshot, RecoveryReport};
 pub use rel::Degradation;
 pub(crate) use rel::RelRank;
 pub use watchdog::StallReport;
@@ -205,6 +207,14 @@ pub struct EngineStats {
     /// blocked time shrinks whenever the reclaimed slack overlaps
     /// communication with host progress.
     pub sync_blocked_ns: u64,
+    /// Checkpoints cut by the crash-recovery subsystem (one per window
+    /// side per covered commit; includes the `win_allocate` baselines).
+    pub ckpt_commits: u64,
+    /// Bytes written to the in-simulation stable store by those
+    /// checkpoints (window contents plus serialized ω-triples).
+    pub ckpt_bytes: u64,
+    /// Window sides restored by rank restarts.
+    pub recoveries: u64,
 }
 
 /// A malformed packet the engine recorded and survived instead of
@@ -266,6 +276,11 @@ pub struct RankStats {
     pub compute_time: SimTime,
     /// Number of MPI calls made.
     pub calls: u64,
+    /// Epoch commits this rank has performed (rank-wide ordinal across
+    /// all windows). The crash-recovery fault plan addresses crash points
+    /// by this 1-based count, and the conformance harness's probe run
+    /// reads it to enumerate the valid crash points of a program.
+    pub epochs_committed: u64,
 }
 
 /// One rank's sweep work lists plus reusable scratch buffers.
@@ -395,6 +410,14 @@ pub(crate) struct EngState {
     pub rel: Vec<RelRank>,
     /// Whether a stall-watchdog tick is currently scheduled.
     pub watchdog_armed: bool,
+    /// The crash-recovery stable store, one entry per (window, rank)
+    /// side: latest checkpoint plus the redo log since it. Populated only
+    /// while [`crate::config::JobConfig::recovery`] is armed.
+    pub stable: HashMap<(WinId, Rank), recover::StableWin>,
+    /// Ranks currently down (NIC crashed, restart pending).
+    pub crashed: Vec<bool>,
+    /// Completed rank-restart episodes, with provenance.
+    pub recoveries: Vec<recover::RecoveryReport>,
     /// Closed-but-incomplete epochs the stall watchdog must inspect,
     /// appended at every epoch close (only while a watchdog budget is
     /// configured). A tick scans this list instead of every
@@ -511,6 +534,9 @@ impl Engine {
                 sync_trace: Vec::new(),
                 degradations: Vec::new(),
                 rel: (0..n).map(|_| RelRank::new()).collect(),
+                stable: HashMap::new(),
+                crashed: vec![false; n],
+                recoveries: Vec::new(),
                 watchdog_armed: false,
                 stall_watch: Vec::new(),
             }),
@@ -549,6 +575,11 @@ impl Engine {
     /// the engine survived instead of aborting on).
     pub fn take_degradations(&self) -> Vec<Degradation> {
         std::mem::take(&mut self.st.lock().degradations)
+    }
+
+    /// Drain the recorded rank-restart episodes.
+    pub fn take_recoveries(&self) -> Vec<RecoveryReport> {
+        std::mem::take(&mut self.st.lock().recoveries)
     }
 
     /// Drain the recorded epoch lifecycle trace.
@@ -702,7 +733,13 @@ impl Engine {
             "window creation order diverged across ranks"
         );
         st.wins[idx].per_rank[rank.idx()] = Some(WinRank::new(size, info, self.cfg.n_ranks));
-        WinId(idx as u32)
+        let win = WinId(idx as u32);
+        if self.recovery_armed() {
+            // Commit-0 baseline: a crash before the first epoch commit
+            // still has a consistent restore point.
+            self.recovery_init_win(&mut st, rank, win);
+        }
+        win
     }
 
     /// Tear down this rank's side of a window. Errors if epochs are still
@@ -732,10 +769,11 @@ impl Engine {
         disp: usize,
         len: usize,
     ) -> crate::error::RmaResult<Vec<u8>> {
-        let st = self.st.lock();
+        let mut st = self.st.lock();
         if win.0 as usize >= st.wins.len() {
             return Err(crate::error::RmaError::InvalidWindow(win));
         }
+        self.freshen_crashed_mem(&mut st, rank, win);
         let w = st.win(win, rank);
         if disp + len > w.mem.len() {
             return Err(crate::error::RmaError::OutOfBounds {
@@ -760,6 +798,7 @@ impl Engine {
         if win.0 as usize >= st.wins.len() {
             return Err(crate::error::RmaError::InvalidWindow(win));
         }
+        self.freshen_crashed_mem(&mut st, rank, win);
         let w = st.win_mut(win, rank);
         if disp + data.len() > w.mem.len() {
             return Err(crate::error::RmaError::OutOfBounds {
@@ -770,6 +809,7 @@ impl Engine {
             });
         }
         w.mem[disp..disp + data.len()].copy_from_slice(data);
+        self.log_win_write(&mut st, rank, win, disp, data.len());
         Ok(())
     }
 

@@ -1,0 +1,537 @@
+//! Epoch-aligned checkpointing and crash recovery (DESIGN.md §16).
+//!
+//! Epoch commit is the only instant at which a window's state is globally
+//! coherent (every covered operation acknowledged, every grant consumed),
+//! so it is the natural checkpoint boundary: at configurable commit
+//! points each rank snapshots its window contents plus the ω matching
+//! triples into an in-simulation stable store, and journals every later
+//! window write as a physical redo record.
+//!
+//! The crash model is a **NIC crash with a bounded outage**: the fault
+//! plan's `crash_at_commit` list (or a watchdog-declared death) takes the
+//! rank's NIC off the fabric and wipes its volatile window memory; the
+//! host-side fiber survives (it is typically parked waiting on network
+//! progress). After `restart_after` of virtual time the runtime restarts
+//! the rank: the NIC rejoins the fabric, window memory is reconstructed
+//! as *checkpoint + redo-log replay*, and the live ω-counters are audited
+//! against the checkpointed snapshot (they must only have advanced — the
+//! reliability channels journal continuously, the "NIC NVRAM" shortcut,
+//! so sequence state is never lost). In-flight internode traffic is
+//! bridged by the ack/retransmit sublayer exactly as for a transient
+//! partition. The whole episode is recorded as a [`RecoveryReport`] plus
+//! a [`Degradation::Recovered`] provenance entry.
+//!
+//! The `plant_stale` knob exists solely for the conformance harness's
+//! exit-inverted `--inject bad-recovery` self-test: it installs the raw
+//! checkpoint *without* replaying the redo log, a textbook stale restore
+//! the differential check must catch whenever the log was non-empty.
+
+use std::sync::Arc;
+
+use mpisim_sim::SimTime;
+
+use crate::engine::rel::Degradation;
+use crate::engine::{EngState, Engine};
+use crate::types::{Rank, WinId};
+
+/// Snapshot of one window side's ω matching state (§VII.B), both the
+/// GATS plane and the split lock plane, plus the done high-water marks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OmegaSnapshot {
+    /// Accesses requested toward each peer (`a_l`).
+    pub a: Vec<u64>,
+    /// Exposures opened toward each peer (`e_l`).
+    pub e: Vec<u64>,
+    /// Access grants received from each peer (`g_r`).
+    pub g: Vec<u64>,
+    /// Lock-plane requests toward each peer.
+    pub a_lock: Vec<u64>,
+    /// Lock-plane grants received from each peer.
+    pub g_lock: Vec<u64>,
+    /// Highest GATS done id received from each origin.
+    pub gats_done_recv: Vec<u64>,
+}
+
+impl OmegaSnapshot {
+    fn capture(w: &crate::window::WinRank) -> Self {
+        OmegaSnapshot {
+            a: w.a.clone(),
+            e: w.e.clone(),
+            g: w.g.clone(),
+            a_lock: w.a_lock.clone(),
+            g_lock: w.g_lock.clone(),
+            gats_done_recv: w.gats_done_recv.clone(),
+        }
+    }
+
+    /// Serialized size, for checkpoint-overhead accounting.
+    fn byte_len(&self) -> u64 {
+        8 * (self.a.len()
+            + self.e.len()
+            + self.g.len()
+            + self.a_lock.len()
+            + self.g_lock.len()
+            + self.gats_done_recv.len()) as u64
+    }
+
+    /// Count counters where `live` has moved *backwards* relative to this
+    /// snapshot — impossible under the monotonic ω protocol, so any hit
+    /// is a reconcile-audit failure.
+    fn regressions_vs(&self, live: &OmegaSnapshot) -> u64 {
+        let pairs = [
+            (&self.a, &live.a),
+            (&self.e, &live.e),
+            (&self.g, &live.g),
+            (&self.a_lock, &live.a_lock),
+            (&self.g_lock, &live.g_lock),
+            (&self.gats_done_recv, &live.gats_done_recv),
+        ];
+        pairs
+            .iter()
+            .flat_map(|(ck, lv)| ck.iter().zip(lv.iter()))
+            .filter(|(ck, lv)| lv < ck)
+            .count() as u64
+    }
+}
+
+/// One committed checkpoint of one (window, rank) side.
+#[derive(Debug, Clone)]
+pub(crate) struct Checkpoint {
+    /// The rank-wide epoch-commit ordinal at which this was taken
+    /// (0 = the initial `win_allocate` baseline).
+    pub commit_no: u64,
+    /// Virtual time of the commit.
+    pub at: SimTime,
+    /// Full window contents at the commit instant.
+    pub mem: Vec<u8>,
+    /// ω matching state at the commit instant.
+    pub omega: OmegaSnapshot,
+}
+
+/// One physical redo record: the post-image of a window write.
+#[derive(Debug, Clone)]
+pub(crate) struct LogRecord {
+    pub disp: usize,
+    pub bytes: Vec<u8>,
+}
+
+/// The stable store for one (window, rank) side: the latest checkpoint
+/// plus the redo log of every window write since it.
+#[derive(Debug, Default)]
+pub(crate) struct StableWin {
+    pub ckpt: Option<Checkpoint>,
+    pub log: Vec<LogRecord>,
+}
+
+impl StableWin {
+    /// Reconstruct the window contents: checkpoint plus redo-log replay.
+    fn reconstruct(&self) -> Vec<u8> {
+        let ckpt = self.ckpt.as_ref().expect("recovery without a checkpoint");
+        let mut mem = ckpt.mem.clone();
+        for rec in &self.log {
+            mem[rec.disp..rec.disp + rec.bytes.len()].copy_from_slice(&rec.bytes);
+        }
+        mem
+    }
+}
+
+/// Structured provenance of one completed rank-restart episode (one entry
+/// per recovered window side).
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The restarted rank.
+    pub rank: Rank,
+    /// The recovered window.
+    pub win: WinId,
+    /// Rank-wide epoch-commit ordinal at which the crash fired.
+    pub crash_commit: u64,
+    /// Virtual time of the crash.
+    pub crash_at: SimTime,
+    /// Virtual time the restart completed.
+    pub restored_at: SimTime,
+    /// Commit ordinal of the checkpoint that was restored.
+    pub ckpt_commit: u64,
+    /// Virtual time the restored checkpoint was originally cut.
+    pub ckpt_at: SimTime,
+    /// Redo-log records replayed on top of the checkpoint.
+    pub replayed_ops: u64,
+    /// Bytes replayed from the redo log.
+    pub replayed_bytes: u64,
+    /// ω-counters that moved backwards in the reconcile audit (always 0
+    /// on a healthy run: the protocol is monotonic).
+    pub omega_regressions: u64,
+    /// The restore deliberately skipped redo-log replay (the planted
+    /// `bad-recovery` fault) *and* that actually left the memory stale.
+    pub stale: bool,
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rank {} win {} crashed at commit {} ({} ns), restored ckpt {} + {} replayed ops ({} bytes) at {} ns{}{}",
+            self.rank,
+            self.win.0,
+            self.crash_commit,
+            self.crash_at.as_nanos(),
+            self.ckpt_commit,
+            self.replayed_ops,
+            self.replayed_bytes,
+            self.restored_at.as_nanos(),
+            if self.stale { ", STALE restore" } else { "" },
+            if self.omega_regressions > 0 { ", omega REGRESSED" } else { "" },
+        )
+    }
+}
+
+/// Byte pattern a crash wipes volatile window memory with, so a restart
+/// that forgets to restore is loudly visible in the differential check.
+const WIPE_BYTE: u8 = 0xDB;
+
+impl Engine {
+    /// Whether the crash-recovery subsystem is armed for this job.
+    pub(crate) fn recovery_armed(&self) -> bool {
+        self.cfg.recovery.is_some()
+    }
+
+    /// Take the initial (commit-0) checkpoint for a freshly allocated
+    /// window side, so a crash before the first commit still has a
+    /// consistent restore point.
+    pub(crate) fn recovery_init_win(&self, st: &mut EngState, rank: Rank, win: WinId) {
+        let ckpt = {
+            let w = st.win(win, rank);
+            Checkpoint {
+                commit_no: 0,
+                at: self.sim.now(),
+                mem: w.mem.clone(),
+                omega: OmegaSnapshot::capture(w),
+            }
+        };
+        self.account_ckpt(st, &ckpt);
+        st.stable.insert((win, rank), StableWin { ckpt: Some(ckpt), log: Vec::new() });
+    }
+
+    fn account_ckpt(&self, st: &mut EngState, ckpt: &Checkpoint) {
+        st.eng_stats.ckpt_commits += 1;
+        st.eng_stats.ckpt_bytes += ckpt.mem.len() as u64 + ckpt.omega.byte_len();
+    }
+
+    /// Journal the post-image of a window write into the redo log. Called
+    /// at every site that mutates `WinRank::mem` — remote put/accumulate/
+    /// fetch application and local stores alike — after the write landed.
+    pub(crate) fn log_win_write(
+        &self,
+        st: &mut EngState,
+        rank: Rank,
+        win: WinId,
+        disp: usize,
+        len: usize,
+    ) {
+        if !self.recovery_armed() || len == 0 {
+            return;
+        }
+        let bytes = {
+            let w = st.win(win, rank);
+            w.mem[disp..disp + len].to_vec()
+        };
+        if let Some(sw) = st.stable.get_mut(&(win, rank)) {
+            sw.log.push(LogRecord { disp, bytes });
+        }
+    }
+
+    /// Repair a crashed rank's window *before* any access touches it
+    /// during the outage. A crash wipes the volatile memory and the
+    /// restart installs the reconstruction — but the gap between them is
+    /// reachable: self-targeted operations never cross the downed NIC
+    /// (`src == dst` is not cut), and requests that were delivered just
+    /// before the crash can still be served by the progress sweep.
+    /// Applying a reduction to — or answering a get from — the wiped
+    /// bytes would poison the redo log's post-images and the reply data.
+    /// `reconstruct()` is by construction the window's true current
+    /// contents at any instant, so installing it eagerly here is always
+    /// sound; the scheduled restart still performs the accounted restore.
+    ///
+    /// The planted-stale backdoor must poison this path too: a crashed
+    /// rank whose job finishes inside the outage window reads its final
+    /// memory through here, and serving the healthy reconstruction would
+    /// mask the very staleness the self-test plants at restart.
+    pub(crate) fn freshen_crashed_mem(&self, st: &mut EngState, rank: Rank, win: WinId) {
+        if !self.recovery_armed() || !st.crashed[rank.idx()] {
+            return;
+        }
+        let plant_stale = self.cfg.recovery.as_ref().is_some_and(|r| r.plant_stale);
+        let Some(mem) = st.stable.get(&(win, rank)).map(|sw| {
+            if plant_stale {
+                sw.ckpt.as_ref().expect("recovery without a checkpoint").mem.clone()
+            } else {
+                sw.reconstruct()
+            }
+        }) else {
+            return;
+        };
+        st.win_mut(win, rank).mem = mem;
+    }
+
+    /// Epoch-commit hook, run from `complete_epoch` after the commit
+    /// ordinal was bumped: cut a new checkpoint when the cadence says so,
+    /// then fire a planned crash if this rank hit its crash commit.
+    pub(crate) fn recovery_on_commit(self: &Arc<Self>, st: &mut EngState, rank: Rank) {
+        let Some(rcfg) = self.cfg.recovery.clone() else {
+            return;
+        };
+        let commit_no = st.stats[rank.idx()].epochs_committed;
+        if rcfg.ckpt_every > 0 && commit_no.is_multiple_of(rcfg.ckpt_every) {
+            self.checkpoint_rank(st, rank, commit_no);
+        }
+        let planned = self
+            .cfg
+            .net
+            .faults
+            .as_ref()
+            .and_then(|p| p.crash_commit(mpisim_net::Rank(rank.idx())));
+        if planned == Some(commit_no) && !st.crashed[rank.idx()] {
+            self.crash_rank(st, rank, commit_no, rcfg.restart_after);
+        }
+    }
+
+    /// Cut a fresh checkpoint of every window side this rank holds and
+    /// truncate the redo logs (they are folded into the new snapshot).
+    fn checkpoint_rank(&self, st: &mut EngState, rank: Rank, commit_no: u64) {
+        let now = self.sim.now();
+        let wins: Vec<WinId> = (0..st.wins.len() as u32)
+            .map(WinId)
+            .filter(|w| st.wins[w.0 as usize].per_rank[rank.idx()].is_some())
+            .collect();
+        for win in wins {
+            // A commit can land mid-outage (epochs with no live network
+            // dependency still complete); snapshotting the wiped volatile
+            // bytes would fold the wipe into the stable store and truncate
+            // the redo log that could have repaired it.
+            self.freshen_crashed_mem(st, rank, win);
+            let ckpt = {
+                let w = st.win(win, rank);
+                Checkpoint {
+                    commit_no,
+                    at: now,
+                    mem: w.mem.clone(),
+                    omega: OmegaSnapshot::capture(w),
+                }
+            };
+            self.account_ckpt(st, &ckpt);
+            let sw = st.stable.entry((win, rank)).or_default();
+            sw.ckpt = Some(ckpt);
+            sw.log.clear();
+        }
+    }
+
+    /// Crash a rank at an epoch-commit point: NIC off the fabric, volatile
+    /// window memory wiped, restart scheduled `restart_after` later.
+    /// Callable from the watchdog path too (declared-dead peers).
+    pub(crate) fn crash_rank(
+        self: &Arc<Self>,
+        st: &mut EngState,
+        rank: Rank,
+        commit_no: u64,
+        restart_after: SimTime,
+    ) {
+        st.crashed[rank.idx()] = true;
+        self.net.nic_down(mpisim_net::Rank(rank.idx()));
+        for win in 0..st.wins.len() {
+            if let Some(w) = st.wins[win].per_rank[rank.idx()].as_mut() {
+                w.mem.fill(WIPE_BYTE);
+            }
+        }
+        let crash_at = self.sim.now();
+        let me = self.clone();
+        self.sim.schedule(restart_after, move || {
+            me.restart_rank(rank, commit_no, crash_at);
+        });
+    }
+
+    /// Restart a crashed rank from its stable store: bring the NIC back,
+    /// reconstruct every window side as checkpoint + redo replay (or the
+    /// raw checkpoint under the planted stale-restore fault), audit the
+    /// live ω-counters against the checkpointed snapshot, and record the
+    /// episode. The retransmit sublayer then re-delivers everything the
+    /// outage dropped, exactly as after a healed partition.
+    fn restart_rank(self: &Arc<Self>, rank: Rank, crash_commit: u64, crash_at: SimTime) {
+        {
+            let mut st = self.st.lock();
+            let plant_stale = self.cfg.recovery.as_ref().is_some_and(|r| r.plant_stale);
+            self.net.nic_up(mpisim_net::Rank(rank.idx()));
+            st.crashed[rank.idx()] = false;
+            let now = self.sim.now();
+            let wins: Vec<WinId> = (0..st.wins.len() as u32)
+                .map(WinId)
+                .filter(|w| st.wins[w.0 as usize].per_rank[rank.idx()].is_some())
+                .collect();
+            for win in wins {
+                let Some(sw) = st.stable.get(&(win, rank)) else {
+                    continue;
+                };
+                let Some(ckpt) = sw.ckpt.as_ref() else {
+                    continue;
+                };
+                let reconstructed = sw.reconstruct();
+                let (replayed_ops, replayed_bytes) = (
+                    sw.log.len() as u64,
+                    sw.log.iter().map(|r| r.bytes.len() as u64).sum::<u64>(),
+                );
+                let installed = if plant_stale { ckpt.mem.clone() } else { reconstructed.clone() };
+                let stale = installed != reconstructed;
+                let ckpt_commit = ckpt.commit_no;
+                let ckpt_at = ckpt.at;
+                let omega_ckpt = ckpt.omega.clone();
+                let live_omega = OmegaSnapshot::capture(st.win(win, rank));
+                let omega_regressions = omega_ckpt.regressions_vs(&live_omega);
+                st.win_mut(win, rank).mem = installed;
+                let report = RecoveryReport {
+                    rank,
+                    win,
+                    crash_commit,
+                    crash_at,
+                    restored_at: now,
+                    ckpt_commit,
+                    ckpt_at,
+                    replayed_ops,
+                    replayed_bytes,
+                    omega_regressions,
+                    stale,
+                };
+                st.eng_stats.recoveries += 1;
+                st.degradations.push(Degradation::Recovered(report.clone()));
+                st.recoveries.push(report);
+            }
+        }
+        self.sweep(rank);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{JobConfig, RecoveryCfg};
+    use crate::runtime::run_job;
+
+    fn recovery_cfg(n: usize) -> JobConfig {
+        let mut cfg = JobConfig::all_internode(n)
+            .with_reliability()
+            .with_watchdog(SimTime::from_millis(50));
+        cfg.recovery = Some(RecoveryCfg::default());
+        cfg
+    }
+
+    /// The halo exchange used by the recovery tests: each rank puts a
+    /// recognizable byte into its right neighbour across several fence
+    /// phases, then reads back.
+    fn halo(env: &mut crate::api::RankEnv, phases: usize) -> Vec<u8> {
+        let n = env.n_ranks();
+        let me = env.rank().idx();
+        let win = env.win_allocate(64).unwrap();
+        env.fence(win).unwrap();
+        for p in 0..phases {
+            let right = (me + 1) % n;
+            env.put(win, crate::Rank(right), p, &[(me * 10 + p) as u8])
+                .unwrap();
+            env.fence(win).unwrap();
+        }
+        let out = env.read_local(win, 0, phases).unwrap();
+        env.win_free(win).unwrap();
+        out
+    }
+
+    #[test]
+    fn checkpoints_are_cut_at_commits_without_a_crash() {
+        let cfg = recovery_cfg(3);
+        let report = run_job(cfg, |env| {
+            halo(env, 3);
+        })
+        .unwrap();
+        assert!(report.is_clean(), "no crash planned: {:?}", report.degradations);
+        assert!(report.engine.ckpt_commits > 0, "commits must cut checkpoints");
+        assert!(report.engine.ckpt_bytes > 0);
+        assert_eq!(report.engine.recoveries, 0);
+        assert!(report.recoveries.is_empty());
+        assert!(report.ranks.iter().all(|r| r.epochs_committed > 0));
+    }
+
+    #[test]
+    fn crashed_rank_recovers_and_converges() {
+        let mut cfg = recovery_cfg(3);
+        let mut plan = mpisim_net::FaultPlan::none(1);
+        plan.crash_at_commit.push((mpisim_net::Rank(1), 2));
+        cfg.net.faults = Some(plan);
+        let report = run_job(cfg, |env| {
+            let got = halo(env, 4);
+            let n = env.n_ranks();
+            let left = (env.rank().idx() + n - 1) % n;
+            let want: Vec<u8> = (0..4).map(|p| (left * 10 + p) as u8).collect();
+            assert_eq!(got, want, "rank {} window diverged", env.rank());
+        })
+        .unwrap();
+        assert!(report.engine.recoveries > 0, "the crash must recover");
+        assert_eq!(report.recoveries.len(), report.engine.recoveries as usize);
+        let r = &report.recoveries[0];
+        assert_eq!(r.rank, crate::Rank(1));
+        assert_eq!(r.crash_commit, 2);
+        assert!(!r.stale);
+        assert_eq!(r.omega_regressions, 0);
+        assert!(r.restored_at > r.crash_at);
+        // The only degradations are the structured recovery records.
+        assert!(report
+            .degradations
+            .iter()
+            .all(|d| matches!(d, Degradation::Recovered(_))));
+    }
+
+    #[test]
+    fn planted_stale_restore_is_flagged_and_diverges() {
+        // Sparse checkpoints (every 100 commits → only the initial one)
+        // guarantee a non-empty redo log at the crash, so skipping replay
+        // is guaranteed stale.
+        let mut cfg = recovery_cfg(3);
+        cfg.recovery = Some(RecoveryCfg {
+            ckpt_every: 100,
+            plant_stale: true,
+            ..RecoveryCfg::default()
+        });
+        let mut plan = mpisim_net::FaultPlan::none(1);
+        plan.crash_at_commit.push((mpisim_net::Rank(1), 3));
+        cfg.net.faults = Some(plan);
+        let diverged = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let d2 = diverged.clone();
+        let report = run_job(cfg, move |env| {
+            let got = halo(env, 4);
+            let n = env.n_ranks();
+            let left = (env.rank().idx() + n - 1) % n;
+            let want: Vec<u8> = (0..4).map(|p| (left * 10 + p) as u8).collect();
+            if got != want {
+                d2.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        })
+        .unwrap();
+        let stale: Vec<_> = report.recoveries.iter().filter(|r| r.stale).collect();
+        assert!(!stale.is_empty(), "the plant must be flagged effective");
+        assert!(
+            diverged.load(std::sync::atomic::Ordering::SeqCst),
+            "a stale restore must corrupt the final window contents"
+        );
+    }
+
+    #[test]
+    fn omega_snapshot_audit_counts_regressions() {
+        let a = OmegaSnapshot {
+            a: vec![3, 5],
+            e: vec![1, 1],
+            g: vec![2, 2],
+            a_lock: vec![0, 0],
+            g_lock: vec![0, 0],
+            gats_done_recv: vec![4, 4],
+        };
+        let mut live = a.clone();
+        assert_eq!(a.regressions_vs(&live), 0);
+        live.a[0] = 2; // moved backwards
+        live.gats_done_recv[1] = 0; // moved backwards
+        assert_eq!(a.regressions_vs(&live), 2);
+    }
+}

@@ -185,6 +185,13 @@ pub enum Degradation {
     /// The stall watchdog cancelled an epoch that stopped making progress
     /// (see [`crate::engine::StallReport`]).
     EpochStall(crate::engine::StallReport),
+    /// A crashed rank was restarted from its epoch-aligned checkpoint and
+    /// its window state recovered (see
+    /// [`crate::engine::RecoveryReport`]). Unlike every other variant
+    /// this records a *successful* repair, but it still marks the run as
+    /// degraded: the final state converged through recovery, not through
+    /// the undisturbed protocol.
+    Recovered(crate::engine::RecoveryReport),
 }
 
 impl Degradation {
@@ -196,6 +203,7 @@ impl Degradation {
             Degradation::RetriesExhausted { .. } => "retries-exhausted",
             Degradation::PeerCrash { .. } => "peer-crash",
             Degradation::EpochStall(_) => "epoch-stall",
+            Degradation::Recovered(_) => "recovered",
         }
     }
 }
@@ -215,6 +223,7 @@ impl std::fmt::Display for Degradation {
                 write!(f, "peer-crash: rank {rank} abandoned frame #{seq}; {peer} is down")
             }
             Degradation::EpochStall(r) => write!(f, "epoch-stall: {r}"),
+            Degradation::Recovered(r) => write!(f, "recovered: {r}"),
         }
     }
 }
@@ -239,6 +248,7 @@ impl Engine {
     pub(crate) fn resilient(&self) -> bool {
         self.cfg.reliability.is_some()
             || self.cfg.watchdog.is_some()
+            || self.cfg.recovery.is_some()
             || self.cfg.net.faults.as_ref().is_some_and(|f| f.is_active())
     }
 

@@ -616,6 +616,7 @@ impl Engine {
         layout: Layout,
         payload: Payload,
     ) {
+        self.freshen_crashed_mem(st, me, win);
         {
             let w = st.win_mut(win, me);
             let len = payload.len();
@@ -641,6 +642,16 @@ impl Engine {
                 }
             }
         }
+        if payload.bytes().is_some() {
+            match layout {
+                Layout::Contig => self.log_win_write(st, me, win, disp, payload.len()),
+                Layout::Vector { count, blocklen, stride } => {
+                    for b in 0..count {
+                        self.log_win_write(st, me, win, disp + b * stride, blocklen);
+                    }
+                }
+            }
+        }
         self.plant_local_read(st, me, win, tag, disp, layout.extent(payload.len()));
         self.apply_fence_arrival(st, me, win, src, tag);
     }
@@ -658,6 +669,7 @@ impl Engine {
         op: ReduceOp,
         payload: Payload,
     ) {
+        self.freshen_crashed_mem(st, me, win);
         {
             let w = st.win_mut(win, me);
             let len = payload.len();
@@ -676,6 +688,9 @@ impl Engine {
                         .expect("erroneous program: accumulate datatype mismatch at target");
                 }
             }
+        }
+        if payload.bytes().is_some() {
+            self.log_win_write(st, me, win, disp, payload.len());
         }
         self.plant_local_read(st, me, win, tag, disp, payload.len());
         self.apply_fence_arrival(st, me, win, src, tag);
@@ -769,6 +784,7 @@ impl Engine {
         layout: Layout,
         token: u64,
     ) {
+        self.freshen_crashed_mem(st, me, win);
         let payload = {
             let w = st.win(win, me);
             let extent = layout.extent(len);
@@ -839,6 +855,7 @@ impl Engine {
         operand: Payload,
         token: u64,
     ) {
+        self.freshen_crashed_mem(st, me, win);
         let old = {
             let w = st.win_mut(win, me);
             let len = operand.len();
@@ -862,6 +879,9 @@ impl Engine {
             }
             old
         };
+        if operand.bytes().is_some() {
+            self.log_win_write(st, me, win, disp, operand.len());
+        }
         self.apply_fence_arrival(st, me, win, src, tag);
         self.send_framed(
             st,

@@ -69,9 +69,12 @@ pub mod types;
 pub mod window;
 
 pub use api::RankEnv;
-pub use config::{JobConfig, Overheads, Reliability, SyncStrategy, WinInfo};
+pub use config::{JobConfig, Overheads, RecoveryCfg, Reliability, SyncStrategy, WinInfo};
 pub use datatype::{Datatype, ReduceOp};
-pub use engine::{Degradation, Engine, EngineStats, Fault, ProtocolError, RankStats, StallReport};
+pub use engine::{
+    Degradation, Engine, EngineStats, Fault, OmegaSnapshot, ProtocolError, RankStats,
+    RecoveryReport, StallReport,
+};
 pub use error::{RmaError, RmaResult};
 pub use mpisim_sim::ExecMode;
 pub use runtime::{run_job, JobReport};

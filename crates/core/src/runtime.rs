@@ -37,6 +37,10 @@ pub struct JobReport {
     /// (stalled) epochs — each with rank/window provenance. Empty on a
     /// healthy run; see [`JobReport::is_clean`].
     pub degradations: Vec<crate::engine::Degradation>,
+    /// Completed rank-restart episodes (crash-recovery provenance). Every
+    /// entry here also appears as a [`crate::engine::Degradation::Recovered`]
+    /// record in `degradations`.
+    pub recoveries: Vec<crate::engine::RecoveryReport>,
 }
 
 impl JobReport {
@@ -118,5 +122,6 @@ where
         live_requests: eng.live_requests(),
         engine: eng.engine_stats(),
         degradations: eng.take_degradations(),
+        recoveries: eng.take_recoveries(),
     })
 }

@@ -98,6 +98,77 @@ impl std::fmt::Display for FaultRecord {
     }
 }
 
+/// Bounded replay log of injected faults: a ring buffer that keeps the
+/// most recent [`FaultLog::DEFAULT_CAP`] records and counts what it had to
+/// drop. Long fault sweeps (storm plans over big jobs) previously grew the
+/// log without limit; the ring bounds memory while the
+/// [`FaultLog::dropped`] counter keeps the totals auditable — the number
+/// of faults *injected* is always `retained + dropped`.
+#[derive(Clone, Debug)]
+pub struct FaultLog {
+    records: std::collections::VecDeque<FaultRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for FaultLog {
+    fn default() -> Self {
+        FaultLog::with_capacity(Self::DEFAULT_CAP)
+    }
+}
+
+impl FaultLog {
+    /// Default ring capacity: ample for every conformance sweep while
+    /// bounding a storm plan's footprint to a few hundred KiB.
+    pub const DEFAULT_CAP: usize = 16_384;
+
+    /// An empty log bounded to `cap` retained records.
+    pub fn with_capacity(cap: usize) -> Self {
+        FaultLog { records: std::collections::VecDeque::new(), cap: cap.max(1), dropped: 0 }
+    }
+
+    /// Append a record, evicting the oldest once the ring is full.
+    pub fn push(&mut self, rec: FaultRecord) {
+        if self.records.len() == self.cap {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    /// Number of records currently retained.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was ever recorded (dropped records count as
+    /// recorded, so an overflowed log is never "empty").
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.dropped == 0
+    }
+
+    /// Records evicted to honour the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total records ever pushed (retained + evicted).
+    pub fn total(&self) -> u64 {
+        self.records.len() as u64 + self.dropped
+    }
+
+    /// Iterate the retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &FaultRecord> {
+        self.records.iter()
+    }
+
+    /// Drain the retained records (oldest first), keeping the dropped
+    /// counter.
+    pub fn take(&mut self) -> Vec<FaultRecord> {
+        self.records.drain(..).collect()
+    }
+}
+
 /// A seeded per-channel fault schedule for the simulated interconnect.
 ///
 /// Probabilities are evaluated in the order drop → duplicate → corrupt →
@@ -128,6 +199,15 @@ pub struct FaultPlan {
     /// from the given time on (the rank itself keeps running — stalls are
     /// the middleware watchdog's problem).
     pub crashes: Vec<(Rank, SimTime)>,
+    /// Per-rank NIC death keyed to *protocol progress* instead of wall
+    /// time: `(rank, n)` crashes the rank's NIC the moment it completes
+    /// its `n`-th epoch commit (1-based). The network layer cannot see
+    /// epoch commits, so the middleware engine reads this list and drives
+    /// [`crate::Network::nic_down`] when the counted commit happens; with
+    /// a recovery config armed it also schedules the restart. This is what
+    /// makes "crash any rank at any commit point" an exact, replayable
+    /// schedule rather than a time guess.
+    pub crash_at_commit: Vec<(Rank, u64)>,
     /// Per-rank NIC slowdown factors (> 1 multiplies both serialization
     /// and latency of messages the rank sends).
     pub slowdowns: Vec<(Rank, f64)>,
@@ -147,6 +227,7 @@ impl FaultPlan {
             max_delay: SimTime::ZERO,
             partitions: Vec::new(),
             crashes: Vec::new(),
+            crash_at_commit: Vec::new(),
             slowdowns: Vec::new(),
         }
     }
@@ -220,7 +301,14 @@ impl FaultPlan {
             || self.delay_p > 0.0
             || !self.partitions.is_empty()
             || !self.crashes.is_empty()
+            || !self.crash_at_commit.is_empty()
             || !self.slowdowns.is_empty()
+    }
+
+    /// The commit count (1-based) at which `rank`'s NIC crashes, if the
+    /// plan schedules a commit-triggered crash for it.
+    pub fn crash_commit(&self, rank: Rank) -> Option<u64> {
+        self.crash_at_commit.iter().find(|(r, _)| *r == rank).map(|(_, n)| *n)
     }
 
     /// The time `rank`'s NIC crashes, if the plan crashes it.
@@ -277,6 +365,41 @@ mod tests {
         assert!(!p.crashed(Rank(0), Rank(1), SimTime::from_micros(9)));
         assert_eq!(p.crash_time(Rank(2)), Some(SimTime::from_micros(5)));
         assert_eq!(p.crash_time(Rank(0)), None);
+    }
+
+    #[test]
+    fn fault_log_ring_bounds_memory_and_counts_evictions() {
+        let mut log = FaultLog::with_capacity(4);
+        let rec = |i: u64| FaultRecord {
+            at: SimTime::from_nanos(i),
+            src: Rank(0),
+            dst: Rank(1),
+            kind: FaultKind::Drop,
+        };
+        for i in 0..10 {
+            log.push(rec(i));
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.dropped(), 6);
+        assert_eq!(log.total(), 10);
+        // Oldest evicted first: the ring retains the most recent records.
+        let kept: Vec<u64> = log.iter().map(|r| r.at.as_nanos()).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9]);
+        assert!(!log.is_empty());
+        let drained = log.take();
+        assert_eq!(drained.len(), 4);
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.dropped(), 6, "draining keeps the eviction count");
+    }
+
+    #[test]
+    fn crash_at_commit_lookup_and_activity() {
+        let mut p = FaultPlan::none(3);
+        assert!(!p.is_active());
+        p.crash_at_commit.push((Rank(1), 3));
+        assert!(p.is_active(), "a commit-triggered crash makes the plan active");
+        assert_eq!(p.crash_commit(Rank(1)), Some(3));
+        assert_eq!(p.crash_commit(Rank(0)), None);
     }
 
     #[test]

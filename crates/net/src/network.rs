@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::fault::{FaultKind, FaultPlan, FaultRecord};
+use crate::fault::{FaultKind, FaultLog, FaultPlan, FaultRecord};
 use crate::params::{NetParams, Rank, Topology};
 
 /// Implemented by the middleware's message body type so the network can
@@ -146,8 +146,12 @@ struct NetInner<M> {
     /// Per-channel fault decision streams, lazily seeded from
     /// `(plan.seed, src, dst)` so a plan replays identically.
     fault_rngs: HashMap<(Rank, Rank), SmallRng>,
-    /// Replayable log of every injected fault.
-    fault_log: Vec<FaultRecord>,
+    /// Replayable, bounded log of every injected fault.
+    fault_log: FaultLog,
+    /// Dynamically downed NICs (engine-driven crash/restart). Unlike the
+    /// static `FaultPlan::crashes` list this is toggled at run time, so a
+    /// rank can come back up after a recovery restart.
+    downs: Vec<bool>,
 }
 
 type Handler<M> = Arc<dyn Fn(Packet<M>) + Send + Sync>;
@@ -172,7 +176,8 @@ impl<M: Wire> Network<M> {
                 stats: NetStats::default(),
                 jitter_rng: seeded_rng(handle.seed(), 0x0021_77E2),
                 fault_rngs: HashMap::new(),
-                fault_log: Vec::new(),
+                fault_log: FaultLog::default(),
+                downs: vec![false; n],
             }),
             handler: Mutex::new(None),
             handle,
@@ -202,14 +207,37 @@ impl<M: Wire> Network<M> {
         self.inner.lock().stats
     }
 
-    /// Snapshot of the replayable fault log.
+    /// Snapshot of the retained portion of the replayable fault log.
     pub fn fault_log(&self) -> Vec<FaultRecord> {
-        self.inner.lock().fault_log.clone()
+        self.inner.lock().fault_log.iter().cloned().collect()
     }
 
-    /// Drain the replayable fault log.
+    /// Drain the retained fault records (the dropped-record counter is
+    /// preserved).
     pub fn take_fault_log(&self) -> Vec<FaultRecord> {
-        std::mem::take(&mut self.inner.lock().fault_log)
+        self.inner.lock().fault_log.take()
+    }
+
+    /// Records evicted from the bounded fault log to cap memory.
+    pub fn fault_log_dropped(&self) -> u64 {
+        self.inner.lock().fault_log.dropped()
+    }
+
+    /// Take rank's NIC off the fabric: every internode message to or from
+    /// it is discarded (recorded as [`FaultKind::CrashDrop`]) until
+    /// [`Network::nic_up`] brings it back.
+    pub fn nic_down(&self, rank: Rank) {
+        self.inner.lock().downs[rank.idx()] = true;
+    }
+
+    /// Bring a downed NIC back onto the fabric.
+    pub fn nic_up(&self, rank: Rank) {
+        self.inner.lock().downs[rank.idx()] = false;
+    }
+
+    /// Is this rank's NIC currently down?
+    pub fn nic_is_down(&self, rank: Rank) -> bool {
+        self.inner.lock().downs[rank.idx()]
     }
 
     /// Send a packet, fire-and-forget.
@@ -304,8 +332,21 @@ impl<M: Wire> Network<M> {
             .as_ref()
             .filter(|p| internode && src != dst && p.is_active());
         let faults = plan.map(|p| Self::decide_faults(inner, now, src, dst, p));
-        let faults = faults.unwrap_or_default();
+        let mut faults = faults.unwrap_or_default();
         let slowdown = plan.map(|p| p.slowdown(src)).unwrap_or(1.0);
+
+        // A dynamically downed NIC (engine-driven crash/restart) discards
+        // every internode message touching it, fault plan or not.
+        if internode
+            && src != dst
+            && faults.lost.is_none()
+            && (inner.downs[src.idx()] || inner.downs[dst.idx()])
+        {
+            faults.lost = Some(FaultKind::CrashDrop);
+            inner.stats.faults_injected += 1;
+            inner.stats.fault_crash_drops += 1;
+            inner.fault_log.push(FaultRecord { at: now, src, dst, kind: FaultKind::CrashDrop });
+        }
 
         let (alpha, ser) = if internode {
             (self.params.inter_latency, self.params.inter_ser(wire))
@@ -958,6 +999,40 @@ mod tests {
         let tags: Vec<u64> = log.lock().iter().map(|e| e.0).collect();
         assert_eq!(tags, vec![0, 3], "post-crash traffic touching rank 1 is gone");
         assert_eq!(net.stats().fault_crash_drops, 2);
+    }
+
+    #[test]
+    fn dynamic_nic_down_drops_and_up_restores_delivery() {
+        let sim = Sim::new(0);
+        let h = sim.handle();
+        let net = Network::new(
+            h.clone(),
+            NetParams::qdr_infiniband(),
+            Topology::all_internode(3),
+        );
+        let log = collect_deliveries(&net, &h);
+        // Before the outage: delivered.
+        net.send(Packet { src: Rank(0), dst: Rank(1), body: ctrl(0) });
+        let n2 = net.clone();
+        h.schedule_at(SimTime::from_micros(50), move || n2.nic_down(Rank(1)));
+        let n3 = net.clone();
+        h.schedule_at(SimTime::from_micros(60), move || {
+            n3.send(Packet { src: Rank(0), dst: Rank(1), body: ctrl(1) });
+            n3.send(Packet { src: Rank(1), dst: Rank(2), body: ctrl(2) });
+            n3.send(Packet { src: Rank(0), dst: Rank(2), body: ctrl(3) });
+        });
+        let n4 = net.clone();
+        h.schedule_at(SimTime::from_micros(500), move || n4.nic_up(Rank(1)));
+        let n5 = net.clone();
+        h.schedule_at(SimTime::from_micros(600), move || {
+            n5.send(Packet { src: Rank(0), dst: Rank(1), body: ctrl(4) });
+        });
+        sim.run().unwrap();
+        let tags: Vec<u64> = log.lock().iter().map(|e| e.0).collect();
+        assert_eq!(tags, vec![0, 3, 4], "outage drops both directions, heal restores");
+        assert_eq!(net.stats().fault_crash_drops, 2);
+        assert_eq!(net.fault_log_dropped(), 0);
+        assert!(!net.nic_is_down(Rank(1)));
     }
 
     #[test]

@@ -149,6 +149,7 @@ pub(crate) struct ProcRec {
 }
 
 type EventFn = Box<dyn FnOnce() + Send>;
+type SpawnFn = Box<dyn FnOnce(&ProcCtx) + Send>;
 
 pub(crate) struct Inner {
     pub(crate) now: SimTime,
@@ -164,6 +165,12 @@ pub(crate) struct Inner {
     pub(crate) ready: VecDeque<ProcId>,
     pub(crate) procs: Vec<ProcRec>,
     pub(crate) aborting: bool,
+    // Processes spawned mid-run via [`SimHandle::spawn`]: their ProcRec
+    // (and ProcId) already exist, but their execution vehicle (fiber or
+    // thread) is created by the driver, which drains this queue before
+    // running anything from the ready queue.
+    pending_spawns: VecDeque<(ProcId, SpawnFn)>,
+    handoff_spin: Option<u32>,
     events_executed: u64,
     context_switches: u64,
     event_cap: u64,
@@ -264,6 +271,37 @@ impl SimHandle {
     pub fn events_executed(&self) -> u64 {
         self.core.inner.lock().events_executed
     }
+
+    /// Spawn a simulated process **mid-run** — from an event callback or
+    /// from another process. The new process starts ready at the current
+    /// virtual time; its execution vehicle (fiber or thread, per the
+    /// simulation's [`ExecMode`]) is created by the driver before the next
+    /// process slice runs, so scheduling order stays deterministic: the
+    /// process runs in the ready-queue position its spawn claimed.
+    ///
+    /// This is what rank-restart paths are built on: a crashed rank's
+    /// replacement process can be spawned while the simulation is live.
+    pub fn spawn<F>(&self, label: impl Into<String>, f: F) -> ProcId
+    where
+        F: FnOnce(&ProcCtx) + Send + 'static,
+    {
+        let label = label.into();
+        let parker = Arc::new(Parker::new());
+        let mut inner = self.core.inner.lock();
+        if let Some(iters) = inner.handoff_spin {
+            parker.set_spin(iters);
+        }
+        let pid = ProcId(inner.procs.len());
+        inner.procs.push(ProcRec {
+            label,
+            state: ProcState::Ready,
+            parker,
+            panic_payload: None,
+        });
+        inner.ready.push_back(pid);
+        inner.pending_spawns.push_back((pid, Box::new(f)));
+        pid
+    }
 }
 
 /// A work slot handed to a pool worker: a fiber to resume (as a raw
@@ -325,6 +363,8 @@ impl Sim {
                     ready: VecDeque::new(),
                     procs: Vec::new(),
                     aborting: false,
+                    pending_spawns: VecDeque::new(),
+                    handoff_spin: None,
                     tiebreak_seed: None,
                     nondet_tiebreak: false,
                     events_executed: 0,
@@ -378,7 +418,8 @@ impl Sim {
     pub fn set_handoff_spin(&mut self, iters: u32) {
         self.handoff_spin = Some(iters);
         self.core.sched.set_spin(iters);
-        let inner = self.core.inner.lock();
+        let mut inner = self.core.inner.lock();
+        inner.handoff_spin = Some(iters);
         for p in inner.procs.iter() {
             p.parker.set_spin(iters);
         }
@@ -431,22 +472,35 @@ impl Sim {
     where
         F: FnOnce(&ProcCtx) + Send + 'static,
     {
-        let label = label.into();
-        let parker = Arc::new(Parker::new());
-        if let Some(iters) = self.handoff_spin {
-            parker.set_spin(iters);
+        let pid = self.handle().spawn(label, f);
+        self.admit_pending();
+        pid
+    }
+
+    /// Create the execution vehicle (fiber or thread) for every process
+    /// registered but not yet attached — builder-time spawns and mid-run
+    /// [`SimHandle::spawn`]s alike. Called by the driver before each process
+    /// slice so a freshly spawned ProcId is always runnable by the time the
+    /// ready queue reaches it.
+    fn admit_pending(&mut self) {
+        loop {
+            let (pid, f) = {
+                let mut inner = self.core.inner.lock();
+                match inner.pending_spawns.pop_front() {
+                    Some(s) => s,
+                    None => return,
+                }
+            };
+            self.attach(pid, f);
         }
-        let pid = {
-            let mut inner = self.core.inner.lock();
-            let pid = ProcId(inner.procs.len());
-            inner.procs.push(ProcRec {
-                label: label.clone(),
-                state: ProcState::Ready,
-                parker: parker.clone(),
-                panic_payload: None,
-            });
-            inner.ready.push_back(pid);
-            pid
+    }
+
+    /// Attach the execution vehicle for a registered process.
+    fn attach(&mut self, pid: ProcId, f: SpawnFn) {
+        let (label, parker) = {
+            let inner = self.core.inner.lock();
+            let rec = &inner.procs[pid.0];
+            (rec.label.clone(), rec.parker.clone())
         };
         let core = self.core.clone();
         let ctx = ProcCtx::new(core.clone(), pid, parker.clone(), label.clone());
@@ -490,7 +544,6 @@ impl Sim {
                 self.threads.push(jh);
             }
         }
-        pid
     }
 
     /// Drive the simulation to completion: run ready processes, then pop
@@ -555,6 +608,10 @@ impl Sim {
             // Phase 1: drain ready processes (FIFO). Only processes with
             // pending work ever appear here, so idle ranks cost nothing.
             loop {
+                // Mid-run spawns first: a process registered by
+                // SimHandle::spawn (from the slice or event that just ran)
+                // needs its fiber/thread before its ready-queue turn.
+                self.admit_pending();
                 let pid = {
                     let mut inner = self.core.inner.lock();
                     match inner.ready.pop_front() {
@@ -926,6 +983,49 @@ mod tests {
             let (stats, log) = run_in(mode);
             assert_eq!(stats, base_stats, "stats diverged in {mode:?}");
             assert_eq!(log, base_log, "schedule diverged in {mode:?}");
+        }
+    }
+
+    #[test]
+    fn midrun_spawn_runs_in_every_mode() {
+        // A process spawned from an event callback and one spawned from a
+        // running process must both execute, at the virtual time of their
+        // spawn, with identical schedules across exec modes.
+        fn run_in(mode: ExecMode) -> Vec<(u64, &'static str)> {
+            let mut sim = Sim::new(3);
+            sim.set_exec_mode(mode);
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let h = sim.handle();
+            let (l1, h1) = (log.clone(), h.clone());
+            h.schedule(SimTime::from_nanos(50), move || {
+                let l = l1.clone();
+                h1.spawn("from-event", move |ctx| {
+                    ctx.advance(SimTime::from_nanos(5));
+                    l.lock().push((ctx.now().as_nanos(), "from-event"));
+                });
+            });
+            let (l2, h2) = (log.clone(), h.clone());
+            sim.spawn("root", move |ctx| {
+                ctx.advance(SimTime::from_nanos(20));
+                let l = l2.clone();
+                h2.spawn("from-proc", move |ctx2| {
+                    ctx2.advance(SimTime::from_nanos(1));
+                    l.lock().push((ctx2.now().as_nanos(), "from-proc"));
+                });
+                ctx.advance(SimTime::from_nanos(100));
+                l2.lock().push((ctx.now().as_nanos(), "root"));
+            });
+            sim.run().unwrap();
+            let v = log.lock().clone();
+            v
+        }
+        let base = run_in(ExecMode::ThreadPerRank);
+        assert_eq!(
+            base,
+            vec![(21, "from-proc"), (55, "from-event"), (120, "root")]
+        );
+        for mode in all_modes() {
+            assert_eq!(run_in(mode), base, "mid-run spawn diverged in {mode:?}");
         }
     }
 
