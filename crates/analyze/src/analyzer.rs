@@ -19,9 +19,21 @@
 use std::collections::BTreeMap;
 
 use mpisim_core::trace::AccessKind;
+use mpisim_core::ReduceOp;
 
 use crate::diag::{Code, Diagnostic};
-use crate::ir::{Close, IrProgram, Stmt};
+use crate::ir::{Close, FetchKind, IrProgram, Stmt};
+
+/// How a value-producing read touches the target slot, for the conflict
+/// matrix: a plain `Get` is a non-atomic read, a `NoOp` atomic is an
+/// element-wise-atomic read, and a writing fetch carries its operator.
+fn fetch_access(kind: FetchKind) -> AccessKind {
+    match kind.write_op() {
+        Some(op) => AccessKind::Atomic(op),
+        None if kind.is_atomic() => AccessKind::Atomic(ReduceOp::NoOp),
+        None => AccessKind::Read,
+    }
+}
 
 /// Epoch kinds that matter for reorder-region analysis.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -130,6 +142,10 @@ struct RankState {
     /// Outstanding nonblocking-epoch requests.
     outstanding: Vec<OutReq>,
 
+    /// Live IR-local bindings: local → the (win, target, disp, kind) of
+    /// its dominating [`Stmt::ReadValue`] (later bindings shadow).
+    locals: BTreeMap<usize, (usize, usize, usize, FetchKind)>,
+
     /// Per-rank epoch ordinal counter (shared across windows: an ordinal
     /// names one epoch of this rank).
     next_ordinal: usize,
@@ -148,6 +164,7 @@ impl RankState {
             unsafe_fence_reorder: p.unsafe_fence_reorder,
             wins: BTreeMap::new(),
             outstanding: Vec::new(),
+            locals: BTreeMap::new(),
             next_ordinal: 0,
             accesses: Vec::new(),
             diags: Vec::new(),
@@ -618,6 +635,23 @@ fn walk_rank(rank: usize, p: &IrProgram) -> RankState {
             }
             Stmt::Acc { win, target, disp, len, op } => {
                 st.data_op(step, *win, *target, *disp, *len, AccessKind::Atomic(*op), "accumulate");
+            }
+            Stmt::ReadValue { win, target, disp, kind, local } => {
+                st.data_op(step, *win, *target, *disp, 8, fetch_access(*kind), "value read");
+                st.locals.insert(*local, (*win, *target, *disp, *kind));
+            }
+            Stmt::AccVal { win, target, disp, op, .. } => {
+                st.data_op(step, *win, *target, *disp, 8, AccessKind::Atomic(*op), "accumulate");
+            }
+            Stmt::SpinUntil { local, .. } => {
+                // The spin re-executes its defining read, so it needs the
+                // same covering epoch; it also blocks the host until the
+                // value arrives, serializing like a blocking close. A
+                // spin on an unbound local is a no-op.
+                if let Some(&(win, target, disp, kind)) = st.locals.get(local) {
+                    st.data_op(step, win, target, disp, 8, fetch_access(kind), "spin_until");
+                    st.sync_all();
+                }
             }
             Stmt::WaitAll => {
                 st.outstanding.clear();

@@ -15,9 +15,9 @@
 //!   structure blocks on a peer the fault model crashes (a GATS start
 //!   toward a rank whose exposure may never open) → `E012`.
 //!
-//! Five **deadlock families** ([`NegFamily::DEADLOCKS`]) whose members
+//! Six **deadlock families** ([`NegFamily::DEADLOCKS`]) whose members
 //! are *certain* deadlocks under every schedule — each is both flagged
-//! statically (E013–E017) and executed by `mpisim-check --deadlocks`,
+//! statically (E013–E018) and executed by `mpisim-check --deadlocks`,
 //! where the PR-4 stall watchdog must cancel the stuck epoch
 //! (`Degradation::EpochStall`), cross-validating the static pass against
 //! the dynamic layer:
@@ -33,6 +33,13 @@
 //!   time than the other participants → E016.
 //! * [`NegFamily::OrphanWait`] — a `waitall` consuming an `icomplete`
 //!   request whose grant can never arrive → E017.
+//! * [`NegFamily::ValueDeadlock`] — a rank spins on a fetched flag word
+//!   while every peer publishes a *different* constant, so the expected
+//!   value is outside the abstract value domain → E018. At runtime the
+//!   peers' closing fence blocks on the spinner past the watchdog
+//!   budget (the spin itself is execution-bounded so the run
+//!   terminates); [`generate_value_clean`] is the satisfiable twin the
+//!   analyzer must pass and the executor must run stall-free.
 //!
 //! [`catalog_cases`] additionally provides one minimal deterministic
 //! positive program per diagnostic code — the CLI sweeps both.
@@ -43,7 +50,7 @@ use rand::{Rng, SeedableRng};
 use mpisim_core::ReduceOp;
 
 use crate::diag::Code;
-use crate::ir::{Close, IrProgram, Stmt};
+use crate::ir::{Close, FetchKind, IrProgram, Stmt};
 
 /// Window size used by every corpus program.
 pub const NEG_WIN_BYTES: usize = 64;
@@ -70,11 +77,14 @@ pub enum NegFamily {
     FenceMismatch,
     /// `waitall` on an `icomplete` that can never be granted → `E017`.
     OrphanWait,
+    /// Spin on a fetched flag value no reachable write supplies →
+    /// `E018`.
+    ValueDeadlock,
 }
 
 impl NegFamily {
     /// All families, in sweep order.
-    pub const ALL: [NegFamily; 9] = [
+    pub const ALL: [NegFamily; 10] = [
         NegFamily::DroppedClose,
         NegFamily::OutOfEpochOp,
         NegFamily::ConflictingPuts,
@@ -84,17 +94,19 @@ impl NegFamily {
         NegFamily::MissingExposure,
         NegFamily::FenceMismatch,
         NegFamily::OrphanWait,
+        NegFamily::ValueDeadlock,
     ];
 
     /// The certain-deadlock families: every member stalls under every
     /// execution schedule, so `mpisim-check` cross-validates them against
     /// the stall watchdog.
-    pub const DEADLOCKS: [NegFamily; 5] = [
+    pub const DEADLOCKS: [NegFamily; 6] = [
         NegFamily::PscwCycle,
         NegFamily::LockOrderInversion,
         NegFamily::MissingExposure,
         NegFamily::FenceMismatch,
         NegFamily::OrphanWait,
+        NegFamily::ValueDeadlock,
     ];
 
     /// Short label for reports.
@@ -109,6 +121,7 @@ impl NegFamily {
             NegFamily::MissingExposure => "missing-exposure",
             NegFamily::FenceMismatch => "fence-mismatch",
             NegFamily::OrphanWait => "orphan-wait",
+            NegFamily::ValueDeadlock => "value-deadlock",
         }
     }
 }
@@ -350,7 +363,80 @@ pub fn generate_negative(family: NegFamily, index: u64) -> NegCase {
             p.ranks[0].push(Stmt::WaitAll);
             NegCase { program: p, expect: Code::E017 }
         }
+        NegFamily::ValueDeadlock => {
+            push_value_spin(&mut rng, &mut p, false);
+            NegCase { program: p, expect: Code::E018 }
+        }
     }
+}
+
+/// Append the value-spin protocol to `p` (3 ranks): rank 0 spins on an
+/// 8-byte flag slot of its own window on a dedicated flag window while
+/// the peers publish a constant there via atomic `Replace`, then every
+/// rank joins a two-call fence tail. With `satisfiable` the peers
+/// publish exactly the expected value — the spin terminates, the
+/// program is analyzer-clean and runs stall-free. Without it they
+/// publish a *different* constant: the expected value is outside the
+/// abstract value domain (E018), and at runtime the peers' closing
+/// fence blocks on the spinner past the watchdog budget while the
+/// execution-bounded spin eventually gives up, so the run terminates
+/// with the stall recorded.
+fn push_value_spin(rng: &mut SmallRng, p: &mut IrProgram, satisfiable: bool) {
+    let n = p.n_ranks;
+    // A few clean epochs on window 0, then a dedicated flag window so
+    // no prefix write overlaps the spun slot (an overlapping unknown
+    // write would be ⊤ and legitimately suppress E018).
+    for _ in 0..rng.gen_range(0..3usize) {
+        push_epoch(rng, p, true, true);
+    }
+    let flag_win = p.add_window(NEG_WIN_BYTES);
+    let disp = rng.gen_range(0..NEG_WIN_BYTES / 8) * 8;
+    let published = rng.gen_range(1..=100u64);
+    let expect =
+        if satisfiable { published } else { published + rng.gen_range(1..=100u64) };
+    for r in 1..n {
+        p.ranks[r].extend([
+            Stmt::Lock { win: flag_win, target: 0, exclusive: false, nonblocking: false },
+            Stmt::AccVal {
+                win: flag_win,
+                target: 0,
+                disp,
+                op: ReduceOp::Replace,
+                val: published,
+            },
+            Stmt::Unlock { win: flag_win, target: 0, close: Close::Blocking },
+        ]);
+    }
+    p.ranks[0].extend([
+        Stmt::LockAll { win: flag_win },
+        Stmt::ReadValue {
+            win: flag_win,
+            target: 0,
+            disp,
+            kind: FetchKind::FetchOp(ReduceOp::NoOp),
+            local: 0,
+        },
+        Stmt::SpinUntil { local: 0, expect },
+        Stmt::UnlockAll { win: flag_win, close: Close::Blocking },
+    ]);
+    for _ in 0..2 {
+        for r in 0..n {
+            p.ranks[r].push(Stmt::Fence { win: flag_win, close: Close::Blocking });
+        }
+    }
+}
+
+/// Deterministically generate the `index`-th *satisfiable* value-spin
+/// program: the same shape as [`NegFamily::ValueDeadlock`] except the
+/// peers publish exactly the expected flag value. The analyzer must
+/// report nothing and the executor must run it stall-free — the clean
+/// direction of the E018 cross-validation.
+pub fn generate_value_clean(index: u64) -> IrProgram {
+    let mut rng =
+        SmallRng::seed_from_u64(0x600D_F1A6 ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut p = IrProgram::new(3, NEG_WIN_BYTES);
+    push_value_spin(&mut rng, &mut p, true);
+    p
 }
 
 /// Shared deadlock-family preamble: a few clean epochs on window 0, and
@@ -563,6 +649,28 @@ pub fn catalog_cases() -> Vec<(Code, IrProgram)> {
         Stmt::WaitAll,
     ]);
     out.push((Code::E017, p));
+
+    // E018: spin on a flag value the peer never publishes (it replaces
+    // the slot with 1, the spin wants 2 — byte 0 is uncoverable).
+    let mut p = IrProgram::new(2, NEG_WIN_BYTES);
+    p.ranks[0].extend([
+        Stmt::LockAll { win: 0 },
+        Stmt::ReadValue {
+            win: 0,
+            target: 0,
+            disp: 0,
+            kind: FetchKind::FetchOp(ReduceOp::NoOp),
+            local: 0,
+        },
+        Stmt::SpinUntil { local: 0, expect: 2 },
+        Stmt::UnlockAll { win: 0, close: Close::Blocking },
+    ]);
+    p.ranks[1].extend([
+        Stmt::Lock { win: 0, target: 0, exclusive: false, nonblocking: false },
+        Stmt::AccVal { win: 0, target: 0, disp: 0, op: ReduceOp::Replace, val: 1 },
+        Stmt::Unlock { win: 0, target: 0, close: Close::Blocking },
+    ]);
+    out.push((Code::E018, p));
 
     out
 }

@@ -1,4 +1,4 @@
-//! Whole-job deadlock and progress analysis (E013–E017).
+//! Whole-job deadlock and progress analysis (E013–E018).
 //!
 //! Two passes over the multi-window IR:
 //!
@@ -21,6 +21,23 @@
 //!    mismatch) when the missing dependency is a peer that terminates
 //!    without ever supplying it. Ranks stuck only because another stuck
 //!    rank is upstream (cascades) are suppressed.
+//!
+//!    The fixpoint additionally carries an **abstract value domain** for
+//!    value-dependent guards ([`Stmt::SpinUntil`]): per byte of the spun
+//!    8-byte slot, the set of values the slot can ever hold is
+//!    over-approximated as the window's zero initialization, plus the
+//!    matching byte of every *reachable* known-constant `Replace` write
+//!    ([`Stmt::AccVal`]), plus ⊤ for any overlapping unknown-operand
+//!    write (put, accumulate, fetching atomics that modify). A spin's
+//!    wait condition is satisfiable once every non-zero byte of the
+//!    expected value is covered by an initiated supplier; a byte no
+//!    rank's program can *ever* supply (the spinner's own post-spin
+//!    writes are unreachable — the spin blocks the host first) makes
+//!    the spin provably unsatisfiable — E018, with the uncoverable byte
+//!    as witness. Because the domain only ever grows (values union, no
+//!    kills), satisfiability is monotone in the program-counter vector
+//!    and over-approximated: a clean verdict may miss a value-dependent
+//!    stall, but every E018 is a real one.
 //!
 //! 2. **Lock-order pass (E014).** The fixpoint deliberately treats the
 //!    passive-target plane as eventually-completing (the lock manager is
@@ -54,8 +71,26 @@
 
 use std::collections::BTreeMap;
 
+use mpisim_core::ReduceOp;
+
 use crate::diag::{Code, Diagnostic};
 use crate::ir::{IrProgram, Stmt};
+
+/// One statement that can deposit bytes into a window — the abstract
+/// value domain's supplier index. `val` is `Some` for a known-constant
+/// `Replace` write (the slot's post-state is exactly that constant) and
+/// `None` for ⊤ (unknown operand or non-`Replace` fold: any byte value
+/// is conservatively possible).
+struct Supply {
+    rank: usize,
+    step: usize,
+    win: usize,
+    target: usize,
+    /// Covered byte range `[lo, hi)` of the target window.
+    lo: usize,
+    hi: usize,
+    val: Option<u64>,
+}
 
 /// One GATS access-epoch instance of a rank on one window.
 struct StartInfo {
@@ -119,6 +154,12 @@ enum Cond {
     /// `waitall` over the outstanding nonblocking requests collected so
     /// far, each tagged with its originating statement and name.
     Many(Vec<(usize, &'static str, Cond)>),
+    /// A value-dependent spin at statement `step` of the rank, resolved
+    /// through its local binding to the 8-byte slot at `disp` of
+    /// `target`'s window `win`: completes once every non-zero byte of
+    /// `expect` is covered by an initiated supplier write (the abstract
+    /// value domain).
+    Spin { step: usize, win: usize, target: usize, disp: usize, expect: u64 },
 }
 
 /// Why a condition is unmet: a peer that can still move (`Stuck`) or a
@@ -184,6 +225,10 @@ fn build_conds(rank: usize, p: &IrProgram, sh: &RankShape) -> Vec<Cond> {
     let mut open_post: BTreeMap<usize, usize> = BTreeMap::new();
     let mut barrier_idx = 0usize;
     let mut pending: Vec<(usize, &'static str, Cond)> = Vec::new();
+    // Forward local-binding environment for value-dependent guards:
+    // local → the (win, target, disp) slot its defining `ReadValue`
+    // fetches (rebinding shadows).
+    let mut locals: BTreeMap<usize, (usize, usize, usize)> = BTreeMap::new();
     for (step, stmt) in p.ranks[rank].iter().enumerate() {
         let cond = match stmt {
             Stmt::Fence { win, close } => {
@@ -242,6 +287,18 @@ fn build_conds(rank: usize, p: &IrProgram, sh: &RankShape) -> Vec<Cond> {
                 Cond::Barrier { idx }
             }
             Stmt::WaitAll => Cond::Many(std::mem::take(&mut pending)),
+            Stmt::ReadValue { win, target, disp, local, .. } => {
+                locals.insert(*local, (*win, *target, *disp));
+                Cond::None
+            }
+            Stmt::SpinUntil { local, expect } => match locals.get(local) {
+                Some(&(win, target, disp)) => {
+                    Cond::Spin { step, win, target, disp, expect: *expect }
+                }
+                // Spin on a local no dominating ReadValue binds: a no-op
+                // (the per-rank walker already models it as such).
+                None => Cond::None,
+            },
             // The passive-target plane (lock/unlock/flush) is treated as
             // eventually-completing here; acquisition-order deadlocks are
             // the lock-order pass's job.
@@ -252,7 +309,8 @@ fn build_conds(rank: usize, p: &IrProgram, sh: &RankShape) -> Vec<Cond> {
             | Stmt::Flush { .. }
             | Stmt::Put { .. }
             | Stmt::Get { .. }
-            | Stmt::Acc { .. } => Cond::None,
+            | Stmt::Acc { .. }
+            | Stmt::AccVal { .. } => Cond::None,
         };
         conds.push(cond);
     }
@@ -263,6 +321,9 @@ struct Interp<'a> {
     p: &'a IrProgram,
     shapes: Vec<RankShape>,
     conds: Vec<Vec<Cond>>,
+    /// Every statement, job-wide, that can deposit bytes into a window
+    /// (the abstract value domain's supplier index for `Cond::Spin`).
+    suppliers: Vec<Supply>,
 }
 
 impl Interp<'_> {
@@ -418,6 +479,70 @@ impl Interp<'_> {
                     }
                 }
             }
+            Cond::Spin { step, win, target, disp, expect } => {
+                // Per byte of the expected value: the window's zero
+                // initialization covers zero bytes; every other byte
+                // needs a reachable supplier — a ⊤ write overlapping it,
+                // or a known-constant `Replace` whose matching byte
+                // equals the wanted one. The spinner's own post-spin
+                // statements are unreachable (the spin blocks the host
+                // before them). An initiated supplier satisfies the
+                // byte; a supplier the writer has not reached yet is a
+                // `Stuck` edge toward it; no supplier anywhere in the
+                // job is `Never` — E018.
+                for j in 0..8 {
+                    let want = (expect >> (8 * j)) as u8;
+                    if want == 0 {
+                        continue;
+                    }
+                    let abs = disp + j;
+                    let mut covered = false;
+                    let mut pending: Vec<usize> = Vec::new();
+                    for s in &self.suppliers {
+                        if s.win != *win || s.target != *target || abs < s.lo || abs >= s.hi {
+                            continue;
+                        }
+                        if s.rank == r && s.step > *step {
+                            continue;
+                        }
+                        if let Some(v) = s.val {
+                            if (v >> (8 * j)) as u8 != want {
+                                continue;
+                            }
+                        }
+                        if self.initiated(pcs, s.rank, s.step) {
+                            covered = true;
+                            break;
+                        }
+                        if !pending.contains(&s.rank) {
+                            pending.push(s.rank);
+                        }
+                    }
+                    if covered {
+                        continue;
+                    }
+                    if pending.is_empty() {
+                        blame(
+                            Blocker::Never {
+                                rank: r,
+                                why: format!(
+                                    "spin waits for value {expect:#x} in the 8-byte slot \
+                                     at disp {disp} of rank {target}'s window {win}, but \
+                                     byte {j} (wants {want:#04x}) is outside the window's \
+                                     zero initialization and every constant any rank's \
+                                     reachable writes can deposit, and no unknown-operand \
+                                     write covers it — the spin can never be satisfied"
+                                ),
+                            },
+                            &mut ok,
+                        );
+                    } else {
+                        for q in pending {
+                            blame(Blocker::Stuck(q), &mut ok);
+                        }
+                    }
+                }
+            }
             Cond::Many(reqs) => {
                 for (step, what, c) in reqs {
                     let mut sub = Vec::new();
@@ -450,7 +575,65 @@ fn fixpoint_pass(p: &IrProgram) -> Vec<Diagnostic> {
     let n = p.n_ranks;
     let shapes: Vec<RankShape> = (0..n).map(|r| build_shape(r, p)).collect();
     let conds: Vec<Vec<Cond>> = (0..n).map(|r| build_conds(r, p, &shapes[r])).collect();
-    let interp = Interp { p, shapes, conds };
+    // Supplier index for the abstract value domain: every statement that
+    // can deposit bytes into a window, with its value knowledge. Only
+    // `AccVal`/`Replace` yields a known post-state; every other
+    // modifying write is ⊤ over its byte range (conservatively able to
+    // produce any value, which suppresses E018 — the soundness
+    // direction).
+    let mut suppliers: Vec<Supply> = Vec::new();
+    for (rank, stmts) in p.ranks.iter().enumerate() {
+        for (step, stmt) in stmts.iter().enumerate() {
+            match stmt {
+                Stmt::Put { win, target, disp, len } => suppliers.push(Supply {
+                    rank,
+                    step,
+                    win: *win,
+                    target: *target,
+                    lo: *disp,
+                    hi: disp + len,
+                    val: None,
+                }),
+                Stmt::Acc { win, target, disp, len, op } if *op != ReduceOp::NoOp => {
+                    suppliers.push(Supply {
+                        rank,
+                        step,
+                        win: *win,
+                        target: *target,
+                        lo: *disp,
+                        hi: disp + len,
+                        val: None,
+                    })
+                }
+                Stmt::AccVal { win, target, disp, op, val } if *op != ReduceOp::NoOp => {
+                    suppliers.push(Supply {
+                        rank,
+                        step,
+                        win: *win,
+                        target: *target,
+                        lo: *disp,
+                        hi: disp + 8,
+                        val: (*op == ReduceOp::Replace).then_some(*val),
+                    })
+                }
+                Stmt::ReadValue { win, target, disp, kind, .. }
+                    if kind.write_op().is_some() =>
+                {
+                    suppliers.push(Supply {
+                        rank,
+                        step,
+                        win: *win,
+                        target: *target,
+                        lo: *disp,
+                        hi: disp + 8,
+                        val: None,
+                    })
+                }
+                _ => {}
+            }
+        }
+    }
+    let interp = Interp { p, shapes, conds, suppliers };
 
     let mut pcs = vec![0usize; n];
     loop {
@@ -545,6 +728,7 @@ fn fixpoint_pass(p: &IrProgram) -> Vec<Diagnostic> {
             Stmt::Complete { .. } | Stmt::WaitEpoch { .. } => Code::E015,
             Stmt::WaitAll => Code::E017,
             Stmt::Barrier => Code::E011,
+            Stmt::SpinUntil { .. } => Code::E018,
             _ => Code::E013,
         };
         let why: Vec<&str> = reasons.iter().map(|(_, w)| w.as_str()).collect();

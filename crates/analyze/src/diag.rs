@@ -84,6 +84,15 @@ pub enum Code {
     /// unsatisfiable (the peer side of the epoch has terminated), so the
     /// wait can never return.
     E017,
+    /// Value-dependent deadlock: a rank spins on a fetched window value
+    /// ([`crate::Stmt::SpinUntil`]) that no reachable remote write can
+    /// ever produce. The abstract value domain tracks, per byte of the
+    /// spun slot, the window's zero initialization plus every constant a
+    /// reachable `AccVal`/`Replace` write can deposit (unknown-operand
+    /// writes are ⊤ and conservatively suppress the report); when some
+    /// byte of the expected value is outside that set for every write
+    /// any rank can still execute, the spin is provably unsatisfiable.
+    E018,
     /// Advisory: redundant blocking flush. The flush's completion
     /// guarantee is never consumed — no later statement depends on the
     /// covered operations before their epoch closes and it discharges no
@@ -120,7 +129,7 @@ impl Code {
     /// Every *error* code, in order. These are the codes [`crate::analyze`]
     /// enforces; the advisory W-series ([`Code::ADVISORY`]) is emitted
     /// only by the synchronization-slack pass ([`crate::analyze_slack`]).
-    pub const ALL: [Code; 17] = [
+    pub const ALL: [Code; 18] = [
         Code::E001,
         Code::E002,
         Code::E003,
@@ -138,6 +147,7 @@ impl Code {
         Code::E015,
         Code::E016,
         Code::E017,
+        Code::E018,
     ];
 
     /// Every advisory (over-synchronization) code, in order.
@@ -164,6 +174,7 @@ impl Code {
             Code::E015 => "E015",
             Code::E016 => "E016",
             Code::E017 => "E017",
+            Code::E018 => "E018",
             Code::W001 => "W001",
             Code::W002 => "W002",
             Code::W003 => "W003",
@@ -192,6 +203,7 @@ impl Code {
             Code::E015 => "missing or mismatched exposure",
             Code::E016 => "fence-participation mismatch",
             Code::E017 => "wait on never-completing request",
+            Code::E018 => "value-dependent deadlock",
             Code::W001 => "redundant blocking flush",
             Code::W002 => "fence/GATS close relaxable to nonblocking",
             Code::W003 => "lock epoch close relaxable to deferred",

@@ -35,6 +35,40 @@ impl Close {
     }
 }
 
+/// How a value-producing read ([`Stmt::ReadValue`]) fetches its 8-byte
+/// slot from the target window.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FetchKind {
+    /// Plain `MPI_GET`: a non-atomic read of the slot.
+    Get,
+    /// `MPI_GET_ACCUMULATE` with operator `op`: atomically applies `op`
+    /// to the slot and returns its prior value (`NoOp` reads without
+    /// modifying).
+    GetAcc(ReduceOp),
+    /// `MPI_FETCH_AND_OP` with operator `op`: the single-element form of
+    /// `GetAcc`.
+    FetchOp(ReduceOp),
+}
+
+impl FetchKind {
+    /// Whether this read is accumulate-family (element-wise atomic at
+    /// the target, per the MPI `same_op_no_op` rule).
+    pub fn is_atomic(self) -> bool {
+        !matches!(self, FetchKind::Get)
+    }
+
+    /// The operator this read *writes* with, if it modifies the slot at
+    /// all (`Get` and the `NoOp` atomics are pure reads).
+    pub fn write_op(self) -> Option<ReduceOp> {
+        match self {
+            FetchKind::Get => None,
+            FetchKind::GetAcc(op) | FetchKind::FetchOp(op) => {
+                (op != ReduceOp::NoOp).then_some(op)
+            }
+        }
+    }
+}
+
 /// One statement of one rank's program. Epoch and data statements name
 /// the window they address via a `win` index into
 /// [`IrProgram::windows`].
@@ -162,6 +196,54 @@ pub enum Stmt {
         /// Reduction operator.
         op: ReduceOp,
     },
+    /// Value-producing read: fetch the 8-byte slot at `disp` of
+    /// `target`'s window and bind its value to IR local `local`. The
+    /// binding is what value-dependent guards ([`Stmt::SpinUntil`])
+    /// reference; rebinding a local shadows the earlier definition.
+    ReadValue {
+        /// Window index.
+        win: usize,
+        /// Target rank.
+        target: usize,
+        /// Byte displacement of the 8-byte slot.
+        disp: usize,
+        /// Get / get_accumulate / fetch_and_op flavour.
+        kind: FetchKind,
+        /// The IR local the fetched value is bound to.
+        local: usize,
+    },
+    /// Accumulate-family atomic write of the *known* 8-byte constant
+    /// `val` (little-endian) at `disp` of `target`'s window — the
+    /// flag-publication half of value-dependent synchronization. With
+    /// `op == Replace` the slot's post-state is exactly `val`; any other
+    /// operator folds `val` into the prior contents. (The existing
+    /// [`Stmt::Acc`] models an accumulate whose operand is unknown.)
+    AccVal {
+        /// Window index.
+        win: usize,
+        /// Target rank.
+        target: usize,
+        /// Byte displacement of the 8-byte slot.
+        disp: usize,
+        /// Reduction operator.
+        op: ReduceOp,
+        /// The known operand value.
+        val: u64,
+    },
+    /// Value-dependent guard: re-execute `local`'s defining
+    /// [`Stmt::ReadValue`] (fetch + flush) until the fetched value
+    /// equals `expect` — the flag/counter/lock-word spin at the heart of
+    /// value-dependent synchronization. The spin blocks the host like a
+    /// blocking close; whether it can ever be satisfied is decided by
+    /// the abstract value domain of the whole-job deadlock pass
+    /// ([`crate::Code::E018`]). Spinning on a local no dominating
+    /// `ReadValue` binds is a no-op.
+    SpinUntil {
+        /// The IR local whose defining read is re-executed.
+        local: usize,
+        /// The value the spin waits for.
+        expect: u64,
+    },
     /// Consume every outstanding nonblocking-epoch request
     /// (`MPI_WAITALL` over the collected requests).
     WaitAll,
@@ -186,8 +268,12 @@ impl Stmt {
             | Stmt::Flush { win, .. }
             | Stmt::Put { win, .. }
             | Stmt::Get { win, .. }
-            | Stmt::Acc { win, .. } => Some(win),
-            Stmt::WaitAll | Stmt::Barrier => None,
+            | Stmt::Acc { win, .. }
+            | Stmt::ReadValue { win, .. }
+            | Stmt::AccVal { win, .. } => Some(win),
+            // A spin addresses its defining read's window indirectly;
+            // the walker resolves the binding itself.
+            Stmt::SpinUntil { .. } | Stmt::WaitAll | Stmt::Barrier => None,
         }
     }
 }

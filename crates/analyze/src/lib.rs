@@ -17,9 +17,13 @@
 //!    ω-triple fixpoint interpreter plus a lock-acquisition-order scan,
 //!    yielding E013 (cyclic cross-rank wait, with a rank-annotated
 //!    witness), E014 (lock-order inversion), E015 (missing/mismatched
-//!    exposure), E016 (fence-participation mismatch) and E017 (wait on a
-//!    never-completing request). Each rejection is a [`Diagnostic`] with
-//!    a stable [`Code`] (`E001`…) plus rank and statement provenance.
+//!    exposure), E016 (fence-participation mismatch), E017 (wait on a
+//!    never-completing request) and E018 (value-dependent deadlock: a
+//!    spin on a fetched window value no reachable remote write can ever
+//!    satisfy, decided by an abstract written-constants/⊤ value domain
+//!    per byte of the spun slot). Each rejection is a [`Diagnostic`]
+//!    with a stable [`Code`] (`E001`…) plus rank and statement
+//!    provenance.
 //!
 //! 2. **Dynamic race detector** ([`detect_races`]) — vector-clock
 //!    happens-before checking over the sync-event trace a simulated run
@@ -41,7 +45,12 @@
 //! byte-interval dataflow (advisory codes `W001`–`W005`), and rewrites
 //! the relaxable ones to their nonblocking forms — the optimization the
 //! source paper argues for, proved safe differentially by
-//! `mpisim-check`'s rewrite-equivalence sweep.
+//! `mpisim-check`'s rewrite-equivalence sweep. The rewriter prices
+//! every candidate relaxation with a virtual-time [`CostModel`]
+//! calibrated from the engine's `sync_blocked_ns` counters, skipping
+//! relaxations whose bookkeeping would cost more than the reclaimed
+//! overlap, and mechanizes the W004 over-wide-group fix via symmetric
+//! [`GroupShrink`] pairs.
 
 #![warn(missing_docs)]
 
@@ -56,10 +65,15 @@ pub mod slack;
 
 pub use analyzer::analyze;
 pub use corpus::{
-    catalog_cases, generate_negative, slack_catalog_cases, NegCase, NegFamily, NEG_WIN_BYTES,
+    catalog_cases, generate_negative, generate_value_clean, slack_catalog_cases, NegCase,
+    NegFamily, NEG_WIN_BYTES,
 };
 pub use diag::{has_code, Code, Diagnostic};
-pub use ir::{Close, IrProgram, Stmt};
+pub use ir::{Close, FetchKind, IrProgram, Stmt};
 pub use race::{detect_races, detect_races_in, Race, RaceAccess};
-pub use rewrite::{rewrite, rewrite_with, RewriteMode, RewriteReport};
-pub use slack::{analyze_slack, SlackClass, SlackFinding, SlackReport, SyncKind};
+pub use rewrite::{
+    rewrite, rewrite_with, rewrite_with_model, CostModel, RewriteMode, RewriteReport,
+};
+pub use slack::{
+    analyze_slack, GroupShrink, SlackClass, SlackFinding, SlackReport, SyncKind,
+};

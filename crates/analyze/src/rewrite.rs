@@ -16,14 +16,47 @@
 //!   every local-only `iflush` request it discharged);
 //! * **elide** — an `Elidable` blocking flush is deleted.
 //!
+//! * **shrink** — a mechanizable W004 pair ([`crate::GroupShrink`])
+//!   drops the never-addressed target from the origin's `start` group
+//!   *and* the origin from the matching `post`'s group. Shrinking both
+//!   sides of one matched pair keeps every later k-th-occurrence
+//!   pairing aligned, so cross-rank collective matching is preserved;
+//!   the rewrite touches no flush or `WaitAll`, so the slack pass's
+//!   never-prune-iflush-at-`WaitAll` bookkeeping invariant is
+//!   untouched by it.
+//!
+//! Every candidate **relaxation** is additionally priced by a
+//! virtual-time [`CostModel`]: relaxing buys back at most the host
+//! park time the blocking call paid (scaled by the covered bytes) and
+//! at most the overlap the slack region can absorb, and costs request
+//! bookkeeping plus — when the deferred wait needs a fresh mid-program
+//! landing point — the inserted `WaitAll`'s own synchronization.
+//! Unprofitable relaxations are *skipped* (the W-lint still reports
+//! them; [`RewriteReport::skipped`] counts them). Elision, localization
+//! and group shrinking strictly remove work, so they are never gated.
+//!
+//! One structural veto sits above the price book: an `Unlock` on a
+//! **contended** lock — our lock or some other rank's lock on the same
+//! `(win, target)` is exclusive — is never relaxed. Deferring the
+//! release pushes back the moment contending peers can acquire, so the
+//! origin's overlap gain is the peers' serialization loss; the price
+//! book is per-rank and cannot see that externality, but the whole-job
+//! statement lists can (engine-confirmed on the transactions twin,
+//! where relaxing contended unlocks cut blocked steps 111→23 yet
+//! *regressed* virtual completion time ~4%).
+//!
 //! Rewriting runs the classify→apply cycle to a **fixpoint**: an
 //! inserted `WaitAll` is a new free deferred-wait landing point that can
 //! turn a previously `Required` sync `Relaxable` on the next pass, and
 //! each pass that changes anything strictly decreases the number of
-//! blocking synchronization points (relax and elide remove one each; a
-//! localized flush re-classifies `Required` next pass), so the loop
-//! terminates and [`rewrite`] is idempotent by construction —
-//! `rewrite(rewrite(p)) == rewrite(p)`.
+//! blocking synchronization points or group widths (relax and elide
+//! remove one blocking point each; a localized flush re-classifies
+//! `Required` next pass; a shrink strictly narrows a group and is
+//! never re-recorded for the dropped pair), so the loop terminates and
+//! [`rewrite`] is idempotent by construction —
+//! `rewrite(rewrite(p)) == rewrite(p)`, group-shrunk programs
+//! included. Skip decisions are deterministic functions of the program
+//! and the model, so they are stable across the fixpoint too.
 //!
 //! [`RewriteMode::PlantUnsound`] exists for the closed-loop validator's
 //! exit-inverted self-test: after the sound rewrite it deletes one
@@ -33,7 +66,85 @@
 //! stall/deadlock, a memory divergence, or a watchdog degradation.
 
 use crate::ir::{Close, IrProgram, Stmt};
-use crate::slack::{analyze_slack, SlackClass, SyncKind};
+use crate::slack::{analyze_slack, SlackClass, SlackFinding, SyncKind};
+
+/// Virtual-time price book for candidate relaxations.
+///
+/// The calibration anchor is the engine's own `sync_blocked_ns` /
+/// `sync_blocked_steps` counters on the BENCH_9 trajectory baseline:
+/// `halo_fence` parks the host for 412,548 virtual ns across 1,040
+/// blocked sync steps, ≈ 400 ns per blocking synchronization — the
+/// default [`CostModel::park_ns_base`]. The remaining constants model
+/// the engine's virtual-cost accounting: larger covered transfers keep
+/// the sync parked longer (`park_ns_per_byte`), each statement of slack
+/// distance can absorb a bounded amount of overlap
+/// (`overlap_ns_per_stmt`), a nonblocking request costs
+/// allocate/track/complete bookkeeping (`request_ns`), and a fresh
+/// mid-program `WaitAll` landing point is itself a synchronization the
+/// host must visit (`wait_insert_ns`). A deferred wait that lands on an
+/// existing `WaitAll` or at end of program adds no landing-point cost —
+/// the park there overlaps work the host no longer has.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Modeled host-park floor of one blocking synchronization, in
+    /// virtual ns (BENCH_9 `halo_fence`: ≈ 400 ns per blocked step).
+    pub park_ns_base: u64,
+    /// Additional park per covered byte the sync completes.
+    pub park_ns_per_byte: u64,
+    /// Overlap reclaimable per statement of slack distance.
+    pub overlap_ns_per_stmt: u64,
+    /// Bookkeeping overhead of one nonblocking request.
+    pub request_ns: u64,
+    /// Overhead of one *inserted* mid-program `WaitAll` landing point.
+    pub wait_insert_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+impl CostModel {
+    /// The BENCH_9-calibrated default (see the type docs).
+    pub fn calibrated() -> Self {
+        CostModel {
+            park_ns_base: 400,
+            park_ns_per_byte: 1,
+            overlap_ns_per_stmt: 250,
+            request_ns: 120,
+            wait_insert_ns: 240,
+        }
+    }
+
+    /// A free model: every relaxation is profitable (the pre-cost-model
+    /// rewriter's behavior; useful for exhaustiveness tests).
+    pub fn free() -> Self {
+        CostModel {
+            park_ns_base: 1,
+            park_ns_per_byte: 0,
+            overlap_ns_per_stmt: u64::MAX,
+            request_ns: 0,
+            wait_insert_ns: 0,
+        }
+    }
+
+    /// Is relaxing this `Relaxable` epoch close worth it? `rank_len` is
+    /// the finding's rank program length (the end-of-program wait
+    /// point). Benefit is capped both by the park time the blocking
+    /// call paid and by the overlap the slack region can absorb; cost
+    /// is the request bookkeeping plus, for a fresh mid-program landing
+    /// point, the inserted wait.
+    pub fn profitable(&self, f: &SlackFinding, rank_len: usize) -> bool {
+        let slack_stmts = f.wait_before.unwrap_or(rank_len).saturating_sub(f.step + 1) as u64;
+        let park = self.park_ns_base + self.park_ns_per_byte * f.covered_bytes as u64;
+        let overlap = self.overlap_ns_per_stmt.saturating_mul(slack_stmts);
+        let benefit = park.min(overlap);
+        let cost = self.request_ns
+            + if f.insert_wait && f.wait_before.is_some() { self.wait_insert_ns } else { 0 };
+        benefit > cost
+    }
+}
 
 /// Whether to apply only provably-safe relaxations or to additionally
 /// plant one unsound deletion (for the validator's self-test).
@@ -58,6 +169,12 @@ pub struct RewriteReport {
     pub localized: usize,
     /// `WaitAll` statements inserted (deferred-wait landing points).
     pub waits_inserted: usize,
+    /// W004 group-shrink pairs applied (start + matching post).
+    pub shrunk: usize,
+    /// `Relaxable` closes left blocking because the cost model priced
+    /// the relaxation as unprofitable (state at the fixpoint, not a
+    /// per-pass sum).
+    pub skipped: usize,
     /// Classify→apply passes until the fixpoint (≥ 1).
     pub passes: usize,
     /// `PlantUnsound` only: `(rank, original step)` of the deleted
@@ -69,7 +186,7 @@ impl RewriteReport {
     /// Whether any rewrite fired (the validator only scores programs
     /// where it did).
     pub fn changed(&self) -> bool {
-        self.relaxed + self.elided + self.localized + self.waits_inserted > 0
+        self.relaxed + self.elided + self.localized + self.waits_inserted + self.shrunk > 0
             || self.planted.is_some()
     }
 }
@@ -81,16 +198,27 @@ pub fn rewrite(p: &IrProgram) -> (IrProgram, RewriteReport) {
     rewrite_with(p, RewriteMode::Sound)
 }
 
-/// [`rewrite`] with an explicit [`RewriteMode`].
+/// [`rewrite`] with an explicit [`RewriteMode`] and the calibrated
+/// [`CostModel`].
 pub fn rewrite_with(p: &IrProgram, mode: RewriteMode) -> (IrProgram, RewriteReport) {
+    rewrite_with_model(p, mode, &CostModel::calibrated())
+}
+
+/// [`rewrite`] with an explicit [`RewriteMode`] and [`CostModel`].
+pub fn rewrite_with_model(
+    p: &IrProgram,
+    mode: RewriteMode,
+    model: &CostModel,
+) -> (IrProgram, RewriteReport) {
     let mut cur = p.clone();
     let mut report = RewriteReport::default();
     // Each changing pass strictly decreases the count of blocking sync
-    // points, so this terminates; the bound is belt and braces.
+    // points or total group width, so this terminates; the bound is
+    // belt and braces.
     let max_passes = 2 + cur.ranks.iter().map(Vec::len).sum::<usize>();
     loop {
         report.passes += 1;
-        let (next, changed) = apply_once(&cur, &mut report);
+        let (next, changed) = apply_once(&cur, model, &mut report);
         cur = next;
         if !changed || report.passes >= max_passes {
             break;
@@ -104,10 +232,63 @@ pub fn rewrite_with(p: &IrProgram, mode: RewriteMode) -> (IrProgram, RewriteRepo
 
 /// One classify→apply pass. Returns the rewritten program and whether
 /// anything fired.
-fn apply_once(p: &IrProgram, report: &mut RewriteReport) -> (IrProgram, bool) {
+/// The structural contention veto (see the module docs): is the close
+/// at `(rank, step)` an `Unlock` whose lock is contended? Contended
+/// means some *other* rank also locks the same `(win, target)` — or
+/// `lock_all`s the window — and at least one of the two locks is
+/// exclusive: exactly the pairs where one side's acquire waits on the
+/// other side's release, so deferring our release serializes them.
+/// Concurrent shared locks never wait on each other, so a shared/shared
+/// pair stays relaxable.
+fn unlock_contended(p: &IrProgram, rank: usize, step: usize) -> bool {
+    let Stmt::Unlock { win, target, .. } = p.ranks[rank][step] else {
+        return false;
+    };
+    // Our lock mode: the nearest preceding lock of that (win, target).
+    let ours_exclusive = p.ranks[rank][..step]
+        .iter()
+        .rev()
+        .find_map(|s| match *s {
+            Stmt::Lock { win: w, target: t, exclusive, .. } if w == win && t == target => {
+                Some(exclusive)
+            }
+            _ => None,
+        })
+        .unwrap_or(false);
+    p.ranks.iter().enumerate().any(|(r, stmts)| {
+        r != rank
+            && stmts.iter().any(|s| match *s {
+                Stmt::Lock { win: w, target: t, exclusive, .. } => {
+                    w == win && t == target && (exclusive || ours_exclusive)
+                }
+                Stmt::LockAll { win: w } => w == win && ours_exclusive,
+                _ => false,
+            })
+    })
+}
+
+fn apply_once(p: &IrProgram, model: &CostModel, report: &mut RewriteReport) -> (IrProgram, bool) {
     let slack = analyze_slack(p);
     let mut out = p.clone();
     let mut changed = false;
+    // W004 group shrinks first: statement-count-stable (only group
+    // contents change), so every finding's step index stays valid, and
+    // the per-rank rebuild below reads the shrunk statements.
+    for s in &slack.shrinks {
+        if let Stmt::Start { group, .. } = &mut out.ranks[s.origin][s.start_step] {
+            if let Some(pos) = group.iter().position(|&t| t == s.target) {
+                group.remove(pos);
+                changed = true;
+                report.shrunk += 1;
+            }
+        }
+        if let Stmt::Post { group, .. } = &mut out.ranks[s.target][s.post_step] {
+            if let Some(pos) = group.iter().position(|&o| o == s.origin) {
+                group.remove(pos);
+            }
+        }
+    }
+    let mut pass_skipped = 0usize;
     for rank in 0..p.n_ranks {
         let mut relax: Vec<usize> = Vec::new();
         let mut elide: Vec<usize> = Vec::new();
@@ -118,6 +299,12 @@ fn apply_once(p: &IrProgram, report: &mut RewriteReport) -> (IrProgram, bool) {
             match (f.class, f.kind) {
                 (SlackClass::Relaxable, SyncKind::Flush) => localize.push(f.step),
                 (SlackClass::Relaxable, _) => {
+                    if unlock_contended(p, rank, f.step)
+                        || !model.profitable(f, p.ranks[rank].len())
+                    {
+                        pass_skipped += 1;
+                        continue;
+                    }
                     relax.push(f.step);
                     match f.wait_before {
                         Some(d) if f.insert_wait => insert_before.push(d),
@@ -139,8 +326,9 @@ fn apply_once(p: &IrProgram, report: &mut RewriteReport) -> (IrProgram, bool) {
         report.elided += elide.len();
         report.localized += localize.len();
         report.waits_inserted += insert_before.len() + usize::from(trailing_wait);
-        let mut stmts = Vec::with_capacity(p.ranks[rank].len() + insert_before.len() + 1);
-        for (i, stmt) in p.ranks[rank].iter().enumerate() {
+        let src = std::mem::take(&mut out.ranks[rank]);
+        let mut stmts = Vec::with_capacity(src.len() + insert_before.len() + 1);
+        for (i, stmt) in src.iter().enumerate() {
             if insert_before.binary_search(&i).is_ok() {
                 stmts.push(Stmt::WaitAll);
             }
@@ -170,6 +358,7 @@ fn apply_once(p: &IrProgram, report: &mut RewriteReport) -> (IrProgram, bool) {
         }
         out.ranks[rank] = stmts;
     }
+    report.skipped = pass_skipped;
     (out, changed)
 }
 

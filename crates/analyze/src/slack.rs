@@ -48,12 +48,21 @@
 //! epoch's own close (which re-establishes completion) and that no
 //! outstanding `iflush` request rides on the discharge.
 //!
+//! Value-dependent statements participate conservatively: a
+//! [`Stmt::ReadValue`] is a data access like `get` (a value dependence
+//! on covered written bytes), and a [`Stmt::SpinUntil`] is a hard
+//! dependent-use pin — the spin re-reads the window until a peer's
+//! write lands, so every blocking sync whose slack region would cross
+//! it must complete first.
+//!
 //! The W-series is advisory: it is emitted only by [`analyze_slack`],
 //! never by [`crate::analyze`], so "analyzer-clean" (the E-codes)
 //! keeps meaning exactly what it meant. The companion rewriter
-//! ([`crate::rewrite`]) applies W001–W003 mechanically; W004 (over-wide
-//! start group) and W005 (dead exposure) stay report-only because their
-//! fixes change cross-rank collective matching.
+//! ([`crate::rewrite`]) applies W001–W003 mechanically and shrinks
+//! W004 over-wide start groups symmetrically on both sides of the
+//! cross-rank matching (the recorded [`GroupShrink`] pairs); W005
+//! (dead exposure) stays report-only because removing an exposure
+//! epoch outright changes collective matching asymmetrically.
 
 use std::collections::BTreeMap;
 
@@ -115,9 +124,34 @@ pub struct SlackFinding {
     /// Relaxable flushes only: weaken to `flush_local` (the flush
     /// discharges local-only `iflush` requests) instead of eliding.
     pub localize: bool,
+    /// Total bytes of the operations this sync point completes (the sum
+    /// of the covered intervals) — the size input of the rewriter's
+    /// virtual-time cost model.
+    pub covered_bytes: usize,
     /// Witness: the dependent use / discharge / pin justifying the
     /// classification.
     pub why: String,
+}
+
+/// One mechanizable W004 group shrink: drop `target` from `origin`'s
+/// start group at `start_step`, and drop `origin` from the matching
+/// post's group at (`target`, `post_step`). Shrinking both sides of
+/// one matched pair keeps every later k-th-occurrence pairing between
+/// the two ranks aligned, so the rewrite never perturbs cross-rank
+/// collective matching. Pairs whose matching post the target's program
+/// lacks are not recorded (that is E015's business, not a rewrite).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupShrink {
+    /// Rank whose start group is over-wide.
+    pub origin: usize,
+    /// Window of the matched epoch pair.
+    pub win: usize,
+    /// Statement index of the `start` in `origin`'s program.
+    pub start_step: usize,
+    /// The never-addressed target to drop from the start group.
+    pub target: usize,
+    /// Statement index of the matching `post` in `target`'s program.
+    pub post_step: usize,
 }
 
 /// The slack pass result: every classified sync point plus the advisory
@@ -128,6 +162,8 @@ pub struct SlackReport {
     pub findings: Vec<SlackFinding>,
     /// Advisory W-series diagnostics.
     pub diags: Vec<Diagnostic>,
+    /// Mechanizable W004 group shrinks (symmetric start/post pairs).
+    pub shrinks: Vec<GroupShrink>,
 }
 
 /// One byte interval covered by a sync point (window implicit).
@@ -193,29 +229,41 @@ fn collect_accesses(p: &IrProgram) -> Vec<Vec<RankAccess>> {
                 Stmt::UnlockAll { win, .. } => {
                     lock_all.remove(win);
                 }
-                Stmt::Put { win, target, disp, len }
-                | Stmt::Get { win, target, disp, len }
-                | Stmt::Acc { win, target, disp, len, .. } => {
-                    let write = !matches!(stmt, Stmt::Get { .. });
+                Stmt::Put { .. }
+                | Stmt::Get { .. }
+                | Stmt::Acc { .. }
+                | Stmt::ReadValue { .. }
+                | Stmt::AccVal { .. } => {
+                    let (win, target, lo, hi, write) = match stmt {
+                        Stmt::Put { win, target, disp, len } => {
+                            (*win, *target, *disp, disp + len, true)
+                        }
+                        Stmt::Get { win, target, disp, len } => {
+                            (*win, *target, *disp, disp + len, false)
+                        }
+                        Stmt::Acc { win, target, disp, len, .. } => {
+                            (*win, *target, *disp, disp + len, true)
+                        }
+                        Stmt::ReadValue { win, target, disp, kind, .. } => {
+                            (*win, *target, *disp, disp + 8, kind.write_op().is_some())
+                        }
+                        Stmt::AccVal { win, target, disp, .. } => {
+                            (*win, *target, *disp, disp + 8, true)
+                        }
+                        _ => unreachable!(),
+                    };
                     let epoch = locks
-                        .get(&(*win, *target))
+                        .get(&(win, target))
                         .copied()
-                        .or_else(|| lock_all.get(win).copied())
+                        .or_else(|| lock_all.get(&win).copied())
                         .or_else(|| {
-                            gats.get(win)
-                                .filter(|(g, _)| g.contains(target))
+                            gats.get(&win)
+                                .filter(|(g, _)| g.contains(&target))
                                 .map(|&(_, o)| o)
                         })
-                        .or_else(|| fence_open.get(win).copied());
+                        .or_else(|| fence_open.get(&win).copied());
                     if let Some(epoch) = epoch {
-                        out.push(RankAccess {
-                            win: *win,
-                            target: *target,
-                            lo: *disp,
-                            hi: *disp + *len,
-                            write,
-                            epoch,
-                        });
+                        out.push(RankAccess { win, target, lo, hi, write, epoch });
                     }
                 }
                 _ => {}
@@ -339,6 +387,38 @@ fn scan_close(
                     }
                 }
             }
+            Stmt::ReadValue { win: gw, target, disp, .. } if *gw == win => {
+                for iv in covered {
+                    if iv.write
+                        && iv.target == *target
+                        && ranges_overlap(*disp, *disp + 8, iv.lo, iv.hi)
+                    {
+                        return WaitPoint::At {
+                            at: d,
+                            insert: true,
+                            why: format!(
+                                "value read at stmt {d} fetches bytes [{}, {}) of rank \
+                                 {target}'s window {win} that the sync completes",
+                                disp.max(&iv.lo),
+                                (disp + 8).min(iv.hi)
+                            ),
+                        };
+                    }
+                }
+            }
+            Stmt::SpinUntil { .. } => {
+                // A value-dependent spin re-reads the window until a
+                // peer's write lands: conservative hard pin — the sync
+                // must complete before the spin starts.
+                return WaitPoint::At {
+                    at: d,
+                    insert: true,
+                    why: format!(
+                        "value-dependent spin at stmt {d} re-reads the window until \
+                         satisfied; the sync must complete before it"
+                    ),
+                };
+            }
             Stmt::Barrier => {
                 if let Some(why) = &barrier_conflict {
                     return WaitPoint::At {
@@ -381,6 +461,25 @@ fn scan_flush(
                         ));
                     }
                 }
+            }
+            Stmt::ReadValue { win: gw, target, disp, .. } if *gw == win => {
+                for iv in covered {
+                    if iv.write
+                        && iv.target == *target
+                        && ranges_overlap(*disp, *disp + 8, iv.lo, iv.hi)
+                    {
+                        return Some(format!(
+                            "value read at stmt {d} depends on the flushed bytes before \
+                             the epoch closes"
+                        ));
+                    }
+                }
+            }
+            Stmt::SpinUntil { .. } => {
+                return Some(format!(
+                    "value-dependent spin at stmt {d} depends on window state before the \
+                     epoch closes"
+                ));
             }
             Stmt::Barrier => {
                 if let Some(why) = &barrier_conflict {
@@ -454,6 +553,7 @@ pub fn analyze_slack(p: &IrProgram) -> SlackReport {
                               kind: SyncKind,
                               covered: &[Iv],
                               report: &mut SlackReport| {
+            let covered_bytes: usize = covered.iter().map(|iv| iv.hi - iv.lo).sum();
             if pinned[rank] {
                 report.findings.push(SlackFinding {
                     rank,
@@ -464,6 +564,7 @@ pub fn analyze_slack(p: &IrProgram) -> SlackReport {
                     wait_before: None,
                     insert_wait: false,
                     localize: false,
+                    covered_bytes,
                     why: "reorder pin: this rank has conflicting same-origin accesses in \
                           different epochs, so blocking syncs must keep breaking reorder \
                           regions"
@@ -491,6 +592,7 @@ pub fn analyze_slack(p: &IrProgram) -> SlackReport {
                     wait_before: None,
                     insert_wait: false,
                     localize: false,
+                    covered_bytes,
                     why: format!("zero slack: {why}"),
                 });
                 return;
@@ -519,6 +621,7 @@ pub fn analyze_slack(p: &IrProgram) -> SlackReport {
                 wait_before,
                 insert_wait,
                 localize: false,
+                covered_bytes,
                 why,
             });
         };
@@ -755,35 +858,61 @@ pub fn analyze_slack(p: &IrProgram) -> SlackReport {
                         wait_before: None,
                         insert_wait: false,
                         localize,
+                        covered_bytes: covered_ops.iter().map(|iv| iv.hi - iv.lo).sum(),
                         why,
                     });
                 }
-                Stmt::Put { win, target, disp, len }
-                | Stmt::Get { win, target, disp, len }
-                | Stmt::Acc { win, target, disp, len, .. } => {
-                    let iv = Iv {
-                        target: *target,
-                        lo: *disp,
-                        hi: *disp + *len,
-                        write: !matches!(stmt, Stmt::Get { .. }),
+                Stmt::Put { .. }
+                | Stmt::Get { .. }
+                | Stmt::Acc { .. }
+                | Stmt::ReadValue { .. }
+                | Stmt::AccVal { .. } => {
+                    let (win, target, iv) = match stmt {
+                        Stmt::Put { win, target, disp, len }
+                        | Stmt::Acc { win, target, disp, len, .. } => (
+                            *win,
+                            *target,
+                            Iv { target: *target, lo: *disp, hi: *disp + *len, write: true },
+                        ),
+                        Stmt::Get { win, target, disp, len } => (
+                            *win,
+                            *target,
+                            Iv { target: *target, lo: *disp, hi: *disp + *len, write: false },
+                        ),
+                        Stmt::ReadValue { win, target, disp, kind, .. } => (
+                            *win,
+                            *target,
+                            Iv {
+                                target: *target,
+                                lo: *disp,
+                                hi: *disp + 8,
+                                write: kind.write_op().is_some(),
+                            },
+                        ),
+                        Stmt::AccVal { win, target, disp, .. } => (
+                            *win,
+                            *target,
+                            Iv { target: *target, lo: *disp, hi: *disp + 8, write: true },
+                        ),
+                        _ => unreachable!(),
                     };
-                    if let Some(ops) = locks.get_mut(&(*win, *target)) {
+                    if let Some(ops) = locks.get_mut(&(win, target)) {
                         ops.push(iv);
-                    } else if let Some(ops) = lock_all.get_mut(win) {
+                    } else if let Some(ops) = lock_all.get_mut(&win) {
                         ops.push(iv);
-                    } else if let Some((i, ops)) = gats.get_mut(win) {
-                        let sh = &mut my_starts.get_mut(win).unwrap()[*i];
-                        if sh.group.contains(target) {
-                            *sh.ops_toward.entry(*target).or_insert(0) += 1;
+                    } else if let Some((i, ops)) = gats.get_mut(&win) {
+                        let sh = &mut my_starts.get_mut(&win).unwrap()[*i];
+                        if sh.group.contains(&target) {
+                            *sh.ops_toward.entry(target).or_insert(0) += 1;
                             ops.push(iv);
-                        } else if fence_calls.get(win).copied().unwrap_or(0) > 0 {
-                            fence_ops.entry(*win).or_default().push(iv);
+                        } else if fence_calls.get(&win).copied().unwrap_or(0) > 0 {
+                            fence_ops.entry(win).or_default().push(iv);
                         }
-                    } else if fence_calls.get(win).copied().unwrap_or(0) > 0 {
-                        fence_ops.entry(*win).or_default().push(iv);
+                    } else if fence_calls.get(&win).copied().unwrap_or(0) > 0 {
+                        fence_ops.entry(win).or_default().push(iv);
                     }
                 }
-                Stmt::WaitAll | Stmt::Barrier => {}
+                Stmt::SpinUntil { .. } | Stmt::WaitAll | Stmt::Barrier => {}
             }
         }
         starts_shape.push(my_starts);
@@ -834,6 +963,45 @@ pub fn analyze_slack(p: &IrProgram) -> SlackReport {
                             post.group
                         ),
                     });
+                }
+            }
+        }
+    }
+
+    // Mechanizable W004 shrinks: for each over-wide start (some — not
+    // all — group targets unused), pair every unused target with the
+    // matching post on the target's side via the k-th-occurrence rule.
+    // Pairs without a matching post are skipped: the shrink must stay
+    // symmetric, and a missing post is E015's business.
+    for (origin, wins) in starts_shape.iter().enumerate() {
+        for (win, list) in wins {
+            for (i, sh) in list.iter().enumerate() {
+                let unused: Vec<usize> = sh
+                    .group
+                    .iter()
+                    .copied()
+                    .filter(|t| !sh.ops_toward.contains_key(t))
+                    .collect();
+                if unused.is_empty() || unused.len() == sh.group.len() {
+                    continue;
+                }
+                for &t in &unused {
+                    let occ = list[..i].iter().filter(|s| s.group.contains(&t)).count();
+                    let post = posts_shape
+                        .get(t)
+                        .and_then(|m| m.get(win))
+                        .and_then(|ps| {
+                            ps.iter().filter(|p| p.group.contains(&origin)).nth(occ)
+                        });
+                    if let Some(p) = post {
+                        report.shrinks.push(GroupShrink {
+                            origin,
+                            win: *win,
+                            start_step: sh.step,
+                            target: t,
+                            post_step: p.step,
+                        });
+                    }
                 }
             }
         }

@@ -7,7 +7,8 @@
 //! at all for it.
 
 use mpisim_analyze::{
-    analyze, analyze_slack, detect_races_in, has_code, Close, Code, IrProgram, SlackClass, Stmt,
+    analyze, analyze_slack, detect_races_in, has_code, Close, Code, FetchKind, IrProgram,
+    SlackClass, Stmt,
 };
 use mpisim_core::trace::{AccessKind, Plane, SyncEvent, SyncRecord};
 use mpisim_core::{Rank, ReduceOp, WinId};
@@ -741,6 +742,73 @@ fn e017_near_miss_exposure_present() {
         Stmt::Post { win: 0, group: vec![0] },
         Stmt::WaitEpoch { win: 0, close: Close::Blocking },
     ]);
+    assert_clean(&p);
+}
+
+// ---------------------------------------------------------------- E018
+
+/// Rank 0 spins on a fetched flag slot; rank 1 publishes `published`
+/// into it with an atomic replace. The spin expects `expect`.
+fn value_spin(published: u64, expect: u64) -> IrProgram {
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::LockAll { win: 0 },
+        Stmt::ReadValue { win: 0, target: 0, disp: 0, kind: FetchKind::FetchOp(ReduceOp::NoOp), local: 0 },
+        Stmt::SpinUntil { local: 0, expect },
+        Stmt::UnlockAll { win: 0, close: Close::Blocking },
+    ]);
+    p.ranks[1].extend([
+        Stmt::Lock { win: 0, target: 0, exclusive: false, nonblocking: false },
+        Stmt::AccVal { win: 0, target: 0, disp: 0, op: ReduceOp::Replace, val: published },
+        Stmt::Unlock { win: 0, target: 0, close: Close::Blocking },
+    ]);
+    p
+}
+
+#[test]
+fn e018_spin_on_unwritable_value() {
+    // The only write anywhere deposits 1; the spin demands 2. No
+    // schedule can satisfy it, and the witness names the doomed value.
+    let diags = analyze(&value_spin(1, 2));
+    assert!(has_code(&diags, Code::E018), "{diags:?}");
+    let d = diags.iter().find(|d| d.code == Code::E018).unwrap();
+    assert_eq!(d.rank, 0, "{d:?}");
+    assert!(d.detail.contains("0x2"), "{d:?}");
+}
+
+#[test]
+fn e018_near_miss_published_value_matches() {
+    // Same shape, but the publish matches the expectation: satisfiable.
+    assert_clean(&value_spin(2, 2));
+}
+
+#[test]
+fn e018_near_miss_unknown_operand_write_suppresses() {
+    // A non-Replace accumulate's result is unmodeled (⊤ in the value
+    // domain): it could produce anything, including the expected flag,
+    // so no E018 — the domain over-approximates and never cries wolf.
+    let mut p = value_spin(0, 0xDEAD);
+    p.ranks[1][1] = Stmt::AccVal { win: 0, target: 0, disp: 0, op: ReduceOp::Sum, val: 1 };
+    assert_clean(&p);
+}
+
+#[test]
+fn e018_own_post_spin_write_cannot_satisfy() {
+    // The spinner itself writes the expected value — but only *after*
+    // the spin, which blocks its host first. Still doomed.
+    let mut p = value_spin(1, 2);
+    p.ranks[0].insert(
+        3,
+        Stmt::AccVal { win: 0, target: 0, disp: 0, op: ReduceOp::Replace, val: 2 },
+    );
+    assert!(has_code(&analyze(&p), Code::E018));
+}
+
+#[test]
+fn e018_zero_expectation_is_satisfied_by_init() {
+    // Windows are zero-initialized: spinning for 0 needs no writer.
+    let mut p = value_spin(0, 0);
+    p.ranks[1].clear();
     assert_clean(&p);
 }
 

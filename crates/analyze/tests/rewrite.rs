@@ -8,8 +8,8 @@
 //! host steps) lives in `mpisim-check::crossval::crossval_rewrites`.
 
 use mpisim_analyze::{
-    analyze, analyze_slack, rewrite, rewrite_with, slack_catalog_cases, Close, IrProgram,
-    RewriteMode, Stmt,
+    analyze, analyze_slack, rewrite, rewrite_with, rewrite_with_model, slack_catalog_cases,
+    Close, CostModel, IrProgram, RewriteMode, SlackClass, Stmt,
 };
 
 const WIN: usize = 64;
@@ -113,14 +113,18 @@ fn flush_carrying_local_requests_is_localized() {
 #[test]
 fn unlock_relaxation_inserts_wait_before_dependent_use() {
     // The unlock's put is consumed by a later Get on the same rank with
-    // slack in between: the rewriter flips the unlock nonblocking and
-    // plants a WaitAll at the latest safe point before the Get.
+    // slack in between (the disjoint puts of the second epoch are
+    // overlap room the cost model prices in): the rewriter flips the
+    // unlock nonblocking and plants a WaitAll at the latest safe point
+    // before the Get.
     let mut p = IrProgram::new(2, WIN);
     p.ranks[0].extend([
         Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
         Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
         Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
         Stmt::Lock { win: 0, target: 1, exclusive: false, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 32, len: 8 },
+        Stmt::Put { win: 0, target: 1, disp: 40, len: 8 },
         Stmt::Get { win: 0, target: 1, disp: 0, len: 8 },
         Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
     ]);
@@ -164,6 +168,153 @@ fn eop_deferred_findings_get_one_trailing_wait() {
             .count();
         assert!(open == 0 || waits > 0, "rank {r} leaks requests: {:?}", rw.ranks[r]);
     }
+    assert!(analyze(&rw).is_empty());
+    assert_idempotent(&p);
+}
+
+// ------------------------------------------------------- cost model
+
+#[test]
+fn unprofitable_relaxation_is_skipped_but_advisory_still_fires() {
+    // One statement of slack between the unlock and its dependent Get:
+    // the overlap the relaxation could reclaim cannot pay for the
+    // request bookkeeping plus the inserted wait, so the calibrated
+    // cost model vetoes the rewrite — but the slack pass still reports
+    // the latent relaxable finding.
+    let mut p = IrProgram::new(2, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+        Stmt::Lock { win: 0, target: 1, exclusive: false, nonblocking: false },
+        Stmt::Get { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+    ]);
+    let slack = analyze_slack(&p);
+    assert!(
+        slack.findings.iter().any(|f| f.class == SlackClass::Relaxable),
+        "the advisory must still fire: {:?}",
+        slack.findings
+    );
+    let (rw, rep) = rewrite(&p);
+    assert_eq!(rep.relaxed, 0, "{rep:?}");
+    assert!(rep.skipped > 0, "{rep:?}");
+    assert_eq!(rw, p, "vetoed program must be untouched");
+    // The veto is the cost model's, not the classifier's: pricing the
+    // same relaxation as free applies it.
+    let (free, frep) = rewrite_with_model(&p, RewriteMode::Sound, &CostModel::free());
+    assert!(frep.relaxed > 0, "{frep:?}");
+    assert_eq!(frep.skipped, 0, "{frep:?}");
+    assert!(analyze(&free).is_empty());
+}
+
+#[test]
+fn contended_exclusive_unlock_is_never_relaxed() {
+    // Two origins exclusively lock the same target: relaxing either
+    // unlock defers the release the other's acquire is waiting on, so
+    // the structural contention veto declines both — even under the
+    // free cost model, which prices every relaxation as profitable.
+    let contended = |exclusive: bool| {
+        let mut p = IrProgram::new(3, WIN);
+        for me in 0..2usize {
+            p.ranks[me].extend([
+                Stmt::Lock { win: 0, target: 2, exclusive, nonblocking: false },
+                Stmt::Put { win: 0, target: 2, disp: me * 8, len: 8 },
+                Stmt::Unlock { win: 0, target: 2, close: Close::Blocking },
+                Stmt::Barrier,
+            ]);
+        }
+        p.ranks[2].push(Stmt::Barrier);
+        p
+    };
+    let p = contended(true);
+    assert!(analyze(&p).is_empty());
+    let (rw, rep) = rewrite_with_model(&p, RewriteMode::Sound, &CostModel::free());
+    assert_eq!(rep.relaxed, 0, "{rep:?}");
+    assert!(rep.skipped >= 2, "{rep:?}");
+    assert_eq!(rw, p, "vetoed program must be untouched");
+    // Shared/shared contention on the same target is no contention at
+    // all — concurrent shared locks never wait on each other — so the
+    // identical shape with shared locks relaxes both unlocks.
+    let p = contended(false);
+    let (rw, rep) = rewrite(&p);
+    assert!(rep.relaxed >= 2, "{rep:?}");
+    assert!(analyze(&rw).is_empty());
+    assert_idempotent(&p);
+}
+
+#[test]
+fn overwide_start_group_is_shrunk_symmetrically() {
+    // The W004 shape: rank 0's start group names rank 2 but the epoch
+    // only operates toward rank 1. The rewriter drops rank 2 from the
+    // start group AND rank 0 from rank 2's matching post group, keeping
+    // the GATS pairing aligned.
+    let mut p = IrProgram::new(3, WIN);
+    p.ranks[0].extend([
+        Stmt::Start { win: 0, group: vec![1, 2] },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
+    ]);
+    for r in 1..3 {
+        p.ranks[r].extend([
+            Stmt::Post { win: 0, group: vec![0] },
+            Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+        ]);
+    }
+    assert!(analyze(&p).is_empty());
+    let (rw, rep) = rewrite(&p);
+    assert!(rep.shrunk > 0, "{rep:?}");
+    assert!(
+        matches!(&rw.ranks[0][0], Stmt::Start { group, .. } if group.as_slice() == [1]),
+        "{:?}",
+        rw.ranks[0]
+    );
+    assert!(
+        matches!(&rw.ranks[2][0], Stmt::Post { group, .. } if group.is_empty()),
+        "{:?}",
+        rw.ranks[2]
+    );
+    assert!(analyze(&rw).is_empty(), "shrunk program must stay E-clean");
+    assert_idempotent(&p);
+}
+
+#[test]
+fn shrink_never_prunes_iflush_discharging_waits() {
+    // Group shrinking must not disturb the flush-discharge chain: an
+    // iflush whose request parks at a WaitAll stays exactly where it is
+    // while the over-wide group shrinks around it.
+    let mut p = IrProgram::new(3, WIN);
+    p.ranks[0].extend([
+        Stmt::Lock { win: 0, target: 1, exclusive: true, nonblocking: false },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Flush { win: 0, target: Some(1), local_only: false, close: Close::Nonblocking },
+        Stmt::WaitAll,
+        Stmt::Unlock { win: 0, target: 1, close: Close::Blocking },
+        Stmt::Start { win: 0, group: vec![1, 2] },
+        Stmt::Put { win: 0, target: 1, disp: 0, len: 8 },
+        Stmt::Complete { win: 0, close: Close::Blocking },
+    ]);
+    for r in 1..3 {
+        p.ranks[r].extend([
+            Stmt::Post { win: 0, group: vec![0] },
+            Stmt::WaitEpoch { win: 0, close: Close::Blocking },
+        ]);
+    }
+    assert!(analyze(&p).is_empty());
+    let (rw, rep) = rewrite(&p);
+    assert!(rep.shrunk > 0, "{rep:?}");
+    let iflushes = |q: &IrProgram| {
+        q.ranks[0]
+            .iter()
+            .filter(|s| matches!(s, Stmt::Flush { close: Close::Nonblocking, .. }))
+            .count()
+    };
+    assert_eq!(iflushes(&rw), iflushes(&p), "iflush must survive: {:?}", rw.ranks[0]);
+    assert!(
+        rw.ranks[0].iter().any(|s| matches!(s, Stmt::WaitAll)),
+        "discharging wait must survive: {:?}",
+        rw.ranks[0]
+    );
     assert!(analyze(&rw).is_empty());
     assert_idempotent(&p);
 }

@@ -19,11 +19,13 @@
 
 pub mod bank;
 pub mod halo;
+pub mod ir_models;
 pub mod stencil2d;
 pub mod lu;
 pub mod transactions;
 
 pub use bank::{run_bank, BankConfig, BankResult};
+pub use ir_models::{bank_ir, halo_ir as halo_ir_model, lu_ir, stencil2d_ir, transactions_ir};
 pub use halo::{run_halo, HaloConfig, HaloResult, HaloSync};
 pub use lu::{run_lu, sequential_lu, LuConfig, LuMode, LuResult, LuSync};
 pub use stencil2d::{process_grid, run_stencil2d, sequential_stencil, Stencil2dConfig, Stencil2dResult};

@@ -1,21 +1,21 @@
 //! Perf-trajectory runner: executes the macro-benchmarks (fence-heavy
 //! halo, GATS pipeline, lock_all contention, the internode /
 //! reliability-sublayer halo pair, the static-analyzer IR sweep, the
-//! slack classify+rewrite sweep, the blocking/relaxed IR halo pair, and
-//! the 8/64/512/4096 ranks sweep with peak-RSS tracking) and writes
-//! `BENCH_9.json`.
+//! slack classify+rewrite sweep, the blocking/relaxed IR pairs for the
+//! halo, LU and bank twins, and the 8/64/512/4096 ranks sweep with
+//! peak-RSS tracking) and writes `BENCH_10.json`.
 //!
 //! Usage: `cargo run --release -p mpisim-bench --bin bench_trajectory --
 //! [--short] [--ranks-only] [--out PATH]`. `--short` runs CI-smoke
 //! scales; `--ranks-only` runs just the ranks sweep (the CI scale-smoke
 //! job's budgeted subset); `--out` overrides the output path (default
-//! `BENCH_9.json` in the current directory — run from the repo root).
+//! `BENCH_10.json` in the current directory — run from the repo root).
 
-/// Trajectory point: PR 9 added the epoch-aligned crash-recovery store.
-/// The `halo_fence_checkpointed` workload prices checkpointing against
-/// the plain halo, and every row now carries the `ckpt_commits` /
-/// `ckpt_bytes` / `recoveries` counters.
-const PR: u32 = 9;
+/// Trajectory point: PR 10 made the static layer value-aware (E018) and
+/// the slack rewriter cost-modeled. The `lu_gats_ir`/`bank_lockall_ir`
+/// pairs price the rewriter's payoff on two more application epoch
+/// disciplines next to the existing halo pair.
+const PR: u32 = 10;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -1,0 +1,11 @@
+//! Regenerates `rewrite_apps.csv`: the slack rewriter's engine-measured
+//! payoff (blocked sync steps, virtual completion time) over every
+//! application IR twin. `--short` runs the reduced CI scale. The
+//! harness asserts soundness on every row — both versions E-clean and
+//! degradation-free, blocked steps strictly reduced, virtual time not
+//! regressed — so a successful exit is itself a validation pass.
+fn main() {
+    let short = std::env::args().any(|a| a == "--short");
+    let deltas = mpisim_bench::rewrite_apps::run(short);
+    mpisim_bench::emit(&mpisim_bench::rewrite_apps::table(&deltas), "rewrite_apps");
+}

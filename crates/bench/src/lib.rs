@@ -36,6 +36,7 @@ pub mod flags;
 pub mod gate;
 pub mod macrobench;
 pub mod micro;
+pub mod rewrite_apps;
 pub mod series;
 pub mod table;
 

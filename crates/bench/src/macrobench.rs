@@ -445,6 +445,50 @@ pub fn halo_fence_ir_relaxed(n_ranks: usize, iters: usize) -> BenchResult {
     measure_ir("halo_fence_ir_relaxed", &rw, ops)
 }
 
+/// Apply the sound slack rewriter to an application IR twin, asserting
+/// it fires and both sides stay E-clean — the shared front half of the
+/// `*_ir_relaxed` trajectory points below.
+fn rewritten_twin(name: &str, p: &mpisim_analyze::IrProgram) -> mpisim_analyze::IrProgram {
+    assert!(mpisim_analyze::analyze(p).is_empty(), "{name}: twin must start E-clean");
+    let (rw, rep) = mpisim_analyze::rewrite(p);
+    assert!(rep.changed(), "{name}: rewriter found no slack");
+    assert!(mpisim_analyze::analyze(&rw).is_empty(), "{name}: rewritten twin must stay E-clean");
+    rw
+}
+
+/// The LU panel broadcast's IR twin (one GATS access epoch per panel,
+/// owner puts toward everyone else), blocking closes. Baseline for
+/// [`lu_gats_ir_relaxed`].
+pub fn lu_gats_ir(n_ranks: usize, panels: usize) -> BenchResult {
+    let ops = (panels * (n_ranks - 1)) as u64;
+    measure_ir("lu_gats_ir", &mpisim_apps::ir_models::lu_ir(n_ranks, panels), ops)
+}
+
+/// [`lu_gats_ir`] after the sound slack rewrite: nonblocking panel
+/// closes pipeline across panels.
+pub fn lu_gats_ir_relaxed(n_ranks: usize, panels: usize) -> BenchResult {
+    let rw = rewritten_twin("lu_gats_ir", &mpisim_apps::ir_models::lu_ir(n_ranks, panels));
+    let ops = (panels * (n_ranks - 1)) as u64;
+    measure_ir("lu_gats_ir_relaxed", &rw, ops)
+}
+
+/// The bank kernel's IR twin (one `lock_all` epoch per rank, per-transfer
+/// balance read + credit + flush), blocking closes. Baseline for
+/// [`bank_lockall_ir_relaxed`].
+pub fn bank_lockall_ir(n_ranks: usize, transfers: usize) -> BenchResult {
+    let ops = (n_ranks * transfers * 2) as u64;
+    measure_ir("bank_lockall_ir", &mpisim_apps::ir_models::bank_ir(n_ranks, transfers), ops)
+}
+
+/// [`bank_lockall_ir`] after the sound slack rewrite: the rewriter's
+/// payoff here is flush *elision* — per-transfer blocking flushes whose
+/// guarantee a later flush of the same target already covers.
+pub fn bank_lockall_ir_relaxed(n_ranks: usize, transfers: usize) -> BenchResult {
+    let rw = rewritten_twin("bank_lockall_ir", &mpisim_apps::ir_models::bank_ir(n_ranks, transfers));
+    let ops = (n_ranks * transfers * 2) as u64;
+    measure_ir("bank_lockall_ir_relaxed", &rw, ops)
+}
+
 /// Run the full trajectory suite. `short` uses reduced scales for CI
 /// smoke runs; the numbers are still comparable across PRs as long as
 /// the mode matches.
@@ -474,6 +518,10 @@ fn core_suite(short: bool) -> Vec<BenchResult> {
             slack_sweep(4),
             halo_fence_ir(4, 8),
             halo_fence_ir_relaxed(4, 8),
+            lu_gats_ir(4, 8),
+            lu_gats_ir_relaxed(4, 8),
+            bank_lockall_ir(4, 8),
+            bank_lockall_ir_relaxed(4, 8),
         ]
     } else {
         vec![
@@ -487,6 +535,10 @@ fn core_suite(short: bool) -> Vec<BenchResult> {
             slack_sweep(16),
             halo_fence_ir(8, 32),
             halo_fence_ir_relaxed(8, 32),
+            lu_gats_ir(8, 24),
+            lu_gats_ir_relaxed(8, 24),
+            bank_lockall_ir(8, 16),
+            bank_lockall_ir_relaxed(8, 16),
         ]
     }
 }
@@ -579,8 +631,8 @@ mod tests {
     fn analyzer_sweep_counts_programs() {
         let r = analyzer_ir_sweep(1, 2);
         // 5 conformance families x 1 program x 2 close modes
-        // + 9 corpus families x 2 seeds.
-        assert_eq!(r.ops, 5 * 2 + 9 * 2);
+        // + 10 corpus families x 2 seeds.
+        assert_eq!(r.ops, 5 * 2 + 10 * 2);
         assert!(r.wall_ns > 0);
     }
 
@@ -598,12 +650,15 @@ mod tests {
                 .map(|r| r.engine.sync_blocked_steps)
                 .unwrap()
         };
-        assert!(
-            blocked("halo_fence_ir_relaxed") < blocked("halo_fence_ir"),
-            "relaxed halo did not reduce sync_blocked_steps: {} vs {}",
-            blocked("halo_fence_ir_relaxed"),
-            blocked("halo_fence_ir")
-        );
+        for pair in ["halo_fence_ir", "lu_gats_ir", "bank_lockall_ir"] {
+            let relaxed = format!("{pair}_relaxed");
+            assert!(
+                blocked(&relaxed) < blocked(pair),
+                "{relaxed} did not reduce sync_blocked_steps: {} vs {}",
+                blocked(&relaxed),
+                blocked(pair)
+            );
+        }
         for r in results {
             assert!(r.ops > 0);
             assert!(r.wall_ns > 0);
@@ -611,7 +666,7 @@ mod tests {
                 // Pure static analysis: no simulation, no engine work.
                 continue;
             }
-            if r.name.starts_with("halo_fence_ir") {
+            if r.name.ends_with("_ir") || r.name.ends_with("_ir_relaxed") {
                 // IR-interpreter runs: ops counts the source program's
                 // data operations; the engine-level balance checks
                 // below still apply.

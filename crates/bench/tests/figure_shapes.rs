@@ -166,3 +166,52 @@ fn fig13_shape_quick() {
     assert!(comm.cell("4", NEW).unwrap() > 40.0);
     assert!(comm.cell("4", NB).unwrap() < 20.0);
 }
+
+#[test]
+fn rewrite_apps_shape() {
+    use mpisim_bench::rewrite_apps;
+    // run() itself asserts per-row soundness (E-clean both sides, clean
+    // runs, blocked-steps reduction when changed, no virtual-time
+    // regression); the shape test pins the figure's story.
+    let deltas = rewrite_apps::run(true);
+    let t = rewrite_apps::table(&deltas);
+    assert_eq!(t.rows.len(), 5, "one row per application kernel");
+    for app in ["halo", "stencil2d", "lu", "bank"] {
+        let before = t.cell(app, "blocked_steps").unwrap();
+        let after = t.cell(app, "blocked_steps_rw").unwrap();
+        assert!(after < before, "{app}: {before} -> {after}");
+        assert!(
+            t.cell(app, "virt_us_rw").unwrap() <= t.cell(app, "virt_us").unwrap(),
+            "{app}: virtual time regressed"
+        );
+        let applied = t.cell(app, "relaxed").unwrap()
+            + t.cell(app, "elided").unwrap()
+            + t.cell(app, "shrunk").unwrap();
+        assert!(applied > 0.0, "{app}: no rewrites applied");
+    }
+    // The contended exclusive-lock workload is the deliberate negative
+    // row: every relaxation vetoed, zero delta.
+    assert_eq!(t.cell("transactions", "relaxed").unwrap(), 0.0);
+    assert!(t.cell("transactions", "skipped").unwrap() > 0.0);
+    assert_eq!(
+        t.cell("transactions", "blocked_steps").unwrap(),
+        t.cell("transactions", "blocked_steps_rw").unwrap()
+    );
+}
+
+#[test]
+fn rewrite_apps_committed_csv_matches_schema() {
+    // The committed full-scale figure must exist and keep the harness
+    // schema (one row per kernel, same columns the table emits).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/rewrite_apps.csv");
+    let csv = std::fs::read_to_string(path).expect("results/rewrite_apps.csv is committed");
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next().unwrap(),
+        "app,ranks,blocked_steps,blocked_steps_rw,blocked_reduction_pct,virt_us,virt_us_rw,\
+         relaxed,elided,localized,shrunk,skipped"
+    );
+    let apps: Vec<&str> =
+        lines.map(|l| l.split(',').next().unwrap()).collect();
+    assert_eq!(apps, ["halo", "stencil2d", "lu", "transactions", "bank"]);
+}

@@ -22,7 +22,8 @@
 //! cancellation is an observation.
 
 use mpisim_analyze::{
-    analyze, generate_negative, has_code, rewrite_with, NegFamily, RewriteMode,
+    analyze, generate_negative, generate_value_clean, has_code, rewrite_with, NegFamily,
+    RewriteMode,
 };
 use mpisim_core::{Degradation, ExecMode, SyncStrategy};
 
@@ -86,9 +87,34 @@ pub fn crossval_flagged(seeds: u64, failures: &mut Vec<String>) -> u64 {
 
 /// Clean side: `programs` generated programs per conformance family,
 /// lowered under both close modes, must be analyzer-clean and run under
-/// the armed watchdog without a single stall.
+/// the armed watchdog without a single stall. The satisfiable twin of
+/// the value-deadlock family (same spin shape, expectation matching the
+/// published flag) rides along: the value domain must pass it statically
+/// AND the bounded exec-side spin must observe the published value in
+/// time, so the run finishes stall-free.
 pub fn crossval_clean(programs: u64, failures: &mut Vec<String>) -> u64 {
     let mut runs = 0;
+    for idx in 0..programs {
+        runs += 1;
+        let ir = generate_value_clean(idx);
+        let diags = analyze(&ir);
+        if !diags.is_empty() {
+            failures.push(format!("value-clean #{idx}: satisfiable spin flagged: {diags:?}"));
+            continue;
+        }
+        match exec_ir(&ir, true, 7 + idx) {
+            Ok(report) => {
+                let stalls = stall_count(&report);
+                if stalls > 0 {
+                    failures.push(format!(
+                        "value-clean #{idx}: satisfiable spin stalled {stalls} time(s) \
+                         (spin never saw the published flag?)"
+                    ));
+                }
+            }
+            Err(f) => failures.push(format!("value-clean #{idx}: IR run failed: {f}")),
+        }
+    }
     for family in Family::ALL {
         for idx in 0..programs {
             let program = generate(family, idx);
@@ -172,7 +198,10 @@ const REWRITE_SEEDS: [u64; 2] = [7, 23];
 /// * it does **strictly less host-blocking work**: per point
 ///   `sync_blocked_steps` never increases, and summed over the points the
 ///   rewrite strictly reduces blocked steps (or, on a tie, strictly
-///   reduces blocked virtual nanoseconds).
+///   reduces blocked virtual nanoseconds);
+/// * it **never regresses virtual completion time**: per point the
+///   rewritten run's `final_time` must not exceed the original's — the
+///   end-to-end bound the cost model prices rewrites against.
 ///
 /// With [`RewriteMode::PlantUnsound`] the rewriter additionally deletes
 /// one synchronization statement after the sound rewrite; the sweep then
@@ -279,6 +308,15 @@ pub fn crossval_rewrites(programs: u64, mode: RewriteMode) -> RewriteValReport {
                         r.failures.push(format!(
                             "{family:?} #{idx} {strategy:?} seed {seed}: rewrite INCREASED \
                              sync_blocked_steps ({s0} -> {s1})"
+                        ));
+                        point_failure = true;
+                        continue;
+                    }
+                    let (t0, t1) = (r0.final_time, r1.final_time);
+                    if t1 > t0 {
+                        r.failures.push(format!(
+                            "{family:?} #{idx} {strategy:?} seed {seed}: rewrite REGRESSED \
+                             virtual completion time ({t0:?} -> {t1:?})"
                         ));
                         point_failure = true;
                         continue;
@@ -465,7 +503,7 @@ mod tests {
     #[test]
     fn small_crossval_sweep_agrees() {
         let r = crossval_deadlocks(3);
-        assert_eq!(r.flagged_runs, 15, "5 deadlock families x 3 seeds");
+        assert_eq!(r.flagged_runs, 18, "6 deadlock families x 3 seeds");
         assert!(r.clean_runs >= 10, "5 families x >=1 program x 2 close modes");
         assert!(r.failures.is_empty(), "{:#?}", r.failures);
     }
@@ -476,6 +514,21 @@ mod tests {
         let case = generate_negative(NegFamily::PscwCycle, 0);
         let report = exec_ir(&case.program, true, 7).expect("watchdog must terminate the run");
         assert!(stall_count(&report) >= 1, "degradations: {:?}", report.degradations);
+    }
+
+    #[test]
+    fn value_deadlock_stalls_and_satisfiable_twin_does_not() {
+        // The doomed spin (expectation no write can produce) must stall
+        // its peers hard enough for the watchdog to cancel; the
+        // satisfiable twin must finish without a single stall.
+        let case = generate_negative(NegFamily::ValueDeadlock, 0);
+        let report = exec_ir(&case.program, true, 7).expect("watchdog must terminate the run");
+        assert!(stall_count(&report) >= 1, "degradations: {:?}", report.degradations);
+
+        let clean = generate_value_clean(0);
+        assert!(analyze(&clean).is_empty());
+        let report = exec_ir(&clean, true, 7).expect("satisfiable spin must finish");
+        assert_eq!(stall_count(&report), 0, "degradations: {:?}", report.degradations);
     }
 
     #[test]

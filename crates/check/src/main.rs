@@ -16,6 +16,10 @@
 //!   armed watchdog and must produce zero stalls; default 13. `--inject
 //!   deadlock` runs only the flagged side as an exit-inverted self-test:
 //!   status 0 iff every corpus deadlock was caught by both layers.
+//!   `--inject value-deadlock` narrows to the value-dependent family:
+//!   status 0 iff every doomed spin is flagged E018 *and* stalls the
+//!   watchdog, while the satisfiable twin of every program is
+//!   analyzer-clean and runs stall-free.
 //! * `--execs N` — execution-mode determinism sweep width: N conformance
 //!   programs per family (both close modes) are replayed under
 //!   thread-per-rank and both pooled fiber modes, and the runs must be
@@ -196,6 +200,79 @@ fn main() -> ExitCode {
                 eprintln!("  {f}");
             }
             eprintln!("self-test failed: {} deadlock(s) escaped detection", failures.len());
+            ExitCode::FAILURE
+        };
+    }
+
+    // `--inject value-deadlock` is the value-domain self-test: every
+    // corpus program whose spin expectation no reachable write can ever
+    // produce must be flagged E018 statically AND stall the watchdog
+    // dynamically — and the satisfiable twin of the same shape must be
+    // analyzer-clean and run stall-free. Exit status inverts: 0 iff both
+    // directions hold for every seed.
+    if args.inject.as_deref() == Some("value-deadlock") {
+        use mpisim_analyze::{
+            analyze, generate_negative, generate_value_clean, has_code, Code, NegFamily,
+        };
+        let stall_count = |report: &mpisim_core::JobReport| {
+            report
+                .degradations
+                .iter()
+                .filter(|d| matches!(d, mpisim_core::Degradation::EpochStall(_)))
+                .count()
+        };
+        let mut failures = Vec::new();
+        let seeds = args.deadlocks.max(1);
+        for seed in 0..seeds {
+            let case = generate_negative(NegFamily::ValueDeadlock, seed);
+            let diags = analyze(&case.program);
+            if !has_code(&diags, Code::E018) {
+                failures.push(format!("seed {seed}: analyzer missed E018 (got {diags:?})"));
+            } else {
+                match mpisim_check::exec_ir(&case.program, true, 7 + seed) {
+                    Ok(report) if stall_count(&report) == 0 => failures.push(format!(
+                        "seed {seed}: E018-flagged program ran stall-free (static false \
+                         positive?)"
+                    )),
+                    Ok(_) => {}
+                    Err(f) => failures.push(format!(
+                        "seed {seed}: watchdog failed to terminate the doomed spin: {f}"
+                    )),
+                }
+            }
+            let clean = generate_value_clean(seed);
+            let diags = analyze(&clean);
+            if !diags.is_empty() {
+                failures.push(format!(
+                    "seed {seed}: satisfiable twin flagged: {diags:?} (value domain too \
+                     coarse?)"
+                ));
+                continue;
+            }
+            match mpisim_check::exec_ir(&clean, true, 7 + seed) {
+                Ok(report) if stall_count(&report) > 0 => failures.push(format!(
+                    "seed {seed}: satisfiable twin stalled {} time(s)",
+                    stall_count(&report)
+                )),
+                Ok(_) => {}
+                Err(f) => failures.push(format!("seed {seed}: satisfiable twin failed: {f}")),
+            }
+        }
+        println!(
+            "mpisim-check: value-deadlock self-test, {} doomed + {} satisfiable programs",
+            seeds, seeds
+        );
+        return if failures.is_empty() {
+            println!(
+                "self-test passed: every doomed spin was flagged E018 and stalled; every \
+                 satisfiable twin was clean and stall-free"
+            );
+            ExitCode::SUCCESS
+        } else {
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            eprintln!("self-test failed: {} disagreement(s)", failures.len());
             ExitCode::FAILURE
         };
     }

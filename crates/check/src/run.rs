@@ -635,6 +635,31 @@ fn exec_ir_inner(
     let prog = Arc::new(p.clone());
     run_guarded(cfg, move |env| {
         use mpisim_analyze::{Close, Stmt};
+        /// Issue one value-producing read and block for its 8-byte result.
+        fn fetch_value(
+            env: &mpisim_core::RankEnv,
+            w: mpisim_core::WinId,
+            target: usize,
+            disp: usize,
+            kind: mpisim_analyze::FetchKind,
+        ) -> Option<u64> {
+            use mpisim_analyze::FetchKind as F;
+            let req = match kind {
+                F::Get => env.get(w, Rank(target), disp, 8),
+                F::GetAcc(op) => {
+                    env.get_accumulate(w, Rank(target), disp, Datatype::U64, op, &1u64.to_le_bytes())
+                }
+                F::FetchOp(op) => {
+                    env.fetch_and_op(w, Rank(target), disp, Datatype::U64, op, &1u64.to_le_bytes())
+                }
+            }
+            .ok()?;
+            let bytes = env.wait_data(req).ok()?;
+            let mut buf = [0u8; 8];
+            let n = bytes.len().min(8);
+            buf[..n].copy_from_slice(&bytes[..n]);
+            Some(u64::from_le_bytes(buf))
+        }
         let me = env.rank().idx();
         let info = if prog.reorder { WinInfo::all_reorder() } else { WinInfo::default() };
         let wins: Vec<_> = prog
@@ -643,6 +668,12 @@ fn exec_ir_inner(
             .map(|bytes| env.win_allocate_with(*bytes, info).unwrap())
             .collect();
         let mut pending: Vec<mpisim_core::Req> = Vec::new();
+        // Value locals: binding provenance (win, target, disp, kind) plus
+        // the last value fetched into the local.
+        let mut locals: std::collections::BTreeMap<
+            usize,
+            (usize, usize, usize, mpisim_analyze::FetchKind, u64),
+        > = std::collections::BTreeMap::new();
         let nb = |res: RmaResult<mpisim_core::Req>, pending: &mut Vec<mpisim_core::Req>| {
             if let Ok(r) = res {
                 pending.push(r);
@@ -743,6 +774,39 @@ fn exec_ir_inner(
                         *op,
                         &1u64.to_le_bytes(),
                     );
+                }
+                Stmt::ReadValue { win, target, disp, kind, local } => {
+                    let v = fetch_value(env, wins[*win], *target, *disp, *kind).unwrap_or(0);
+                    locals.insert(*local, (*win, *target, *disp, *kind, v));
+                }
+                Stmt::AccVal { win, target, disp, op, val } => {
+                    let _ = env.accumulate(
+                        wins[*win],
+                        Rank(*target),
+                        *disp,
+                        Datatype::U64,
+                        *op,
+                        &val.to_le_bytes(),
+                    );
+                }
+                Stmt::SpinUntil { local, expect } => {
+                    // Bounded spin: re-fetch the bound slot until the
+                    // expected value appears or the budget runs out. The
+                    // budget (800 × 100µs = 80ms virtual) sits comfortably
+                    // past twice the 20ms watchdog window, so a doomed
+                    // spin stalls its peers hard enough for the watchdog
+                    // to act while the run itself still terminates.
+                    if let Some((win, target, disp, kind, mut v)) = locals.get(local).copied() {
+                        let mut spins = 0u32;
+                        while v != *expect && spins < 800 {
+                            env.compute(SimTime::from_micros(100));
+                            v = fetch_value(env, wins[win], target, disp, kind).unwrap_or(v);
+                            spins += 1;
+                        }
+                        if let Some(slot) = locals.get_mut(local) {
+                            slot.4 = v;
+                        }
+                    }
                 }
                 Stmt::WaitAll => {
                     let _ = env.wait_all(pending.drain(..));

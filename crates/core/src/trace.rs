@@ -109,9 +109,16 @@ impl AccessKind {
     /// commutes). Unordered conflicting accesses are data races under the
     /// MPI-3 RMA memory model.
     pub fn conflicts_with(self, other: AccessKind) -> bool {
+        use crate::datatype::ReduceOp::NoOp;
         use AccessKind::*;
         match (self, other) {
-            (Read, Read) => false,
+            // Neither side mutates (plain reads and NoOp atomic reads).
+            _ if !self.writes() && !other.writes() => false,
+            // A NoOp accumulate is an element-wise-atomic pure read:
+            // well-ordered against every accumulate-family access (the
+            // MPI `same_op_no_op` default).
+            (Atomic(NoOp), Atomic(_) | AtomicCas)
+            | (Atomic(_) | AtomicCas, Atomic(NoOp)) => false,
             // Same-operator accumulates are atomic and commute; mixed
             // operators leave a schedule-dependent result.
             (Atomic(a), Atomic(b)) => a != b,
@@ -119,9 +126,13 @@ impl AccessKind {
         }
     }
 
-    /// Whether the access mutates target memory.
+    /// Whether the access mutates target memory (a `NoOp` accumulate
+    /// reads atomically without modifying the slot).
     pub fn writes(self) -> bool {
-        !matches!(self, AccessKind::Read)
+        !matches!(
+            self,
+            AccessKind::Read | AccessKind::Atomic(crate::datatype::ReduceOp::NoOp)
+        )
     }
 }
 
